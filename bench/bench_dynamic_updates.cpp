@@ -1,0 +1,80 @@
+/// \file bench_dynamic_updates.cpp
+/// Ablation: incremental PLL updates vs from-scratch rebuilds.
+///
+/// Hub labelings are expensive to build; a deployment that sees edge
+/// insertions (new roads, new links) wants the AIY-style resume instead of
+/// a rebuild.  This bench measures per-insertion repair time, the label
+/// growth relative to a fresh rebuild, and validates exactness after every
+/// batch.
+
+#include <cstdio>
+
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "hub/incremental.hpp"
+#include "hub/pll.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hublab;
+
+int main() {
+  std::printf("Ablation: incremental PLL vs rebuild under edge insertions\n");
+  bool all_ok = true;
+
+  TextTable table({"n", "m0", "inserts", "update ms/edge", "rebuild ms", "inc hubs",
+                   "rebuilt hubs", "overhead", "exact"});
+  for (const std::size_t n : {200u, 500u, 1000u}) {
+    Rng rng(n);
+    const Graph g = gen::connected_gnm(n, 2 * n, rng);
+    IncrementalPll inc(g);
+
+    // Insert a 5% batch of random edges.
+    const std::size_t inserts = n / 20;
+    GraphBuilder rebuild_builder(n);
+    for (Vertex u = 0; u < n; ++u) {
+      for (const Arc& a : g.arcs(u)) {
+        if (a.to > u) rebuild_builder.add_edge(u, a.to, a.weight);
+      }
+    }
+    Rng pick(n + 7);
+    Timer update_timer;
+    std::size_t inserted = 0;
+    while (inserted < inserts) {
+      const auto u = static_cast<Vertex>(pick.next_below(n));
+      const auto v = static_cast<Vertex>(pick.next_below(n));
+      if (u == v) continue;
+      inc.insert_edge(u, v);
+      rebuild_builder.add_edge(u, v);
+      ++inserted;
+    }
+    const double update_ms = update_timer.elapsed_ms() / static_cast<double>(inserts);
+
+    const Graph current = rebuild_builder.build();
+    Timer rebuild_timer;
+    const HubLabeling rebuilt = pruned_landmark_labeling(current);
+    const double rebuild_ms = rebuild_timer.elapsed_ms();
+
+    // Spot-check exactness of the incremental labels.
+    bool exact = true;
+    Rng check(n + 13);
+    for (int i = 0; i < 200 && exact; ++i) {
+      const auto u = static_cast<Vertex>(check.next_below(n));
+      const auto d = sssp_distances(current, u);
+      const auto v = static_cast<Vertex>(check.next_below(n));
+      exact = inc.query(u, v) == d[v];
+    }
+    all_ok = all_ok && exact;
+
+    const double overhead = static_cast<double>(inc.total_hubs()) /
+                            static_cast<double>(rebuilt.total_hubs());
+    table.add_row({fmt_u64(n), fmt_u64(g.num_edges()), fmt_u64(inserts),
+                   fmt_double(update_ms, 3), fmt_double(rebuild_ms, 1),
+                   fmt_u64(inc.total_hubs()), fmt_u64(rebuilt.total_hubs()),
+                   fmt_double(overhead, 3), exact ? "ok" : "FAIL"});
+  }
+  table.print("incremental insertions (overhead = incremental hubs / rebuilt hubs)");
+
+  std::printf("\ndynamic updates ablation: %s\n", all_ok ? "OK" : "MISMATCH");
+  return all_ok ? 0 : 1;
+}

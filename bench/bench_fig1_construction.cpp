@@ -1,0 +1,79 @@
+/// \file bench_fig1_construction.cpp
+/// Experiment FIG1 (DESIGN.md): regenerate Figure 1 of the paper.
+///
+/// Figure 1 shows H_{b,l} with b = l = 2 (s = 4): the blue path from
+/// v_{0,(1,0)} to v_{4,(3,2)} is the unique shortest path, passes through
+/// v_{2,(2,1)} and has length 4A + 4; the red path has length 4A + 8.
+/// This binary rebuilds the exact instance, checks all those numbers, and
+/// emits the graph as DOT (fig1_h22.dot) for visual inspection.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "algo/shortest_paths.hpp"
+#include "graph/io.hpp"
+#include "lowerbound/gadget.hpp"
+#include "util/table.hpp"
+
+using namespace hublab;
+
+int main() {
+  const lb::GadgetParams p{2, 2};
+  const lb::LayeredGadget h(p);
+
+  std::printf("Experiment FIG1: the H_{2,2} instance of Figure 1\n");
+
+  TextTable params({"quantity", "value", "paper"});
+  params.add_row({"s (side length)", fmt_u64(p.s()), "4"});
+  params.add_row({"levels", fmt_u64(p.num_levels()), "5 (V_0..V_{2l})"});
+  params.add_row({"layer size s^l", fmt_u64(p.layer_size()), "16"});
+  params.add_row({"A = 3*l*s^2", fmt_u64(p.base_weight()), "96"});
+  params.add_row({"|V(H)|", fmt_u64(h.graph().num_vertices()), "80"});
+  params.add_row({"|E(H)|", fmt_u64(h.graph().num_edges()), "256"});
+  params.print("H_{2,2} parameters");
+
+  // Blue path: unique shortest v_{0,(1,0)} -> v_{4,(3,2)}.
+  const lb::Coords x{1, 0};
+  const lb::Coords z{3, 2};
+  const Vertex src = h.vertex_at(0, x);
+  const Vertex dst = h.vertex_at(4, z);
+  const SsspResult tree = dijkstra(h.graph(), src);
+  const auto counts = count_shortest_paths(h.graph(), src, tree.dist);
+  const auto path = extract_path(tree, src, dst);
+  const Vertex mid = h.predicted_midpoint(x, z);
+  const bool through_mid = std::find(path.begin(), path.end(), mid) != path.end();
+
+  // Red path: change each coordinate fully on the way up.
+  const std::vector<Vertex> red{h.vertex_at(0, {1, 0}), h.vertex_at(1, {3, 0}),
+                                h.vertex_at(2, {3, 2}), h.vertex_at(3, {3, 2}),
+                                h.vertex_at(4, {3, 2})};
+
+  TextTable fig({"path", "length", "paper", "note"});
+  fig.add_row({"blue (shortest)", fmt_u64(tree.dist[dst]), fmt_u64(4 * p.base_weight() + 4),
+               counts[dst] == 1 ? "unique" : "NOT UNIQUE (bug!)"});
+  fig.add_row({"passes v_{2,(2,1)}", through_mid ? "yes" : "NO (bug!)", "yes", ""});
+  fig.add_row({"red (detour)", fmt_u64(path_length(h.graph(), red)),
+               fmt_u64(4 * p.base_weight() + 8), "4A+8"});
+  fig.print("Figure 1 paths");
+
+  // Degree-3 expansion stats for the same instance.
+  const lb::Degree3Gadget g3(h);
+  TextTable exp({"quantity", "value"});
+  exp.add_row({"|V(G_{2,2})|", fmt_u64(g3.graph().num_vertices())});
+  exp.add_row({"|E(G_{2,2})|", fmt_u64(g3.graph().num_edges())});
+  exp.add_row({"max degree", fmt_u64(g3.graph().max_degree())});
+  exp.add_row({"tree vertices", fmt_u64(g3.num_tree_vertices())});
+  exp.add_row({"path vertices", fmt_u64(g3.num_path_vertices())});
+  exp.print("Degree-3 expansion G_{2,2}");
+
+  std::ofstream dot("fig1_h22.dot");
+  io::write_dot(h.graph(), dot, "H_2_2");
+  std::printf("\nDOT rendering written to fig1_h22.dot\n");
+
+  const bool ok = tree.dist[dst] == 4 * p.base_weight() + 4 && counts[dst] == 1 && through_mid &&
+                  path_length(h.graph(), red) == 4 * p.base_weight() + 8 &&
+                  g3.graph().max_degree() == 3;
+  std::printf("FIG1 reproduction: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

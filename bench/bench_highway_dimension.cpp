@@ -1,0 +1,85 @@
+/// \file bench_highway_dimension.cpp
+/// Experiment for the Section 1.1 discussion of [ADF+16]: hub labeling is
+/// cheap exactly where the *highway dimension* is low.
+///
+/// For each family, build the multiscale shortest-path-cover labeling and
+/// report the per-scale greedy cover sizes and ball loads.  Road-like and
+/// path-like networks show small loads (a handful of "highways" per
+/// scale); random regular graphs (expander-like) and the paper's gadget
+/// show large loads -- the same dichotomy Theorem 1.1 formalizes.
+
+#include <cstdio>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "hub/highway.hpp"
+#include "hub/pll.hpp"
+#include "lowerbound/gadget.hpp"
+#include "util/table.hpp"
+
+using namespace hublab;
+
+int main() {
+  std::printf("Experiment HWY: highway-dimension proxy across graph families\n");
+  bool all_ok = true;
+
+  struct Family {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"grid 14x14 (road-like)", gen::grid(14, 14)});
+  families.push_back({"path n=196", gen::path(196)});
+  {
+    Rng rng(1);
+    families.push_back({"random 3-regular n=196", gen::random_regular(196, 3, rng)});
+  }
+  {
+    Rng rng(2);
+    families.push_back({"barabasi-albert n=196", gen::barabasi_albert(196, 2, rng)});
+  }
+  {
+    // Degree-3 gadget of Theorem 2.1 (unweighted expansion of H_{1,1}).
+    const lb::LayeredGadget h(lb::GadgetParams{1, 1});
+    families.push_back({"gadget G_{1,1} (n=90)", lb::Degree3Gadget(h).graph()});
+  }
+
+  TextTable table({"family", "n", "h estimate", "scales", "sum covers", "avg label",
+                   "PLL avg", "exact"});
+  for (const auto& f : families) {
+    const Graph& g = f.graph;
+    const DistanceMatrix truth = DistanceMatrix::compute(g);
+    MultiscaleStats stats;
+    const HubLabeling l = multiscale_cover_labeling(g, truth, &stats);
+    const bool exact = !verify_labeling(g, l, truth).has_value();
+    all_ok = all_ok && exact;
+    std::size_t sum_covers = 0;
+    for (const auto& s : stats.scales) sum_covers += s.cover_size;
+    const HubLabeling pll = pruned_landmark_labeling(g);
+    table.add_row({f.name, fmt_u64(g.num_vertices()),
+                   fmt_u64(stats.highway_dimension_estimate()), fmt_u64(stats.scales.size()),
+                   fmt_u64(sum_covers), fmt_double(l.average_label_size(), 2),
+                   fmt_double(pll.average_label_size(), 2), exact ? "ok" : "FAIL"});
+  }
+  table.print("multiscale SP-cover labeling; 'h estimate' = max per-scale ball load");
+
+  // Per-scale detail for the two extremes.
+  for (const char* pick : {"grid 14x14 (road-like)", "random 3-regular n=196"}) {
+    for (const auto& f : families) {
+      if (f.name != pick) continue;
+      const DistanceMatrix truth = DistanceMatrix::compute(f.graph);
+      MultiscaleStats stats;
+      (void)multiscale_cover_labeling(f.graph, truth, &stats);
+      TextTable detail({"scale r", "covers d in", "|C_r|", "max ball load"});
+      for (const auto& s : stats.scales) {
+        detail.add_row({fmt_u64(s.r),
+                        "(" + fmt_u64(s.r) + "," + fmt_u64(2 * s.r) + "]",
+                        fmt_u64(s.cover_size), fmt_u64(s.max_ball_load)});
+      }
+      detail.print(std::string("per-scale detail: ") + pick);
+    }
+  }
+
+  std::printf("\nHWY experiment: %s\n", all_ok ? "OK" : "MISMATCH");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+/// \file bench_query_oracles.cpp
+/// Experiment PRACT (DESIGN.md): "hub labeling in practice" (Section 1.1 of
+/// the paper) -- microbenchmarks of exact distance-query strategies on
+/// road-like and random sparse graphs, using google-benchmark.
+///
+/// Expected shape: hub-label queries are orders of magnitude faster than
+/// Dijkstra-style searches, at the cost of preprocessed space -- the
+/// tradeoff the paper's oracle discussion formalizes.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "hub/pll.hpp"
+#include "oracle/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+struct Workload {
+  Graph graph;
+  HubLabeling labels;
+  std::vector<std::pair<Vertex, Vertex>> queries;
+};
+
+const Workload& road_workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(1);
+    wl.graph = gen::road_like(40, 40, 0.15, 10, rng);
+    wl.labels = pruned_landmark_labeling(wl.graph);
+    Rng pick(2);
+    for (int i = 0; i < 1024; ++i) {
+      wl.queries.emplace_back(static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())),
+                              static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())));
+    }
+    return wl;
+  }();
+  return w;
+}
+
+const Workload& sparse_workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(3);
+    wl.graph = gen::connected_gnm(2000, 4000, rng);
+    wl.labels = pruned_landmark_labeling(wl.graph);
+    Rng pick(4);
+    for (int i = 0; i < 1024; ++i) {
+      wl.queries.emplace_back(static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())),
+                              static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())));
+    }
+    return wl;
+  }();
+  return w;
+}
+
+void bm_hub_query(benchmark::State& state, const Workload& w) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [u, v] = w.queries[i++ & 1023];
+    benchmark::DoNotOptimize(w.labels.query(u, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_bidirectional(benchmark::State& state, const Workload& w) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [u, v] = w.queries[i++ & 1023];
+    benchmark::DoNotOptimize(bidirectional_distance(w.graph, u, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_full_sssp(benchmark::State& state, const Workload& w) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [u, v] = w.queries[i++ & 1023];
+    benchmark::DoNotOptimize(sssp_distances(w.graph, u)[v]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_pll_construction(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = gen::connected_gnm(static_cast<std::size_t>(state.range(0)),
+                                     static_cast<std::size_t>(2 * state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruned_landmark_labeling(g));
+  }
+}
+
+BENCHMARK_CAPTURE(bm_hub_query, road40x40, road_workload());
+BENCHMARK_CAPTURE(bm_bidirectional, road40x40, road_workload());
+BENCHMARK_CAPTURE(bm_full_sssp, road40x40, road_workload())->Iterations(200);
+BENCHMARK_CAPTURE(bm_hub_query, gnm2000, sparse_workload());
+BENCHMARK_CAPTURE(bm_bidirectional, gnm2000, sparse_workload());
+BENCHMARK_CAPTURE(bm_full_sssp, gnm2000, sparse_workload())->Iterations(200);
+BENCHMARK(bm_pll_construction)->Arg(250)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hublab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/// \file bench_rs_behrend.cpp
+/// Experiment RS (DESIGN.md): the Ruzsa-Szemeredi machinery of Section 1.2.
+///
+/// Part 1 -- progression-free set densities: Behrend spheres vs the base-3
+/// set vs the exhaustive optimum (tiny N).  RS(n)'s upper bound
+/// 2^{O(sqrt(log n))} comes from exactly these witnesses.
+/// Part 2 -- RS graphs built from the sets: n = 3M vertices, M * |A| edges,
+/// certified edge partition into <= n induced matchings (Definition 1.3).
+
+#include <cmath>
+#include <cstdio>
+
+#include "rs/behrend.hpp"
+#include "rs/rs_graph.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hublab;
+using namespace hublab::rs;
+
+int main() {
+  std::printf("Experiment RS: progression-free sets and Ruzsa-Szemeredi graphs\n");
+
+  TextTable sets({"N", "behrend |A|", "(d,k,r)", "base3 |A|", "optimal |A|", "dense/N",
+                  "N/2^sqrt(lgN)"});
+  for (const std::uint64_t N :
+       {20ULL, 100ULL, 1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+    BehrendParams params;
+    const auto behrend = behrend_set_with_params(N, params);
+    const auto base3 = base3_set(N);
+    const auto dense = dense_set(N);
+    const std::string opt =
+        N <= 30 ? fmt_u64(optimal_set(N).size()) : std::string("-");
+    const double ref = static_cast<double>(N) /
+                       std::pow(2.0, std::sqrt(std::log2(static_cast<double>(N))));
+    sets.add_row({fmt_u64(N), fmt_u64(behrend.size()),
+                  "(" + fmt_u64(params.dimension) + "," + fmt_u64(params.digit_bound) + "," +
+                      fmt_u64(params.radius) + ")",
+                  fmt_u64(base3.size()), opt,
+                  fmt_double(static_cast<double>(dense.size()) / static_cast<double>(N), 4),
+                  fmt_double(ref, 1)});
+  }
+  sets.print("3-AP-free set sizes (Behrend bound reference: N / 2^{sqrt(log2 N)})");
+
+  TextTable graphs({"M", "|A|", "n=3M", "edges", "classes", "min r", "avg r", "n^2/edges",
+                    "valid", "time(s)"});
+  bool all_ok = true;
+  for (const std::uint64_t M : {20ULL, 100ULL, 500ULL, 2000ULL}) {
+    Timer timer;
+    const RsGraph rsg = build_rs_graph(M, dense_set(M));
+    const bool valid = is_valid_induced_partition(rsg.graph, rsg.partition) &&
+                       rsg.partition.num_matchings() <= rsg.graph.num_vertices();
+    all_ok = all_ok && valid;
+    const double ratio = static_cast<double>(rsg.graph.num_vertices()) *
+                         static_cast<double>(rsg.graph.num_vertices()) /
+                         static_cast<double>(rsg.graph.num_edges());
+    graphs.add_row({fmt_u64(M), fmt_u64(rsg.set_size), fmt_u64(rsg.graph.num_vertices()),
+                    fmt_u64(rsg.graph.num_edges()), fmt_u64(rsg.partition.num_matchings()),
+                    fmt_u64(rsg.partition.min_matching_size()),
+                    fmt_double(rsg.partition.avg_matching_size(), 2), fmt_double(ratio, 1),
+                    valid ? "ok" : "FAIL", fmt_double(timer.elapsed_s(), 2)});
+  }
+  graphs.print("RS graphs: n^2/edges is the RS(n)-style density loss (Definition 1.3)");
+
+  std::printf("\nRS experiment: %s\n", all_ok ? "OK" : "MISMATCH");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/// \file quickstart.cpp
+/// Five-minute tour of the hublab public API:
+///   1. build a graph,
+///   2. construct a hub labeling with PLL,
+///   3. answer exact distance queries from the labels,
+///   4. verify the labeling and inspect its size,
+///   5. serialize labels to bits (distance labeling) and decode.
+
+#include <cstdio>
+#include <memory>
+
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "hub/pll.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "util/rng.hpp"
+
+using namespace hublab;
+
+namespace {
+
+HubLabeling pll_factory(const Graph& g) { return pruned_landmark_labeling(g); }
+
+}  // namespace
+
+int main() {
+  // 1. A sparse random graph (m = 2n), the regime the paper studies.
+  Rng rng(2024);
+  const Graph g = gen::connected_gnm(/*n=*/500, /*m=*/1000, rng);
+  std::printf("graph: n=%zu m=%zu avg_degree=%.2f\n", g.num_vertices(), g.num_edges(),
+              g.average_degree());
+
+  // 2. Hub labeling via Pruned Landmark Labeling (degree order).
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  std::printf("hub labeling: avg |S(v)| = %.2f, max = %zu, memory = %zu bytes\n",
+              labels.average_label_size(), labels.max_label_size(), labels.memory_bytes());
+
+  // 3. Exact distance queries: merge the two hub lists.
+  for (const auto& [u, v] : {std::pair<Vertex, Vertex>{0, 499}, {17, 256}, {42, 43}}) {
+    const HubQueryResult q = labels.query_with_hub(u, v);
+    std::printf("dist(%u, %u) = %llu  (meeting hub %u; Dijkstra agrees: %s)\n", u, v,
+                static_cast<unsigned long long>(q.dist), q.meeting_hub,
+                q.dist == sssp_distances(g, u)[v] ? "yes" : "NO");
+  }
+
+  // 4. Verify the cover property on random samples.
+  const auto defect = verify_labeling_sampled(g, labels, /*num_samples=*/200, /*seed=*/7);
+  std::printf("sampled verification: %s\n", defect ? "DEFECT FOUND" : "clean");
+
+  // 5. Bit-level distance labels (what the paper measures in bits).
+  const HubDistanceLabeling scheme(&pll_factory, "pll");
+  const EncodedLabels encoded = scheme.encode(g);
+  std::printf("distance labels: avg %.1f bits per vertex (max %zu)\n", encoded.average_bits(),
+              encoded.max_bits());
+  const Dist decoded = scheme.decode(encoded.labels[0], encoded.labels[499]);
+  std::printf("decoded dist(0, 499) from two bit strings alone: %llu\n",
+              static_cast<unsigned long long>(decoded));
+  return 0;
+}

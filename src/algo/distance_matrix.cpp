@@ -1,0 +1,44 @@
+#include "algo/distance_matrix.hpp"
+
+#include "algo/shortest_paths.hpp"
+
+namespace hublab {
+
+DistanceMatrix DistanceMatrix::compute(const Graph& g) {
+  DistanceMatrix m;
+  m.n_ = g.num_vertices();
+  m.data_.resize(m.n_ * m.n_);
+  for (Vertex u = 0; u < m.n_; ++u) {
+    const auto d = sssp_distances(g, u);
+    std::copy(d.begin(), d.end(), m.data_.begin() + static_cast<std::ptrdiff_t>(u) * m.n_);
+  }
+  return m;
+}
+
+std::size_t DistanceMatrix::num_valid_hubs(Vertex u, Vertex v) const {
+  const Dist duv = at(u, v);
+  if (duv == kInfDist) return 0;
+  const Dist* ru = row(u);
+  const Dist* rv = row(v);
+  std::size_t count = 0;
+  for (std::size_t x = 0; x < n_; ++x) {
+    if (ru[x] != kInfDist && rv[x] != kInfDist && ru[x] + rv[x] == duv) ++count;
+  }
+  return count;
+}
+
+std::vector<Vertex> DistanceMatrix::valid_hubs(Vertex u, Vertex v) const {
+  std::vector<Vertex> hubs;
+  const Dist duv = at(u, v);
+  if (duv == kInfDist) return hubs;
+  const Dist* ru = row(u);
+  const Dist* rv = row(v);
+  for (std::size_t x = 0; x < n_; ++x) {
+    if (ru[x] != kInfDist && rv[x] != kInfDist && ru[x] + rv[x] == duv) {
+      hubs.push_back(static_cast<Vertex>(x));
+    }
+  }
+  return hubs;
+}
+
+}  // namespace hublab

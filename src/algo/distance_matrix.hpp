@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file distance_matrix.hpp
+/// All-pairs shortest path distances, materialized.
+///
+/// The Theorem 4.1 pipeline repeatedly asks for |H_uv| (the number of valid
+/// hubs of a pair), which needs random access to all distances; tests also
+/// validate labelings against ground truth.  Storage is O(n^2) * 8 bytes,
+/// so callers keep n in the low thousands.
+
+namespace hublab {
+
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// Compute by n SSSP runs (BFS / 0-1 BFS / Dijkstra as appropriate).
+  static DistanceMatrix compute(const Graph& g);
+
+  [[nodiscard]] std::size_t num_vertices() const { return n_; }
+
+  [[nodiscard]] Dist at(Vertex u, Vertex v) const {
+    HUBLAB_ASSERT(u < n_ && v < n_);
+    return data_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  /// Row of distances from u (size n).
+  [[nodiscard]] const Dist* row(Vertex u) const {
+    HUBLAB_ASSERT(u < n_);
+    return data_.data() + static_cast<std::size_t>(u) * n_;
+  }
+
+  /// True if x lies on some shortest u-v path.
+  [[nodiscard]] bool on_shortest_path(Vertex u, Vertex x, Vertex v) const {
+    const Dist duv = at(u, v);
+    if (duv == kInfDist) return false;
+    const Dist a = at(u, x);
+    const Dist b = at(x, v);
+    return a != kInfDist && b != kInfDist && a + b == duv;
+  }
+
+  /// |H_uv|: number of valid hubs for the pair (u, v); includes u and v.
+  [[nodiscard]] std::size_t num_valid_hubs(Vertex u, Vertex v) const;
+
+  /// All valid hubs for (u, v), in increasing vertex order.
+  [[nodiscard]] std::vector<Vertex> valid_hubs(Vertex u, Vertex v) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const { return data_.size() * sizeof(Dist); }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Dist> data_;
+};
+
+}  // namespace hublab

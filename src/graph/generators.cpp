@@ -1,0 +1,209 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hublab::gen {
+
+Graph path(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+  }
+  return b.build();
+}
+
+Graph cycle(std::size_t n) {
+  if (n < 3) throw InvalidArgument("cycle needs n >= 3");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % n));
+  }
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+    }
+  }
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  if (n == 0) throw InvalidArgument("star needs n >= 1");
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) b.add_edge(0, static_cast<Vertex>(i));
+  return b.build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return static_cast<Vertex>(r * cols + c); };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph binary_tree(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i - 1) / 2));
+  }
+  return b.build();
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<Vertex>(rng.next_below(i));
+    b.add_edge(static_cast<Vertex>(i), parent);
+  }
+  return b.build();
+}
+
+namespace {
+
+/// Sample m distinct non-loop edges uniformly among all pairs.
+std::set<std::pair<Vertex, Vertex>> sample_edges(std::size_t n, std::size_t m, Rng& rng,
+                                                 std::set<std::pair<Vertex, Vertex>> taken = {}) {
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (m + taken.size() > max_edges) throw InvalidArgument("too many edges requested");
+  std::set<std::pair<Vertex, Vertex>> edges = std::move(taken);
+  const std::size_t target = edges.size() + m;
+  while (edges.size() < target) {
+    auto u = static_cast<Vertex>(rng.next_below(n));
+    auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace(u, v);
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph gnm(std::size_t n, std::size_t m, Rng& rng) {
+  if (n < 2 && m > 0) throw InvalidArgument("gnm needs n >= 2 for m > 0");
+  GraphBuilder b(n);
+  for (const auto& [u, v] : sample_edges(n, m, rng)) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph connected_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  if (m + 1 < n) throw InvalidArgument("connected_gnm needs m >= n - 1");
+  std::set<std::pair<Vertex, Vertex>> edges;
+  // Random spanning tree first.
+  std::vector<Vertex> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<Vertex>(i);
+  shuffle(order, rng);
+  for (std::size_t i = 1; i < n; ++i) {
+    Vertex u = order[i];
+    Vertex v = order[rng.next_below(i)];
+    if (u > v) std::swap(u, v);
+    edges.emplace(u, v);
+  }
+  const std::size_t extra = m - edges.size();
+  edges = sample_edges(n, extra, rng, std::move(edges));
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  if (n * d % 2 != 0) throw InvalidArgument("random_regular needs n*d even");
+  if (d >= n) throw InvalidArgument("random_regular needs d < n");
+  constexpr int kMaxAttempts = 500;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<Vertex> stubs;
+    stubs.reserve(n * d);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t k = 0; k < d; ++k) stubs.push_back(static_cast<Vertex>(v));
+    }
+    shuffle(stubs, rng);
+    std::set<std::pair<Vertex, Vertex>> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      Vertex u = stubs[i];
+      Vertex v = stubs[i + 1];
+      if (u == v) { ok = false; break; }
+      if (u > v) std::swap(u, v);
+      if (!edges.emplace(u, v).second) { ok = false; break; }
+    }
+    if (!ok) continue;
+    GraphBuilder b(n);
+    for (const auto& [u, v] : edges) b.add_edge(u, v);
+    return b.build();
+  }
+  throw Error("random_regular: pairing model failed to converge");
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t k, Rng& rng) {
+  if (k == 0 || n < k + 1) throw InvalidArgument("barabasi_albert needs n > k >= 1");
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling an index uniformly = degree-proportional.
+  std::vector<Vertex> endpoints;
+  // Seed: clique-ish chain on the first k+1 vertices.
+  for (std::size_t i = 1; i <= k; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+      endpoints.push_back(static_cast<Vertex>(i));
+      endpoints.push_back(static_cast<Vertex>(j));
+    }
+  }
+  for (std::size_t v = k + 1; v < n; ++v) {
+    std::set<Vertex> chosen;
+    while (chosen.size() < k) {
+      chosen.insert(endpoints[rng.next_below(endpoints.size())]);
+    }
+    for (Vertex t : chosen) {
+      b.add_edge(static_cast<Vertex>(v), t);
+      endpoints.push_back(static_cast<Vertex>(v));
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph road_like(std::size_t rows, std::size_t cols, double shortcut_prob, Weight max_weight,
+                Rng& rng) {
+  if (max_weight == 0) throw InvalidArgument("road_like needs max_weight >= 1");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return static_cast<Vertex>(r * cols + c); };
+  auto w = [&rng, max_weight]() { return static_cast<Weight>(1 + rng.next_below(max_weight)); };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), w());
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), w());
+      if (r + 1 < rows && c + 1 < cols && rng.next_bool(shortcut_prob)) {
+        b.add_edge(id(r, c), id(r + 1, c + 1), w());
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph randomize_weights(const Graph& g, Weight max_weight, Rng& rng) {
+  if (max_weight == 0) throw InvalidArgument("randomize_weights needs max_weight >= 1");
+  GraphBuilder b(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (a.to > u) {
+        b.add_edge(u, a.to, static_cast<Weight>(1 + rng.next_below(max_weight)));
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hublab::gen

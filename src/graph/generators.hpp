@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+/// \file generators.hpp
+/// Synthetic graph families used by tests and benchmarks.
+///
+/// The paper's claims concern *sparse* graphs (m = O(n)), often with bounded
+/// maximum degree; the generators here produce exactly those families, plus
+/// the structured instances (grids, trees) used as sanity workloads.
+
+namespace hublab::gen {
+
+/// Simple path v0 - v1 - ... - v_{n-1}.
+Graph path(std::size_t n);
+
+/// Cycle on n >= 3 vertices.
+Graph cycle(std::size_t n);
+
+/// Complete graph K_n (dense; only for small validation instances).
+Graph complete(std::size_t n);
+
+/// Star with one center and n-1 leaves.
+Graph star(std::size_t n);
+
+/// rows x cols 4-neighbor grid; a stand-in for road-like planar networks.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// Complete binary tree with n vertices (heap numbering).
+Graph binary_tree(std::size_t n);
+
+/// Uniform random labeled tree via Pruefer-like attachment: vertex i >= 1
+/// attaches to a uniform random earlier vertex.  Always connected, n-1 edges.
+Graph random_tree(std::size_t n, Rng& rng);
+
+/// Erdos-Renyi G(n, m): m distinct uniform random edges.  With m = c*n this
+/// is the canonical "sparse graph" of the paper.  Not necessarily connected.
+Graph gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Connected sparse graph: random spanning tree plus (m - n + 1) extra
+/// uniform random edges.
+Graph connected_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Random d-regular graph via the pairing model with retries; rejects
+/// self-loops/multi-edges.  Requires n*d even and d < n.
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Preferential-attachment (Barabasi-Albert) graph: each new vertex attaches
+/// k edges to existing vertices sampled by degree.  Sparse with heavy-tailed
+/// degrees -- exercises the "large degree vertices in sparse graphs" caveat
+/// the paper mentions for the [ADKP16] construction.
+Graph barabasi_albert(std::size_t n, std::size_t k, Rng& rng);
+
+/// Road-network-like instance: grid with random diagonal shortcuts and
+/// random integer weights in [1, max_weight].  Used by the oracle benches.
+Graph road_like(std::size_t rows, std::size_t cols, double shortcut_prob, Weight max_weight,
+                Rng& rng);
+
+/// Assign uniform random integer weights in [1, max_weight] to a graph's
+/// edges (rebuilds the graph; deterministic given rng state).
+Graph randomize_weights(const Graph& g, Weight max_weight, Rng& rng);
+
+}  // namespace hublab::gen

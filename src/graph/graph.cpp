@@ -1,0 +1,106 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hublab {
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (Vertex u = 0; u < num_vertices(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (num_vertices() == 0) return 0.0;
+  return static_cast<double>(num_arcs()) / static_cast<double>(num_vertices());
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  const auto out = arcs(u);
+  const auto it = std::lower_bound(out.begin(), out.end(), v,
+                                   [](const Arc& a, Vertex t) { return a.to < t; });
+  return it != out.end() && it->to == v;
+}
+
+Dist Graph::edge_weight(Vertex u, Vertex v) const {
+  const auto out = arcs(u);
+  const auto it = std::lower_bound(out.begin(), out.end(), v,
+                                   [](const Arc& a, Vertex t) { return a.to < t; });
+  if (it == out.end() || it->to != v) return kInfDist;
+  return it->weight;
+}
+
+Weight Graph::max_weight() const {
+  Weight best = 1;
+  for (const Arc& a : arcs_) best = std::max(best, a.weight);
+  return best;
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) throw InvalidArgument("self-loops are not supported");
+  edges_u_.push_back(u);
+  edges_v_.push_back(v);
+  edge_w_.push_back(weight);
+}
+
+Graph GraphBuilder::build() {
+  Graph g;
+  const std::size_t n = num_vertices_;
+  const std::size_t m = edges_u_.size();
+
+  // Counting sort arcs by source; each undirected edge yields two arcs.
+  std::vector<std::size_t> counts(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++counts[edges_u_[e] + 1];
+    ++counts[edges_v_[e] + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  std::vector<Arc> arcs(2 * m);
+  {
+    std::vector<std::size_t> cursor = counts;
+    for (std::size_t e = 0; e < m; ++e) {
+      arcs[cursor[edges_u_[e]]++] = Arc{edges_v_[e], edge_w_[e]};
+      arcs[cursor[edges_v_[e]]++] = Arc{edges_u_[e], edge_w_[e]};
+    }
+  }
+
+  // Sort each adjacency list and collapse parallel edges to min weight.
+  std::vector<std::size_t> new_offsets(n + 1, 0);
+  std::size_t write = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    const std::size_t lo = counts[u];
+    const std::size_t hi = counts[u + 1];
+    std::sort(arcs.begin() + static_cast<std::ptrdiff_t>(lo),
+              arcs.begin() + static_cast<std::ptrdiff_t>(hi),
+              [](const Arc& a, const Arc& b) {
+                return a.to != b.to ? a.to < b.to : a.weight < b.weight;
+              });
+    new_offsets[u] = write;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (write > new_offsets[u] && arcs[write - 1].to == arcs[i].to) continue;  // dup: keep min
+      arcs[write++] = arcs[i];
+    }
+  }
+  new_offsets[n] = write;
+  arcs.resize(write);
+  arcs.shrink_to_fit();
+
+  g.offsets_ = std::move(new_offsets);
+  g.arcs_ = std::move(arcs);
+  g.weighted_ =
+      std::any_of(g.arcs_.begin(), g.arcs_.end(), [](const Arc& a) { return a.weight != 1; });
+
+  edges_u_.clear();
+  edges_v_.clear();
+  edge_w_.clear();
+  return g;
+}
+
+}  // namespace hublab

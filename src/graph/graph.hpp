@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+/// \file graph.hpp
+/// Core immutable graph type in compressed sparse row (CSR) form.
+///
+/// Graphs in this library are undirected (each edge is stored as two arcs)
+/// and optionally integer-weighted.  The lower-bound gadget H_{b,l} of the
+/// paper needs weights up to (3l+1)*2^{2b}; the degree-reduction gadget of
+/// Theorem 1.4 needs weight-0 edges, so Weight is an unsigned 32-bit integer
+/// and distances accumulate in 64 bits.
+
+namespace hublab {
+
+using Vertex = std::uint32_t;
+using Weight = std::uint32_t;
+using Dist = std::uint64_t;
+
+inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/// One endpoint record of an undirected edge, as seen from a vertex.
+struct Arc {
+  Vertex to;
+  Weight weight;
+
+  bool operator==(const Arc&) const = default;
+};
+
+/// Immutable undirected graph in CSR form.  Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  [[nodiscard]] std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of undirected edges (arcs / 2).
+  [[nodiscard]] std::size_t num_edges() const { return arcs_.size() / 2; }
+
+  /// Number of stored arcs (2x edges).
+  [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// True if any edge has weight != 1.
+  [[nodiscard]] bool is_weighted() const { return weighted_; }
+
+  /// Arcs out of vertex u.
+  [[nodiscard]] std::span<const Arc> arcs(Vertex u) const {
+    HUBLAB_ASSERT(u < num_vertices());
+    return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex u) const {
+    HUBLAB_ASSERT(u < num_vertices());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// Average degree = 2m/n (0 for the empty graph).
+  [[nodiscard]] double average_degree() const;
+
+  /// True if an edge {u, v} exists (binary search; arcs are sorted by target).
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// Weight of edge {u, v}; kInfDist if absent.
+  [[nodiscard]] Dist edge_weight(Vertex u, Vertex v) const;
+
+  /// Largest edge weight (1 for unweighted / empty graphs).
+  [[nodiscard]] Weight max_weight() const;
+
+  /// Rough memory footprint of the CSR arrays in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(std::size_t) + arcs_.size() * sizeof(Arc);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // n + 1 entries
+  std::vector<Arc> arcs_;             // sorted by target within each vertex
+  bool weighted_ = false;
+};
+
+/// Mutable edge-list accumulator that finalizes into a CSR Graph.
+class GraphBuilder {
+ public:
+  /// Create a builder for a graph with n vertices (ids 0..n-1).
+  explicit GraphBuilder(std::size_t n) : num_vertices_(n) {}
+
+  /// Add undirected edge {u, v} with the given weight.  Self-loops are
+  /// rejected (they never help shortest paths and break degree accounting);
+  /// parallel edges are collapsed to the minimum weight at build() time.
+  void add_edge(Vertex u, Vertex v, Weight weight = 1);
+
+  /// Append a fresh vertex and return its id.
+  Vertex add_vertex() { return static_cast<Vertex>(num_vertices_++); }
+
+  [[nodiscard]] std::size_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t num_pending_edges() const { return edges_u_.size(); }
+
+  /// Finalize into an immutable CSR graph.  The builder is left empty.
+  [[nodiscard]] Graph build();
+
+ private:
+  std::size_t num_vertices_;
+  std::vector<Vertex> edges_u_;
+  std::vector<Vertex> edges_v_;
+  std::vector<Weight> edge_w_;
+};
+
+}  // namespace hublab

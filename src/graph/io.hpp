@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+/// \file io.hpp
+/// Graph serialization: a simple whitespace edge-list format, the DIMACS
+/// shortest-path challenge `.gr` format, and DOT export for visualisation
+/// (used to regenerate Figure 1 of the paper as an artifact).
+
+namespace hublab::io {
+
+/// Edge list: first line "n m", then m lines "u v [w]" (0-based vertices).
+/// Weight defaults to 1 when the third column is absent.
+Graph read_edge_list(std::istream& in);
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// DIMACS .gr: "c" comments, "p sp n m" header, "a u v w" arcs (1-based).
+/// Arcs are expected in symmetric pairs; each undirected edge may appear
+/// once or twice (duplicates collapse).
+Graph read_dimacs(std::istream& in);
+void write_dimacs(const Graph& g, std::ostream& out);
+
+/// Graphviz DOT (undirected), with edge weights as labels when weighted.
+void write_dot(const Graph& g, std::ostream& out, const std::string& name = "G");
+
+/// Convenience file wrappers; throw Error on I/O failure.
+Graph load_edge_list(const std::string& file_path);
+void save_edge_list(const Graph& g, const std::string& file_path);
+
+}  // namespace hublab::io

@@ -1,0 +1,144 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hublab {
+
+DegreeReduction reduce_degree(const Graph& g, std::size_t degree_cap) {
+  if (degree_cap == 0) throw InvalidArgument("reduce_degree needs degree_cap >= 1");
+  const std::size_t n = g.num_vertices();
+
+  DegreeReduction out;
+  out.representative.assign(n, kInvalidVertex);
+
+  // First pass: allocate copies.  Vertex v gets ceil(deg(v)/cap) copies
+  // (at least one), laid out contiguously.
+  std::vector<Vertex> first_copy(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t copies = std::max<std::size_t>(1, (g.degree(v) + degree_cap - 1) / degree_cap);
+    first_copy[v + 1] = static_cast<Vertex>(first_copy[v] + copies);
+  }
+  const std::size_t total = first_copy[n];
+  out.origin.assign(total, kInvalidVertex);
+
+  GraphBuilder b(total);
+  for (Vertex v = 0; v < n; ++v) {
+    out.representative[v] = first_copy[v];
+    for (Vertex c = first_copy[v]; c < first_copy[v + 1]; ++c) {
+      out.origin[c] = v;
+      if (c + 1 < first_copy[v + 1]) b.add_edge(c, c + 1, 0);  // weight-0 chain
+    }
+  }
+
+  // Second pass: distribute each original edge between the k-th free slot of
+  // its endpoints.  Slot i goes to copy i / degree_cap.
+  std::vector<std::size_t> used(n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (a.to < u) continue;  // each undirected edge once
+      const Vertex cu = static_cast<Vertex>(first_copy[u] + used[u] / degree_cap);
+      const Vertex cv = static_cast<Vertex>(first_copy[a.to] + used[a.to] / degree_cap);
+      ++used[u];
+      ++used[a.to];
+      b.add_edge(cu, cv, a.weight);
+    }
+  }
+
+  out.graph = b.build();
+  return out;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> comp(n, std::numeric_limits<std::uint32_t>::max());
+  std::uint32_t next = 0;
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != std::numeric_limits<std::uint32_t>::max()) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.arcs(u)) {
+        if (comp[a.to] == std::numeric_limits<std::uint32_t>::max()) {
+          comp[a.to] = next;
+          stack.push_back(a.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::size_t num_connected_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  std::uint32_t best = 0;
+  for (auto c : comp) best = std::max(best, c + 1);
+  return g.num_vertices() == 0 ? 0 : best;
+}
+
+Graph largest_component(const Graph& g, std::vector<Vertex>* mapping_out) {
+  const auto comp = connected_components(g);
+  const std::size_t n = g.num_vertices();
+  std::vector<std::size_t> sizes;
+  for (Vertex v = 0; v < n; ++v) {
+    if (comp[v] >= sizes.size()) sizes.resize(comp[v] + 1, 0);
+    ++sizes[comp[v]];
+  }
+  if (sizes.empty()) {
+    if (mapping_out != nullptr) mapping_out->clear();
+    return {};
+  }
+  const auto best =
+      static_cast<std::uint32_t>(std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<Vertex> mapping(n, kInvalidVertex);
+  Vertex next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (comp[v] == best) mapping[v] = next++;
+  }
+  GraphBuilder b(next);
+  for (Vertex u = 0; u < n; ++u) {
+    if (comp[u] != best) continue;
+    for (const Arc& a : g.arcs(u)) {
+      if (a.to > u) b.add_edge(mapping[u], mapping[a.to], a.weight);
+    }
+  }
+  if (mapping_out != nullptr) *mapping_out = std::move(mapping);
+  return b.build();
+}
+
+Graph unweighted_copy(const Graph& g) {
+  GraphBuilder b(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (a.to > u) b.add_edge(u, a.to, 1);
+    }
+  }
+  return b.build();
+}
+
+Graph relabel(const Graph& g, const std::vector<Vertex>& perm) {
+  const std::size_t n = g.num_vertices();
+  if (perm.size() != n) throw InvalidArgument("relabel: permutation size mismatch");
+  std::vector<bool> seen(n, false);
+  for (Vertex p : perm) {
+    if (p >= n || seen[p]) throw InvalidArgument("relabel: not a permutation");
+    seen[p] = true;
+  }
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (a.to > u) b.add_edge(perm[u], perm[a.to], a.weight);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hublab

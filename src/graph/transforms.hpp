@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file transforms.hpp
+/// Structural graph transformations.
+///
+/// The key one is `reduce_degree`, the average-degree -> max-degree reduction
+/// from the proof of Theorem 1.4: every vertex v of degree deg(v) is split
+/// into ceil(deg(v)/ceil(m/n)) copies chained by weight-0 edges, so that the
+/// result has maximum degree <= 2 + ceil(m/n) and {0,1} weights (when the
+/// input is unweighted), while all pairwise distances between original
+/// vertices are preserved.
+
+namespace hublab {
+
+/// Result of the Theorem 1.4 degree-reduction gadget.
+struct DegreeReduction {
+  Graph graph;                           ///< the reduced graph with {0, w} weights
+  std::vector<Vertex> representative;    ///< original vertex -> chosen copy in `graph`
+  std::vector<Vertex> origin;            ///< copy in `graph` -> original vertex
+};
+
+/// Split high-degree vertices into weight-0 chains so that max degree is at
+/// most 2 + degree_cap.  degree_cap >= 1; for sparse graphs pass
+/// ceil(m/n) as in the paper.
+DegreeReduction reduce_degree(const Graph& g, std::size_t degree_cap);
+
+/// Connected component id per vertex (0-based, BFS order).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::size_t num_connected_components(const Graph& g);
+
+/// Extract the largest connected component as a standalone graph.
+/// `mapping_out`, if non-null, receives old-vertex -> new-vertex
+/// (kInvalidVertex for vertices outside the component).
+Graph largest_component(const Graph& g, std::vector<Vertex>* mapping_out = nullptr);
+
+/// Strip weights (set all to 1).
+Graph unweighted_copy(const Graph& g);
+
+/// Permute vertex ids: new id of v is perm[v] (perm must be a bijection).
+Graph relabel(const Graph& g, const std::vector<Vertex>& perm);
+
+}  // namespace hublab

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+
+/// \file approx.hpp
+/// Additive-approximation hub labelings (Section 1.1 of the paper).
+///
+/// The related-work discussion describes the paradigm behind the best
+/// general distance labelings [AGHP16a]: build an *approximate* hub cover
+/// where, for every pair (u, v), some common hub w has a neighbor on a
+/// shortest u-v path (so the hub estimate overshoots by at most 2), then
+/// repair exactness with small explicit correction tables.
+///
+/// Our construction: pick a dominating set D of G; replace every hub h of
+/// an exact labeling by its dominator dom(h) in D, keeping the *exact*
+/// distance to the dominator.  For any pair, the exact meeting hub h lies
+/// on a shortest path and dom(h) is h itself or a neighbor, so
+///   dist(u,v) <= est(u,v) = dist(u,dom) + dist(dom,v) <= dist(u,v) + 2.
+/// Distinct hubs often share a dominator, so labels shrink after dedup.
+
+namespace hublab {
+
+/// Greedy dominating set (every vertex is in D or adjacent to D).
+std::vector<Vertex> greedy_dominating_set(const Graph& g);
+
+/// An approximate hub labeling plus its certified error bound.
+struct ApproxHubLabeling {
+  HubLabeling labels;
+  std::size_t num_dominators = 0;
+
+  /// Estimate (exact + at most +2); kInfDist for disconnected pairs.
+  [[nodiscard]] Dist estimate(Vertex u, Vertex v) const { return labels.query(u, v); }
+};
+
+/// Build the dominator-compressed approximate labeling from an exact one.
+/// `truth` supplies the exact distances to dominators.
+ApproxHubLabeling approximate_labeling(const Graph& g, const HubLabeling& exact,
+                                       const DistanceMatrix& truth);
+
+/// Verify the +2 guarantee over all connected pairs; returns the maximum
+/// observed additive error (or a value > 2 if the guarantee is violated).
+std::size_t max_additive_error(const Graph& g, const ApproxHubLabeling& approx,
+                               const DistanceMatrix& truth);
+
+}  // namespace hublab

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "algo/distance_matrix.hpp"
+#include "hub/labeling.hpp"
+
+/// \file canonical.hpp
+/// Minimality analysis for hub labelings.
+///
+/// A labeling is *minimal* if deleting any single entry breaks the
+/// shortest-path-cover property.  Canonical hierarchical labelings --
+/// which is what PLL produces for its vertex order -- are minimal: the
+/// entry (v, h) exists precisely because no earlier hub answers the pair
+/// (v, h) at distance dist(v, h), so removing it breaks that very pair.
+/// The pruning utilities here turn an arbitrary exact labeling into a
+/// minimal one, which is how we measure how much slack non-canonical
+/// constructions (Theorem 4.1 pipeline, distant-pair covers) carry.
+
+namespace hublab {
+
+/// True if removing entry `(v, hub)` keeps the labeling an exact cover.
+/// The labeling must be exact for `truth` to begin with.
+bool entry_is_redundant(const Graph& g, const HubLabeling& labeling, const DistanceMatrix& truth,
+                        Vertex v, Vertex hub);
+
+/// First redundant entry found, or nullopt if the labeling is minimal.
+std::optional<std::pair<Vertex, Vertex>> find_redundant_entry(const Graph& g,
+                                                              const HubLabeling& labeling,
+                                                              const DistanceMatrix& truth);
+
+/// True if no single entry can be removed (see file comment).
+bool is_minimal(const Graph& g, const HubLabeling& labeling, const DistanceMatrix& truth);
+
+/// Greedily remove redundant entries until minimal.  The result depends on
+/// the removal order (highest-vertex entries are tried first); any result
+/// is an exact minimal sub-labeling of the input.  O(n^2 * L) per pass
+/// where L is the max label size -- intended for analysis at small n.
+HubLabeling prune_to_minimal(const Graph& g, const HubLabeling& labeling,
+                             const DistanceMatrix& truth);
+
+}  // namespace hublab

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+#include "util/rng.hpp"
+
+/// \file constructions.hpp
+/// Baseline hub-labeling constructions besides PLL:
+///  - the trivial full labeling (every vertex stores everything),
+///  - a greedy pair-cover for small graphs,
+///  - the random distant-pair cover underlying both the [ADKP16]-style
+///    sublinear schemes and step (*) of Theorem 4.1.
+
+namespace hublab {
+
+/// Every vertex stores all n vertices: the Graham-Pollak-style trivial
+/// scheme, always a cover.  O(n) hubs per vertex.
+HubLabeling full_labeling(const Graph& g, const DistanceMatrix& truth);
+
+/// Greedy cover for small graphs (n <= ~150): repeatedly pick the vertex
+/// lying on shortest paths of the most uncovered pairs and give it to both
+/// endpoints of every pair it covers.
+HubLabeling greedy_cover(const Graph& g, const DistanceMatrix& truth);
+
+/// Statistics of the random distant cover.
+struct DistantCoverStats {
+  std::size_t sample_size = 0;     ///< |S|
+  std::size_t ball_hubs = 0;       ///< total hubs contributed by radius-D balls
+  std::size_t patched_pairs = 0;   ///< far pairs S missed, fixed explicitly
+};
+
+/// Random distant-pair scheme with threshold D (paper Section 1.2 and
+/// [ADKP16]): a shared random set S of size ~ (n/D) ln D covers most pairs
+/// at distance >= D; pairs at distance < D are covered by storing the ball
+/// of radius D - 1 around each vertex (so the far endpoint itself is a
+/// common hub); the few far pairs S misses are patched explicitly.
+/// Exact by construction.  `stats_out` may be null.
+HubLabeling random_distant_cover(const Graph& g, const DistanceMatrix& truth, std::size_t D,
+                                 Rng& rng, DistantCoverStats* stats_out = nullptr);
+
+}  // namespace hublab

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+
+/// \file highway.hpp
+/// Shortest-path covers and highway-dimension-style labelings.
+///
+/// Section 1.1 of the paper explains why hub labeling works so well on
+/// transportation networks: Abraham et al. [ADF+16] show that if every
+/// ball of radius 2r can be hit by few vertices covering all shortest
+/// paths of length in (r, 2r] (low *highway dimension*), then hub
+/// labelings of size O~(h) exist.  This module implements the multiscale
+/// construction directly:
+///
+///   scale k (r = 2^k):  C_k  = greedy hitting set for all pairs with
+///                              r < dist(u,v) <= 2r,
+///   S(v) = {v} + N(v) + union_k { w in C_k : dist(v, w) <= 2*2^k }.
+///
+/// Exactness: a pair at distance d in (r, 2r] has a cover vertex w on a
+/// shortest path with dist(u,w), dist(w,v) <= d <= 2r, so w is a common
+/// hub; d = 1 pairs meet at the far endpoint.  The per-scale *ball load*
+/// max_v |C_k intersect B_2r(v)| is the empirical highway-dimension
+/// statistic: small on road-like graphs, large on expanders -- which is
+/// exactly the paper's point about where hub labeling is and is not cheap.
+
+namespace hublab {
+
+/// Greedy hitting set for all pairs with r < dist(u,v) <= 2r: repeatedly
+/// pick the vertex lying on shortest paths of the most uncovered pairs.
+/// Unweighted graphs only.  O(n^2 * n * iterations); analysis-scale.
+std::vector<Vertex> greedy_sp_cover(const Graph& g, const DistanceMatrix& truth, Dist r);
+
+/// True if `cover` hits a shortest path of every pair with r < d <= 2r.
+bool is_sp_cover(const DistanceMatrix& truth, const std::vector<Vertex>& cover, Dist r);
+
+/// Per-scale accounting of the multiscale construction.
+struct ScaleStats {
+  Dist r = 0;                 ///< scale radius (covers d in (r, 2r])
+  std::size_t cover_size = 0; ///< |C_k|
+  std::size_t max_ball_load = 0;  ///< max_v |C_k in B_{2r}(v)| -- "h" estimate
+};
+
+struct MultiscaleStats {
+  std::vector<ScaleStats> scales;
+
+  /// Largest per-scale ball load: the empirical highway-dimension proxy.
+  [[nodiscard]] std::size_t highway_dimension_estimate() const;
+};
+
+/// The multiscale cover labeling described above.  Unweighted connected or
+/// disconnected graphs; exact by construction (verified in tests).
+HubLabeling multiscale_cover_labeling(const Graph& g, const DistanceMatrix& truth,
+                                      MultiscaleStats* stats_out = nullptr);
+
+}  // namespace hublab

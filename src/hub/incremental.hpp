@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+#include "hub/pll.hpp"
+
+/// \file incremental.hpp
+/// Incremental (insert-only) pruned landmark labeling, after Akiba, Iwata
+/// and Yoshida's dynamic PLL: when an edge (a, b) is inserted, distances
+/// can only decrease, and any pair whose distance improved has a new
+/// shortest path through the edge.  Resuming a pruned search from b for
+/// every hub of a (and vice versa) -- seeded with the hub's distance
+/// through the new edge, pruned by the more-important-hub query exactly
+/// like static PLL -- restores the cover.  Deletions are not supported
+/// (decremental labeling is a genuinely different problem).
+///
+/// Labels after updates remain exact but may be slightly larger than a
+/// from-scratch rebuild; `labels()` exports the current state for
+/// inspection or persistence.
+
+namespace hublab {
+
+class IncrementalPll {
+ public:
+  /// Build the initial labeling for g with the given vertex order
+  /// (order[0] = most important).
+  IncrementalPll(const Graph& g, const std::vector<Vertex>& order);
+
+  /// Convenience: degree-descending order.
+  explicit IncrementalPll(const Graph& g);
+
+  /// Insert an undirected edge and repair the labeling.  Parallel edges
+  /// are allowed (kept if they improve the weight); self-loops rejected.
+  void insert_edge(Vertex a, Vertex b, Weight weight = 1);
+
+  /// Exact distance query on the current graph.
+  [[nodiscard]] Dist query(Vertex u, Vertex v) const;
+
+  [[nodiscard]] std::size_t num_vertices() const { return adj_.size(); }
+  [[nodiscard]] std::size_t total_hubs() const;
+
+  /// Export the current labels as a standard HubLabeling.
+  [[nodiscard]] HubLabeling labels() const;
+
+ private:
+  /// Rank-keyed entry; labels_ lists are sorted by rank ascending.
+  struct RankEntry {
+    Vertex rank;
+    Dist dist;
+  };
+
+  /// min over common hubs of rank < rank_limit.
+  [[nodiscard]] Dist query_upto(Vertex u, Vertex v, Vertex rank_limit) const;
+
+  /// Update-or-insert entry (rank, dist) into labels_[v]; true if improved.
+  bool improve_entry(Vertex v, Vertex rank, Dist dist);
+
+  /// Resume a pruned Dijkstra for hub `rank` from `seed` at distance
+  /// `seed_dist`.
+  void resume(Vertex rank, Vertex seed, Dist seed_dist);
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<Vertex> order_;            ///< rank -> vertex
+  std::vector<Vertex> rank_of_;          ///< vertex -> rank
+  std::vector<std::vector<RankEntry>> labels_;
+};
+
+/// Reconstruct an actual shortest path from any exact hub labeling by
+/// greedy neighbor descent: from u, repeatedly step to a neighbor w with
+/// w(u,w) + dist(w,v) == dist(u,v) (queried from the labels).  Returns the
+/// vertex sequence u..v, or empty if unreachable.  O(len * deg * |label|).
+std::vector<Vertex> unpack_shortest_path(const Graph& g, const HubLabeling& labels, Vertex u,
+                                         Vertex v);
+
+}  // namespace hublab

@@ -1,0 +1,155 @@
+#include "hub/labeling.hpp"
+
+#include <algorithm>
+
+#include "algo/distance_matrix.hpp"
+#include "algo/shortest_paths.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+
+void HubLabeling::finalize() {
+  if (finalized_) return;
+  for (auto& label : labels_) {
+    std::sort(label.begin(), label.end(), [](const HubEntry& a, const HubEntry& b) {
+      return a.hub != b.hub ? a.hub < b.hub : a.dist < b.dist;
+    });
+    label.erase(std::unique(label.begin(), label.end(),
+                            [](const HubEntry& a, const HubEntry& b) { return a.hub == b.hub; }),
+                label.end());
+    label.shrink_to_fit();
+  }
+  finalized_ = true;
+}
+
+Dist HubLabeling::query(Vertex u, Vertex v) const { return query_with_hub(u, v).dist; }
+
+HubQueryResult HubLabeling::query_with_hub(Vertex u, Vertex v) const {
+  HUBLAB_ASSERT(u < labels_.size() && v < labels_.size());
+  HUBLAB_ASSERT_MSG(finalized_, "HubLabeling::finalize() must be called before querying");
+  const auto& a = labels_[u];
+  const auto& b = labels_[v];
+  HubQueryResult best;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].hub < b[j].hub) {
+      ++i;
+    } else if (a[i].hub > b[j].hub) {
+      ++j;
+    } else {
+      const Dist d = a[i].dist + b[j].dist;
+      if (d < best.dist) {
+        best.dist = d;
+        best.meeting_hub = a[i].hub;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+bool HubLabeling::has_hub(Vertex v, Vertex hub) const {
+  HUBLAB_ASSERT(v < labels_.size());
+  const auto& label = labels_[v];
+  const auto it = std::lower_bound(label.begin(), label.end(), hub,
+                                   [](const HubEntry& e, Vertex h) { return e.hub < h; });
+  return it != label.end() && it->hub == hub;
+}
+
+std::size_t HubLabeling::total_hubs() const {
+  std::size_t total = 0;
+  for (const auto& label : labels_) total += label.size();
+  return total;
+}
+
+double HubLabeling::average_label_size() const {
+  if (labels_.empty()) return 0.0;
+  return static_cast<double>(total_hubs()) / static_cast<double>(labels_.size());
+}
+
+std::size_t HubLabeling::max_label_size() const {
+  std::size_t best = 0;
+  for (const auto& label : labels_) best = std::max(best, label.size());
+  return best;
+}
+
+std::optional<LabelingDefect> verify_labeling(const Graph& g, const HubLabeling& labeling,
+                                              const DistanceMatrix& truth) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  HUBLAB_ASSERT(labeling.num_vertices() == n && truth.num_vertices() == n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (const HubEntry& e : labeling.label(v)) {
+      if (e.hub >= n || truth.at(v, e.hub) != e.dist) {
+        return LabelingDefect{LabelingDefect::Kind::kWrongDistance, v, e.hub, e.dist,
+                              e.hub < n ? truth.at(v, e.hub) : kInfDist};
+      }
+    }
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u; v < n; ++v) {
+      const Dist actual = truth.at(u, v);
+      if (actual == kInfDist) continue;
+      const Dist answered = labeling.query(u, v);
+      if (answered != actual) {
+        return LabelingDefect{LabelingDefect::Kind::kUncoveredPair, u, v, answered, actual};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LabelingDefect> verify_labeling_sampled(const Graph& g, const HubLabeling& labeling,
+                                                      std::size_t num_samples,
+                                                      std::uint64_t seed) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  HUBLAB_ASSERT(labeling.num_vertices() == n);
+  if (n == 0) return std::nullopt;
+  Rng rng(seed);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto dist_u = sssp_distances(g, u);
+    // Check u's own entries while we have its distances.
+    for (const HubEntry& e : labeling.label(u)) {
+      if (e.hub >= n || dist_u[e.hub] != e.dist) {
+        return LabelingDefect{LabelingDefect::Kind::kWrongDistance, u, e.hub, e.dist,
+                              e.hub < n ? dist_u[e.hub] : kInfDist};
+      }
+    }
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (dist_u[v] == kInfDist) continue;
+    const Dist answered = labeling.query(u, v);
+    if (answered != dist_u[v]) {
+      return LabelingDefect{LabelingDefect::Kind::kUncoveredPair, u, v, answered, dist_u[v]};
+    }
+  }
+  return std::nullopt;
+}
+
+HubLabeling monotone_closure(const Graph& g, const HubLabeling& labeling) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  HUBLAB_ASSERT(labeling.num_vertices() == n);
+  HubLabeling closed(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const SsspResult tree = sssp(g, v);
+    // Mark every tree ancestor of every hub; collect marked vertices.
+    std::vector<bool> marked(n, false);
+    for (const HubEntry& e : labeling.label(v)) {
+      HUBLAB_ASSERT_MSG(e.hub < n && tree.dist[e.hub] == e.dist,
+                        "monotone_closure requires exact-distance labels");
+      for (Vertex x = e.hub; x != kInvalidVertex && !marked[x]; x = tree.parent[x]) {
+        marked[x] = true;
+        if (x == v) break;
+      }
+    }
+    marked[v] = true;  // v always belongs to its own closed label
+    for (Vertex x = 0; x < n; ++x) {
+      if (marked[x]) closed.add_hub(v, x, tree.dist[x]);
+    }
+  }
+  closed.finalize();
+  return closed;
+}
+
+}  // namespace hublab

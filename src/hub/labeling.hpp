@@ -1,0 +1,117 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file labeling.hpp
+/// Hub labelings (2-hop covers, [CHKZ03]): every vertex v stores a hubset
+/// S(v) with exact distances; the distance query u-v returns
+///   min_{w in S(u) cap S(v)} dist(u, w) + dist(w, v),
+/// which is exact iff the family {S(v)} is a *shortest-path cover*:
+/// every connected pair has a common hub on a shortest path.
+
+namespace hublab {
+
+/// One label entry: a hub and the exact distance to it.
+struct HubEntry {
+  Vertex hub;
+  Dist dist;
+
+  bool operator==(const HubEntry&) const = default;
+};
+
+/// Result of a hub query: the distance estimate and the hub realizing it.
+struct HubQueryResult {
+  Dist dist = kInfDist;
+  Vertex meeting_hub = kInvalidVertex;
+};
+
+/// A hub labeling for an n-vertex undirected graph.
+///
+/// Entries are kept sorted by hub id so that queries are a linear merge of
+/// the two labels, O(|S(u)| + |S(v)|).
+class HubLabeling {
+ public:
+  HubLabeling() = default;
+  explicit HubLabeling(std::size_t n) : labels_(n) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return labels_.size(); }
+
+  /// Append an entry; call finalize() before querying.
+  void add_hub(Vertex v, Vertex hub, Dist dist) {
+    HUBLAB_ASSERT(v < labels_.size());
+    labels_[v].push_back(HubEntry{hub, dist});
+    finalized_ = false;
+  }
+
+  /// Sort every label by hub id and collapse duplicate hubs to the minimum
+  /// distance.  Idempotent.
+  void finalize();
+
+  /// Exact-or-overestimate distance via the common-hub minimum; kInfDist if
+  /// the labels share no hub.
+  [[nodiscard]] Dist query(Vertex u, Vertex v) const;
+
+  /// As query(), also reporting the meeting hub.
+  [[nodiscard]] HubQueryResult query_with_hub(Vertex u, Vertex v) const;
+
+  [[nodiscard]] std::span<const HubEntry> label(Vertex v) const {
+    HUBLAB_ASSERT(v < labels_.size());
+    return labels_[v];
+  }
+
+  /// True if `hub` appears in S(v).
+  [[nodiscard]] bool has_hub(Vertex v, Vertex hub) const;
+
+  /// Sum of label sizes over all vertices.
+  [[nodiscard]] std::size_t total_hubs() const;
+
+  /// Average label size (total / n).
+  [[nodiscard]] double average_label_size() const;
+
+  [[nodiscard]] std::size_t max_label_size() const;
+
+  /// In-memory size of the raw representation.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return total_hubs() * sizeof(HubEntry);
+  }
+
+ private:
+  std::vector<std::vector<HubEntry>> labels_;
+  bool finalized_ = true;
+};
+
+class DistanceMatrix;  // algo/distance_matrix.hpp
+
+/// A witness that a labeling is wrong: either a label entry with a wrong
+/// distance, or an uncovered pair.
+struct LabelingDefect {
+  enum class Kind { kWrongDistance, kUncoveredPair } kind;
+  Vertex u;
+  Vertex v;              ///< hub for kWrongDistance; second endpoint otherwise
+  Dist stored;           ///< labeling's answer
+  Dist actual;           ///< ground truth
+};
+
+/// Full verification against ground truth: every entry's distance is exact
+/// and every connected pair queries to the true distance.
+/// Returns nullopt when the labeling is a correct shortest-path cover.
+std::optional<LabelingDefect> verify_labeling(const Graph& g, const HubLabeling& labeling,
+                                              const DistanceMatrix& truth);
+
+/// Sampled verification for larger graphs: checks `num_samples` random pairs
+/// (and all label entries of the sampled endpoints) against per-source SSSP.
+std::optional<LabelingDefect> verify_labeling_sampled(const Graph& g, const HubLabeling& labeling,
+                                                      std::size_t num_samples,
+                                                      std::uint64_t seed);
+
+/// Monotone closure S*_v from the proof of Theorem 2.1: fix a shortest-path
+/// tree T_v per vertex and replace S(v) by the vertex set of the minimal
+/// subtree of T_v containing S(v) (i.e., all tree ancestors of each hub).
+/// |S*_v| <= diam(G) * |S_v| and the result is still a shortest-path cover.
+HubLabeling monotone_closure(const Graph& g, const HubLabeling& labeling);
+
+}  // namespace hublab

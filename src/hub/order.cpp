@@ -1,0 +1,88 @@
+#include "hub/order.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace hublab {
+
+namespace {
+
+/// One Brandes accumulation from `source` (weighted variant; exact for
+/// unit weights too).  Adds each vertex's dependency to `score`.
+void accumulate_from(const Graph& g, Vertex source, std::vector<double>& score) {
+  const std::size_t n = g.num_vertices();
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<double> sigma(n, 0.0);       // number of shortest paths
+  std::vector<double> delta(n, 0.0);       // dependency
+  std::vector<Vertex> settled;             // settle order
+  settled.reserve(n);
+
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  pq.emplace(0, source);
+  std::vector<bool> done(n, false);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    settled.push_back(u);
+    for (const Arc& a : g.arcs(u)) {
+      const Dist nd = d + std::max<Weight>(a.weight, 1);  // 0-weights counted as hops
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        sigma[a.to] = sigma[u];
+        pq.emplace(nd, a.to);
+      } else if (nd == dist[a.to]) {
+        sigma[a.to] += sigma[u];
+      }
+    }
+  }
+
+  // Accumulate dependencies in reverse settle order.
+  for (auto it = settled.rbegin(); it != settled.rend(); ++it) {
+    const Vertex w = *it;
+    for (const Arc& a : g.arcs(w)) {
+      // a.to is a predecessor of w iff dist[a.to] + w(a) == dist[w].
+      const Dist step = std::max<Weight>(a.weight, 1);
+      if (dist[a.to] != kInfDist && dist[a.to] + step == dist[w] && sigma[w] > 0) {
+        delta[a.to] += sigma[a.to] / sigma[w] * (1.0 + delta[w]);
+      }
+    }
+    if (w != source) score[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> approximate_betweenness(const Graph& g, std::size_t num_samples, Rng& rng) {
+  const std::size_t n = g.num_vertices();
+  std::vector<double> score(n, 0.0);
+  if (n == 0) return score;
+  std::vector<Vertex> sources(n);
+  for (Vertex v = 0; v < n; ++v) sources[v] = v;
+  if (num_samples < n) {
+    shuffle(sources, rng);
+    sources.resize(num_samples);
+  }
+  for (Vertex s : sources) accumulate_from(g, s, score);
+  return score;
+}
+
+std::vector<Vertex> betweenness_order(const Graph& g, std::size_t num_samples, Rng& rng) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  const std::vector<double> score = approximate_betweenness(g, num_samples, rng);
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  return order;
+}
+
+}  // namespace hublab

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+/// \file order.hpp
+/// Vertex-importance orders beyond the basic ones in pll.hpp.
+///
+/// The quality of hierarchical hub labelings is driven almost entirely by
+/// the vertex order; betweenness centrality is the classic strong signal
+/// (vertices on many shortest paths make good early hubs).  Exact
+/// betweenness is O(nm); we implement Brandes' accumulation from a sample
+/// of source vertices, which is the standard practical compromise.
+
+namespace hublab {
+
+/// Approximate betweenness centrality from `num_samples` BFS/Dijkstra
+/// sources (Brandes' dependency accumulation).  Deterministic given `rng`.
+std::vector<double> approximate_betweenness(const Graph& g, std::size_t num_samples, Rng& rng);
+
+/// Vertices sorted by decreasing sampled betweenness (ties: higher degree,
+/// then lower id).
+std::vector<Vertex> betweenness_order(const Graph& g, std::size_t num_samples, Rng& rng);
+
+}  // namespace hublab

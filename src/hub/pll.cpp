@@ -1,0 +1,159 @@
+#include "hub/pll.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace hublab {
+
+std::vector<Vertex> make_vertex_order(const Graph& g, VertexOrder order, std::uint64_t seed) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  std::vector<Vertex> result(n);
+  for (Vertex v = 0; v < n; ++v) result[v] = v;
+  switch (order) {
+    case VertexOrder::kNatural:
+      break;
+    case VertexOrder::kRandom: {
+      Rng rng(seed);
+      shuffle(result, rng);
+      break;
+    }
+    case VertexOrder::kDegreeDescending:
+      std::stable_sort(result.begin(), result.end(),
+                       [&g](Vertex a, Vertex b) { return g.degree(a) > g.degree(b); });
+      break;
+  }
+  return result;
+}
+
+namespace {
+
+/// Internal label entry keyed by hub *rank* so that labels built in rank
+/// order are automatically sorted and query merges need no lookup table.
+struct RankEntry {
+  Vertex rank;
+  Dist dist;
+};
+
+class PllBuilder {
+ public:
+  PllBuilder(const Graph& g, const std::vector<Vertex>& order)
+      : g_(g), order_(order), labels_(g.num_vertices()), root_dist_(g.num_vertices(), kInfDist),
+        dist_(g.num_vertices(), kInfDist) {
+    HUBLAB_ASSERT_MSG(order.size() == g.num_vertices(), "order must be a permutation");
+  }
+
+  HubLabeling run() {
+    const bool weighted = g_.is_weighted();
+    for (Vertex k = 0; k < order_.size(); ++k) {
+      if (weighted) {
+        pruned_dijkstra(k);
+      } else {
+        pruned_bfs(k);
+      }
+    }
+    // Convert rank-keyed entries to vertex-keyed public labels.
+    HubLabeling out(g_.num_vertices());
+    for (Vertex v = 0; v < g_.num_vertices(); ++v) {
+      for (const RankEntry& e : labels_[v]) out.add_hub(v, order_[e.rank], e.dist);
+    }
+    out.finalize();
+    return out;
+  }
+
+ private:
+  /// Query v against the root's label using root_dist_ (label of the current
+  /// root scattered into an array indexed by rank).
+  [[nodiscard]] Dist query_via_labels(Vertex v) const {
+    Dist best = kInfDist;
+    for (const RankEntry& e : labels_[v]) {
+      const Dist rd = root_dist_[e.rank];
+      if (rd != kInfDist && e.dist + rd < best) best = e.dist + rd;
+    }
+    return best;
+  }
+
+  void scatter_root_label(Vertex root) {
+    for (const RankEntry& e : labels_[root]) root_dist_[e.rank] = e.dist;
+  }
+
+  void clear_root_label(Vertex root) {
+    for (const RankEntry& e : labels_[root]) root_dist_[e.rank] = kInfDist;
+  }
+
+  void pruned_bfs(Vertex k) {
+    const Vertex root = order_[k];
+    scatter_root_label(root);
+    std::vector<Vertex> frontier{root};
+    std::vector<Vertex> touched{root};
+    dist_[root] = 0;
+    Dist level = 0;
+    std::vector<Vertex> next;
+    while (!frontier.empty()) {
+      for (Vertex u : frontier) {
+        // Prune: already answered at distance <= level by earlier hubs.
+        if (query_via_labels(u) <= level) continue;
+        labels_[u].push_back(RankEntry{k, level});
+        for (const Arc& a : g_.arcs(u)) {
+          if (dist_[a.to] == kInfDist) {
+            dist_[a.to] = level + 1;
+            touched.push_back(a.to);
+            next.push_back(a.to);
+          }
+        }
+      }
+      ++level;
+      frontier.swap(next);
+      next.clear();
+    }
+    for (Vertex v : touched) dist_[v] = kInfDist;
+    clear_root_label(root);
+  }
+
+  void pruned_dijkstra(Vertex k) {
+    const Vertex root = order_[k];
+    scatter_root_label(root);
+    using Item = std::pair<Dist, Vertex>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    std::vector<Vertex> touched{root};
+    dist_[root] = 0;
+    pq.emplace(0, root);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d != dist_[u]) continue;
+      if (query_via_labels(u) <= d) continue;  // prune
+      labels_[u].push_back(RankEntry{k, d});
+      for (const Arc& a : g_.arcs(u)) {
+        const Dist nd = d + a.weight;
+        if (nd < dist_[a.to]) {
+          if (dist_[a.to] == kInfDist) touched.push_back(a.to);
+          dist_[a.to] = nd;
+          pq.emplace(nd, a.to);
+        }
+      }
+    }
+    for (Vertex v : touched) dist_[v] = kInfDist;
+    clear_root_label(root);
+  }
+
+  const Graph& g_;
+  const std::vector<Vertex>& order_;
+  std::vector<std::vector<RankEntry>> labels_;
+  std::vector<Dist> root_dist_;  ///< rank-indexed distances of current root
+  std::vector<Dist> dist_;       ///< per-BFS tentative distances
+};
+
+}  // namespace
+
+HubLabeling pruned_landmark_labeling(const Graph& g, const std::vector<Vertex>& order) {
+  return PllBuilder(g, order).run();
+}
+
+HubLabeling pruned_landmark_labeling(const Graph& g, VertexOrder order, std::uint64_t seed) {
+  return pruned_landmark_labeling(g, make_vertex_order(g, order, seed));
+}
+
+}  // namespace hublab

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+
+/// \file pll.hpp
+/// Pruned Landmark Labeling (Akiba, Iwata, Yoshida; SIGMOD'13): the standard
+/// practical hub-labeling construction.  Processes vertices in a fixed order
+/// of decreasing importance; the k-th vertex runs a BFS/Dijkstra pruned at
+/// every vertex already answered correctly by the first k-1 hubs.
+///
+/// PLL yields a *canonical* labeling for its order: it is exact (a
+/// shortest-path cover) and minimal in the sense that no entry can be
+/// dropped without breaking exactness for that order.  The paper's related
+/// work positions hub labeling practice around exactly this family of
+/// constructions, so PLL is the measurement yardstick in our benches.
+
+namespace hublab {
+
+enum class VertexOrder {
+  kDegreeDescending,  ///< classic heuristic; good on scale-free graphs
+  kNatural,           ///< vertex id order (deterministic baseline)
+  kRandom,            ///< uniform random order (seeded)
+};
+
+/// Compute the processing order.
+std::vector<Vertex> make_vertex_order(const Graph& g, VertexOrder order, std::uint64_t seed = 0);
+
+/// Build a PLL labeling using the given precomputed order (a permutation of
+/// the vertices; order[0] is the most important vertex).
+HubLabeling pruned_landmark_labeling(const Graph& g, const std::vector<Vertex>& order);
+
+/// Convenience overload choosing the order internally.
+HubLabeling pruned_landmark_labeling(const Graph& g,
+                                     VertexOrder order = VertexOrder::kDegreeDescending,
+                                     std::uint64_t seed = 0);
+
+}  // namespace hublab

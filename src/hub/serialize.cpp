@@ -1,0 +1,87 @@
+#include "hub/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace hublab {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'L', 'A', 'B'};
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw ParseError("labeling file truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_labeling(const HubLabeling& labeling, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod<std::uint32_t>(out, kLabelingFormatVersion);
+  write_pod<std::uint64_t>(out, labeling.num_vertices());
+  for (Vertex v = 0; v < labeling.num_vertices(); ++v) {
+    const auto label = labeling.label(v);
+    write_pod<std::uint64_t>(out, label.size());
+    for (const HubEntry& e : label) {
+      write_pod<std::uint32_t>(out, e.hub);
+      write_pod<std::uint64_t>(out, e.dist);
+    }
+  }
+  if (!out) throw Error("labeling write failed");
+}
+
+HubLabeling load_labeling(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw ParseError("labeling file: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kLabelingFormatVersion) throw ParseError("labeling file: unsupported version");
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > (1ULL << 32)) throw ParseError("labeling file: implausible vertex count");
+
+  HubLabeling labeling(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const auto count = read_pod<std::uint64_t>(in);
+    if (count > n) throw ParseError("labeling file: label larger than vertex count");
+    std::uint64_t prev_hub_plus_one = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto hub = read_pod<std::uint32_t>(in);
+      const auto dist = read_pod<std::uint64_t>(in);
+      if (hub >= n) throw ParseError("labeling file: hub id out of range");
+      if (hub + 1ULL <= prev_hub_plus_one) throw ParseError("labeling file: hubs not ascending");
+      prev_hub_plus_one = hub + 1ULL;
+      labeling.add_hub(static_cast<Vertex>(v), hub, dist);
+    }
+  }
+  labeling.finalize();
+  return labeling;
+}
+
+void save_labeling_file(const HubLabeling& labeling, const std::string& file_path) {
+  std::ofstream out(file_path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + file_path);
+  save_labeling(labeling, out);
+}
+
+HubLabeling load_labeling_file(const std::string& file_path) {
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) throw Error("cannot open: " + file_path);
+  return load_labeling(in);
+}
+
+}  // namespace hublab

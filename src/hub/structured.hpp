@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+
+/// \file structured.hpp
+/// Hub labelings for structured graph classes, as surveyed in Section 1.1
+/// of the paper:
+///
+/// * Trees ([Pel00], [AGHP16b]): select central vertices (centroids) as
+///   hubs and recurse on the subtrees.  Every vertex stores its O(log n)
+///   centroid-decomposition ancestors -- Theta(log^2 n) bits, matching the
+///   tree lower bound of [GPPR04].
+///
+/// * Planar-style separator hierarchies ([GPPR04], here instantiated on
+///   rectangular grids): recursively cut the region by its middle row or
+///   column; every vertex stores exact distances to the separator vertices
+///   of every region on its root-to-leaf path.  Any shortest path either
+///   stays in the common region and crosses its separator, or leaves it
+///   through an ancestor separator -- either way the crossing vertex is a
+///   common hub.  O(sqrt(n)) hubs per vertex on an r x c grid.
+///
+/// These make the paper's contrast concrete: structured classes have
+/// polylog / sqrt(n) hub labelings, while sparse graphs in general are
+/// stuck at n / 2^{Theta(sqrt(log n))} (Theorem 1.1).
+
+namespace hublab {
+
+/// Centroid-decomposition hub labeling of a forest.  Throws
+/// InvalidArgument if g has a cycle.  Exact for any edge weights.
+/// Average label size <= log2(n) + 1.
+HubLabeling tree_centroid_labeling(const Graph& g);
+
+/// Recursive-separator hub labeling of a `rows x cols` grid-like graph:
+/// the vertex at (r, c) must have id r*cols + c and edges only between
+/// 4-neighbors (weights arbitrary, e.g. gen::grid or a weighted variant
+/// without diagonal shortcuts).  Exact; O(sqrt(n)) hubs per vertex.
+HubLabeling grid_separator_labeling(const Graph& g, std::size_t rows, std::size_t cols);
+
+/// Recursive separator labeling for *arbitrary* graphs using BFS-level
+/// separators: each region is split by the middle BFS level from an
+/// eccentric root (which disconnects the region); every vertex stores
+/// whole-graph distances to all separators on its root-to-leaf region
+/// path.  Always exact.  Label size tracks separator quality: ~sqrt(n) on
+/// meshes, O(log n)-ish on trees, and necessarily large on expanders and
+/// on the paper's gadget (Theorem 1.1 applies to every such scheme).
+HubLabeling bfs_separator_labeling(const Graph& g);
+
+}  // namespace hublab

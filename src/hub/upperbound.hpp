@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+#include "util/rng.hpp"
+
+/// \file upperbound.hpp
+/// The hub-labeling construction of Theorem 4.1 / Theorem 1.4 of the paper:
+/// for graphs of constant maximum degree (resp. constant average degree via
+/// the degree-reduction gadget), total hub size O(D^5 n^2 / RS(n)) with
+/// D = RS(n)^{1/6}.
+///
+/// Pipeline, with threshold parameter D:
+///   (*)  a shared random set S of ~ (n/D) ln D vertices covers most pairs
+///        with |H_uv| >= D valid hubs; the missed ones go to Q_u;
+///   (c)  a random D^3-coloring of V; pairs whose hub set H_uv (<= D hubs)
+///        is *not* rainbow-colored go to R_u;
+///   (F)  for every hub h and split a + b = dist(u, v), the rainbow pairs
+///        form bipartite graphs E^h_{a,b}; a Koenig minimum vertex cover
+///        of each assigns h to F_u or F_v.  Lemma 4.2 bounds sum |F_v| by
+///        relating the per-color unions of the maximum matchings to
+///        Ruzsa-Szemeredi graphs.
+///   Final labels:  S(v) = S  union  Q_v  union  R_v  union  N(F_v).
+///
+/// The construction works for {0,1} edge weights (needed after degree
+/// reduction); the code asserts max edge weight <= 1.
+
+namespace hublab {
+
+/// Per-stage accounting of the Theorem 4.1 pipeline.
+struct UpperBoundStats {
+  std::size_t n = 0;
+  std::size_t D = 0;
+  std::size_t sample_size = 0;        ///< |S|
+  std::size_t sum_q = 0;              ///< sum |Q_v|
+  std::size_t sum_r = 0;              ///< sum |R_v|
+  std::size_t sum_f = 0;              ///< sum |F_v| (excluding the seeded v itself)
+  std::size_t sum_nf = 0;             ///< sum |N(F_v)|
+  std::size_t num_groups = 0;         ///< number of nonempty E^h_{a,b}
+  std::size_t sum_matchings = 0;      ///< sum of maximum matching sizes
+  std::size_t total_hubs = 0;         ///< final sum |S(v)|
+  double average_label_size = 0.0;
+};
+
+/// Theorem 4.1: constant-max-degree graphs with {0,1} weights.
+/// D >= 2.  Deterministic given `rng`'s state.
+HubLabeling upper_bound_labeling(const Graph& g, const DistanceMatrix& truth, std::size_t D,
+                                 Rng& rng, UpperBoundStats* stats_out = nullptr);
+
+/// Theorem 1.4: arbitrary sparse graphs.  Applies reduce_degree with
+/// cap = ceil(m/n), runs the pipeline on the gadget, and projects hubs back
+/// to original vertices.  The input must be unweighted.
+HubLabeling upper_bound_labeling_sparse(const Graph& g, std::size_t D, Rng& rng,
+                                        UpperBoundStats* stats_out = nullptr);
+
+/// Empirical check of Lemma 4.2 on a small graph: re-runs the grouping
+/// stage and verifies that every maximum matching MM^h_{a,b} is an induced
+/// matching inside the union graph G^c_{a,b} of its color class.
+/// Returns false iff some matching is not induced (would contradict the
+/// lemma; used as a property test).
+bool verify_lemma_4_2(const Graph& g, const DistanceMatrix& truth, std::size_t D, Rng& rng);
+
+}  // namespace hublab

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitstream.hpp"
+
+/// \file distance_labeling.hpp
+/// Distance labeling schemes: assign a binary string label(v) to every
+/// vertex such that dist(u, v) is computable from label(u) and label(v)
+/// alone.  The decoder is deliberately *stateless* -- it sees nothing but
+/// the two bit strings -- which is exactly what the Sum-Index reduction of
+/// Theorem 1.6 requires from Alice's and Bob's messages.
+
+namespace hublab {
+
+/// The encoded labels of one graph plus size accounting.
+struct EncodedLabels {
+  std::vector<BitString> labels;
+
+  [[nodiscard]] std::size_t num_vertices() const { return labels.size(); }
+  [[nodiscard]] std::size_t total_bits() const;
+  [[nodiscard]] double average_bits() const;
+  [[nodiscard]] std::size_t max_bits() const;
+};
+
+/// Interface of a distance labeling scheme.
+class DistanceLabelingScheme {
+ public:
+  virtual ~DistanceLabelingScheme() = default;
+
+  /// Human-readable scheme name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Encode all labels for g.  Deterministic for a given scheme instance.
+  [[nodiscard]] virtual EncodedLabels encode(const Graph& g) const = 0;
+
+  /// Decode the u-v distance from the two labels only.
+  /// Returns kInfDist when the labels prove no common information
+  /// (disconnected pair).  Throws ParseError on malformed labels.
+  [[nodiscard]] virtual Dist decode(const BitString& label_u, const BitString& label_v) const = 0;
+};
+
+class HubLabeling;
+
+/// Integer code used for the distance fields of hub labels.  Hub id gaps
+/// are always gamma-coded (they are small by construction); distances have
+/// different profiles per graph family, so the codec is selectable and
+/// recorded in a 2-bit label header for self-describing decoding.
+enum class DistCodec : std::uint8_t {
+  kGamma = 0,    ///< Elias gamma; best for small distances
+  kDelta = 1,    ///< Elias delta; best for large (weighted-gadget) distances
+  kFixed32 = 2,  ///< fixed 32-bit; predictable, fastest to decode
+};
+
+/// Distance labeling backed by a hub labeling.  Per vertex we store a
+/// codec tag, the label size, then the gamma-coded hub id gaps (ascending)
+/// and codec-coded distances.  Decoding merges the two hub lists exactly
+/// like HubLabeling::query.
+///
+/// The constructor takes a factory so the scheme owns its construction
+/// policy (the Sum-Index protocol requires Alice and Bob to build identical
+/// labelings independently).
+class HubDistanceLabeling final : public DistanceLabelingScheme {
+ public:
+  using Factory = HubLabeling (*)(const Graph&);
+
+  explicit HubDistanceLabeling(Factory factory, std::string name = "hub-labels",
+                               DistCodec codec = DistCodec::kGamma);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] EncodedLabels encode(const Graph& g) const override;
+  [[nodiscard]] Dist decode(const BitString& label_u, const BitString& label_v) const override;
+
+  /// Encode an already-built hub labeling (static helper, also used by
+  /// benches that want size accounting for an arbitrary labeling).
+  static EncodedLabels encode_labeling(const HubLabeling& labeling,
+                                       DistCodec codec = DistCodec::kGamma);
+
+ private:
+  Factory factory_;
+  std::string name_;
+  DistCodec codec_;
+};
+
+/// Baseline: every vertex stores its id and the full distance row in
+/// fixed width.  O(n log(diam)) bits per label; always works.
+class FlatDistanceLabeling final : public DistanceLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "flat-rows"; }
+  [[nodiscard]] EncodedLabels encode(const Graph& g) const override;
+  [[nodiscard]] Dist decode(const BitString& label_u, const BitString& label_v) const override;
+};
+
+/// The [AGHP16a]-style paradigm from Section 1.1 of the paper: an
+/// *approximate* hub labeling (dominator-compressed, additive error <= 2)
+/// plus a per-vertex correction table of 2-bit entries.  Decoding returns
+/// approx_estimate(u, v) - correction_u[v], which is exact.  Per label:
+/// |approx hub bits| + 2n + O(log n) -- the correction table replaces the
+/// O(log diam) factor of flat rows by a constant 2 bits per vertex.
+/// Requires an unweighted graph (the +2 guarantee counts hops).
+class CorrectedApproxLabeling final : public DistanceLabelingScheme {
+ public:
+  using Factory = HubLabeling (*)(const Graph&);
+
+  explicit CorrectedApproxLabeling(Factory exact_factory);
+
+  [[nodiscard]] std::string name() const override { return "approx-hubs+corrections"; }
+  [[nodiscard]] EncodedLabels encode(const Graph& g) const override;
+  [[nodiscard]] Dist decode(const BitString& label_u, const BitString& label_v) const override;
+
+ private:
+  Factory exact_factory_;
+};
+
+}  // namespace hublab

@@ -1,0 +1,218 @@
+#include "lowerbound/certify.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "algo/shortest_paths.hpp"
+
+namespace hublab::lb {
+
+namespace {
+
+/// Enumerate the source indices to check: all of [0, layer) or a sample.
+std::vector<std::uint64_t> pick_sources(std::uint64_t layer, std::uint64_t max_sources,
+                                        std::uint64_t seed) {
+  std::vector<std::uint64_t> sources;
+  if (layer <= max_sources) {
+    sources.resize(layer);
+    for (std::uint64_t i = 0; i < layer; ++i) sources[i] = i;
+  } else {
+    Rng rng(seed);
+    sources.reserve(max_sources);
+    for (std::uint64_t i = 0; i < max_sources; ++i) sources.push_back(rng.next_below(layer));
+    std::sort(sources.begin(), sources.end());
+    sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  }
+  return sources;
+}
+
+/// Enumerate all z-coordinate vectors with even differences to x:
+/// per coordinate, z_k ranges over { x_k mod 2, x_k mod 2 + 2, ... }.
+/// Invokes fn(z) for each.
+template <typename Fn>
+void for_each_even_partner(const Coords& x, std::uint64_t s, Fn&& fn) {
+  const std::size_t ell = x.size();
+  Coords z(ell);
+  // Odometer over (s/2)^ell choices.
+  std::vector<std::uint32_t> choice(ell, 0);
+  const std::uint64_t half = s / 2;
+  for (;;) {
+    for (std::size_t k = 0; k < ell; ++k) {
+      z[k] = static_cast<std::uint32_t>((x[k] % 2) + 2 * choice[k]);
+    }
+    fn(z);
+    std::size_t pos = 0;
+    while (pos < ell && choice[pos] + 1 == half) choice[pos++] = 0;
+    if (pos == ell) break;
+    ++choice[pos];
+  }
+}
+
+}  // namespace
+
+Lemma22Report verify_lemma_2_2(const LayeredGadget& h, std::uint64_t max_sources,
+                               std::uint64_t seed) {
+  const GadgetParams& p = h.params();
+  Lemma22Report report;
+  const auto sources = pick_sources(p.layer_size(), max_sources, seed);
+
+  for (std::uint64_t xi : sources) {
+    const Coords x = h.index_to_coords(xi);
+    const Vertex src = h.vertex(0, xi);
+    const SsspResult tree = dijkstra(h.graph(), src);
+    const auto counts = count_shortest_paths(h.graph(), src, tree.dist);
+    ++report.sources_checked;
+
+    for_each_even_partner(x, p.s(), [&](const Coords& z) {
+      const Vertex dst = h.vertex_at(2ULL * p.ell, z);
+      ++report.pairs_checked;
+      if (tree.dist[dst] != h.predicted_distance(x, z)) {
+        ++report.distance_mismatches;
+        return;
+      }
+      if (counts[dst] != 1) {
+        ++report.non_unique_paths;
+        return;
+      }
+      // Walk the unique path via parents and look for the midpoint.
+      const Vertex mid = h.predicted_midpoint(x, z);
+      bool found = false;
+      for (Vertex v = dst; v != kInvalidVertex; v = tree.parent[v]) {
+        if (v == mid) {
+          found = true;
+          break;
+        }
+        if (v == src) break;
+      }
+      if (!found) ++report.midpoint_misses;
+    });
+  }
+  return report;
+}
+
+Lemma22Report verify_lemma_2_2_degree3(const LayeredGadget& h, const Degree3Gadget& g,
+                                       std::uint64_t max_sources, std::uint64_t seed) {
+  const GadgetParams& p = h.params();
+  Lemma22Report report;
+  const auto sources = pick_sources(p.layer_size(), max_sources, seed);
+
+  for (std::uint64_t xi : sources) {
+    const Coords x = h.index_to_coords(xi);
+    const Vertex src = g.image(h.vertex(0, xi));
+    const SsspResult tree = bfs(g.graph(), src);
+    const auto counts = count_shortest_paths(g.graph(), src, tree.dist);
+    ++report.sources_checked;
+
+    for_each_even_partner(x, p.s(), [&](const Coords& z) {
+      const Vertex dst = g.image(h.vertex_at(2ULL * p.ell, z));
+      ++report.pairs_checked;
+      if (tree.dist[dst] != h.predicted_distance(x, z)) {
+        ++report.distance_mismatches;
+        return;
+      }
+      if (counts[dst] != 1) {
+        ++report.non_unique_paths;
+        return;
+      }
+      const Vertex mid = g.image(h.predicted_midpoint(x, z));
+      bool found = false;
+      for (Vertex v = dst; v != kInvalidVertex; v = tree.parent[v]) {
+        if (v == mid) {
+          found = true;
+          break;
+        }
+        if (v == src) break;
+      }
+      if (!found) ++report.midpoint_misses;
+    });
+  }
+  return report;
+}
+
+double certified_avg_hub_lower_bound(std::uint64_t num_triplets, std::uint64_t num_vertices,
+                                     std::uint64_t hop_diameter) {
+  if (num_vertices == 0 || hop_diameter == 0) return 0.0;
+  const double per_vertex =
+      static_cast<double>(num_triplets) / static_cast<double>(num_vertices) - 1.0;
+  return std::max(0.0, per_vertex / static_cast<double>(hop_diameter));
+}
+
+double certified_bound_h(const GadgetParams& params) {
+  return certified_avg_hub_lower_bound(params.num_triplets(), params.num_h_vertices(),
+                                       params.hop_diameter_bound());
+}
+
+double certified_bound_g(const GadgetParams& params, std::uint64_t g_num_vertices) {
+  return certified_avg_hub_lower_bound(params.num_triplets(), g_num_vertices,
+                                       params.weighted_diameter_bound());
+}
+
+ClosureAudit audit_closure_bound(const Graph& g, const HubLabeling& labeling,
+                                 std::uint64_t num_triplets) {
+  ClosureAudit audit;
+  audit.required = num_triplets;
+  audit.sum_labels = labeling.total_hubs();
+  const HubLabeling closed = monotone_closure(g, labeling);
+  audit.sum_closure = closed.total_hubs();
+  return audit;
+}
+
+std::vector<RadiusClassStructure> midpoint_matching_structure(const LayeredGadget& h) {
+  const GadgetParams& p = h.params();
+  const std::uint64_t layer = p.layer_size();
+
+  // Bucket every even-difference pair by its squared radius; remember the
+  // midpoint index as the class key.
+  struct PairRecord {
+    Vertex left;
+    Vertex right;           // offset by layer in the bipartite graph
+    std::uint64_t midpoint; // index in [0, layer)
+  };
+  std::map<std::uint64_t, std::vector<PairRecord>> by_radius;
+
+  for (std::uint64_t xi = 0; xi < layer; ++xi) {
+    const Coords x = h.index_to_coords(xi);
+    Coords z(x.size());
+    // Odometer over the even partners (same scheme as the Lemma checker).
+    std::vector<std::uint32_t> choice(p.ell, 0);
+    const std::uint64_t half = p.s() / 2;
+    for (;;) {
+      std::uint64_t radius = 0;
+      Coords mid(x.size());
+      for (std::size_t k = 0; k < x.size(); ++k) {
+        z[k] = static_cast<std::uint32_t>((x[k] % 2) + 2 * choice[k]);
+        const std::uint64_t d =
+            (x[k] > z[k] ? x[k] - z[k] : z[k] - x[k]) / 2;
+        radius += d * d;
+        mid[k] = static_cast<std::uint32_t>((x[k] + z[k]) / 2);
+      }
+      by_radius[radius].push_back(PairRecord{static_cast<Vertex>(xi),
+                                             static_cast<Vertex>(layer + h.coords_to_index(z)),
+                                             h.coords_to_index(mid)});
+      std::size_t pos = 0;
+      while (pos < p.ell && choice[pos] + 1 == half) choice[pos++] = 0;
+      if (pos == p.ell) break;
+      ++choice[pos];
+    }
+  }
+
+  std::vector<RadiusClassStructure> out;
+  out.reserve(by_radius.size());
+  for (const auto& [radius, records] : by_radius) {
+    RadiusClassStructure rc;
+    rc.radius = radius;
+    GraphBuilder builder(2 * layer);
+    std::map<std::uint64_t, EdgeList> classes;
+    for (const PairRecord& rec : records) {
+      builder.add_edge(rec.left, rec.right);
+      classes[rec.midpoint].emplace_back(rec.left, rec.right);
+    }
+    rc.bipartite = builder.build();
+    rc.partition.matchings.reserve(classes.size());
+    for (auto& [mid, edges] : classes) rc.partition.matchings.push_back(std::move(edges));
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+}  // namespace hublab::lb

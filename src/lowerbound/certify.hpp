@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hub/labeling.hpp"
+#include "lowerbound/gadget.hpp"
+#include "matching/induced_matching.hpp"
+#include "util/rng.hpp"
+
+/// \file certify.hpp
+/// Empirical certification of Lemma 2.2 and of the counting lower bound of
+/// Theorem 2.1 (iii) on concrete gadget instances.
+///
+/// The counting argument: for every triplet (x, y, z) with y = (x+z)/2 the
+/// midlevel vertex y lies on the *unique* shortest path between v_{0,x} and
+/// v_{2l,z}, so for any hub labeling, y belongs to the monotone closure
+/// S*_x or S*_z; distinct triplets charge distinct (vertex, hub) entries,
+/// hence sum_v |S*_v| >= T where T = s^l * (s/2)^l.  Since
+/// |S*_v| <= 1 + hop_diam * |S_v|, any labeling obeys
+///   avg |S_v|  >=  (T/n - 1) / hop_diam.
+
+namespace hublab::lb {
+
+/// Outcome of checking Lemma 2.2 on an instance.
+struct Lemma22Report {
+  std::uint64_t sources_checked = 0;
+  std::uint64_t pairs_checked = 0;
+  std::uint64_t distance_mismatches = 0;   ///< dist != predicted closed form
+  std::uint64_t non_unique_paths = 0;      ///< shortest path count != 1
+  std::uint64_t midpoint_misses = 0;       ///< unique path avoids v_{l,(x+z)/2}
+
+  [[nodiscard]] bool ok() const {
+    return distance_mismatches == 0 && non_unique_paths == 0 && midpoint_misses == 0;
+  }
+};
+
+/// Check Lemma 2.2 on H_{b,l}: for sources v_{0,x} (all of them, or
+/// `max_sources` sampled with `seed`), and every z with even coordinate
+/// differences: the distance matches the closed form, the shortest path is
+/// unique, and it passes through the predicted midpoint.
+Lemma22Report verify_lemma_2_2(const LayeredGadget& h, std::uint64_t max_sources = UINT64_MAX,
+                               std::uint64_t seed = 0);
+
+/// As above but on the degree-3 expansion G_{b,l}: checks that distances
+/// between images of v_{0,x} and v_{2l,z} equal the H distances and that the
+/// (unique) path passes through the image of the midpoint.  BFS-based.
+Lemma22Report verify_lemma_2_2_degree3(const LayeredGadget& h, const Degree3Gadget& g,
+                                       std::uint64_t max_sources = UINT64_MAX,
+                                       std::uint64_t seed = 0);
+
+/// The certified lower bound on the average hub-set size of *any* hub
+/// labeling of a graph with `num_vertices` vertices and hop diameter at
+/// most `hop_diameter`, charged by `num_triplets` unique-midpoint triplets:
+/// (T/n - 1) / hop_diam (clamped at 0).
+double certified_avg_hub_lower_bound(std::uint64_t num_triplets, std::uint64_t num_vertices,
+                                     std::uint64_t hop_diameter);
+
+/// Convenience: the certified bound for H_{b,l} using the 4*l hop bound.
+double certified_bound_h(const GadgetParams& params);
+
+/// Convenience: the certified bound for G_{b,l} given its measured vertex
+/// count, using the paper's Eq. (1) diameter bound (3l+1)*s^2*4l.
+double certified_bound_g(const GadgetParams& params, std::uint64_t g_num_vertices);
+
+/// Audit a concrete labeling of H (or G) against the counting argument:
+/// computes the monotone closure, verifies sum |S*_v| >= T, and returns the
+/// measured sum.  Intended for small instances (runs n SSSPs).
+struct ClosureAudit {
+  std::uint64_t sum_labels = 0;
+  std::uint64_t sum_closure = 0;
+  std::uint64_t required = 0;  ///< T
+  [[nodiscard]] bool ok() const { return sum_closure >= required; }
+};
+
+ClosureAudit audit_closure_bound(const Graph& g, const HubLabeling& labeling,
+                                 std::uint64_t num_triplets);
+
+/// The Section 1.2 bridge, made executable: the gadget's unique shortest
+/// paths realize a Ruzsa-Szemeredi-type structure.
+///
+/// Fix a squared radius r and consider the bipartite graph G_r over
+/// (level 0, level 2l) whose edges are the even-difference pairs (x, z) at
+/// distance exactly 2*l*A + 2r (i.e. sum ((z_k-x_k)/2)^2 = r).  Classing
+/// the edges by the midpoint v_{l,(x+z)/2} partitions E(G_r) into at most
+/// layer_size *induced* matchings: a cross pair (x1, z2) between two
+/// same-midpoint edges has, by strict convexity of the squared deltas,
+/// distance strictly below 2*l*A + 2r, so it is not an edge of G_r.  This
+/// is the same "matchings indexed by the hub" mechanism as Lemma 4.2, now
+/// emerging from the lower-bound instance itself.
+struct RadiusClassStructure {
+  std::uint64_t radius = 0;             ///< r = sum of squared half-deltas
+  Graph bipartite;                      ///< 2 * layer_size vertices; left x, right layer+z
+  InducedMatchingPartition partition;   ///< classes keyed by midpoint index
+};
+
+/// All nonempty radius classes of the gadget, ascending in r.
+std::vector<RadiusClassStructure> midpoint_matching_structure(const LayeredGadget& h);
+
+}  // namespace hublab::lb

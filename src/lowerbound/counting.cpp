@@ -1,0 +1,57 @@
+#include "lowerbound/counting.hpp"
+
+#include "util/error.hpp"
+
+namespace hublab::lb {
+
+CountingFamily::CountingFamily(std::size_t k) : k_(k) {
+  if (k < 2) throw InvalidArgument("CountingFamily needs k >= 2 terminals");
+  if (k > 2000) throw InvalidArgument("CountingFamily: k too large");
+}
+
+std::size_t CountingFamily::num_vertices() const {
+  // k terminals + per pair: 2 vertices on the always-present length-3 path
+  // and 1 vertex for the optional length-2 path (always allocated so that
+  // vertex ids are stable across the family; unused ones stay isolated).
+  return k_ + num_bits() * 3;
+}
+
+Vertex CountingFamily::terminal(std::size_t i) const {
+  HUBLAB_ASSERT(i < k_);
+  return static_cast<Vertex>(i);
+}
+
+std::size_t CountingFamily::bit_index(std::size_t i, std::size_t j) const {
+  HUBLAB_ASSERT(i < j && j < k_);
+  // Pairs in lexicographic order: offset of row i plus (j - i - 1).
+  return i * k_ - i * (i + 1) / 2 + (j - i - 1);
+}
+
+Graph CountingFamily::instance(const std::vector<std::uint8_t>& bits) const {
+  if (bits.size() != num_bits()) throw InvalidArgument("CountingFamily: wrong bit count");
+  GraphBuilder b(num_vertices());
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t j = i + 1; j < k_; ++j) {
+      const std::size_t bit = bit_index(i, j);
+      const auto base = static_cast<Vertex>(k_ + bit * 3);
+      // Length-3 backbone: t_i - base - base+1 - t_j (always present).
+      b.add_edge(terminal(i), base);
+      b.add_edge(base, static_cast<Vertex>(base + 1));
+      b.add_edge(static_cast<Vertex>(base + 1), terminal(j));
+      // Optional length-2 shortcut through base+2.
+      if (bits[bit] != 0) {
+        b.add_edge(terminal(i), static_cast<Vertex>(base + 2));
+        b.add_edge(static_cast<Vertex>(base + 2), terminal(j));
+      }
+    }
+  }
+  return b.build();
+}
+
+int CountingFamily::decode_bit(Dist terminal_distance) {
+  if (terminal_distance == 2) return 1;
+  if (terminal_distance == 3) return 0;
+  return -1;  // not a valid family distance
+}
+
+}  // namespace hublab::lb

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file counting.hpp
+/// The classic *counting* lower-bound technique ([GPPR04], discussed in the
+/// paper's "Lower bounds" related-work paragraph), implemented as an
+/// executable family.
+///
+/// Family: k terminals; every pair (i, j) is joined by a fixed path of
+/// length 3 and, iff the corresponding bit is 1, an extra parallel path of
+/// length 2.  Thus dist(t_i, t_j) = 2 or 3 encodes the bit, and no route
+/// through other terminals can be shorter (>= 4).  The family has
+/// 2^{k(k-1)/2} members distinguishable from terminal labels alone, so any
+/// distance labeling averages >= (k-1)/2 bits on terminals -- the classic
+/// Omega(sqrt(n)) for sparse graphs since n = Theta(k^2).
+///
+/// The paper's point: this technique cannot distinguish distributed labels
+/// from a centralized oracle and stalls at sqrt(n); the Sum-Index reduction
+/// (Theorem 1.6) is the way past it.  bench_counting_lower prints the two
+/// curves side by side.
+
+namespace hublab::lb {
+
+class CountingFamily {
+ public:
+  /// Family over k >= 2 terminals (k*(k-1)/2 bits).
+  explicit CountingFamily(std::size_t k);
+
+  [[nodiscard]] std::size_t num_terminals() const { return k_; }
+  [[nodiscard]] std::size_t num_bits() const { return k_ * (k_ - 1) / 2; }
+
+  /// Number of vertices of every instance (independent of the bits).
+  [[nodiscard]] std::size_t num_vertices() const;
+
+  /// Build the member graph for a bit vector of size num_bits().
+  [[nodiscard]] Graph instance(const std::vector<std::uint8_t>& bits) const;
+
+  /// Vertex id of terminal i (stable across instances).
+  [[nodiscard]] Vertex terminal(std::size_t i) const;
+
+  /// Bit index of the unordered terminal pair (i, j), i < j.
+  [[nodiscard]] std::size_t bit_index(std::size_t i, std::size_t j) const;
+
+  /// Decode a bit from the terminal-pair distance (2 -> 1, 3 -> 0).
+  [[nodiscard]] static int decode_bit(Dist terminal_distance);
+
+  /// Information-theoretic consequence: average label size over terminals,
+  /// in bits, for ANY distance labeling correct on the whole family.
+  [[nodiscard]] double implied_avg_terminal_bits() const {
+    return static_cast<double>(num_bits()) / static_cast<double>(k_);
+  }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace hublab::lb

@@ -1,0 +1,247 @@
+#include "lowerbound/gadget.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hublab::lb {
+
+std::uint64_t GadgetParams::layer_size() const {
+  std::uint64_t size = 1;
+  for (std::uint32_t k = 0; k < ell; ++k) {
+    HUBLAB_ASSERT(size <= UINT64_MAX / s());
+    size *= s();
+  }
+  return size;
+}
+
+std::uint64_t GadgetParams::num_triplets() const {
+  std::uint64_t t = layer_size();
+  for (std::uint32_t k = 0; k < ell; ++k) t *= s() / 2;
+  return t;
+}
+
+void GadgetParams::validate() const {
+  if (b < 1 || ell < 1) throw InvalidArgument("gadget needs b >= 1 and ell >= 1");
+  // Guard the s^ell computation itself before touching layer_size().
+  if (static_cast<std::uint64_t>(b) * ell > 40) {
+    throw InvalidArgument("gadget parameters out of supported range");
+  }
+  // Keep H comfortably in memory: vertices and arcs.
+  const std::uint64_t n = num_h_vertices();
+  const std::uint64_t arcs = 2ULL * 2ULL * ell * layer_size() * s();
+  if (n > 50'000'000ULL || arcs > 400'000'000ULL) {
+    throw InvalidArgument("gadget instance too large");
+  }
+}
+
+LayeredGadget::LayeredGadget(GadgetParams params, const std::vector<bool>* midlevel_mask)
+    : params_(params) {
+  params_.validate();
+  const std::uint64_t layer = params_.layer_size();
+  const std::uint64_t s = params_.s();
+  const std::uint64_t ell = params_.ell;
+
+  if (midlevel_mask != nullptr) {
+    if (midlevel_mask->size() != layer) {
+      throw InvalidArgument("midlevel mask must have layer_size entries");
+    }
+    removed_ = *midlevel_mask;
+  }
+
+  GraphBuilder builder(params_.num_h_vertices());
+  const std::uint64_t A = params_.base_weight();
+
+  // Powers of s for coordinate arithmetic.
+  std::vector<std::uint64_t> pow_s(ell + 1, 1);
+  for (std::uint64_t k = 1; k <= ell; ++k) pow_s[k] = pow_s[k - 1] * s;
+
+  for (std::uint64_t i = 0; i + 1 < params_.num_levels(); ++i) {
+    // Coordinate changed between level i and i+1 (0-indexed):
+    // going up (i < ell): coordinate i; going down (i >= ell): 2*ell-1-i.
+    const std::uint64_t c = (i < ell) ? i : (2 * ell - 1 - i);
+    for (std::uint64_t idx = 0; idx < layer; ++idx) {
+      const std::uint64_t jc = (idx / pow_s[c]) % s;
+      const Vertex u = vertex(i, idx);
+      if (i == ell && midlevel_removed(idx)) continue;
+      const std::uint64_t idx_base = idx - jc * pow_s[c];  // coordinate c zeroed
+      for (std::uint64_t jc2 = 0; jc2 < s; ++jc2) {
+        const std::uint64_t idx2 = idx_base + jc2 * pow_s[c];
+        if (i + 1 == ell && midlevel_removed(idx2)) continue;
+        const Vertex v = vertex(i + 1, idx2);
+        const std::uint64_t delta = jc2 > jc ? jc2 - jc : jc - jc2;
+        builder.add_edge(u, v, static_cast<Weight>(A + delta * delta));
+      }
+    }
+  }
+  graph_ = builder.build();
+}
+
+bool LayeredGadget::midlevel_removed(std::uint64_t index) const {
+  HUBLAB_ASSERT(index < params_.layer_size());
+  return !removed_.empty() && removed_[index];
+}
+
+Vertex LayeredGadget::vertex(std::uint64_t level, std::uint64_t index) const {
+  HUBLAB_ASSERT(level < params_.num_levels());
+  HUBLAB_ASSERT(index < params_.layer_size());
+  return static_cast<Vertex>(level * params_.layer_size() + index);
+}
+
+Vertex LayeredGadget::vertex_at(std::uint64_t level, const Coords& coords) const {
+  return vertex(level, coords_to_index(coords));
+}
+
+std::uint64_t LayeredGadget::level_of(Vertex v) const {
+  HUBLAB_ASSERT(v < graph_.num_vertices());
+  return v / params_.layer_size();
+}
+
+std::uint64_t LayeredGadget::index_of(Vertex v) const {
+  HUBLAB_ASSERT(v < graph_.num_vertices());
+  return v % params_.layer_size();
+}
+
+std::uint64_t LayeredGadget::coords_to_index(const Coords& coords) const {
+  HUBLAB_ASSERT(coords.size() == params_.ell);
+  std::uint64_t index = 0;
+  std::uint64_t scale = 1;
+  for (std::uint32_t k = 0; k < params_.ell; ++k) {
+    HUBLAB_ASSERT(coords[k] < params_.s());
+    index += coords[k] * scale;
+    scale *= params_.s();
+  }
+  return index;
+}
+
+Coords LayeredGadget::index_to_coords(std::uint64_t index) const {
+  Coords coords(params_.ell);
+  for (std::uint32_t k = 0; k < params_.ell; ++k) {
+    coords[k] = static_cast<std::uint32_t>(index % params_.s());
+    index /= params_.s();
+  }
+  return coords;
+}
+
+bool LayeredGadget::all_diffs_even(const Coords& x, const Coords& z) {
+  HUBLAB_ASSERT(x.size() == z.size());
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    const std::uint32_t diff = x[k] > z[k] ? x[k] - z[k] : z[k] - x[k];
+    if (diff % 2 != 0) return false;
+  }
+  return true;
+}
+
+Dist LayeredGadget::predicted_distance(const Coords& x, const Coords& z) const {
+  HUBLAB_ASSERT(all_diffs_even(x, z));
+  Dist d = 2ULL * params_.ell * params_.base_weight();
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    const std::uint64_t half =
+        (x[k] > z[k] ? x[k] - z[k] : z[k] - x[k]) / 2;
+    d += 2 * half * half;
+  }
+  return d;
+}
+
+Vertex LayeredGadget::predicted_midpoint(const Coords& x, const Coords& z) const {
+  HUBLAB_ASSERT(all_diffs_even(x, z));
+  Coords mid(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    mid[k] = static_cast<std::uint32_t>((x[k] + z[k]) / 2);
+  }
+  return vertex_at(params_.ell, mid);
+}
+
+Degree3Gadget::Degree3Gadget(const LayeredGadget& h) {
+  const GadgetParams& p = h.params();
+  const Graph& hg = h.graph();
+  const std::uint64_t s = p.s();
+  const std::uint64_t b = p.b;
+  const std::uint64_t tree_nodes = 2 * s - 1;  // balanced binary tree, s leaves
+
+  // Estimate G's size to pre-validate memory: trees + subdivision paths.
+  std::uint64_t total = hg.num_vertices();
+  total += hg.num_vertices() * 2 * tree_nodes;  // upper bound (in+out trees)
+  for (Vertex u = 0; u < hg.num_vertices(); ++u) {
+    for (const Arc& a : hg.arcs(u)) {
+      if (a.to > u) total += a.weight;  // path vertices < weight
+    }
+  }
+  if (total > 80'000'000ULL) throw InvalidArgument("degree-3 expansion too large");
+
+  GraphBuilder builder(0);
+  image_.assign(hg.num_vertices(), kInvalidVertex);
+
+  // Allocate the H-vertex images first.
+  for (Vertex v = 0; v < hg.num_vertices(); ++v) image_[v] = builder.add_vertex();
+
+  // leaf_out[v] / leaf_in[v]: G ids of the s leaves of v's out-/in-tree,
+  // indexed by the changed-coordinate value of the neighbor.
+  // Only allocated for vertices that have up/down edges.
+  std::vector<std::vector<Vertex>> leaf_out(hg.num_vertices());
+  std::vector<std::vector<Vertex>> leaf_in(hg.num_vertices());
+
+  // Build one balanced binary tree with s leaves rooted next to `attach`.
+  auto build_tree = [&builder, s, b, this](Vertex attach) {
+    // Level-order array: 2s-1 nodes; node k has children 2k+1, 2k+2.
+    std::vector<Vertex> nodes(2 * s - 1);
+    for (auto& nd : nodes) nd = builder.add_vertex();
+    builder.add_edge(attach, nodes[0], 1);
+    for (std::uint64_t k = 0; 2 * k + 2 < nodes.size(); ++k) {
+      builder.add_edge(nodes[k], nodes[2 * k + 1], 1);
+      builder.add_edge(nodes[k], nodes[2 * k + 2], 1);
+    }
+    num_tree_vertices_ += nodes.size();
+    (void)b;
+    // Leaves are the last s nodes in level order.
+    return std::vector<Vertex>(nodes.end() - static_cast<std::ptrdiff_t>(s), nodes.end());
+  };
+
+  const std::uint64_t ell = p.ell;
+  for (Vertex v = 0; v < hg.num_vertices(); ++v) {
+    const std::uint64_t level = h.level_of(v);
+    if (hg.degree(v) == 0) continue;  // masked-out or isolated midlevel vertex
+    if (level > 0) leaf_in[v] = build_tree(image_[v]);
+    if (level + 1 < p.num_levels()) leaf_out[v] = build_tree(image_[v]);
+  }
+
+  // Subdivide each H-edge {u, v} (u one level below v) of weight w into a
+  // path of w - 2b - 2 edges between u's out-leaf and v's in-leaf.
+  // Leaf slots are indexed by the changed coordinate's value at the other
+  // endpoint.
+  std::vector<std::uint64_t> pow_s(ell + 1, 1);
+  for (std::uint64_t k = 1; k <= ell; ++k) pow_s[k] = pow_s[k - 1] * s;
+
+  for (Vertex u = 0; u < hg.num_vertices(); ++u) {
+    const std::uint64_t level = h.level_of(u);
+    for (const Arc& a : hg.arcs(u)) {
+      if (h.level_of(a.to) != level + 1) continue;  // orient upward
+      const Vertex v = a.to;
+      const std::uint64_t c = (level < ell) ? level : (2 * ell - 1 - level);
+      const std::uint64_t ju = (h.index_of(u) / pow_s[c]) % s;
+      const std::uint64_t jv = (h.index_of(v) / pow_s[c]) % s;
+      HUBLAB_ASSERT(a.weight >= 2 * b + 3);
+      const std::uint64_t path_edges = a.weight - 2 * b - 2;
+      Vertex prev = leaf_out[u][jv];
+      for (std::uint64_t step = 1; step < path_edges; ++step) {
+        const Vertex mid = builder.add_vertex();
+        ++num_path_vertices_;
+        builder.add_edge(prev, mid, 1);
+        prev = mid;
+      }
+      builder.add_edge(prev, leaf_in[v][ju], 1);
+    }
+  }
+
+  graph_ = builder.build();
+  preimage_.assign(graph_.num_vertices(), kInvalidVertex);
+  for (Vertex v = 0; v < hg.num_vertices(); ++v) preimage_[image_[v]] = v;
+}
+
+std::optional<Vertex> Degree3Gadget::preimage(Vertex g_vertex) const {
+  HUBLAB_ASSERT(g_vertex < preimage_.size());
+  if (preimage_[g_vertex] == kInvalidVertex) return std::nullopt;
+  return preimage_[g_vertex];
+}
+
+}  // namespace hublab::lb

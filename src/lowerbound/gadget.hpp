@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file gadget.hpp
+/// The lower-bound constructions of Section 2 of the paper.
+///
+/// H_{b,l} ("LayeredGadget"): a weighted layered graph.  With s = 2^b,
+/// levels V_0..V_{2l} each hold s^l vertices identified with vectors in
+/// [0, s-1]^l.  Level i connects to level i+1 by edges that change only
+/// coordinate c(i) (coordinates are changed in order 0..l-1 going up,
+/// l-1..0 going down); the edge weight is A + (j_c - j'_c)^2 with
+/// A = 3*l*s^2.  Lemma 2.2: for x, z with all coordinate differences even,
+/// the shortest v_{0,x} -> v_{2l,z} path is unique and passes through
+/// v_{l,(x+z)/2}.
+///
+/// G_{b,l} ("Degree3Gadget"): the unweighted max-degree-3 expansion.  Every
+/// H-vertex gets an in-tree and an out-tree (balanced binary, s leaves,
+/// depth b) and every H-edge of weight w becomes a path of length
+/// w - 2b - 2 between the matching leaves, so that distances between
+/// original vertices at *different* levels are preserved exactly (the
+/// intermediate levels are vertex cuts; same-level pairs may shortcut
+/// through a shared tree by up to 2b, which none of the paper's arguments
+/// rely on).
+///
+/// An optional *midlevel mask* removes chosen vertices of level l (with all
+/// incident edges); this is the graph G'_{b,l} of the Sum-Index reduction
+/// (Theorem 1.6).  Vertex ids are stable under masking.
+
+namespace hublab::lb {
+
+/// Construction parameters: b >= 1 (side 2^b), ell >= 1 (levels 2*ell+1).
+struct GadgetParams {
+  std::uint32_t b = 1;
+  std::uint32_t ell = 1;
+
+  [[nodiscard]] std::uint64_t s() const { return 1ULL << b; }
+  [[nodiscard]] std::uint64_t num_levels() const { return 2ULL * ell + 1; }
+  /// Vertices per level: s^ell.
+  [[nodiscard]] std::uint64_t layer_size() const;
+  /// Base edge weight A = 3*ell*s^2.
+  [[nodiscard]] std::uint64_t base_weight() const { return 3ULL * ell * s() * s(); }
+  /// |V(H_{b,ell})| = (2*ell+1) * s^ell.
+  [[nodiscard]] std::uint64_t num_h_vertices() const { return num_levels() * layer_size(); }
+  /// Upper bound on any edge weight: A + (s-1)^2 <= (3*ell+1)*s^2.
+  [[nodiscard]] std::uint64_t max_edge_weight() const {
+    return base_weight() + (s() - 1) * (s() - 1);
+  }
+  /// Hop diameter bound of H: every pair is joined by a path of <= 4*ell hops.
+  [[nodiscard]] std::uint64_t hop_diameter_bound() const { return 4ULL * ell; }
+  /// Weighted diameter bound used in Eq. (1) of the paper.
+  [[nodiscard]] std::uint64_t weighted_diameter_bound() const {
+    return (3ULL * ell + 1) * s() * s() * 4ULL * ell;
+  }
+  /// Number of counting triplets (x, y, z): s^ell * (s/2)^ell.
+  [[nodiscard]] std::uint64_t num_triplets() const;
+
+  /// Throws InvalidArgument when the instance would not fit in memory.
+  void validate() const;
+};
+
+/// Vector of ell coordinates, each in [0, s-1].
+using Coords = std::vector<std::uint32_t>;
+
+/// The weighted layered graph H_{b,l}, optionally with a midlevel mask.
+class LayeredGadget {
+ public:
+  explicit LayeredGadget(GadgetParams params,
+                         const std::vector<bool>* midlevel_removed = nullptr);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const GadgetParams& params() const { return params_; }
+
+  /// Vertex id of v_{level, index}; index encodes coordinates base-s.
+  [[nodiscard]] Vertex vertex(std::uint64_t level, std::uint64_t index) const;
+  [[nodiscard]] Vertex vertex_at(std::uint64_t level, const Coords& coords) const;
+
+  [[nodiscard]] std::uint64_t level_of(Vertex v) const;
+  [[nodiscard]] std::uint64_t index_of(Vertex v) const;
+
+  [[nodiscard]] std::uint64_t coords_to_index(const Coords& coords) const;
+  [[nodiscard]] Coords index_to_coords(std::uint64_t index) const;
+
+  /// True when the midlevel vertex with this index was removed by the mask.
+  [[nodiscard]] bool midlevel_removed(std::uint64_t index) const;
+
+  /// Lemma 2.2 precondition: all coordinate differences even.
+  [[nodiscard]] static bool all_diffs_even(const Coords& x, const Coords& z);
+
+  /// Lemma 2.2 predicted distance between v_{0,x} and v_{2l,z}:
+  /// 2*l*A + 2 * sum ((z_k - x_k)/2)^2.
+  [[nodiscard]] Dist predicted_distance(const Coords& x, const Coords& z) const;
+
+  /// Lemma 2.2 predicted unique midpoint v_{l,(x+z)/2}.
+  [[nodiscard]] Vertex predicted_midpoint(const Coords& x, const Coords& z) const;
+
+ private:
+  GadgetParams params_;
+  std::vector<bool> removed_;  ///< midlevel mask (empty = nothing removed)
+  Graph graph_;
+};
+
+/// The unweighted max-degree-3 expansion G_{b,l} of a LayeredGadget.
+class Degree3Gadget {
+ public:
+  explicit Degree3Gadget(const LayeredGadget& h);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+  /// Image in G of an H-vertex (the "original" vertex the trees attach to).
+  [[nodiscard]] Vertex image(Vertex h_vertex) const {
+    HUBLAB_ASSERT(h_vertex < image_.size());
+    return image_[h_vertex];
+  }
+
+  /// Inverse map: G-vertex -> H-vertex, or nullopt for auxiliary vertices.
+  [[nodiscard]] std::optional<Vertex> preimage(Vertex g_vertex) const;
+
+  [[nodiscard]] std::size_t num_tree_vertices() const { return num_tree_vertices_; }
+  [[nodiscard]] std::size_t num_path_vertices() const { return num_path_vertices_; }
+
+ private:
+  Graph graph_;
+  std::vector<Vertex> image_;               ///< H id -> G id
+  std::vector<Vertex> preimage_;            ///< G id -> H id or kInvalidVertex
+  std::size_t num_tree_vertices_ = 0;
+  std::size_t num_path_vertices_ = 0;
+};
+
+}  // namespace hublab::lb

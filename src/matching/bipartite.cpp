@@ -1,0 +1,179 @@
+#include "matching/bipartite.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace hublab {
+
+namespace {
+
+constexpr std::uint32_t kInfLevel = std::numeric_limits<std::uint32_t>::max();
+
+/// BFS phase of Hopcroft-Karp: layer the free left vertices; true if an
+/// augmenting path exists.
+bool hk_bfs(const BipartiteGraph& g, const std::vector<std::uint32_t>& left_match,
+            const std::vector<std::uint32_t>& right_match, std::vector<std::uint32_t>& level) {
+  std::queue<std::uint32_t> q;
+  for (std::uint32_t u = 0; u < g.num_left(); ++u) {
+    if (left_match[u] == kUnmatched) {
+      level[u] = 0;
+      q.push(u);
+    } else {
+      level[u] = kInfLevel;
+    }
+  }
+  bool found = false;
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (std::uint32_t r : g.neighbors(u)) {
+      const std::uint32_t w = right_match[r];
+      if (w == kUnmatched) {
+        found = true;
+      } else if (level[w] == kInfLevel) {
+        level[w] = level[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return found;
+}
+
+/// DFS phase: find a vertex-disjoint augmenting path from left vertex u.
+bool hk_dfs(const BipartiteGraph& g, std::uint32_t u, std::vector<std::uint32_t>& left_match,
+            std::vector<std::uint32_t>& right_match, std::vector<std::uint32_t>& level) {
+  for (std::uint32_t r : g.neighbors(u)) {
+    const std::uint32_t w = right_match[r];
+    if (w == kUnmatched || (level[w] == level[u] + 1 && hk_dfs(g, w, left_match, right_match, level))) {
+      left_match[u] = r;
+      right_match[r] = u;
+      return true;
+    }
+  }
+  level[u] = kInfLevel;  // dead end; prune for this phase
+  return false;
+}
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& g) {
+  Matching m;
+  m.left_match.assign(g.num_left(), kUnmatched);
+  m.right_match.assign(g.num_right(), kUnmatched);
+  std::vector<std::uint32_t> level(g.num_left());
+  while (hk_bfs(g, m.left_match, m.right_match, level)) {
+    for (std::uint32_t u = 0; u < g.num_left(); ++u) {
+      if (m.left_match[u] == kUnmatched) {
+        hk_dfs(g, u, m.left_match, m.right_match, level);
+      }
+    }
+  }
+  return m;
+}
+
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& matching) {
+  HUBLAB_ASSERT(matching.left_match.size() == g.num_left());
+  HUBLAB_ASSERT(matching.right_match.size() == g.num_right());
+
+  // Alternating BFS from free left vertices.  Z = reachable set;
+  // cover = (L \ Z_L) union (R intersect Z_R).
+  std::vector<bool> visited_left(g.num_left(), false);
+  std::vector<bool> visited_right(g.num_right(), false);
+  std::queue<std::uint32_t> q;
+  for (std::uint32_t u = 0; u < g.num_left(); ++u) {
+    if (matching.left_match[u] == kUnmatched) {
+      visited_left[u] = true;
+      q.push(u);
+    }
+  }
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (std::uint32_t r : g.neighbors(u)) {
+      if (matching.left_match[u] == r) continue;  // follow non-matching edges L -> R
+      if (!visited_right[r]) {
+        visited_right[r] = true;
+        const std::uint32_t w = matching.right_match[r];
+        if (w != kUnmatched && !visited_left[w]) {  // matching edge R -> L
+          visited_left[w] = true;
+          q.push(w);
+        }
+      }
+    }
+  }
+
+  VertexCover cover;
+  for (std::uint32_t u = 0; u < g.num_left(); ++u) {
+    if (!visited_left[u]) cover.left.push_back(u);
+  }
+  for (std::uint32_t r = 0; r < g.num_right(); ++r) {
+    if (visited_right[r]) cover.right.push_back(r);
+  }
+  return cover;
+}
+
+bool is_vertex_cover(const BipartiteGraph& g, const VertexCover& cover) {
+  std::vector<bool> in_left(g.num_left(), false);
+  std::vector<bool> in_right(g.num_right(), false);
+  for (auto u : cover.left) {
+    if (u >= g.num_left()) return false;
+    in_left[u] = true;
+  }
+  for (auto r : cover.right) {
+    if (r >= g.num_right()) return false;
+    in_right[r] = true;
+  }
+  for (std::uint32_t u = 0; u < g.num_left(); ++u) {
+    if (in_left[u]) continue;
+    for (std::uint32_t r : g.neighbors(u)) {
+      if (!in_right[r]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_matching(const BipartiteGraph& g, const Matching& m) {
+  if (m.left_match.size() != g.num_left() || m.right_match.size() != g.num_right()) return false;
+  for (std::uint32_t u = 0; u < g.num_left(); ++u) {
+    const std::uint32_t r = m.left_match[u];
+    if (r == kUnmatched) continue;
+    if (r >= g.num_right() || m.right_match[r] != u) return false;
+    if (std::find(g.neighbors(u).begin(), g.neighbors(u).end(), r) == g.neighbors(u).end()) {
+      return false;
+    }
+  }
+  for (std::uint32_t r = 0; r < g.num_right(); ++r) {
+    const std::uint32_t u = m.right_match[r];
+    if (u == kUnmatched) continue;
+    if (u >= g.num_left() || m.left_match[u] != r) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::size_t brute_rec(const BipartiteGraph& g, std::uint32_t u, std::vector<bool>& right_used) {
+  if (u == g.num_left()) return 0;
+  // Option 1: leave u unmatched.
+  std::size_t best = brute_rec(g, u + 1, right_used);
+  // Option 2: match u to any free neighbor.
+  for (std::uint32_t r : g.neighbors(u)) {
+    if (!right_used[r]) {
+      right_used[r] = true;
+      best = std::max(best, 1 + brute_rec(g, u + 1, right_used));
+      right_used[r] = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t brute_force_max_matching(const BipartiteGraph& g) {
+  HUBLAB_ASSERT_MSG(g.num_left() <= 20, "brute force limited to tiny graphs");
+  std::vector<bool> right_used(g.num_right(), false);
+  return brute_rec(g, 0, right_used);
+}
+
+}  // namespace hublab

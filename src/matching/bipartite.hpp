@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+/// \file bipartite.hpp
+/// Lightweight bipartite graph with maximum matching (Hopcroft-Karp) and
+/// minimum vertex cover (Koenig's theorem).
+///
+/// Theorem 4.1 of the paper builds, for every hub candidate h and distance
+/// split (a, b), a bipartite graph E^h_{a,b} over V x V and takes a minimum
+/// vertex cover of it; Lemma 4.2 relates the cover to a maximum matching.
+/// This module provides exactly those primitives, independent of the main
+/// Graph type.
+
+namespace hublab {
+
+/// Bipartite graph with `num_left` left and `num_right` right vertices.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t num_left, std::size_t num_right)
+      : adj_(num_left), num_right_(num_right) {}
+
+  void add_edge(std::uint32_t left, std::uint32_t right) {
+    HUBLAB_ASSERT(left < adj_.size() && right < num_right_);
+    adj_[left].push_back(right);
+    ++num_edges_;
+  }
+
+  [[nodiscard]] std::size_t num_left() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_right() const { return num_right_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::uint32_t left) const {
+    HUBLAB_ASSERT(left < adj_.size());
+    return adj_[left];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::size_t num_right_;
+  std::size_t num_edges_ = 0;
+};
+
+inline constexpr std::uint32_t kUnmatched = 0xffffffffu;
+
+/// A matching: for each left vertex its right partner (kUnmatched if free),
+/// and vice versa.
+struct Matching {
+  std::vector<std::uint32_t> left_match;   ///< size num_left
+  std::vector<std::uint32_t> right_match;  ///< size num_right
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t s = 0;
+    for (auto r : left_match) {
+      if (r != kUnmatched) ++s;
+    }
+    return s;
+  }
+};
+
+/// Maximum-cardinality matching via Hopcroft-Karp, O(E sqrt(V)).
+Matching hopcroft_karp(const BipartiteGraph& g);
+
+/// A vertex cover as (left vertices, right vertices).
+struct VertexCover {
+  std::vector<std::uint32_t> left;
+  std::vector<std::uint32_t> right;
+
+  [[nodiscard]] std::size_t size() const { return left.size() + right.size(); }
+};
+
+/// Minimum vertex cover from a maximum matching (Koenig's theorem):
+/// |cover| == |matching|.  The matching must be maximum for g.
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& matching);
+
+/// True if every edge of g has an endpoint in the cover.
+bool is_vertex_cover(const BipartiteGraph& g, const VertexCover& cover);
+
+/// True if `m` is a valid (not necessarily maximum) matching of g.
+bool is_matching(const BipartiteGraph& g, const Matching& m);
+
+/// Exhaustive maximum matching size for tiny graphs (testing oracle).
+/// Left side must have <= 20 vertices.
+std::size_t brute_force_max_matching(const BipartiteGraph& g);
+
+}  // namespace hublab

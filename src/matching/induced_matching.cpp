@@ -1,0 +1,137 @@
+#include "matching/induced_matching.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hublab {
+
+bool is_matching_in_graph(const Graph& g, const EdgeList& edges) {
+  std::set<Vertex> endpoints;
+  for (const auto& [u, v] : edges) {
+    if (u >= g.num_vertices() || v >= g.num_vertices() || u == v) return false;
+    if (!g.has_edge(u, v)) return false;
+    if (!endpoints.insert(u).second) return false;
+    if (!endpoints.insert(v).second) return false;
+  }
+  return true;
+}
+
+bool is_induced_matching(const Graph& g, const EdgeList& edges) {
+  if (!is_matching_in_graph(g, edges)) return false;
+  // Gather endpoints, then check that the induced subgraph has exactly the
+  // matching edges: for each endpoint, count neighbors inside the set.
+  std::set<Vertex> endpoints;
+  for (const auto& [u, v] : edges) {
+    endpoints.insert(u);
+    endpoints.insert(v);
+  }
+  for (Vertex u : endpoints) {
+    std::size_t inside = 0;
+    for (const Arc& a : g.arcs(u)) {
+      if (endpoints.count(a.to) > 0) ++inside;
+    }
+    if (inside != 1) return false;  // matched partner only
+  }
+  return true;
+}
+
+std::size_t InducedMatchingPartition::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& m : matchings) total += m.size();
+  return total;
+}
+
+std::size_t InducedMatchingPartition::min_matching_size() const {
+  std::size_t best = matchings.empty() ? 0 : matchings.front().size();
+  for (const auto& m : matchings) best = std::min(best, m.size());
+  return best;
+}
+
+double InducedMatchingPartition::avg_matching_size() const {
+  if (matchings.empty()) return 0.0;
+  return static_cast<double>(num_edges()) / static_cast<double>(num_matchings());
+}
+
+InducedMatchingPartition greedy_induced_partition(const Graph& g) {
+  // Collect all edges once.
+  EdgeList edges;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (a.to > u) edges.emplace_back(u, a.to);
+    }
+  }
+
+  InducedMatchingPartition part;
+  std::vector<bool> assigned(edges.size(), false);
+  std::size_t remaining = edges.size();
+
+  // in_class[v]: v is an endpoint of the matching currently being built.
+  std::vector<bool> in_class(g.num_vertices(), false);
+  while (remaining > 0) {
+    EdgeList current;
+    std::vector<Vertex> touched;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (assigned[e]) continue;
+      const auto [u, v] = edges[e];
+      if (in_class[u] || in_class[v]) continue;
+      // Induced check: no endpoint of the current class may be adjacent to
+      // u or v.
+      bool conflict = false;
+      for (const Arc& a : g.arcs(u)) {
+        if (in_class[a.to]) { conflict = true; break; }
+      }
+      if (!conflict) {
+        for (const Arc& a : g.arcs(v)) {
+          if (in_class[a.to]) { conflict = true; break; }
+        }
+      }
+      if (conflict) continue;
+      current.emplace_back(u, v);
+      in_class[u] = in_class[v] = true;
+      touched.push_back(u);
+      touched.push_back(v);
+      assigned[e] = true;
+      --remaining;
+    }
+    for (Vertex v : touched) in_class[v] = false;
+    HUBLAB_ASSERT_MSG(!current.empty(), "greedy induced partition made no progress");
+    part.matchings.push_back(std::move(current));
+  }
+  return part;
+}
+
+bool is_valid_induced_partition(const Graph& g, const InducedMatchingPartition& p) {
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (const auto& m : p.matchings) {
+    if (!is_induced_matching(g, m)) return false;
+    for (auto [u, v] : m) {
+      if (u > v) std::swap(u, v);
+      if (!seen.emplace(u, v).second) return false;  // duplicate edge
+    }
+  }
+  return seen.size() == g.num_edges();
+}
+
+EdgeList repair_to_induced(const Graph& g, const EdgeList& candidate) {
+  EdgeList kept;
+  std::vector<bool> in_class(g.num_vertices(), false);
+  for (const auto& [u, v] : candidate) {
+    if (u >= g.num_vertices() || v >= g.num_vertices() || !g.has_edge(u, v)) continue;
+    if (in_class[u] || in_class[v]) continue;
+    bool conflict = false;
+    for (const Arc& a : g.arcs(u)) {
+      if (in_class[a.to]) { conflict = true; break; }
+    }
+    if (!conflict) {
+      for (const Arc& a : g.arcs(v)) {
+        if (in_class[a.to]) { conflict = true; break; }
+      }
+    }
+    if (conflict) continue;
+    kept.emplace_back(u, v);
+    in_class[u] = in_class[v] = true;
+  }
+  return kept;
+}
+
+}  // namespace hublab

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file induced_matching.hpp
+/// Induced matchings (Definition 1.2 of the paper) and edge partitions into
+/// induced matchings -- the combinatorial structure behind the
+/// Ruzsa-Szemeredi function RS(n).
+
+namespace hublab {
+
+using EdgeList = std::vector<std::pair<Vertex, Vertex>>;
+
+/// True if `edges` is a matching in g (pairwise disjoint endpoints, all
+/// edges present in g).
+bool is_matching_in_graph(const Graph& g, const EdgeList& edges);
+
+/// True if `edges` is an *induced* matching of g: a matching such that the
+/// subgraph of g induced by its endpoints contains no other edge.
+bool is_induced_matching(const Graph& g, const EdgeList& edges);
+
+/// Result of partitioning E(g) into induced matchings.
+struct InducedMatchingPartition {
+  std::vector<EdgeList> matchings;
+
+  [[nodiscard]] std::size_t num_matchings() const { return matchings.size(); }
+  [[nodiscard]] std::size_t num_edges() const;
+  [[nodiscard]] std::size_t min_matching_size() const;
+  [[nodiscard]] double avg_matching_size() const;
+};
+
+/// Greedy partition of all edges of g into induced matchings: repeatedly
+/// grow a matching with edges that keep it induced.  Always succeeds
+/// (worst case: one edge per matching).  This is the practical upper-bound
+/// witness for "how few induced matchings can cover this graph".
+InducedMatchingPartition greedy_induced_partition(const Graph& g);
+
+/// Verify a partition: every class is an induced matching, classes are
+/// edge-disjoint, and they cover all edges of g exactly once.
+bool is_valid_induced_partition(const Graph& g, const InducedMatchingPartition& p);
+
+/// Repair a candidate matching into an induced one by greedily dropping
+/// offending edges; returns the retained sub-matching.
+EdgeList repair_to_induced(const Graph& g, const EdgeList& candidate);
+
+}  // namespace hublab

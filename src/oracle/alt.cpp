@@ -1,0 +1,91 @@
+#include "oracle/alt.hpp"
+
+#include <queue>
+
+#include "algo/shortest_paths.hpp"
+#include "util/error.hpp"
+
+namespace hublab {
+
+std::vector<Vertex> farthest_landmarks(const Graph& g, std::size_t count, std::uint64_t seed) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  if (n == 0 || count == 0) return {};
+  count = std::min<std::size_t>(count, n);
+
+  Rng rng(seed);
+  std::vector<Vertex> landmarks{static_cast<Vertex>(rng.next_below(n))};
+  std::vector<Dist> closest = sssp_distances(g, landmarks[0]);
+  while (landmarks.size() < count) {
+    // Farthest *finite* vertex from the current set (unreachable ones are
+    // picked too, one per component, since kInfDist sorts last but we
+    // prefer finite maxima; fall back to any unreached vertex).
+    Vertex best = kInvalidVertex;
+    Dist best_d = 0;
+    Vertex unreached = kInvalidVertex;
+    for (Vertex v = 0; v < n; ++v) {
+      if (closest[v] == kInfDist) {
+        unreached = v;
+        continue;
+      }
+      if (closest[v] >= best_d) {
+        best_d = closest[v];
+        best = v;
+      }
+    }
+    if (unreached != kInvalidVertex) best = unreached;  // cover new component
+    if (best == kInvalidVertex) break;
+    landmarks.push_back(best);
+    const auto d = sssp_distances(g, best);
+    for (Vertex v = 0; v < n; ++v) closest[v] = std::min(closest[v], d[v]);
+  }
+  return landmarks;
+}
+
+AltOracle::AltOracle(const Graph& g, const std::vector<Vertex>& landmarks) : g_(&g) {
+  if (landmarks.empty()) throw InvalidArgument("ALT needs at least one landmark");
+  rows_.reserve(landmarks.size());
+  for (Vertex l : landmarks) rows_.push_back(sssp_distances(g, l));
+}
+
+Dist AltOracle::potential(Vertex u, Vertex t) const {
+  Dist best = 0;
+  for (const auto& row : rows_) {
+    if (row[u] == kInfDist || row[t] == kInfDist) continue;
+    const Dist diff = row[u] > row[t] ? row[u] - row[t] : row[t] - row[u];
+    best = std::max(best, diff);
+  }
+  return best;
+}
+
+Dist AltOracle::distance(Vertex s, Vertex t) const {
+  const Graph& g = *g_;
+  HUBLAB_ASSERT(s < g.num_vertices() && t < g.num_vertices());
+  if (s == t) return 0;
+
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  std::vector<bool> settled(g.num_vertices(), false);
+  using Item = std::pair<Dist, Vertex>;  // (g + h, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(potential(s, t), s);
+  last_settled_ = 0;
+  while (!pq.empty()) {
+    const auto [f, u] = pq.top();
+    (void)f;
+    pq.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    ++last_settled_;
+    if (u == t) return dist[t];
+    for (const Arc& a : g.arcs(u)) {
+      const Dist nd = dist[u] + a.weight;
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        pq.emplace(nd + potential(a.to, t), a.to);
+      }
+    }
+  }
+  return dist[t];
+}
+
+}  // namespace hublab

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "oracle/oracle.hpp"
+#include "util/rng.hpp"
+
+/// \file alt.hpp
+/// ALT: A* with landmark lower bounds (Goldberg-Harrelson), the classic
+/// goal-directed *exact* query method built from the same ingredient as
+/// the LandmarkOracle (triangle-inequality distances), completing the
+/// Section 1.1 landscape of practical schemes.
+///
+/// Potential pi_t(u) = max over landmarks l of |dist(l,u) - dist(l,t)| is
+/// a consistent A* heuristic, so the search is exact while settling far
+/// fewer vertices than plain Dijkstra on goal-directed instances.
+
+namespace hublab {
+
+/// Farthest-point landmark selection: start from a seed, repeatedly add
+/// the vertex maximizing the distance to the chosen set.
+std::vector<Vertex> farthest_landmarks(const Graph& g, std::size_t count, std::uint64_t seed = 1);
+
+class AltOracle final : public DistanceOracle {
+ public:
+  AltOracle(const Graph& g, const std::vector<Vertex>& landmarks);
+
+  [[nodiscard]] std::string name() const override { return "alt-astar"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  [[nodiscard]] std::size_t space_bytes() const override {
+    return rows_.size() * (rows_.empty() ? 0 : rows_.front().size()) * sizeof(Dist);
+  }
+
+  /// Vertices settled by the last query (diagnostics; not thread-safe).
+  [[nodiscard]] std::size_t last_settled() const { return last_settled_; }
+
+ private:
+  [[nodiscard]] Dist potential(Vertex u, Vertex t) const;
+
+  const Graph* g_;
+  std::vector<std::vector<Dist>> rows_;  ///< per-landmark distance rows
+  mutable std::size_t last_settled_ = 0;
+};
+
+}  // namespace hublab

@@ -1,0 +1,112 @@
+#include "oracle/arc_flags.hpp"
+
+#include <queue>
+
+#include "algo/shortest_paths.hpp"
+#include "util/error.hpp"
+
+namespace hublab {
+
+ArcFlagsOracle::ArcFlagsOracle(const Graph& g, std::size_t num_regions, std::uint64_t seed)
+    : g_(&g), num_regions_(num_regions) {
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  if (num_regions_ == 0) throw InvalidArgument("arc flags need at least one region");
+  num_regions_ = std::min<std::size_t>(num_regions_, std::max<std::size_t>(1, n));
+
+  // BFS-grown partition: random seeds, multi-source BFS, each vertex joins
+  // the region that reaches it first.
+  region_.assign(n, std::numeric_limits<std::uint32_t>::max());
+  {
+    Rng rng(seed);
+    std::vector<Vertex> pool(n);
+    for (Vertex v = 0; v < n; ++v) pool[v] = v;
+    shuffle(pool, rng);
+    std::queue<Vertex> q;
+    for (std::size_t r = 0; r < num_regions_; ++r) {
+      region_[pool[r]] = static_cast<std::uint32_t>(r);
+      q.push(pool[r]);
+    }
+    while (!q.empty()) {
+      const Vertex u = q.front();
+      q.pop();
+      for (const Arc& a : g.arcs(u)) {
+        if (region_[a.to] == std::numeric_limits<std::uint32_t>::max()) {
+          region_[a.to] = region_[u];
+          q.push(a.to);
+        }
+      }
+    }
+    // Isolated/unreached vertices become singleton members of region 0.
+    for (Vertex v = 0; v < n; ++v) {
+      if (region_[v] == std::numeric_limits<std::uint32_t>::max()) region_[v] = 0;
+    }
+  }
+
+  // Arc indexing mirrors the CSR layout.
+  arc_offset_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) arc_offset_[v + 1] = arc_offset_[v] + g.degree(v);
+  flags_.assign(arc_offset_[n] * num_regions_, 0);
+
+  // Exact flags by one SSSP per target-side vertex: arc (u -> v) gets the
+  // flag of region(t) iff w + dist(v, t) == dist(u, t).
+  for (Vertex t = 0; t < n; ++t) {
+    const auto dist = sssp_distances(g, t);
+    const std::uint32_t rt = region_[t];
+    for (Vertex u = 0; u < n; ++u) {
+      if (dist[u] == kInfDist) continue;
+      const auto arcs = g.arcs(u);
+      for (std::size_t i = 0; i < arcs.size(); ++i) {
+        const Vertex v = arcs[i].to;
+        if (dist[v] != kInfDist && dist[v] + arcs[i].weight == dist[u]) {
+          flags_[(arc_offset_[u] + i) * num_regions_ + rt] = 1;
+        }
+      }
+    }
+  }
+}
+
+Dist ArcFlagsOracle::distance(Vertex s, Vertex t) const {
+  const Graph& g = *g_;
+  HUBLAB_ASSERT(s < g.num_vertices() && t < g.num_vertices());
+  if (s == t) return 0;
+  const std::uint32_t rt = region_[t];
+
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(0, s);
+  last_settled_ = 0;
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    ++last_settled_;
+    if (u == t) return d;
+    const auto arcs = g.arcs(u);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (flags_[(arc_offset_[u] + i) * num_regions_ + rt] == 0) continue;
+      const Dist nd = d + arcs[i].weight;
+      if (nd < dist[arcs[i].to]) {
+        dist[arcs[i].to] = nd;
+        pq.emplace(nd, arcs[i].to);
+      }
+    }
+  }
+  return dist[t];
+}
+
+std::size_t ArcFlagsOracle::space_bytes() const {
+  // Flags are conceptually 1 bit; count them as bits for the tradeoff
+  // tables (the in-memory byte representation is an implementation detail).
+  return flags_.size() / 8 + region_.size() * sizeof(std::uint32_t);
+}
+
+double ArcFlagsOracle::flag_density() const {
+  if (flags_.empty()) return 0.0;
+  std::size_t set = 0;
+  for (const auto f : flags_) set += f;
+  return static_cast<double>(set) / static_cast<double>(flags_.size());
+}
+
+}  // namespace hublab

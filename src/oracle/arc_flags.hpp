@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "oracle/oracle.hpp"
+#include "util/rng.hpp"
+
+/// \file arc_flags.hpp
+/// Arc-flags acceleration ([KMS06], cited in Section 1.1 of the paper as
+/// one of the practical exact shortest-path heuristics next to contraction
+/// hierarchies).
+///
+/// Vertices are partitioned into k regions (BFS-grown).  Every arc (u, v)
+/// carries one bit per region R: set iff the arc lies on some shortest
+/// path from u into R (that is, w(u,v) + dist(v, t) == dist(u, t) for some
+/// t in R), or if v itself is in R.  A query towards target t runs
+/// Dijkstra but relaxes only arcs whose flag for region(t) is set --
+/// provably exact, often exploring a small cone towards the target.
+///
+/// Preprocessing here is the straightforward exact one: one SSSP per
+/// vertex (O(n m log n)); fine at analysis scale and simple to audit.
+
+namespace hublab {
+
+class ArcFlagsOracle final : public DistanceOracle {
+ public:
+  /// Partition into ~num_regions BFS-grown parts (seeded; deterministic).
+  ArcFlagsOracle(const Graph& g, std::size_t num_regions, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::string name() const override { return "arc-flags"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  [[nodiscard]] std::size_t space_bytes() const override;
+
+  [[nodiscard]] std::size_t num_regions() const { return num_regions_; }
+  [[nodiscard]] std::uint32_t region_of(Vertex v) const {
+    HUBLAB_ASSERT(v < region_.size());
+    return region_[v];
+  }
+
+  /// Fraction of (arc, region) flag bits that are set; the pruning power
+  /// indicator (lower = more pruning).
+  [[nodiscard]] double flag_density() const;
+
+  /// Number of vertices settled by the last distance() call (diagnostics
+  /// for the benches; not thread-safe, like the rest of the class).
+  [[nodiscard]] std::size_t last_settled() const { return last_settled_; }
+
+ private:
+  const Graph* g_;
+  std::size_t num_regions_;
+  std::vector<std::uint32_t> region_;
+  /// flags_[arc_index * num_regions_ + region] packed as bytes.
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::size_t> arc_offset_;  ///< vertex -> first arc index
+  mutable std::size_t last_settled_ = 0;
+};
+
+}  // namespace hublab

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/graph.hpp"
+#include "hub/labeling.hpp"
+
+/// \file oracle.hpp
+/// Centralized exact distance oracles, exercising the space/time tradeoff
+/// the paper's introduction discusses (S*T = ~n^2; hub labelings are one
+/// point on the curve, and Theorem 1.1 precludes hub-labeling-based oracles
+/// from beating n / 2^{O(sqrt(log n))} space at constant time on sparse
+/// graphs).
+
+namespace hublab {
+
+/// Common interface: exact distance queries plus space accounting.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Dist distance(Vertex u, Vertex v) const = 0;
+  /// Space consumed by the preprocessed structure, in bytes (the graph
+  /// itself is not counted; all oracles share it).
+  [[nodiscard]] virtual std::size_t space_bytes() const = 0;
+};
+
+/// Full APSP table: O(n^2) space, O(1) query.
+class ApspOracle final : public DistanceOracle {
+ public:
+  explicit ApspOracle(const Graph& g) : matrix_(DistanceMatrix::compute(g)) {}
+  [[nodiscard]] std::string name() const override { return "apsp-table"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override { return matrix_.at(u, v); }
+  [[nodiscard]] std::size_t space_bytes() const override { return matrix_.memory_bytes(); }
+
+ private:
+  DistanceMatrix matrix_;
+};
+
+/// No preprocessing: every query runs a fresh unidirectional SSSP.
+class SsspOracle final : public DistanceOracle {
+ public:
+  explicit SsspOracle(const Graph& g) : g_(&g) {}
+  [[nodiscard]] std::string name() const override { return "on-demand-sssp"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  [[nodiscard]] std::size_t space_bytes() const override { return 0; }
+
+ private:
+  const Graph* g_;
+};
+
+/// No preprocessing; queries run bidirectional Dijkstra.
+class BidirectionalOracle final : public DistanceOracle {
+ public:
+  explicit BidirectionalOracle(const Graph& g) : g_(&g) {}
+  [[nodiscard]] std::string name() const override { return "bidirectional-dijkstra"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  [[nodiscard]] std::size_t space_bytes() const override { return 0; }
+
+ private:
+  const Graph* g_;
+};
+
+/// Hub-labeling oracle (the paper's subject): space = sum of label sizes,
+/// query = sorted-merge of two labels.
+class HubLabelOracle final : public DistanceOracle {
+ public:
+  HubLabelOracle(const Graph& g, HubLabeling labeling);
+  [[nodiscard]] std::string name() const override { return "hub-labels"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override { return labels_.query(u, v); }
+  [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }
+  [[nodiscard]] const HubLabeling& labeling() const { return labels_; }
+
+ private:
+  HubLabeling labels_;
+};
+
+/// Landmark oracle: k landmark SSSP trees; queries return the best
+/// triangle-inequality *upper bound* min_l d(u,l)+d(l,v).  Exact iff some
+/// landmark hits a shortest path; included as the classic inexact
+/// counterpoint (its error is measured by the benches, not assumed).
+class LandmarkOracle final : public DistanceOracle {
+ public:
+  LandmarkOracle(const Graph& g, const std::vector<Vertex>& landmarks);
+  [[nodiscard]] std::string name() const override { return "landmarks-upper-bound"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  [[nodiscard]] std::size_t space_bytes() const override {
+    return rows_.size() * (rows_.empty() ? 0 : rows_.front().size()) * sizeof(Dist);
+  }
+
+ private:
+  std::vector<std::vector<Dist>> rows_;  ///< one distance row per landmark
+};
+
+}  // namespace hublab

@@ -1,0 +1,212 @@
+#include "rs/behrend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace hublab::rs {
+
+bool is_progression_free(const std::vector<std::uint64_t>& set) {
+  // O(|A|^2) with a hash-free membership test over the sorted set.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      // midpoint candidate: x + z == 2y with x = set[i], z = set[j]
+      const std::uint64_t sum = set[i] + set[j];
+      if (sum % 2 != 0) continue;
+      const std::uint64_t mid = sum / 2;
+      if (mid == set[i] || mid == set[j]) continue;
+      if (std::binary_search(set.begin(), set.end(), mid)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Enumerate digit vectors in [0, k]^d grouped by squared norm; for the best
+/// norm class, emit the values sum digit_i * base^i.
+std::vector<std::uint64_t> sphere_set(std::uint64_t d, std::uint64_t k, std::uint64_t base,
+                                      std::uint64_t N, std::uint64_t& radius_out) {
+  // First pass: count vectors per squared radius.
+  std::vector<std::uint64_t> digits(d, 0);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (;;) {
+    std::uint64_t r = 0;
+    for (std::uint64_t i = 0; i < d; ++i) r += digits[i] * digits[i];
+    ++counts[r];
+    // Odometer increment.
+    std::uint64_t pos = 0;
+    while (pos < d && digits[pos] == k) digits[pos++] = 0;
+    if (pos == d) break;
+    ++digits[pos];
+  }
+  std::uint64_t best_r = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [r, c] : counts) {
+    if (r == 0) continue;  // radius 0 gives the single zero vector
+    if (c > best_count) {
+      best_count = c;
+      best_r = r;
+    }
+  }
+  radius_out = best_r;
+
+  // Second pass: emit values on the chosen sphere.
+  std::vector<std::uint64_t> out;
+  out.reserve(best_count);
+  std::fill(digits.begin(), digits.end(), 0);
+  for (;;) {
+    std::uint64_t r = 0;
+    std::uint64_t value = 0;
+    std::uint64_t scale = 1;
+    for (std::uint64_t i = 0; i < d; ++i) {
+      r += digits[i] * digits[i];
+      value += digits[i] * scale;
+      scale *= base;
+    }
+    if (r == best_r && value < N) out.push_back(value);
+    std::uint64_t pos = 0;
+    while (pos < d && digits[pos] == k) digits[pos++] = 0;
+    if (pos == d) break;
+    ++digits[pos];
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// b^e, saturating at UINT64_MAX.
+std::uint64_t ipow(std::uint64_t b, std::uint64_t e) {
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < e; ++i) {
+    if (b != 0 && r > UINT64_MAX / b) return UINT64_MAX;
+    r *= b;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> behrend_set_with_params(std::uint64_t N, BehrendParams& params_out) {
+  if (N == 0) return {};
+  if (N <= 3) {
+    // [0, N) is itself 3-AP-free for N <= 2; {0,1} for N == 3 avoids 0,1,2.
+    std::vector<std::uint64_t> small;
+    for (std::uint64_t v = 0; v < std::min<std::uint64_t>(N, 2); ++v) small.push_back(v);
+    params_out = BehrendParams{1, small.empty() ? 0 : small.back(), 0, small.size()};
+    return small;
+  }
+
+  std::vector<std::uint64_t> best;
+  BehrendParams best_params;
+  // Try every dimension d; base = 2k+1 with k the largest digit bound such
+  // that (2k+1)^d <= N, which guarantees no carries in x + z.
+  for (std::uint64_t d = 1; ipow(3, d) <= N && d <= 24; ++d) {
+    // Largest base with base^d <= N.
+    std::uint64_t base = 2;
+    while (ipow(base + 1, d) <= N) ++base;
+    if (base < 3) continue;
+    const std::uint64_t k = (base - 1) / 2;  // digits in [0, k]; x+z digits <= 2k < base
+    if (k == 0) continue;
+    // Cap enumeration work: (k+1)^d vectors.
+    if (ipow(k + 1, d) > 20'000'000ULL) continue;
+    std::uint64_t radius = 0;
+    auto candidate = sphere_set(d, k, base, N, radius);
+    if (candidate.size() > best.size()) {
+      best = std::move(candidate);
+      best_params = BehrendParams{d, k, radius, best.size()};
+    }
+  }
+  if (best.empty()) {
+    // Fallback for awkward small N.
+    best = {0, 1};
+    while (best.back() >= N) best.pop_back();
+    best_params = BehrendParams{1, 1, 0, best.size()};
+  }
+  params_out = best_params;
+  return best;
+}
+
+std::vector<std::uint64_t> behrend_set(std::uint64_t N) {
+  BehrendParams unused;
+  return behrend_set_with_params(N, unused);
+}
+
+std::vector<std::uint64_t> dense_set(std::uint64_t N) {
+  auto behrend = behrend_set(N);
+  auto base3 = base3_set(N);
+  return behrend.size() >= base3.size() ? behrend : base3;
+}
+
+std::vector<std::uint64_t> base3_set(std::uint64_t N) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t v = 0; v < N; ++v) {
+    std::uint64_t x = v;
+    bool ok = true;
+    while (x > 0) {
+      if (x % 3 == 2) {
+        ok = false;
+        break;
+      }
+      x /= 3;
+    }
+    if (ok) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+void optimal_rec(std::uint64_t next, std::uint64_t N, std::vector<std::uint64_t>& current,
+                 std::vector<std::uint64_t>& best) {
+  if (current.size() + (N - next) <= best.size()) return;  // bound
+  if (next == N) {
+    if (current.size() > best.size()) best = current;
+    return;
+  }
+  // Try including `next` if it creates no 3-AP with current elements.
+  bool ok = true;
+  for (std::size_t i = 0; i < current.size() && ok; ++i) {
+    // current[i], mid, next
+    const std::uint64_t sum = current[i] + next;
+    if (sum % 2 == 0) {
+      const std::uint64_t mid = sum / 2;
+      if (mid != current[i] && mid != next &&
+          std::binary_search(current.begin(), current.end(), mid)) {
+        ok = false;
+      }
+    }
+    // next as the largest term: x + next == 2y for x, y in current.
+    for (std::size_t j = i + 1; j < current.size() && ok; ++j) {
+      if (current[i] + next == 2 * current[j]) ok = false;
+    }
+    // next as the midpoint: x + z == 2*next with x in current; z = 2*next - x.
+    if (ok && 2 * next >= current[i]) {
+      const std::uint64_t z = 2 * next - current[i];
+      if (z != next && z != current[i] &&
+          std::binary_search(current.begin(), current.end(), z)) {
+        ok = false;
+      }
+    }
+  }
+  if (ok) {
+    current.push_back(next);
+    optimal_rec(next + 1, N, current, best);
+    current.pop_back();
+  }
+  optimal_rec(next + 1, N, current, best);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> optimal_set(std::uint64_t N) {
+  if (N > 40) throw InvalidArgument("optimal_set limited to N <= 40");
+  std::vector<std::uint64_t> current;
+  std::vector<std::uint64_t> best;
+  optimal_rec(0, N, current, best);
+  return best;
+}
+
+}  // namespace hublab::rs

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file behrend.hpp
+/// Progression-free (3-AP-free) sets of integers.
+///
+/// The Ruzsa-Szemeredi function RS(n) (Definition 1.3 of the paper) is
+/// sandwiched between 2^{Omega(log* n)} and 2^{O(sqrt(log n))}; the upper
+/// bound side comes from Behrend's 1946 construction of dense sets with no
+/// three-term arithmetic progression.  This module implements:
+///  - Behrend's sphere construction (digits on a sphere, no carries),
+///  - the Erdos-Turan base-3 greedy set (digits 0/1 in base 3),
+///  - an exhaustive optimum for tiny N (testing oracle),
+///  - a 3-AP-freeness checker.
+
+namespace hublab::rs {
+
+/// True if `set` (strictly increasing) contains no x < y < z with x+z == 2y.
+bool is_progression_free(const std::vector<std::uint64_t>& set);
+
+/// Behrend's construction: a 3-AP-free subset of [0, N) of size
+/// N / 2^{O(sqrt(log N))}.  Deterministic; searches over the digit/base
+/// parameters and returns the densest sphere found.  Sorted ascending.
+std::vector<std::uint64_t> behrend_set(std::uint64_t N);
+
+/// Elements of [0, N) whose base-3 representation uses only digits 0 and 1
+/// (Erdos-Turan); 3-AP-free of size ~ N^{0.63}.  Sorted ascending.
+std::vector<std::uint64_t> base3_set(std::uint64_t N);
+
+/// Largest 3-AP-free subset of [0, N) by branch-and-bound; N <= 40.
+std::vector<std::uint64_t> optimal_set(std::uint64_t N);
+
+/// Parameters chosen by behrend_set for reporting.
+struct BehrendParams {
+  std::uint64_t dimension = 0;     ///< d, number of digits
+  std::uint64_t digit_bound = 0;   ///< k, digits range over [0, k]
+  std::uint64_t radius = 0;        ///< chosen squared radius r
+  std::uint64_t set_size = 0;
+};
+
+/// As behrend_set, but also reports the chosen parameters.
+std::vector<std::uint64_t> behrend_set_with_params(std::uint64_t N, BehrendParams& params_out);
+
+/// The denser of behrend_set(N) and base3_set(N).  At practically-sized N
+/// the base-3 set often wins (Behrend's advantage is asymptotic); benches
+/// that just need a large 3-AP-free witness should use this.
+std::vector<std::uint64_t> dense_set(std::uint64_t N);
+
+}  // namespace hublab::rs

@@ -1,0 +1,55 @@
+#include "rs/rs_graph.hpp"
+
+#include <map>
+
+#include "rs/behrend.hpp"
+#include "util/error.hpp"
+
+namespace hublab::rs {
+
+RsGraph build_rs_graph(std::uint64_t M, const std::vector<std::uint64_t>& progression_free_set) {
+  if (M == 0) throw InvalidArgument("build_rs_graph needs M >= 1");
+  for (std::uint64_t a : progression_free_set) {
+    if (a >= M) throw InvalidArgument("build_rs_graph: set element >= M");
+  }
+  if (!is_progression_free(progression_free_set)) {
+    throw InvalidArgument("build_rs_graph: set is not 3-AP-free");
+  }
+
+  RsGraph out;
+  out.M = M;
+  out.set_size = progression_free_set.size();
+
+  GraphBuilder b(3 * M);
+  // Edge classes keyed by apex h = x + 2a.
+  std::map<std::uint64_t, EdgeList> classes;
+  for (std::uint64_t x = 0; x < M; ++x) {
+    for (std::uint64_t a : progression_free_set) {
+      const auto u = static_cast<Vertex>(x);
+      const auto v = static_cast<Vertex>(M + x + a);
+      b.add_edge(u, v);
+      classes[x + 2 * a].emplace_back(u, v);
+    }
+  }
+  out.graph = b.build();
+  out.partition.matchings.reserve(classes.size());
+  for (auto& [h, edges] : classes) out.partition.matchings.push_back(std::move(edges));
+  return out;
+}
+
+RsGraph behrend_rs_graph(std::uint64_t M) { return build_rs_graph(M, behrend_set(M)); }
+
+RsWitness measure_rs_witness(const Graph& g) {
+  RsWitness w;
+  w.num_vertices = g.num_vertices();
+  w.num_edges = g.num_edges();
+  const auto part = greedy_induced_partition(g);
+  w.num_matchings = part.num_matchings();
+  w.density_ratio = w.num_edges == 0
+                        ? 0.0
+                        : static_cast<double>(w.num_vertices) * static_cast<double>(w.num_vertices) /
+                              static_cast<double>(w.num_edges);
+  return w;
+}
+
+}  // namespace hublab::rs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/induced_matching.hpp"
+
+/// \file rs_graph.hpp
+/// Ruzsa-Szemeredi graphs: dense graphs whose edges partition into at most
+/// n induced matchings (Definition 1.3 of the paper).
+///
+/// Construction (classical, from a 3-AP-free set A of [0, M)):
+///   vertices  X = [0, M)  and  Y = [M, 3M)   (n = 3M total),
+///   edges     {x, M + x + a}  for x in [0, M), a in A,
+///   classes   indexed by the "apex" h = x + 2a in [0, 3M):
+///             M_h = { (h - 2a, M + h - a) : a in A, 0 <= h - 2a < M }.
+///
+/// Each class is an induced matching: a cross edge between h-2a and
+/// M + h - a' has difference 2a - a', and 2a - a' in A together with
+/// a' in A forms the 3-AP (a', a, 2a - a') -- impossible unless a' == a.
+/// This "matchings indexed by the apex" structure is exactly how Lemma 4.2
+/// of the paper indexes matchings by the hub h.
+
+namespace hublab::rs {
+
+/// An RS graph together with its certified partition into induced matchings.
+struct RsGraph {
+  Graph graph;                          ///< 3M vertices
+  InducedMatchingPartition partition;   ///< at most 3M classes
+  std::uint64_t M = 0;                  ///< side parameter
+  std::uint64_t set_size = 0;           ///< |A|
+};
+
+/// Build the RS graph from a 3-AP-free set A subset of [0, M).
+/// Throws InvalidArgument if A is not 3-AP-free or has elements >= M.
+RsGraph build_rs_graph(std::uint64_t M, const std::vector<std::uint64_t>& progression_free_set);
+
+/// Convenience: Behrend set + RS graph for a target vertex count n ~ 3M.
+RsGraph behrend_rs_graph(std::uint64_t M);
+
+/// Empirical RS-style statistic for an arbitrary graph: partition the edges
+/// greedily into induced matchings and report n^2 / |E| alongside the number
+/// of classes used.  (RS(n) itself is defined via a max over all graphs and
+/// is not computable; this reports the witness quantities.)
+struct RsWitness {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_matchings = 0;
+  double density_ratio = 0.0;  ///< n^2 / edges
+};
+
+RsWitness measure_rs_witness(const Graph& g);
+
+}  // namespace hublab::rs

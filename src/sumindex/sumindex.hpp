@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "labeling/distance_labeling.hpp"
+#include "lowerbound/gadget.hpp"
+#include "util/bitstream.hpp"
+
+/// \file sumindex.hpp
+/// The Sum-Index communication problem (Definition 1.5 of the paper) and
+/// the reduction of Theorem 1.6: any distance labeling of sparse graphs
+/// yields a simultaneous-messages protocol for Sum-Index, so distance
+/// labels of the gadget family must be at least SUMINDEX(m) / 2^{Theta(
+/// sqrt(log n))} bits.
+///
+/// Problem: Alice and Bob both know S in {0,1}^m; Alice privately holds a,
+/// Bob privately holds b (both in [0, m)).  Each simultaneously sends one
+/// message to a referee who must output S[(a+b) mod m].  The referee never
+/// sees S, a or b directly -- only the two messages.
+
+namespace hublab::si {
+
+/// One player's message: an opaque payload plus the player's own index
+/// (the index costs ceil(log2 m) bits and is part of the message).
+struct Message {
+  BitString payload;
+  std::uint64_t index = 0;
+
+  [[nodiscard]] std::size_t total_bits(std::uint64_t m) const {
+    return payload.size_bits() + ceil_log2(m < 2 ? 2 : m);
+  }
+};
+
+/// A simultaneous-messages protocol for Sum-Index over {0,1}^m.
+class SumIndexProtocol {
+ public:
+  virtual ~SumIndexProtocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Universe size m this protocol instance is configured for.
+  [[nodiscard]] virtual std::uint64_t universe_size() const = 0;
+
+  [[nodiscard]] virtual Message alice(const std::vector<std::uint8_t>& S, std::uint64_t a) const = 0;
+  [[nodiscard]] virtual Message bob(const std::vector<std::uint8_t>& S, std::uint64_t b) const = 0;
+
+  /// Referee: decode the bit from the two messages alone.
+  [[nodiscard]] virtual int referee(const Message& alice_msg, const Message& bob_msg) const = 0;
+};
+
+/// Baseline: Alice ships all of S; the referee indexes it directly.
+/// m + O(log m) bits from Alice, O(log m) from Bob.  Always correct.
+class TrivialProtocol final : public SumIndexProtocol {
+ public:
+  explicit TrivialProtocol(std::uint64_t m) : m_(m) {}
+
+  [[nodiscard]] std::string name() const override { return "trivial-ship-S"; }
+  [[nodiscard]] std::uint64_t universe_size() const override { return m_; }
+  [[nodiscard]] Message alice(const std::vector<std::uint8_t>& S, std::uint64_t a) const override;
+  [[nodiscard]] Message bob(const std::vector<std::uint8_t>& S, std::uint64_t b) const override;
+  [[nodiscard]] int referee(const Message& alice_msg, const Message& bob_msg) const override;
+
+ private:
+  std::uint64_t m_;
+};
+
+/// The paper's protocol (proof of Theorem 1.6): both players build the
+/// masked gadget G'_{b,l} (midlevel vertex v_{l,y} present iff
+/// S[repr(y)] == 1), compute an agreed-upon deterministic distance
+/// labeling of it, and send the label of their own endpoint
+/// (v_{0,2x} for Alice, v_{2l,2z} for Bob).  The referee decodes the
+/// distance and compares with the Lemma 2.2 closed form: equality means
+/// the midpoint v_{l,x+z} is present, i.e. S[(a+b) mod m] == 1.
+///
+/// `use_degree3` selects whether labels are computed on the max-degree-3
+/// expansion G' (faithful to the theorem statement) or on the weighted
+/// layered graph H' (equivalent distances, much smaller).
+class GadgetProtocol final : public SumIndexProtocol {
+ public:
+  GadgetProtocol(lb::GadgetParams params, std::shared_ptr<const DistanceLabelingScheme> scheme,
+                 bool use_degree3 = false);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t universe_size() const override { return m_; }
+  [[nodiscard]] Message alice(const std::vector<std::uint8_t>& S, std::uint64_t a) const override;
+  [[nodiscard]] Message bob(const std::vector<std::uint8_t>& S, std::uint64_t b) const override;
+  [[nodiscard]] int referee(const Message& alice_msg, const Message& bob_msg) const override;
+
+  /// repr(y) = (sum_k y_k * (s/2)^k) mod m, for y in [0, s-1]^l.
+  [[nodiscard]] std::uint64_t repr(const lb::Coords& y) const;
+
+  /// Decompose a < m into its base-(s/2) digit vector of length l.
+  [[nodiscard]] lb::Coords digits(std::uint64_t a) const;
+
+  /// Midlevel mask for a given S: present iff bit is 1.
+  [[nodiscard]] std::vector<bool> removal_mask(const std::vector<std::uint8_t>& S) const;
+
+ private:
+  /// Build (or fetch from the single-entry cache) the labels for S.
+  const EncodedLabels& labels_for(const std::vector<std::uint8_t>& S) const;
+
+  lb::GadgetParams params_;
+  std::shared_ptr<const DistanceLabelingScheme> scheme_;
+  bool use_degree3_;
+  std::uint64_t m_;
+
+  // Single-entry cache: alice() and bob() both need the same expensive
+  // labeling, and the evaluation driver calls them with the same S many
+  // times.  Not thread-safe (documented).
+  mutable std::vector<std::uint8_t> cached_s_;
+  mutable bool cache_valid_ = false;
+  mutable EncodedLabels cached_labels_;
+  mutable std::vector<Vertex> alice_vertex_;  ///< a -> label index
+  mutable std::vector<Vertex> bob_vertex_;    ///< b -> label index
+};
+
+/// Result of one protocol evaluation.
+struct ProtocolRun {
+  int output = -1;
+  int expected = -1;
+  std::size_t alice_bits = 0;
+  std::size_t bob_bits = 0;
+
+  [[nodiscard]] bool correct() const { return output == expected; }
+};
+
+/// Evaluate one instance end to end.
+ProtocolRun run_protocol(const SumIndexProtocol& protocol, const std::vector<std::uint8_t>& S,
+                         std::uint64_t a, std::uint64_t b);
+
+/// Evaluate `num_trials` random (S, a, b) instances; returns the number of
+/// correct answers and the maximum message size observed.
+struct ProtocolStats {
+  std::uint64_t trials = 0;
+  std::uint64_t correct = 0;
+  std::size_t max_alice_bits = 0;
+  std::size_t max_bob_bits = 0;
+
+  [[nodiscard]] bool all_correct() const { return correct == trials; }
+};
+
+ProtocolStats evaluate_protocol(const SumIndexProtocol& protocol, std::uint64_t num_trials,
+                                std::uint64_t seed, std::uint64_t queries_per_s = 8);
+
+}  // namespace hublab::si

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Invariant checking for hublab.
+///
+/// `HUBLAB_ASSERT` guards internal invariants (programming errors); it stays
+/// enabled in all build types because this library's correctness claims are
+/// the whole point of the reproduction.  User-input errors (bad files, bad
+/// parameters) throw exceptions instead -- see util/error.hpp.
+
+namespace hublab::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "hublab assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace hublab::detail
+
+#define HUBLAB_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) ::hublab::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define HUBLAB_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) ::hublab::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,93 @@
+#include "util/bitstream.hpp"
+
+#include <bit>
+
+namespace hublab {
+
+void BitWriter::put_bit(bool bit) {
+  const std::size_t byte = out_.bit_count >> 3;
+  const unsigned offset = out_.bit_count & 7;
+  if (offset == 0) out_.bytes.push_back(0);
+  if (bit) out_.bytes[byte] = static_cast<std::uint8_t>(out_.bytes[byte] | (1u << offset));
+  ++out_.bit_count;
+}
+
+void BitWriter::put_bits(std::uint64_t value, unsigned width) {
+  HUBLAB_ASSERT(width <= 64);
+  for (unsigned i = 0; i < width; ++i) put_bit(((value >> i) & 1u) != 0);
+}
+
+void BitWriter::put_gamma(std::uint64_t value) {
+  HUBLAB_ASSERT(value >= 1);
+  const unsigned len = floor_log2(value);
+  for (unsigned i = 0; i < len; ++i) put_bit(false);
+  put_bit(true);  // the leading 1-bit of value
+  put_bits(value & ((len == 0) ? 0 : ((1ULL << len) - 1)), len);
+}
+
+void BitWriter::put_delta(std::uint64_t value) {
+  HUBLAB_ASSERT(value >= 1);
+  const unsigned len = floor_log2(value);
+  put_gamma(static_cast<std::uint64_t>(len) + 1);
+  put_bits(value & ((len == 0) ? 0 : ((1ULL << len) - 1)), len);
+}
+
+bool BitReader::get_bit() {
+  if (pos_ >= bits_->bit_count) throw ParseError("bit stream exhausted");
+  const bool bit = ((bits_->bytes[pos_ >> 3] >> (pos_ & 7)) & 1u) != 0;
+  ++pos_;
+  return bit;
+}
+
+std::uint64_t BitReader::get_bits(unsigned width) {
+  HUBLAB_ASSERT(width <= 64);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    if (get_bit()) value |= (1ULL << i);
+  }
+  return value;
+}
+
+std::uint64_t BitReader::get_gamma() {
+  unsigned len = 0;
+  while (!get_bit()) {
+    ++len;
+    if (len > 63) throw ParseError("gamma code too long");
+  }
+  std::uint64_t value = 1ULL << len;
+  value |= get_bits(len);
+  return value;
+}
+
+std::uint64_t BitReader::get_delta() {
+  const std::uint64_t len64 = get_gamma() - 1;
+  if (len64 > 63) throw ParseError("delta code too long");
+  const auto len = static_cast<unsigned>(len64);
+  std::uint64_t value = 1ULL << len;
+  value |= get_bits(len);
+  return value;
+}
+
+std::size_t gamma_code_length(std::uint64_t value) {
+  HUBLAB_ASSERT(value >= 1);
+  return 2 * static_cast<std::size_t>(floor_log2(value)) + 1;
+}
+
+std::size_t delta_code_length(std::uint64_t value) {
+  HUBLAB_ASSERT(value >= 1);
+  const unsigned len = floor_log2(value);
+  return gamma_code_length(static_cast<std::uint64_t>(len) + 1) + len;
+}
+
+unsigned floor_log2(std::uint64_t x) {
+  HUBLAB_ASSERT(x >= 1);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+unsigned ceil_log2(std::uint64_t x) {
+  HUBLAB_ASSERT(x >= 1);
+  const unsigned f = floor_log2(x);
+  return ((x & (x - 1)) == 0) ? f : f + 1;
+}
+
+}  // namespace hublab

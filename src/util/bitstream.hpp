@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+/// \file bitstream.hpp
+/// Bit-granular readers/writers plus Elias gamma/delta codes.
+///
+/// Distance labels are measured in *bits* throughout the paper, so the
+/// labeling module serializes labels through this interface and reports
+/// exact bit counts.  Encodings are little-endian within a byte (bit 0 of
+/// byte 0 is the first bit written).
+
+namespace hublab {
+
+/// A packed sequence of bits with an exact bit length.
+struct BitString {
+  std::vector<std::uint8_t> bytes;
+  std::size_t bit_count = 0;
+
+  [[nodiscard]] std::size_t size_bits() const { return bit_count; }
+  [[nodiscard]] bool empty() const { return bit_count == 0; }
+
+  bool operator==(const BitString&) const = default;
+};
+
+/// Append-only bit writer producing a BitString.
+class BitWriter {
+ public:
+  /// Append a single bit.
+  void put_bit(bool bit);
+
+  /// Append the low `width` bits of `value`, LSB first.  width in [0, 64].
+  void put_bits(std::uint64_t value, unsigned width);
+
+  /// Elias gamma code for value >= 1: floor(log2 v) zeros, then v's bits.
+  void put_gamma(std::uint64_t value);
+
+  /// Gamma code shifted to accept zero (encodes value + 1).
+  void put_gamma0(std::uint64_t value) { put_gamma(value + 1); }
+
+  /// Elias delta code for value >= 1 (gamma-coded length, then mantissa).
+  void put_delta(std::uint64_t value);
+
+  /// Delta code shifted to accept zero.
+  void put_delta0(std::uint64_t value) { put_delta(value + 1); }
+
+  [[nodiscard]] std::size_t size_bits() const { return out_.bit_count; }
+
+  /// Finish writing and take the accumulated bits.
+  [[nodiscard]] BitString take() { return std::move(out_); }
+
+ private:
+  BitString out_;
+};
+
+/// Sequential reader over a BitString.  Out-of-bounds reads throw ParseError:
+/// labels can come from an untrusted channel in the Sum-Index protocol.
+class BitReader {
+ public:
+  explicit BitReader(const BitString& bits) : bits_(&bits) {}
+
+  [[nodiscard]] bool get_bit();
+  [[nodiscard]] std::uint64_t get_bits(unsigned width);
+  [[nodiscard]] std::uint64_t get_gamma();
+  [[nodiscard]] std::uint64_t get_gamma0() { return get_gamma() - 1; }
+  [[nodiscard]] std::uint64_t get_delta();
+  [[nodiscard]] std::uint64_t get_delta0() { return get_delta() - 1; }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bits_->bit_count - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= bits_->bit_count; }
+
+ private:
+  const BitString* bits_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits in the gamma code of value (>= 1).
+std::size_t gamma_code_length(std::uint64_t value);
+
+/// Number of bits in the delta code of value (>= 1).
+std::size_t delta_code_length(std::uint64_t value);
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1.
+unsigned ceil_log2(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+unsigned floor_log2(std::uint64_t x);
+
+}  // namespace hublab

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Exception types for recoverable (user-facing) errors.
+
+namespace hublab {
+
+/// Base class for all recoverable hublab errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (graph files, label byte streams, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A caller-supplied parameter is outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+}  // namespace hublab

@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hublab {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  HUBLAB_ASSERT(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  HUBLAB_ASSERT_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_numeric && looks_numeric(row[c]);
+      out << ' ';
+      if (right) out << std::string(pad, ' ') << row[c];
+      else out << row[c] << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(header_, false);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) out << std::string(widths[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out.str();
+}
+
+void TextTable::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), to_string().c_str());
+  std::fflush(stdout);
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+  return buf;
+}
+
+std::string fmt_u64(unsigned long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", value);
+  return buf;
+}
+
+}  // namespace hublab

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Minimal fixed-width text table used by the benchmark/report binaries to
+/// print the rows each experiment regenerates (see DESIGN.md section 4).
+
+namespace hublab {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render and write to stdout with a title line.
+  void print(const std::string& title) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_double(double value, int precision = 3);
+std::string fmt_sci(double value, int precision = 2);
+std::string fmt_u64(unsigned long long value);
+
+}  // namespace hublab

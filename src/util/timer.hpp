@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.hpp
+/// Wall-clock stopwatch used by the benchmark harness for coarse phase
+/// timings (google-benchmark handles the micro-level measurements).
+
+namespace hublab {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hublab

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  const Graph g = gen::path(6);
+  const auto r = bfs(g, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.parent[0], kInvalidVertex);
+  EXPECT_EQ(r.parent[3], 2u);
+}
+
+TEST(Bfs, DisconnectedInfinity) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.dist[1], 1u);
+  EXPECT_EQ(r.dist[2], kInfDist);
+  EXPECT_EQ(r.parent[2], kInvalidVertex);
+}
+
+TEST(Bfs, GridCenter) {
+  const Graph g = gen::grid(3, 3);
+  const auto r = bfs(g, 4);  // center
+  EXPECT_EQ(r.dist[0], 2u);
+  EXPECT_EQ(r.dist[8], 2u);
+  EXPECT_EQ(r.dist[1], 1u);
+}
+
+TEST(Dijkstra, WeightedPath) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 7);
+  b.add_edge(0, 2, 20);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.build();
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[2], 12u);
+  EXPECT_EQ(r.dist[3], 13u);
+  EXPECT_EQ(r.parent[2], 1u);
+}
+
+TEST(Dijkstra, MatchesBfsOnUnweighted) {
+  Rng rng(10);
+  const Graph g = gen::connected_gnm(120, 240, rng);
+  for (Vertex s = 0; s < 10; ++s) {
+    EXPECT_EQ(bfs(g, s).dist, dijkstra(g, s).dist);
+  }
+}
+
+TEST(ZeroOneBfs, HandlesZeroWeights) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 0);
+  const Graph g = b.build();
+  const auto r = zero_one_bfs(g, 0);
+  EXPECT_EQ(r.dist[1], 0u);
+  EXPECT_EQ(r.dist[2], 1u);
+  EXPECT_EQ(r.dist[3], 1u);
+}
+
+TEST(ZeroOneBfs, MatchesDijkstraOnZeroOne) {
+  Rng rng(11);
+  GraphBuilder b(60);
+  for (int i = 0; i < 150; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(60));
+    const auto v = static_cast<Vertex>(rng.next_below(60));
+    if (u != v) b.add_edge(u, v, static_cast<Weight>(rng.next_below(2)));
+  }
+  const Graph g = b.build();
+  for (Vertex s = 0; s < 10; ++s) {
+    EXPECT_EQ(zero_one_bfs(g, s).dist, dijkstra(g, s).dist);
+  }
+}
+
+TEST(Sssp, DispatchesToCorrectAlgorithm) {
+  Rng rng(12);
+  const Graph unweighted = gen::grid(4, 4);
+  const Graph weighted = gen::road_like(4, 4, 0.1, 9, rng);
+  EXPECT_EQ(sssp(unweighted, 0).dist, dijkstra(unweighted, 0).dist);
+  EXPECT_EQ(sssp(weighted, 0).dist, dijkstra(weighted, 0).dist);
+}
+
+TEST(Bidirectional, SameVertexZero) {
+  const Graph g = gen::path(4);
+  EXPECT_EQ(bidirectional_distance(g, 2, 2), 0u);
+}
+
+TEST(Bidirectional, Disconnected) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(bidirectional_distance(g, 0, 3), kInfDist);
+}
+
+class BidirectionalMatchesDijkstra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BidirectionalMatchesDijkstra, RandomGraphs) {
+  Rng rng(GetParam());
+  const Graph base = gen::connected_gnm(90, 200, rng);
+  const Graph g = gen::randomize_weights(base, 12, rng);
+  Rng pick(GetParam() + 1);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<Vertex>(pick.next_below(90));
+    const auto t = static_cast<Vertex>(pick.next_below(90));
+    const auto truth = dijkstra(g, s).dist[t];
+    EXPECT_EQ(bidirectional_distance(g, s, t), truth) << s << "->" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BidirectionalMatchesDijkstra, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ExtractPath, ValidPath) {
+  const Graph g = gen::grid(4, 4);
+  const auto r = bfs(g, 0);
+  const auto path = extract_path(r, 0, 15);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 15u);
+  EXPECT_EQ(path.size(), r.dist[15] + 1);
+  EXPECT_EQ(path_length(g, path), r.dist[15]);
+}
+
+TEST(ExtractPath, UnreachableEmpty) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_TRUE(extract_path(bfs(g, 0), 0, 2).empty());
+}
+
+TEST(PathLength, NonAdjacentThrows) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW(path_length(g, {0, 2}), InvalidArgument);
+}
+
+TEST(CountPaths, GridBinomial) {
+  const Graph g = gen::grid(3, 3);
+  const auto r = bfs(g, 0);
+  const auto counts = count_shortest_paths(g, 0, r.dist);
+  // Corner-to-corner in a 3x3 grid: C(4,2) = 6 monotone paths.
+  EXPECT_EQ(counts[8], 6u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[4], 2u);
+}
+
+TEST(CountPaths, EvenCycleTwoWays) {
+  const Graph g = gen::cycle(8);
+  const auto r = bfs(g, 0);
+  const auto counts = count_shortest_paths(g, 0, r.dist);
+  EXPECT_EQ(counts[4], 2u);  // antipodal vertex
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(CountPaths, UniqueOnTree) {
+  Rng rng(13);
+  const Graph g = gen::random_tree(60, rng);
+  const auto r = bfs(g, 0);
+  const auto counts = count_shortest_paths(g, 0, r.dist);
+  for (Vertex v = 0; v < 60; ++v) EXPECT_EQ(counts[v], 1u);
+}
+
+TEST(Eccentricity, PathEnds) {
+  const Graph g = gen::path(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter_exact(gen::path(9)), 8u);
+  EXPECT_EQ(diameter_exact(gen::cycle(9)), 4u);
+  EXPECT_EQ(diameter_exact(gen::grid(3, 5)), 6u);
+}
+
+TEST(Diameter, DisconnectedIsInfinite) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(diameter_exact(b.build()), kInfDist);
+}
+
+TEST(Diameter, TwoSweepExactOnTrees) {
+  Rng rng(14);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = gen::random_tree(80, rng);
+    EXPECT_EQ(diameter_two_sweep(g), diameter_exact(g));
+  }
+}
+
+TEST(Diameter, TwoSweepIsLowerBound) {
+  Rng rng(15);
+  const Graph g = gen::connected_gnm(70, 140, rng);
+  EXPECT_LE(diameter_two_sweep(g), diameter_exact(g));
+}
+
+TEST(DistanceMatrix, MatchesSssp) {
+  Rng rng(16);
+  const Graph g = gen::connected_gnm(50, 100, rng);
+  const auto m = DistanceMatrix::compute(g);
+  for (Vertex u = 0; u < 50; u += 7) {
+    const auto d = sssp_distances(g, u);
+    for (Vertex v = 0; v < 50; ++v) EXPECT_EQ(m.at(u, v), d[v]);
+  }
+}
+
+TEST(DistanceMatrix, Symmetry) {
+  Rng rng(17);
+  const Graph base = gen::connected_gnm(40, 80, rng);
+  const Graph g = gen::randomize_weights(base, 9, rng);
+  const auto m = DistanceMatrix::compute(g);
+  for (Vertex u = 0; u < 40; ++u) {
+    for (Vertex v = 0; v < 40; ++v) EXPECT_EQ(m.at(u, v), m.at(v, u));
+  }
+}
+
+TEST(DistanceMatrix, ValidHubsPathGraph) {
+  const Graph g = gen::path(5);
+  const auto m = DistanceMatrix::compute(g);
+  // Between the path ends, every vertex is a valid hub.
+  EXPECT_EQ(m.num_valid_hubs(0, 4), 5u);
+  const auto hubs = m.valid_hubs(0, 4);
+  EXPECT_EQ(hubs.size(), 5u);
+  // Between adjacent vertices only the two endpoints qualify.
+  EXPECT_EQ(m.num_valid_hubs(1, 2), 2u);
+}
+
+TEST(DistanceMatrix, OnShortestPath) {
+  const Graph g = gen::grid(3, 3);
+  const auto m = DistanceMatrix::compute(g);
+  EXPECT_TRUE(m.on_shortest_path(0, 4, 8));
+  EXPECT_FALSE(m.on_shortest_path(0, 6, 2));
+}
+
+TEST(DistanceMatrix, DisconnectedPairsNoHubs) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto m = DistanceMatrix::compute(b.build());
+  EXPECT_EQ(m.num_valid_hubs(0, 2), 0u);
+  EXPECT_TRUE(m.valid_hubs(0, 2).empty());
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "hub/approx.hpp"
+#include "hub/canonical.hpp"
+#include "hub/constructions.hpp"
+#include "hub/order.hpp"
+#include "hub/pll.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(Canonical, FullLabelingIsNotMinimal) {
+  const Graph g = gen::grid(3, 3);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling full = full_labeling(g, truth);
+  EXPECT_FALSE(is_minimal(g, full, truth));
+  EXPECT_TRUE(find_redundant_entry(g, full, truth).has_value());
+}
+
+class PllMinimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PllMinimality, PllIsMinimalForItsOrder) {
+  Rng rng(GetParam());
+  const Graph g = gen::connected_gnm(30, 60, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling pll = pruned_landmark_labeling(g, VertexOrder::kRandom, GetParam());
+  EXPECT_TRUE(is_minimal(g, pll, truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PllMinimality, ::testing::Values(1, 2, 3, 4));
+
+TEST(Canonical, PruneProducesMinimalExactLabeling) {
+  Rng rng(5);
+  const Graph g = gen::connected_gnm(25, 50, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling full = full_labeling(g, truth);
+  const HubLabeling pruned = prune_to_minimal(g, full, truth);
+  EXPECT_LT(pruned.total_hubs(), full.total_hubs());
+  EXPECT_FALSE(verify_labeling(g, pruned, truth).has_value());
+  EXPECT_TRUE(is_minimal(g, pruned, truth));
+}
+
+TEST(Canonical, PruningDistantCoverShrinksIt) {
+  Rng rng(6);
+  const Graph g = gen::connected_gnm(30, 70, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  DistantCoverStats stats;
+  const HubLabeling cover = random_distant_cover(g, truth, 3, rng, &stats);
+  const HubLabeling pruned = prune_to_minimal(g, cover, truth);
+  EXPECT_LE(pruned.total_hubs(), cover.total_hubs());
+  EXPECT_TRUE(is_minimal(g, pruned, truth));
+  EXPECT_FALSE(verify_labeling(g, pruned, truth).has_value());
+}
+
+TEST(Canonical, RedundantEntryDetection) {
+  // Path 0-1-2 with full hubsets: storing 0 in S(2) is redundant (hub 1
+  // covers everything), but the endpoints' own entries are not.
+  const Graph g = gen::path(3);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling full = full_labeling(g, truth);
+  EXPECT_TRUE(entry_is_redundant(g, full, truth, 2, 0));
+  // Removing (1,1) leaves pair (1,1) covered? dist(1,1)=0 needs hub 1 --
+  // also reachable via hub 0 with 1+1=2 != 0, so (1,1) breaks.
+  EXPECT_FALSE(entry_is_redundant(g, full, truth, 1, 1));
+}
+
+TEST(DominatingSet, CoversEveryVertex) {
+  Rng rng(7);
+  for (const Graph& g : {gen::grid(5, 5), gen::star(20), gen::connected_gnm(50, 100, rng)}) {
+    const auto dom = greedy_dominating_set(g);
+    std::vector<bool> in_d(g.num_vertices(), false);
+    for (Vertex d : dom) in_d[d] = true;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      bool covered = in_d[v];
+      for (const Arc& a : g.arcs(v)) covered = covered || in_d[a.to];
+      EXPECT_TRUE(covered) << v;
+    }
+  }
+}
+
+TEST(DominatingSet, StarUsesCenterOnly) {
+  const auto dom = greedy_dominating_set(gen::star(30));
+  ASSERT_EQ(dom.size(), 1u);
+  EXPECT_EQ(dom[0], 0u);
+}
+
+class ApproxErrorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxErrorSweep, AdditiveErrorAtMostTwo) {
+  Rng rng(GetParam());
+  const Graph g = gen::connected_gnm(60, 130, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling exact = pruned_landmark_labeling(g);
+  const ApproxHubLabeling approx = approximate_labeling(g, exact, truth);
+  EXPECT_LE(max_additive_error(g, approx, truth), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxErrorSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Approx, CompressesLabelsOnDenseNeighborhoods) {
+  // On a star, every hub collapses to the center or a leaf's self-entry.
+  const Graph g = gen::star(40);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling exact = full_labeling(g, truth);
+  const ApproxHubLabeling approx = approximate_labeling(g, exact, truth);
+  EXPECT_LT(approx.labels.total_hubs(), exact.total_hubs());
+  EXPECT_EQ(approx.num_dominators, 1u);
+}
+
+TEST(Approx, RejectsWeightedGraphs) {
+  Rng rng(8);
+  const Graph g = gen::randomize_weights(gen::grid(3, 3), 5, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling exact = pruned_landmark_labeling(g);
+  EXPECT_THROW(approximate_labeling(g, exact, truth), InvalidArgument);
+}
+
+TEST(Approx, WorksOnDisconnected) {
+  Rng rng(9);
+  const Graph g = gen::gnm(40, 35, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling exact = pruned_landmark_labeling(g);
+  const ApproxHubLabeling approx = approximate_labeling(g, exact, truth);
+  EXPECT_LE(max_additive_error(g, approx, truth), 2u);
+}
+
+TEST(Betweenness, PathCenterHighest) {
+  const Graph g = gen::path(9);
+  Rng rng(1);
+  const auto score = approximate_betweenness(g, 9, rng);  // all sources: exact
+  // The middle vertex lies on the most shortest paths.
+  for (Vertex v = 0; v < 9; ++v) {
+    if (v != 4) {
+      EXPECT_GE(score[4], score[v]);
+    }
+  }
+  EXPECT_EQ(score[0], 0.0);  // endpoints are never interior
+}
+
+TEST(Betweenness, StarCenterDominates) {
+  const Graph g = gen::star(12);
+  Rng rng(2);
+  const auto order = betweenness_order(g, 12, rng);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(Betweenness, ExactOnCycleIsUniform) {
+  const Graph g = gen::cycle(8);
+  Rng rng(3);
+  const auto score = approximate_betweenness(g, 8, rng);
+  for (Vertex v = 1; v < 8; ++v) EXPECT_NEAR(score[v], score[0], 1e-9);
+}
+
+TEST(Betweenness, OrderMakesExactPllLabels) {
+  Rng rng(4);
+  const Graph g = gen::connected_gnm(60, 120, rng);
+  Rng order_rng(5);
+  const auto order = betweenness_order(g, 20, order_rng);
+  const HubLabeling pll = pruned_landmark_labeling(g, order);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_FALSE(verify_labeling(g, pll, truth).has_value());
+}
+
+TEST(Betweenness, GoodOrderBeatsBadOrderOnGrids) {
+  const Graph g = gen::grid(7, 7);
+  Rng rng(6);
+  const auto bt_order = betweenness_order(g, g.num_vertices(), rng);
+  const HubLabeling good = pruned_landmark_labeling(g, bt_order);
+  const HubLabeling natural = pruned_landmark_labeling(g, VertexOrder::kNatural);
+  // Natural order on a grid is row-major -- a poor hierarchy.
+  EXPECT_LT(good.total_hubs(), natural.total_hubs());
+}
+
+}  // namespace
+}  // namespace hublab

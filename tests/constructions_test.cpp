@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "hub/constructions.hpp"
+#include "hub/pll.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(FullLabeling, AlwaysExact) {
+  Rng rng(1);
+  const Graph g = gen::gnm(30, 50, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = full_labeling(g, truth);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(FullLabeling, SizeIsComponentBound) {
+  const Graph g = gen::grid(4, 4);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = full_labeling(g, truth);
+  EXPECT_EQ(l.total_hubs(), 16u * 16u);
+}
+
+TEST(GreedyCover, ExactOnSmallGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = gen::connected_gnm(25, 50, rng);
+    const auto truth = DistanceMatrix::compute(g);
+    const HubLabeling l = greedy_cover(g, truth);
+    EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+  }
+}
+
+TEST(GreedyCover, BeatsFullLabeling) {
+  const Graph g = gen::grid(5, 5);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_LT(greedy_cover(g, truth).total_hubs(), full_labeling(g, truth).total_hubs());
+}
+
+TEST(GreedyCover, StarUsesCenter) {
+  const Graph g = gen::star(15);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = greedy_cover(g, truth);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+  // Center + self per vertex at most (first pick covers everything via 0).
+  EXPECT_LE(l.average_label_size(), 2.5);
+}
+
+TEST(GreedyCover, LargeGraphRejected) {
+  Rng rng(3);
+  const Graph g = gen::gnm(500, 800, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_THROW(greedy_cover(g, truth), InvalidArgument);
+}
+
+TEST(GreedyCover, ComparableToPll) {
+  Rng rng(4);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const auto greedy = greedy_cover(g, truth);
+  const auto pll = pruned_landmark_labeling(g);
+  // Both are exact; neither should be grotesquely larger than the other.
+  EXPECT_LT(greedy.total_hubs(), 5 * pll.total_hubs());
+}
+
+class DistantCoverSweep : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(DistantCoverSweep, ExactForAllD) {
+  const auto [seed, D] = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::connected_gnm(70, 140, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  DistantCoverStats stats;
+  const HubLabeling l = random_distant_cover(g, truth, D, rng, &stats);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+  EXPECT_GE(stats.sample_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistantCoverSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 3, 5, 8)));
+
+TEST(DistantCover, RejectsTinyD) {
+  Rng rng(5);
+  const Graph g = gen::path(10);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_THROW(random_distant_cover(g, truth, 1, rng), InvalidArgument);
+}
+
+TEST(DistantCover, WorksOnDisconnectedGraphs) {
+  Rng rng(6);
+  const Graph g = gen::gnm(60, 70, rng);  // likely disconnected
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = random_distant_cover(g, truth, 4, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(DistantCover, HeavyTailDegrees) {
+  Rng rng(7);
+  const Graph g = gen::barabasi_albert(80, 2, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = random_distant_cover(g, truth, 3, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(DistantCover, BallContainsSelfAndNeighbors) {
+  Rng rng(8);
+  const Graph g = gen::cycle(20);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = random_distant_cover(g, truth, 3, rng);
+  for (Vertex v = 0; v < 20; ++v) {
+    EXPECT_TRUE(l.has_hub(v, v));
+    for (const Arc& a : g.arcs(v)) EXPECT_TRUE(l.has_hub(v, a.to));
+  }
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "oracle/contraction_hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+void expect_ch_exact(const Graph& g) {
+  const ContractionHierarchy ch(g);
+  const auto truth = DistanceMatrix::compute(g);
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(ch.distance(u, v), truth.at(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(ContractionHierarchy, PathGraph) { expect_ch_exact(gen::path(12)); }
+
+TEST(ContractionHierarchy, CycleGraph) { expect_ch_exact(gen::cycle(11)); }
+
+TEST(ContractionHierarchy, GridGraph) { expect_ch_exact(gen::grid(5, 5)); }
+
+TEST(ContractionHierarchy, StarAndComplete) {
+  expect_ch_exact(gen::star(15));
+  expect_ch_exact(gen::complete(8));
+}
+
+TEST(ContractionHierarchy, WeightedRoadLike) {
+  Rng rng(1);
+  expect_ch_exact(gen::road_like(5, 5, 0.3, 9, rng));
+}
+
+TEST(ContractionHierarchy, Disconnected) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4, 7);
+  const Graph g = b.build();
+  const ContractionHierarchy ch(g);
+  EXPECT_EQ(ch.distance(0, 2), 2u);
+  EXPECT_EQ(ch.distance(3, 4), 7u);
+  EXPECT_EQ(ch.distance(0, 3), kInfDist);
+  EXPECT_EQ(ch.distance(5, 5), 0u);
+}
+
+class ChRandomSweep : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ChRandomSweep, ExactOnRandomGraphs) {
+  const auto [seed, weighted] = GetParam();
+  Rng rng(seed);
+  Graph g = gen::gnm(60, 120, rng);
+  if (weighted != 0) g = gen::randomize_weights(g, 12, rng);
+  expect_ch_exact(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChRandomSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4), ::testing::Values(0, 1)));
+
+TEST(ContractionHierarchy, LargeWeightsNoOverflow) {
+  // Weights near the 32-bit limit: shortcut chains must not truncate.
+  GraphBuilder b(5);
+  for (Vertex v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1, 0xf0000000u);
+  const Graph g = b.build();
+  const ContractionHierarchy ch(g);
+  EXPECT_EQ(ch.distance(0, 4), 4ULL * 0xf0000000u);
+}
+
+TEST(ContractionHierarchy, ZeroWeightEdges) {
+  Rng rng(5);
+  const Graph base = gen::connected_gnm(30, 60, rng);
+  const DegreeReduction red = reduce_degree(base, 2);
+  expect_ch_exact(red.graph);
+}
+
+TEST(ContractionHierarchy, RanksAreAPermutation) {
+  Rng rng(6);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const ContractionHierarchy ch(g);
+  std::vector<bool> seen(40, false);
+  for (Vertex v = 0; v < 40; ++v) {
+    ASSERT_LT(ch.rank(v), 40u);
+    EXPECT_FALSE(seen[ch.rank(v)]);
+    seen[ch.rank(v)] = true;
+  }
+}
+
+TEST(ContractionHierarchy, StatsPopulated) {
+  Rng rng(7);
+  const Graph g = gen::road_like(6, 6, 0.2, 9, rng);
+  const ContractionHierarchy ch(g);
+  EXPECT_GT(ch.space_bytes(), 0u);
+  EXPECT_GT(ch.average_upward_degree(), 0.0);
+}
+
+TEST(ChHubLabels, ExactCoverOnClassicShapes) {
+  for (const Graph& g : {gen::grid(5, 5), gen::path(15), gen::star(12)}) {
+    const ContractionHierarchy ch(g);
+    const HubLabeling labels = ch.extract_hub_labeling();
+    const auto truth = DistanceMatrix::compute(g);
+    EXPECT_FALSE(verify_labeling(g, labels, truth).has_value());
+  }
+}
+
+class ChHubLabelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChHubLabelSweep, ExactOnRandomGraphs) {
+  Rng rng(GetParam());
+  Graph g = gen::gnm(50, 100, rng);
+  if (GetParam() % 2 == 0) g = gen::randomize_weights(g, 9, rng);
+  const ContractionHierarchy ch(g);
+  const HubLabeling labels = ch.extract_hub_labeling();
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_FALSE(verify_labeling(g, labels, truth).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChHubLabelSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(ChHubLabels, SizeTracksSearchSpace) {
+  Rng rng(10);
+  const Graph g = gen::road_like(8, 8, 0.2, 9, rng);
+  const ContractionHierarchy ch(g);
+  const HubLabeling labels = ch.extract_hub_labeling();
+  // The filtered labels cannot exceed the raw search spaces, which are
+  // bounded by n; and must include each vertex itself.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(labels.has_hub(v, v));
+  }
+  EXPECT_GT(labels.average_label_size(), 1.0);
+}
+
+TEST(ContractionHierarchy, TinyWitnessBudgetStillExact) {
+  // A settle budget of 1 forces many conservative shortcuts but must stay
+  // exact.
+  Rng rng(8);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const ContractionHierarchy tight(g, /*witness_settle_limit=*/1);
+  const ContractionHierarchy loose(g, /*witness_settle_limit=*/256);
+  EXPECT_GE(tight.num_shortcuts(), loose.num_shortcuts());
+  const auto truth = DistanceMatrix::compute(g);
+  for (Vertex u = 0; u < 40; u += 3) {
+    for (Vertex v = 0; v < 40; v += 2) {
+      EXPECT_EQ(tight.distance(u, v), truth.at(u, v));
+      EXPECT_EQ(loose.distance(u, v), truth.at(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hublab

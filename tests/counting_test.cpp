@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "algo/shortest_paths.hpp"
+#include "lowerbound/counting.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab::lb {
+namespace {
+
+TEST(CountingFamily, Arithmetic) {
+  const CountingFamily fam(5);
+  EXPECT_EQ(fam.num_terminals(), 5u);
+  EXPECT_EQ(fam.num_bits(), 10u);
+  EXPECT_EQ(fam.num_vertices(), 5u + 30u);
+  EXPECT_DOUBLE_EQ(fam.implied_avg_terminal_bits(), 2.0);
+}
+
+TEST(CountingFamily, BitIndexBijection) {
+  const CountingFamily fam(7);
+  std::vector<bool> seen(fam.num_bits(), false);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = i + 1; j < 7; ++j) {
+      const std::size_t b = fam.bit_index(i, j);
+      ASSERT_LT(b, fam.num_bits());
+      EXPECT_FALSE(seen[b]);
+      seen[b] = true;
+    }
+  }
+}
+
+TEST(CountingFamily, RejectsBadParams) {
+  EXPECT_THROW(CountingFamily(1), hublab::InvalidArgument);
+  const CountingFamily fam(3);
+  EXPECT_THROW(fam.instance({1, 0}), hublab::InvalidArgument);  // needs 3 bits
+}
+
+TEST(CountingFamily, DistancesEncodeBits) {
+  const CountingFamily fam(6);
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint8_t> bits(fam.num_bits());
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_below(2));
+    const Graph g = fam.instance(bits);
+    for (std::size_t i = 0; i < 6; ++i) {
+      const auto dist = sssp_distances(g, fam.terminal(i));
+      for (std::size_t j = i + 1; j < 6; ++j) {
+        const int decoded = CountingFamily::decode_bit(dist[fam.terminal(j)]);
+        EXPECT_EQ(decoded, bits[fam.bit_index(i, j)]) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(CountingFamily, NoCrossGadgetShortcuts) {
+  // All-ones instance: every terminal pair at distance exactly 2.
+  const CountingFamily fam(8);
+  const std::vector<std::uint8_t> ones(fam.num_bits(), 1);
+  const Graph g = fam.instance(ones);
+  const auto dist = sssp_distances(g, fam.terminal(0));
+  for (std::size_t j = 1; j < 8; ++j) EXPECT_EQ(dist[fam.terminal(j)], 2u);
+  // All-zeros: exactly 3 (a route via another terminal would cost >= 4).
+  const std::vector<std::uint8_t> zeros(fam.num_bits(), 0);
+  const Graph g0 = fam.instance(zeros);
+  const auto dist0 = sssp_distances(g0, fam.terminal(0));
+  for (std::size_t j = 1; j < 8; ++j) EXPECT_EQ(dist0[fam.terminal(j)], 3u);
+}
+
+TEST(CountingFamily, InstancesAreSparse) {
+  const CountingFamily fam(12);
+  const std::vector<std::uint8_t> ones(fam.num_bits(), 1);
+  const Graph g = fam.instance(ones);
+  // m <= 5 per gadget, n >= 3 per gadget: m = O(n).
+  EXPECT_LE(g.num_edges(), 2 * g.num_vertices());
+}
+
+TEST(CountingFamily, DecodeRejectsOtherDistances) {
+  EXPECT_EQ(CountingFamily::decode_bit(4), -1);
+  EXPECT_EQ(CountingFamily::decode_bit(kInfDist), -1);
+}
+
+}  // namespace
+}  // namespace hublab::lb

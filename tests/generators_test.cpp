@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "util/error.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(num_connected_components(g), 1u);
+}
+
+TEST(Generators, PathSingleVertex) {
+  const Graph g = gen::path(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = gen::cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(gen::cycle(2), InvalidArgument);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = gen::complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = gen::star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(num_connected_components(g), 1u);
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = gen::binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(num_connected_components(g), 1u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  const Graph g = gen::random_tree(100, rng);
+  EXPECT_EQ(g.num_edges(), 99u);
+  EXPECT_EQ(num_connected_components(g), 1u);
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  Rng rng(2);
+  const Graph g = gen::gnm(50, 120, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 120u);
+}
+
+TEST(Generators, GnmTooManyEdgesThrows) {
+  Rng rng(2);
+  EXPECT_THROW(gen::gnm(4, 10, rng), InvalidArgument);
+}
+
+TEST(Generators, GnmDeterministicPerSeed) {
+  Rng r1(77);
+  Rng r2(77);
+  const Graph a = gen::gnm(30, 60, r1);
+  const Graph b = gen::gnm(30, 60, r2);
+  for (Vertex v = 0; v < 30; ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+  }
+}
+
+TEST(Generators, ConnectedGnm) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnm(80, 160, rng);
+  EXPECT_EQ(g.num_vertices(), 80u);
+  EXPECT_EQ(g.num_edges(), 160u);
+  EXPECT_EQ(num_connected_components(g), 1u);
+  EXPECT_THROW(gen::connected_gnm(10, 5, rng), InvalidArgument);
+}
+
+TEST(Generators, RandomRegular) {
+  Rng rng(4);
+  const Graph g = gen::random_regular(60, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 60u);
+  for (Vertex v = 0; v < 60; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Generators, RandomRegularParityThrows) {
+  Rng rng(4);
+  EXPECT_THROW(gen::random_regular(7, 3, rng), InvalidArgument);
+  EXPECT_THROW(gen::random_regular(4, 5, rng), InvalidArgument);
+}
+
+TEST(Generators, BarabasiAlbert) {
+  Rng rng(5);
+  const Graph g = gen::barabasi_albert(200, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Seed clique-chain has 3 edges for k=2; each of the 197 newcomers adds 2.
+  EXPECT_EQ(g.num_edges(), 3u + 197u * 2u);
+  EXPECT_EQ(num_connected_components(g), 1u);
+  EXPECT_THROW(gen::barabasi_albert(3, 3, rng), InvalidArgument);
+}
+
+TEST(Generators, BarabasiAlbertHeavyTail) {
+  Rng rng(6);
+  const Graph g = gen::barabasi_albert(500, 2, rng);
+  // The max degree should far exceed the average (scale-free-ish).
+  EXPECT_GT(static_cast<double>(g.max_degree()), 3.0 * g.average_degree());
+}
+
+TEST(Generators, RoadLike) {
+  Rng rng(7);
+  const Graph g = gen::road_like(10, 10, 0.3, 10, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_GE(g.num_edges(), 180u);  // grid edges at least
+  EXPECT_EQ(num_connected_components(g), 1u);
+  EXPECT_LE(g.max_weight(), 10u);
+  EXPECT_THROW(gen::road_like(2, 2, 0.0, 0, rng), InvalidArgument);
+}
+
+TEST(Generators, RandomizeWeights) {
+  Rng rng(8);
+  const Graph g = gen::grid(5, 5);
+  const Graph w = gen::randomize_weights(g, 7, rng);
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  EXPECT_TRUE(w.is_weighted() || w.max_weight() == 1);
+  EXPECT_LE(w.max_weight(), 7u);
+  EXPECT_THROW(gen::randomize_weights(g, 0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hublab

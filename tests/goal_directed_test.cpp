@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "oracle/alt.hpp"
+#include "oracle/arc_flags.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+void expect_arcflags_exact(const Graph& g, std::size_t regions, std::uint64_t seed = 1) {
+  const ArcFlagsOracle oracle(g, regions, seed);
+  const auto truth = DistanceMatrix::compute(g);
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(oracle.distance(u, v), truth.at(u, v)) << u << "-" << v << " k=" << regions;
+    }
+  }
+}
+
+TEST(ArcFlags, ExactOnGridAllRegionCounts) {
+  const Graph g = gen::grid(5, 5);
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) expect_arcflags_exact(g, k);
+}
+
+TEST(ArcFlags, ExactOnWeighted) {
+  Rng rng(1);
+  expect_arcflags_exact(gen::road_like(5, 5, 0.3, 9, rng), 4);
+}
+
+TEST(ArcFlags, ExactOnDisconnected) {
+  Rng rng(2);
+  expect_arcflags_exact(gen::gnm(30, 35, rng), 4);
+}
+
+class ArcFlagsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArcFlagsSweep, ExactOnRandomSparse) {
+  Rng rng(GetParam());
+  const Graph g = gen::connected_gnm(50, 100, rng);
+  expect_arcflags_exact(g, 6, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArcFlagsSweep, ::testing::Values(1, 2, 3));
+
+TEST(ArcFlags, RegionsPartition) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const ArcFlagsOracle oracle(g, 5);
+  for (Vertex v = 0; v < 40; ++v) EXPECT_LT(oracle.region_of(v), 5u);
+}
+
+TEST(ArcFlags, PruningActuallyHappens) {
+  // On a long path with many regions, queries toward a target should not
+  // settle the entire graph, and flag density must be well below 1.
+  const Graph g = gen::path(120);
+  const ArcFlagsOracle oracle(g, 8);
+  EXPECT_LT(oracle.flag_density(), 0.9);
+  (void)oracle.distance(0, 5);
+  EXPECT_LT(oracle.last_settled(), 40u);  // plain Dijkstra would settle ~all
+}
+
+TEST(ArcFlags, ZeroRegionsRejected) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW(ArcFlagsOracle(g, 0), InvalidArgument);
+}
+
+TEST(FarthestLandmarks, SpreadOnPath) {
+  const Graph g = gen::path(50);
+  const auto lms = farthest_landmarks(g, 2, 7);
+  ASSERT_EQ(lms.size(), 2u);
+  // The second landmark must be an endpoint (farthest from the first).
+  EXPECT_TRUE(lms[1] == 0 || lms[1] == 49);
+}
+
+TEST(FarthestLandmarks, CoversComponents) {
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const auto lms = farthest_landmarks(g, 4, 1);
+  EXPECT_EQ(lms.size(), 4u);
+}
+
+void expect_alt_exact(const Graph& g, std::size_t num_landmarks) {
+  const AltOracle oracle(g, farthest_landmarks(g, num_landmarks, 3));
+  const auto truth = DistanceMatrix::compute(g);
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(oracle.distance(u, v), truth.at(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(Alt, ExactOnGrid) { expect_alt_exact(gen::grid(6, 6), 4); }
+
+TEST(Alt, ExactOnWeightedRoad) {
+  Rng rng(4);
+  expect_alt_exact(gen::road_like(5, 5, 0.2, 9, rng), 3);
+}
+
+TEST(Alt, ExactOnDisconnected) {
+  Rng rng(5);
+  expect_alt_exact(gen::gnm(30, 32, rng), 4);
+}
+
+class AltSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AltSweep, ExactOnRandom) {
+  Rng rng(GetParam());
+  Graph g = gen::connected_gnm(50, 120, rng);
+  g = gen::randomize_weights(g, 7, rng);
+  expect_alt_exact(g, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AltSweep, ::testing::Values(1, 2, 3));
+
+TEST(Alt, GoalDirectionReducesSettles) {
+  const Graph g = gen::grid(20, 20);
+  const AltOracle alt(g, farthest_landmarks(g, 8, 1));
+  (void)alt.distance(0, 21);  // nearby target
+  const std::size_t near_settles = alt.last_settled();
+  EXPECT_LT(near_settles, g.num_vertices() / 4);
+}
+
+TEST(Alt, NeedsLandmarks) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW(AltOracle(g, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hublab

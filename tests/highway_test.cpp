@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "hub/highway.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(SpCover, PathMidScale) {
+  const Graph g = gen::path(9);
+  const auto truth = DistanceMatrix::compute(g);
+  const auto cover = greedy_sp_cover(g, truth, 4);  // pairs with d in (4, 8]
+  EXPECT_TRUE(is_sp_cover(truth, cover, 4));
+  // One well-placed vertex (the middle) hits all long paths in P9.
+  EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST(SpCover, EmptyWhenNoPairsInRange) {
+  const Graph g = gen::path(4);
+  const auto truth = DistanceMatrix::compute(g);
+  const auto cover = greedy_sp_cover(g, truth, 10);
+  EXPECT_TRUE(cover.empty());
+  EXPECT_TRUE(is_sp_cover(truth, cover, 10));
+}
+
+TEST(SpCover, VerifierRejectsBadCover) {
+  const Graph g = gen::path(9);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_FALSE(is_sp_cover(truth, {0}, 4));  // endpoint misses interior paths
+}
+
+TEST(SpCover, RejectsWeighted) {
+  Rng rng(1);
+  const Graph g = gen::randomize_weights(gen::grid(3, 3), 5, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_THROW(greedy_sp_cover(g, truth, 2), InvalidArgument);
+}
+
+class SpCoverSweep : public ::testing::TestWithParam<std::tuple<std::uint64_t, Dist>> {};
+
+TEST_P(SpCoverSweep, GreedyCoverIsValid) {
+  const auto [seed, r] = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::connected_gnm(60, 120, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_TRUE(is_sp_cover(truth, greedy_sp_cover(g, truth, r), r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpCoverSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 4)));
+
+void expect_multiscale_exact(const Graph& g) {
+  const auto truth = DistanceMatrix::compute(g);
+  MultiscaleStats stats;
+  const HubLabeling l = multiscale_cover_labeling(g, truth, &stats);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(Multiscale, ExactOnGrid) { expect_multiscale_exact(gen::grid(6, 6)); }
+
+TEST(Multiscale, ExactOnPathAndCycle) {
+  expect_multiscale_exact(gen::path(20));
+  expect_multiscale_exact(gen::cycle(17));
+}
+
+TEST(Multiscale, ExactOnRandomAndDisconnected) {
+  Rng rng(2);
+  expect_multiscale_exact(gen::gnm(50, 90, rng));
+  expect_multiscale_exact(gen::barabasi_albert(60, 2, rng));
+}
+
+TEST(Multiscale, StatsReported) {
+  const Graph g = gen::grid(6, 6);
+  const auto truth = DistanceMatrix::compute(g);
+  MultiscaleStats stats;
+  (void)multiscale_cover_labeling(g, truth, &stats);
+  ASSERT_FALSE(stats.scales.empty());
+  EXPECT_EQ(stats.scales.front().r, 1u);
+  for (const auto& s : stats.scales) {
+    EXPECT_LE(s.max_ball_load, s.cover_size);
+  }
+  EXPECT_GT(stats.highway_dimension_estimate(), 0u);
+}
+
+TEST(Multiscale, LowLoadOnPathHighOnExpander) {
+  // The highway-dimension proxy separates "road-like" from expander-like.
+  const Graph path = gen::path(64);
+  const auto pt = DistanceMatrix::compute(path);
+  MultiscaleStats ps;
+  (void)multiscale_cover_labeling(path, pt, &ps);
+
+  Rng rng(3);
+  const Graph expander = gen::random_regular(64, 3, rng);
+  const auto et = DistanceMatrix::compute(expander);
+  MultiscaleStats es;
+  (void)multiscale_cover_labeling(expander, et, &es);
+
+  EXPECT_LT(ps.highway_dimension_estimate(), es.highway_dimension_estimate());
+}
+
+TEST(Multiscale, RejectsWeighted) {
+  Rng rng(4);
+  const Graph g = gen::randomize_weights(gen::grid(3, 3), 5, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_THROW(multiscale_cover_labeling(g, truth), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "hub/constructions.hpp"
+#include "hub/labeling.hpp"
+#include "hub/pll.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(HubLabeling, EmptyQueryIsInfinite) {
+  HubLabeling l(2);
+  l.finalize();
+  EXPECT_EQ(l.query(0, 1), kInfDist);
+  EXPECT_EQ(l.query_with_hub(0, 1).meeting_hub, kInvalidVertex);
+}
+
+TEST(HubLabeling, HandBuiltQuery) {
+  // Path 0-1-2, hub = vertex 1 for everyone.
+  HubLabeling l(3);
+  l.add_hub(0, 1, 1);
+  l.add_hub(1, 1, 0);
+  l.add_hub(2, 1, 1);
+  l.finalize();
+  EXPECT_EQ(l.query(0, 2), 2u);
+  EXPECT_EQ(l.query(0, 1), 1u);
+  EXPECT_EQ(l.query_with_hub(0, 2).meeting_hub, 1u);
+}
+
+TEST(HubLabeling, PicksMinimumOverCommonHubs) {
+  HubLabeling l(2);
+  l.add_hub(0, 0, 0);
+  l.add_hub(0, 1, 9);
+  l.add_hub(1, 0, 4);
+  l.add_hub(1, 1, 0);
+  l.finalize();
+  EXPECT_EQ(l.query(0, 1), 4u);
+  EXPECT_EQ(l.query_with_hub(0, 1).meeting_hub, 0u);
+}
+
+TEST(HubLabeling, FinalizeDedupsKeepingMin) {
+  HubLabeling l(1);
+  l.add_hub(0, 5, 10);
+  l.add_hub(0, 5, 3);
+  l.add_hub(0, 5, 7);
+  l.finalize();
+  ASSERT_EQ(l.label(0).size(), 1u);
+  EXPECT_EQ(l.label(0)[0].dist, 3u);
+}
+
+TEST(HubLabeling, FinalizeSortsByHub) {
+  HubLabeling l(1);
+  l.add_hub(0, 9, 1);
+  l.add_hub(0, 2, 1);
+  l.add_hub(0, 5, 1);
+  l.finalize();
+  const auto lab = l.label(0);
+  ASSERT_EQ(lab.size(), 3u);
+  EXPECT_EQ(lab[0].hub, 2u);
+  EXPECT_EQ(lab[2].hub, 9u);
+}
+
+TEST(HubLabeling, HasHub) {
+  HubLabeling l(2);
+  l.add_hub(0, 3, 1);
+  l.finalize();
+  EXPECT_TRUE(l.has_hub(0, 3));
+  EXPECT_FALSE(l.has_hub(0, 2));
+  EXPECT_FALSE(l.has_hub(1, 3));
+}
+
+TEST(HubLabeling, Statistics) {
+  HubLabeling l(3);
+  l.add_hub(0, 0, 0);
+  l.add_hub(1, 0, 1);
+  l.add_hub(1, 1, 0);
+  l.finalize();
+  EXPECT_EQ(l.total_hubs(), 3u);
+  EXPECT_DOUBLE_EQ(l.average_label_size(), 1.0);
+  EXPECT_EQ(l.max_label_size(), 2u);
+  EXPECT_EQ(l.memory_bytes(), 3 * sizeof(HubEntry));
+}
+
+TEST(VerifyLabeling, AcceptsCorrectCover) {
+  const Graph g = gen::grid(3, 3);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling full = full_labeling(g, truth);
+  EXPECT_FALSE(verify_labeling(g, full, truth).has_value());
+}
+
+TEST(VerifyLabeling, DetectsWrongDistance) {
+  const Graph g = gen::path(3);
+  const auto truth = DistanceMatrix::compute(g);
+  // An undercutting wrong distance (true dist(0,2) is 2, stored 1).
+  HubLabeling bad(3);
+  bad.add_hub(0, 2, 1);  // true distance is 2
+  bad.add_hub(2, 2, 0);
+  bad.add_hub(0, 0, 0);
+  bad.add_hub(1, 0, 1);
+  bad.add_hub(1, 1, 0);
+  bad.add_hub(2, 1, 1);
+  bad.finalize();
+  const auto defect = verify_labeling(g, bad, truth);
+  ASSERT_TRUE(defect.has_value());
+  EXPECT_EQ(defect->kind, LabelingDefect::Kind::kWrongDistance);
+}
+
+TEST(VerifyLabeling, DetectsUncoveredPair) {
+  const Graph g = gen::path(3);
+  const auto truth = DistanceMatrix::compute(g);
+  HubLabeling l(3);
+  for (Vertex v = 0; v < 3; ++v) l.add_hub(v, v, 0);  // only self-hubs
+  l.finalize();
+  const auto defect = verify_labeling(g, l, truth);
+  ASSERT_TRUE(defect.has_value());
+  EXPECT_EQ(defect->kind, LabelingDefect::Kind::kUncoveredPair);
+}
+
+TEST(VerifyLabelingSampled, AcceptsCorrectCover) {
+  Rng rng(1);
+  const Graph g = gen::connected_gnm(60, 120, rng);
+  const HubLabeling pll = pruned_landmark_labeling(g);
+  EXPECT_FALSE(verify_labeling_sampled(g, pll, 200, 7).has_value());
+}
+
+TEST(VerifyLabelingSampled, CatchesPlantedDefect) {
+  const Graph g = gen::path(10);
+  HubLabeling l(10);
+  for (Vertex v = 0; v < 10; ++v) l.add_hub(v, v, 0);
+  l.finalize();
+  // With many samples the sampled verifier must find an uncovered pair.
+  EXPECT_TRUE(verify_labeling_sampled(g, l, 500, 3).has_value());
+}
+
+TEST(MonotoneClosure, StillACover) {
+  Rng rng(2);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling pll = pruned_landmark_labeling(g);
+  const HubLabeling closed = monotone_closure(g, pll);
+  EXPECT_FALSE(verify_labeling(g, closed, truth).has_value());
+}
+
+TEST(MonotoneClosure, ContainsOriginalHubs) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnm(30, 60, rng);
+  const HubLabeling pll = pruned_landmark_labeling(g);
+  const HubLabeling closed = monotone_closure(g, pll);
+  for (Vertex v = 0; v < 30; ++v) {
+    for (const HubEntry& e : pll.label(v)) {
+      EXPECT_TRUE(closed.has_hub(v, e.hub));
+    }
+  }
+  EXPECT_GE(closed.total_hubs(), pll.total_hubs());
+}
+
+TEST(MonotoneClosure, BoundedByDiameterFactor) {
+  const Graph g = gen::grid(5, 5);
+  const HubLabeling pll = pruned_landmark_labeling(g);
+  const HubLabeling closed = monotone_closure(g, pll);
+  const Dist diam = diameter_exact(g);
+  EXPECT_LE(closed.total_hubs(), (diam + 1) * pll.total_hubs() + g.num_vertices());
+}
+
+TEST(MonotoneClosure, ClosedUnderTreeAncestors) {
+  // On a path with natural PLL order, the closure of any label must contain
+  // every vertex between v and its furthest hub.
+  const Graph g = gen::path(8);
+  const HubLabeling pll = pruned_landmark_labeling(g, VertexOrder::kNatural);
+  const HubLabeling closed = monotone_closure(g, pll);
+  for (Vertex v = 0; v < 8; ++v) {
+    for (const HubEntry& e : closed.label(v)) {
+      // Every vertex strictly between v and e.hub on the path is a hub too.
+      const Vertex lo = std::min(v, e.hub);
+      const Vertex hi = std::max(v, e.hub);
+      for (Vertex x = lo; x <= hi; ++x) EXPECT_TRUE(closed.has_hub(v, x));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "hub/incremental.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+/// Rebuild ground truth for the *current* dynamic graph by materializing it.
+Graph materialize(const Graph& base, const std::vector<std::tuple<Vertex, Vertex, Weight>>& extra) {
+  GraphBuilder b(base.num_vertices());
+  for (Vertex u = 0; u < base.num_vertices(); ++u) {
+    for (const Arc& a : base.arcs(u)) {
+      if (a.to > u) b.add_edge(u, a.to, a.weight);
+    }
+  }
+  for (const auto& [u, v, w] : extra) b.add_edge(u, v, w);
+  return b.build();
+}
+
+void expect_matches_truth(const IncrementalPll& inc, const Graph& current) {
+  const auto truth = DistanceMatrix::compute(current);
+  const auto n = static_cast<Vertex>(current.num_vertices());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(inc.query(u, v), truth.at(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(IncrementalPll, InitialStateMatchesStatic) {
+  Rng rng(1);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const IncrementalPll inc(g);
+  expect_matches_truth(inc, g);
+}
+
+TEST(IncrementalPll, SingleShortcutInsertion) {
+  const Graph g = gen::path(12);
+  IncrementalPll inc(g);
+  EXPECT_EQ(inc.query(0, 11), 11u);
+  inc.insert_edge(0, 11);
+  EXPECT_EQ(inc.query(0, 11), 1u);
+  EXPECT_EQ(inc.query(1, 10), 3u);  // around the new cycle
+  expect_matches_truth(inc, materialize(g, {{0, 11, 1}}));
+}
+
+TEST(IncrementalPll, BridgingComponents) {
+  GraphBuilder b(8);
+  for (Vertex v = 0; v + 1 < 4; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 4; v + 1 < 8; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  IncrementalPll inc(g);
+  EXPECT_EQ(inc.query(0, 7), kInfDist);
+  inc.insert_edge(3, 4);
+  EXPECT_EQ(inc.query(0, 7), 7u);
+  expect_matches_truth(inc, materialize(g, {{3, 4, 1}}));
+}
+
+TEST(IncrementalPll, WeightedInsertions) {
+  Rng rng(2);
+  Graph g = gen::connected_gnm(30, 60, rng);
+  g = gen::randomize_weights(g, 9, rng);
+  IncrementalPll inc(g);
+  std::vector<std::tuple<Vertex, Vertex, Weight>> extra;
+  Rng pick(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto u = static_cast<Vertex>(pick.next_below(30));
+    const auto v = static_cast<Vertex>(pick.next_below(30));
+    if (u == v) continue;
+    const auto w = static_cast<Weight>(1 + pick.next_below(9));
+    inc.insert_edge(u, v, w);
+    extra.emplace_back(u, v, w);
+  }
+  expect_matches_truth(inc, materialize(g, extra));
+}
+
+class IncrementalSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSweep, RandomInsertionSequences) {
+  Rng rng(GetParam());
+  const Graph g = gen::gnm(35, 50, rng);  // sparse, possibly disconnected
+  IncrementalPll inc(g);
+  std::vector<std::tuple<Vertex, Vertex, Weight>> extra;
+  Rng pick(GetParam() + 100);
+  for (int i = 0; i < 15; ++i) {
+    const auto u = static_cast<Vertex>(pick.next_below(35));
+    const auto v = static_cast<Vertex>(pick.next_below(35));
+    if (u == v) continue;
+    inc.insert_edge(u, v);
+    extra.emplace_back(u, v, 1);
+    if (i % 5 == 4) expect_matches_truth(inc, materialize(g, extra));
+  }
+  expect_matches_truth(inc, materialize(g, extra));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IncrementalPll, ExportedLabelsAreExact) {
+  Rng rng(4);
+  const Graph g = gen::connected_gnm(30, 60, rng);
+  IncrementalPll inc(g);
+  inc.insert_edge(0, 29);
+  const Graph current = materialize(g, {{0, 29, 1}});
+  const HubLabeling exported = inc.labels();
+  const auto truth = DistanceMatrix::compute(current);
+  EXPECT_FALSE(verify_labeling(current, exported, truth).has_value());
+}
+
+TEST(IncrementalPll, RejectsBadEdges) {
+  const Graph g = gen::path(5);
+  IncrementalPll inc(g);
+  EXPECT_THROW(inc.insert_edge(0, 0), InvalidArgument);
+  EXPECT_THROW(inc.insert_edge(0, 9), InvalidArgument);
+}
+
+TEST(IncrementalPll, ParallelEdgeImprovesWeight) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 10);
+  const Graph g = b.build();
+  IncrementalPll inc(g);
+  EXPECT_EQ(inc.query(0, 2), 20u);
+  inc.insert_edge(0, 1, 2);  // better parallel edge
+  EXPECT_EQ(inc.query(0, 2), 12u);
+}
+
+TEST(UnpackPath, ValidShortestPaths) {
+  Rng rng(5);
+  const Graph g = gen::connected_gnm(40, 90, rng);
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  Rng pick(6);
+  for (int i = 0; i < 30; ++i) {
+    const auto u = static_cast<Vertex>(pick.next_below(40));
+    const auto v = static_cast<Vertex>(pick.next_below(40));
+    const auto path = unpack_shortest_path(g, labels, u, v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), u);
+    EXPECT_EQ(path.back(), v);
+    EXPECT_EQ(path_length(g, path), labels.query(u, v));
+  }
+}
+
+TEST(UnpackPath, WeightedGraph) {
+  Rng rng(7);
+  const Graph g = gen::road_like(6, 6, 0.2, 9, rng);
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  const auto path = unpack_shortest_path(g, labels, 0, static_cast<Vertex>(g.num_vertices() - 1));
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path_length(g, path), labels.query(0, static_cast<Vertex>(g.num_vertices() - 1)));
+}
+
+TEST(UnpackPath, UnreachableIsEmpty) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  EXPECT_TRUE(unpack_shortest_path(g, labels, 0, 3).empty());
+}
+
+TEST(UnpackPath, TrivialPath) {
+  const Graph g = gen::path(3);
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  const auto path = unpack_shortest_path(g, labels, 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/induced_matching.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(InducedMatching, SingleEdgeIsInduced) {
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(is_induced_matching(g, {{0, 1}}));
+}
+
+TEST(InducedMatching, AdjacentEdgesNotAMatching) {
+  const Graph g = gen::path(4);
+  EXPECT_FALSE(is_matching_in_graph(g, {{0, 1}, {1, 2}}));
+  EXPECT_FALSE(is_induced_matching(g, {{0, 1}, {1, 2}}));
+}
+
+TEST(InducedMatching, PathEndpointsTouchingMiddle) {
+  // In P4 = 0-1-2-3, edges {0,1} and {2,3} form a matching but the edge
+  // {1,2} connects their endpoints, so it is NOT induced.
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(is_matching_in_graph(g, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_induced_matching(g, {{0, 1}, {2, 3}}));
+}
+
+TEST(InducedMatching, DistantEdgesAreInduced) {
+  const Graph g = gen::path(6);
+  EXPECT_TRUE(is_induced_matching(g, {{0, 1}, {3, 4}}));
+}
+
+TEST(InducedMatching, NonEdgeRejected) {
+  const Graph g = gen::path(4);
+  EXPECT_FALSE(is_matching_in_graph(g, {{0, 2}}));
+}
+
+TEST(InducedMatching, EmptyMatchingIsInduced) {
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(is_induced_matching(g, {}));
+}
+
+TEST(GreedyPartition, CoversAllEdges) {
+  const Graph g = gen::grid(4, 4);
+  const auto part = greedy_induced_partition(g);
+  EXPECT_TRUE(is_valid_induced_partition(g, part));
+  EXPECT_EQ(part.num_edges(), g.num_edges());
+}
+
+TEST(GreedyPartition, CompleteGraphNeedsManyClasses) {
+  // In K_n every induced matching has exactly one edge.
+  const Graph g = gen::complete(6);
+  const auto part = greedy_induced_partition(g);
+  EXPECT_TRUE(is_valid_induced_partition(g, part));
+  EXPECT_EQ(part.num_matchings(), g.num_edges());
+  EXPECT_EQ(part.min_matching_size(), 1u);
+}
+
+TEST(GreedyPartition, PerfectMatchingGraphOneClass) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const auto part = greedy_induced_partition(g);
+  EXPECT_EQ(part.num_matchings(), 1u);
+  EXPECT_EQ(part.avg_matching_size(), 3.0);
+}
+
+class GreedyPartitionRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyPartitionRandom, AlwaysValid) {
+  Rng rng(GetParam());
+  const Graph g = gen::gnm(40, 120, rng);
+  const auto part = greedy_induced_partition(g);
+  EXPECT_TRUE(is_valid_induced_partition(g, part));
+  EXPECT_EQ(part.num_edges(), g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyPartitionRandom, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(PartitionValidation, RejectsDuplicateEdge) {
+  const Graph g = gen::path(5);
+  InducedMatchingPartition p;
+  p.matchings.push_back({{0, 1}});
+  p.matchings.push_back({{0, 1}, {3, 4}});
+  EXPECT_FALSE(is_valid_induced_partition(g, p));
+}
+
+TEST(PartitionValidation, RejectsIncompleteCover) {
+  const Graph g = gen::path(5);
+  InducedMatchingPartition p;
+  p.matchings.push_back({{0, 1}});
+  EXPECT_FALSE(is_valid_induced_partition(g, p));
+}
+
+TEST(Repair, DropsOffendingEdges) {
+  const Graph g = gen::path(4);
+  const EdgeList repaired = repair_to_induced(g, {{0, 1}, {2, 3}});
+  EXPECT_EQ(repaired.size(), 1u);
+  EXPECT_TRUE(is_induced_matching(g, repaired));
+}
+
+TEST(Repair, KeepsAlreadyInduced) {
+  const Graph g = gen::path(6);
+  const EdgeList m{{0, 1}, {3, 4}};
+  EXPECT_EQ(repair_to_induced(g, m), m);
+}
+
+TEST(Repair, SkipsNonEdges) {
+  const Graph g = gen::path(6);
+  const EdgeList repaired = repair_to_induced(g, {{0, 3}, {4, 5}});
+  EXPECT_EQ(repaired.size(), 1u);
+  EXPECT_EQ(repaired[0], (std::pair<Vertex, Vertex>{4, 5}));
+}
+
+TEST(PartitionStats, MinAndAverage) {
+  InducedMatchingPartition p;
+  p.matchings.push_back({{0, 1}});
+  p.matchings.push_back({{2, 3}, {4, 5}, {6, 7}});
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(p.min_matching_size(), 1u);
+  EXPECT_DOUBLE_EQ(p.avg_matching_size(), 2.0);
+}
+
+}  // namespace
+}  // namespace hublab

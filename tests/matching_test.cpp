@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "matching/bipartite.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+BipartiteGraph perfect_ladder(std::size_t n) {
+  BipartiteGraph g(n, n);
+  for (std::uint32_t i = 0; i < n; ++i) g.add_edge(i, i);
+  return g;
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(3, 4);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(is_matching(g, m));
+}
+
+TEST(HopcroftKarp, PerfectLadder) {
+  const auto g = perfect_ladder(6);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_TRUE(is_matching(g, m));
+}
+
+TEST(HopcroftKarp, NeedsAugmentingPaths) {
+  // Classic instance where greedy gets stuck: crossing preferences.
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  g.add_edge(2, 2);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(HopcroftKarp, StarLimitedByCenter) {
+  BipartiteGraph g(5, 1);
+  for (std::uint32_t i = 0; i < 5; ++i) g.add_edge(i, 0);
+  EXPECT_EQ(hopcroft_karp(g).size(), 1u);
+}
+
+TEST(HopcroftKarp, UnbalancedSides) {
+  BipartiteGraph g(2, 8);
+  g.add_edge(0, 5);
+  g.add_edge(1, 5);
+  g.add_edge(1, 7);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(is_matching(g, m));
+}
+
+class HkMatchesBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HkMatchesBruteForce, RandomBipartite) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t nl = 2 + rng.next_below(8);
+    const std::size_t nr = 2 + rng.next_below(8);
+    BipartiteGraph g(nl, nr);
+    for (std::uint32_t u = 0; u < nl; ++u) {
+      for (std::uint32_t r = 0; r < nr; ++r) {
+        if (rng.next_bool(0.35)) g.add_edge(u, r);
+      }
+    }
+    const Matching m = hopcroft_karp(g);
+    EXPECT_TRUE(is_matching(g, m));
+    EXPECT_EQ(m.size(), brute_force_max_matching(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HkMatchesBruteForce, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Koenig, CoverSizeEqualsMatching) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t nl = 2 + rng.next_below(12);
+    const std::size_t nr = 2 + rng.next_below(12);
+    BipartiteGraph g(nl, nr);
+    for (std::uint32_t u = 0; u < nl; ++u) {
+      for (std::uint32_t r = 0; r < nr; ++r) {
+        if (rng.next_bool(0.3)) g.add_edge(u, r);
+      }
+    }
+    const Matching m = hopcroft_karp(g);
+    const VertexCover vc = koenig_cover(g, m);
+    EXPECT_TRUE(is_vertex_cover(g, vc));
+    EXPECT_EQ(vc.size(), m.size());
+  }
+}
+
+TEST(Koenig, EmptyGraphEmptyCover) {
+  BipartiteGraph g(4, 4);
+  const VertexCover vc = koenig_cover(g, hopcroft_karp(g));
+  EXPECT_EQ(vc.size(), 0u);
+  EXPECT_TRUE(is_vertex_cover(g, vc));
+}
+
+TEST(Koenig, StarCoverIsCenter) {
+  BipartiteGraph g(5, 1);
+  for (std::uint32_t i = 0; i < 5; ++i) g.add_edge(i, 0);
+  const VertexCover vc = koenig_cover(g, hopcroft_karp(g));
+  ASSERT_EQ(vc.size(), 1u);
+  ASSERT_EQ(vc.right.size(), 1u);
+  EXPECT_EQ(vc.right[0], 0u);
+}
+
+TEST(IsVertexCover, DetectsUncoveredEdge) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 1);
+  VertexCover vc;
+  vc.left = {0};
+  EXPECT_FALSE(is_vertex_cover(g, vc));
+  vc.right = {1};
+  EXPECT_TRUE(is_vertex_cover(g, vc));
+}
+
+TEST(IsMatching, RejectsInconsistentPartnerArrays) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 1);
+  Matching m;
+  m.left_match = {0, kUnmatched};
+  m.right_match = {kUnmatched, kUnmatched};  // inconsistent: right 0 not set
+  EXPECT_FALSE(is_matching(g, m));
+}
+
+TEST(IsMatching, RejectsNonEdgePair) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  Matching m;
+  m.left_match = {1, kUnmatched};  // (0,1) not an edge
+  m.right_match = {kUnmatched, 0};
+  EXPECT_FALSE(is_matching(g, m));
+}
+
+}  // namespace
+}  // namespace hublab

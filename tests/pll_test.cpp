@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "hub/labeling.hpp"
+#include "hub/pll.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+void expect_exact(const Graph& g, const HubLabeling& l) {
+  const auto truth = DistanceMatrix::compute(g);
+  const auto defect = verify_labeling(g, l, truth);
+  EXPECT_FALSE(defect.has_value())
+      << "defect at u=" << (defect ? defect->u : 0) << " v=" << (defect ? defect->v : 0)
+      << " stored=" << (defect ? defect->stored : 0) << " actual=" << (defect ? defect->actual : 0);
+}
+
+TEST(Pll, PathGraph) { expect_exact(gen::path(12), pruned_landmark_labeling(gen::path(12))); }
+
+TEST(Pll, CycleGraph) { expect_exact(gen::cycle(13), pruned_landmark_labeling(gen::cycle(13))); }
+
+TEST(Pll, GridGraph) {
+  const Graph g = gen::grid(5, 6);
+  expect_exact(g, pruned_landmark_labeling(g));
+}
+
+TEST(Pll, StarGraph) {
+  const Graph g = gen::star(20);
+  const HubLabeling l = pruned_landmark_labeling(g);
+  expect_exact(g, l);
+  // Degree order processes the center first; every label then needs at most
+  // the center plus itself.
+  EXPECT_LE(l.average_label_size(), 2.1);
+}
+
+TEST(Pll, CompleteGraph) {
+  const Graph g = gen::complete(9);
+  expect_exact(g, pruned_landmark_labeling(g));
+}
+
+TEST(Pll, DisconnectedGraph) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const HubLabeling l = pruned_landmark_labeling(g);
+  expect_exact(g, l);
+  EXPECT_EQ(l.query(0, 3), kInfDist);
+  EXPECT_EQ(l.query(0, 5), kInfDist);
+}
+
+TEST(Pll, SingleVertex) {
+  const Graph g = gen::path(1);
+  const HubLabeling l = pruned_landmark_labeling(g);
+  EXPECT_EQ(l.query(0, 0), 0u);
+}
+
+TEST(Pll, WeightedRoadLike) {
+  Rng rng(21);
+  const Graph g = gen::road_like(6, 6, 0.25, 9, rng);
+  expect_exact(g, pruned_landmark_labeling(g));
+}
+
+TEST(Pll, ZeroWeightEdges) {
+  // Degree-reduction gadgets have weight-0 chains; PLL must stay exact.
+  Rng rng(22);
+  const Graph base = gen::connected_gnm(40, 120, rng);
+  const DegreeReduction red = reduce_degree(base, 2);
+  expect_exact(red.graph, pruned_landmark_labeling(red.graph));
+}
+
+TEST(Pll, DeterministicForFixedOrder) {
+  Rng rng(23);
+  const Graph g = gen::connected_gnm(50, 100, rng);
+  const HubLabeling a = pruned_landmark_labeling(g, VertexOrder::kNatural);
+  const HubLabeling b = pruned_landmark_labeling(g, VertexOrder::kNatural);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (Vertex v = 0; v < 50; ++v) {
+    const auto la = a.label(v);
+    const auto lb = b.label(v);
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
+  }
+}
+
+TEST(Pll, FirstVertexInOrderIsUniversalHub) {
+  Rng rng(24);
+  const Graph g = gen::connected_gnm(40, 90, rng);
+  const auto order = make_vertex_order(g, VertexOrder::kNatural);
+  const HubLabeling l = pruned_landmark_labeling(g, order);
+  for (Vertex v = 0; v < 40; ++v) EXPECT_TRUE(l.has_hub(v, order[0]));
+}
+
+TEST(Pll, EveryVertexHasItself) {
+  Rng rng(25);
+  const Graph g = gen::connected_gnm(40, 90, rng);
+  const HubLabeling l = pruned_landmark_labeling(g);
+  for (Vertex v = 0; v < 40; ++v) {
+    EXPECT_TRUE(l.has_hub(v, v));
+    EXPECT_EQ(l.query(v, v), 0u);
+  }
+}
+
+TEST(MakeVertexOrder, DegreeDescending) {
+  const Graph g = gen::star(10);
+  const auto order = make_vertex_order(g, VertexOrder::kDegreeDescending);
+  EXPECT_EQ(order[0], 0u);  // center has max degree
+}
+
+TEST(MakeVertexOrder, RandomIsSeededPermutation) {
+  const Graph g = gen::path(30);
+  const auto a = make_vertex_order(g, VertexOrder::kRandom, 5);
+  const auto b = make_vertex_order(g, VertexOrder::kRandom, 5);
+  const auto c = make_vertex_order(g, VertexOrder::kRandom, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  auto sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex v = 0; v < 30; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+struct PllSweepCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t m;
+  Weight max_weight;  // 1 = unweighted
+  VertexOrder order;
+};
+
+class PllRandomSweep : public ::testing::TestWithParam<PllSweepCase> {};
+
+TEST_P(PllRandomSweep, ExactOnRandomGraphs) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  Graph g = gen::gnm(c.n, c.m, rng);
+  if (c.max_weight > 1) g = gen::randomize_weights(g, c.max_weight, rng);
+  expect_exact(g, pruned_landmark_labeling(g, c.order, c.seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PllRandomSweep,
+    ::testing::Values(
+        PllSweepCase{1, 30, 29, 1, VertexOrder::kDegreeDescending},
+        PllSweepCase{2, 50, 100, 1, VertexOrder::kDegreeDescending},
+        PllSweepCase{3, 50, 100, 1, VertexOrder::kNatural},
+        PllSweepCase{4, 50, 100, 1, VertexOrder::kRandom},
+        PllSweepCase{5, 80, 160, 1, VertexOrder::kDegreeDescending},
+        PllSweepCase{6, 50, 100, 10, VertexOrder::kDegreeDescending},
+        PllSweepCase{7, 50, 100, 10, VertexOrder::kRandom},
+        PllSweepCase{8, 60, 240, 5, VertexOrder::kDegreeDescending},
+        PllSweepCase{9, 40, 60, 100, VertexOrder::kNatural},
+        PllSweepCase{10, 100, 150, 1, VertexOrder::kDegreeDescending},
+        PllSweepCase{11, 100, 300, 3, VertexOrder::kRandom},
+        PllSweepCase{12, 25, 40, 2, VertexOrder::kNatural}));
+
+TEST(Pll, TreeLabelsAreSmall) {
+  Rng rng(26);
+  const Graph g = gen::random_tree(200, rng);
+  const HubLabeling l = pruned_landmark_labeling(g);
+  expect_exact(g, l);
+  // Hub labelings of trees need only O(log n) average size; allow slack.
+  EXPECT_LE(l.average_label_size(), 25.0);
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "rs/behrend.hpp"
+#include "rs/rs_graph.hpp"
+#include "util/error.hpp"
+
+namespace hublab::rs {
+namespace {
+
+TEST(ProgressionFree, AcceptsKnownFreeSets) {
+  EXPECT_TRUE(is_progression_free({}));
+  EXPECT_TRUE(is_progression_free({5}));
+  EXPECT_TRUE(is_progression_free({0, 1}));
+  EXPECT_TRUE(is_progression_free({0, 1, 3, 4}));
+  EXPECT_TRUE(is_progression_free({1, 2, 4, 5, 10, 11, 13, 14}));  // base-3 pattern shifted
+}
+
+TEST(ProgressionFree, RejectsKnownAps) {
+  EXPECT_FALSE(is_progression_free({0, 1, 2}));
+  EXPECT_FALSE(is_progression_free({3, 7, 11}));
+  EXPECT_FALSE(is_progression_free({0, 1, 3, 5}));  // 1,3,5
+}
+
+TEST(Base3Set, MatchesDigitCharacterization) {
+  const auto set = base3_set(28);
+  // Numbers < 28 with only digits 0,1 base 3: 0,1,3,4,9,10,12,13,27.
+  const std::vector<std::uint64_t> expected{0, 1, 3, 4, 9, 10, 12, 13, 27};
+  EXPECT_EQ(set, expected);
+  EXPECT_TRUE(is_progression_free(set));
+}
+
+TEST(Base3Set, AlwaysProgressionFree) {
+  for (std::uint64_t n : {10ULL, 50ULL, 200ULL, 1000ULL}) {
+    EXPECT_TRUE(is_progression_free(base3_set(n))) << n;
+  }
+}
+
+TEST(OptimalSet, KnownExtremalSizes) {
+  // Largest 3-AP-free subsets of [0, N): classic r_3 values.
+  EXPECT_EQ(optimal_set(1).size(), 1u);
+  EXPECT_EQ(optimal_set(2).size(), 2u);
+  EXPECT_EQ(optimal_set(3).size(), 2u);
+  EXPECT_EQ(optimal_set(4).size(), 3u);   // {0,1,3}
+  EXPECT_EQ(optimal_set(5).size(), 4u);   // {0,1,3,4}
+  EXPECT_EQ(optimal_set(8).size(), 4u);
+  EXPECT_EQ(optimal_set(9).size(), 5u);
+  EXPECT_EQ(optimal_set(11).size(), 6u);
+  EXPECT_EQ(optimal_set(13).size(), 7u);
+  EXPECT_EQ(optimal_set(14).size(), 8u);
+}
+
+TEST(OptimalSet, OutputIsProgressionFree) {
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    EXPECT_TRUE(is_progression_free(optimal_set(n))) << n;
+  }
+}
+
+TEST(OptimalSet, LargeNThrows) { EXPECT_THROW(optimal_set(100), InvalidArgument); }
+
+TEST(Behrend, AlwaysProgressionFree) {
+  for (std::uint64_t n : {5ULL, 20ULL, 100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+    const auto set = behrend_set(n);
+    EXPECT_TRUE(is_progression_free(set)) << n;
+    for (auto v : set) EXPECT_LT(v, n);
+  }
+}
+
+TEST(Behrend, ElementsSortedAndDistinct) {
+  const auto set = behrend_set(5000);
+  for (std::size_t i = 0; i + 1 < set.size(); ++i) EXPECT_LT(set[i], set[i + 1]);
+}
+
+TEST(Behrend, SubstantialDensityAtPracticalSizes) {
+  // At N = 1e5, Behrend spheres give a couple hundred elements.  (The
+  // asymptotic advantage over the N^{log3(2)} base-3 set only kicks in at
+  // astronomically large N; dense_set picks the winner.)
+  EXPECT_GT(behrend_set(100000).size(), 150u);
+}
+
+TEST(DenseSet, AtLeastAsGoodAsBothConstructions) {
+  for (std::uint64_t n : {100ULL, 5000ULL, 100000ULL}) {
+    const auto d = dense_set(n);
+    EXPECT_TRUE(is_progression_free(d));
+    EXPECT_GE(d.size(), behrend_set(n).size());
+    EXPECT_GE(d.size(), base3_set(n).size());
+  }
+}
+
+TEST(DenseSet, BeatsSqrtAtPracticalSizes) {
+  EXPECT_GT(dense_set(100000).size(), 632u);  // 2 * sqrt(1e5)
+}
+
+TEST(Behrend, ReportsParameters) {
+  BehrendParams params;
+  const auto set = behrend_set_with_params(10000, params);
+  EXPECT_EQ(params.set_size, set.size());
+  EXPECT_GE(params.dimension, 1u);
+  EXPECT_GE(params.digit_bound, 1u);
+}
+
+TEST(Behrend, TinyUniverses) {
+  EXPECT_TRUE(behrend_set(0).empty());
+  EXPECT_EQ(behrend_set(1).size(), 1u);
+  EXPECT_EQ(behrend_set(2).size(), 2u);
+}
+
+TEST(RsGraph, StructureFromSmallSet) {
+  // M = 5, A = {0, 1}: edges (x, M + x + a).
+  const RsGraph rs = build_rs_graph(5, {0, 1});
+  EXPECT_EQ(rs.graph.num_vertices(), 15u);
+  EXPECT_EQ(rs.graph.num_edges(), 10u);  // M * |A|
+  EXPECT_EQ(rs.set_size, 2u);
+  EXPECT_TRUE(is_valid_induced_partition(rs.graph, rs.partition));
+}
+
+TEST(RsGraph, PartitionClassesBoundedByVertices) {
+  const RsGraph rs = build_rs_graph(20, base3_set(20));
+  EXPECT_LE(rs.partition.num_matchings(), rs.graph.num_vertices());
+  EXPECT_TRUE(is_valid_induced_partition(rs.graph, rs.partition));
+}
+
+TEST(RsGraph, BehrendGraphValid) {
+  const RsGraph rs = behrend_rs_graph(60);
+  EXPECT_EQ(rs.graph.num_vertices(), 180u);
+  EXPECT_EQ(rs.graph.num_edges(), 60u * rs.set_size);
+  EXPECT_TRUE(is_valid_induced_partition(rs.graph, rs.partition));
+}
+
+TEST(RsGraph, RejectsNonApFreeSet) {
+  EXPECT_THROW(build_rs_graph(10, {0, 1, 2}), hublab::InvalidArgument);
+}
+
+TEST(RsGraph, RejectsOutOfRangeElements) {
+  EXPECT_THROW(build_rs_graph(5, {0, 7}), hublab::InvalidArgument);
+}
+
+TEST(RsGraph, RejectsZeroM) { EXPECT_THROW(build_rs_graph(0, {}), hublab::InvalidArgument); }
+
+TEST(RsWitness, Measured) {
+  const RsGraph rs = behrend_rs_graph(40);
+  const RsWitness w = measure_rs_witness(rs.graph);
+  EXPECT_EQ(w.num_vertices, rs.graph.num_vertices());
+  EXPECT_EQ(w.num_edges, rs.graph.num_edges());
+  EXPECT_GE(w.num_matchings, 1u);
+  EXPECT_GT(w.density_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace hublab::rs

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "hub/pll.hpp"
+#include "hub/structured.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+void expect_exact(const Graph& g, const HubLabeling& l) {
+  const auto truth = DistanceMatrix::compute(g);
+  const auto defect = verify_labeling(g, l, truth);
+  EXPECT_FALSE(defect.has_value());
+}
+
+TEST(TreeLabeling, PathGraph) {
+  const Graph g = gen::path(15);
+  const HubLabeling l = tree_centroid_labeling(g);
+  expect_exact(g, l);
+  // Centroid decomposition of a path gives ceil(log2) + 1 levels.
+  EXPECT_LE(l.max_label_size(), 5u);
+}
+
+TEST(TreeLabeling, StarGraph) {
+  const Graph g = gen::star(40);
+  const HubLabeling l = tree_centroid_labeling(g);
+  expect_exact(g, l);
+  // Center is the first centroid: every label is {center, self}-ish.
+  EXPECT_LE(l.average_label_size(), 2.01);
+}
+
+TEST(TreeLabeling, BalancedBinaryTree) {
+  const Graph g = gen::binary_tree(63);
+  const HubLabeling l = tree_centroid_labeling(g);
+  expect_exact(g, l);
+  EXPECT_LE(l.max_label_size(), 7u);  // log2(63) + 1
+}
+
+class TreeLabelingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeLabelingSweep, ExactAndLogarithmic) {
+  Rng rng(GetParam());
+  const std::size_t n = 50 + GetParam() * 37;
+  const Graph g = gen::random_tree(n, rng);
+  const HubLabeling l = tree_centroid_labeling(g);
+  expect_exact(g, l);
+  EXPECT_LE(static_cast<double>(l.max_label_size()),
+            std::log2(static_cast<double>(n)) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeLabelingSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(TreeLabeling, WeightedTree) {
+  Rng rng(7);
+  Graph g = gen::random_tree(60, rng);
+  g = gen::randomize_weights(g, 20, rng);
+  expect_exact(g, tree_centroid_labeling(g));
+}
+
+TEST(TreeLabeling, ForestWorks) {
+  GraphBuilder b(9);
+  // Two paths and an isolated vertex.
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  const Graph g = b.build();
+  const HubLabeling l = tree_centroid_labeling(g);
+  expect_exact(g, l);
+  EXPECT_EQ(l.query(0, 3), kInfDist);
+}
+
+TEST(TreeLabeling, RejectsCycles) {
+  EXPECT_THROW(tree_centroid_labeling(gen::cycle(5)), InvalidArgument);
+  Rng rng(8);
+  EXPECT_THROW(tree_centroid_labeling(gen::connected_gnm(20, 25, rng)), InvalidArgument);
+}
+
+TEST(TreeLabeling, MuchSmallerThanPllOnBigTrees) {
+  Rng rng(9);
+  const Graph g = gen::random_tree(500, rng);
+  const HubLabeling centroid = tree_centroid_labeling(g);
+  expect_exact(g, centroid);
+  EXPECT_LE(centroid.average_label_size(), std::log2(500.0) + 2.0);
+}
+
+TEST(GridLabeling, SmallGridExact) {
+  const Graph g = gen::grid(5, 7);
+  const HubLabeling l = grid_separator_labeling(g, 5, 7);
+  expect_exact(g, l);
+}
+
+TEST(GridLabeling, SquareGridExact) {
+  const Graph g = gen::grid(8, 8);
+  const HubLabeling l = grid_separator_labeling(g, 8, 8);
+  expect_exact(g, l);
+}
+
+TEST(GridLabeling, DegenerateShapes) {
+  expect_exact(gen::grid(1, 12), grid_separator_labeling(gen::grid(1, 12), 1, 12));
+  expect_exact(gen::grid(12, 1), grid_separator_labeling(gen::grid(12, 1), 12, 1));
+  expect_exact(gen::grid(1, 1), grid_separator_labeling(gen::grid(1, 1), 1, 1));
+}
+
+TEST(GridLabeling, WeightedGridExact) {
+  // Weighted 4-neighbor grid (no diagonals): build by reweighting gen::grid.
+  Rng rng(10);
+  const Graph g = gen::randomize_weights(gen::grid(6, 6), 9, rng);
+  expect_exact(g, grid_separator_labeling(g, 6, 6));
+}
+
+TEST(GridLabeling, SqrtScaling) {
+  // O(sqrt n) hubs: the constant is ~3 sqrt(n) for square grids.
+  for (const std::size_t side : {8u, 12u, 16u}) {
+    const Graph g = gen::grid(side, side);
+    const HubLabeling l = grid_separator_labeling(g, side, side);
+    EXPECT_LE(l.average_label_size(), 4.0 * static_cast<double>(side) + 4.0) << side;
+  }
+}
+
+TEST(GridLabeling, BeatsPllNaturalOrderOnGrids) {
+  const Graph g = gen::grid(12, 12);
+  const HubLabeling sep = grid_separator_labeling(g, 12, 12);
+  const HubLabeling pll = pruned_landmark_labeling(g, VertexOrder::kNatural);
+  EXPECT_LT(sep.total_hubs(), pll.total_hubs());
+}
+
+class BfsSeparatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsSeparatorSweep, ExactOnRandomSparse) {
+  Rng rng(GetParam());
+  const Graph g = gen::gnm(70, 140, rng);  // possibly disconnected
+  const HubLabeling l = bfs_separator_labeling(g);
+  expect_exact(g, l);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsSeparatorSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BfsSeparator, ExactOnClassicShapes) {
+  expect_exact(gen::path(20), bfs_separator_labeling(gen::path(20)));
+  expect_exact(gen::cycle(21), bfs_separator_labeling(gen::cycle(21)));
+  expect_exact(gen::grid(7, 9), bfs_separator_labeling(gen::grid(7, 9)));
+  expect_exact(gen::star(25), bfs_separator_labeling(gen::star(25)));
+  expect_exact(gen::complete(8), bfs_separator_labeling(gen::complete(8)));
+}
+
+TEST(BfsSeparator, ExactOnWeighted) {
+  Rng rng(12);
+  const Graph g = gen::road_like(8, 8, 0.3, 9, rng);
+  expect_exact(g, bfs_separator_labeling(g));
+}
+
+TEST(BfsSeparator, SingleVertexAndEmpty) {
+  const Graph g1 = gen::path(1);
+  const HubLabeling l1 = bfs_separator_labeling(g1);
+  EXPECT_EQ(l1.query(0, 0), 0u);
+  const Graph g0 = GraphBuilder(0).build();
+  const HubLabeling l0 = bfs_separator_labeling(g0);
+  EXPECT_EQ(l0.num_vertices(), 0u);
+}
+
+TEST(BfsSeparator, SmallLabelsOnPaths) {
+  const Graph g = gen::path(256);
+  const HubLabeling l = bfs_separator_labeling(g);
+  expect_exact(g, l);
+  // Halving recursion: O(log n) separator levels, 1 vertex each.
+  EXPECT_LE(l.max_label_size(), 12u);
+}
+
+TEST(BfsSeparator, TracksGridSqrtScaling) {
+  const Graph g = gen::grid(12, 12);
+  const HubLabeling l = bfs_separator_labeling(g);
+  expect_exact(g, l);
+  EXPECT_LE(l.average_label_size(), 60.0);  // ~ c*sqrt(144)
+}
+
+TEST(GridLabeling, RejectsBadShape) {
+  const Graph g = gen::grid(4, 4);
+  EXPECT_THROW(grid_separator_labeling(g, 2, 8), InvalidArgument);
+  EXPECT_THROW(grid_separator_labeling(g, 4, 5), InvalidArgument);
+  Rng rng(11);
+  const Graph shortcuts = gen::road_like(4, 4, 1.0, 3, rng);  // has diagonals
+  EXPECT_THROW(grid_separator_labeling(shortcuts, 4, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hub/pll.hpp"
+#include "sumindex/sumindex.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab::si {
+namespace {
+
+HubLabeling pll_natural(const Graph& g) {
+  return pruned_landmark_labeling(g, VertexOrder::kNatural);
+}
+
+std::shared_ptr<const DistanceLabelingScheme> hub_scheme() {
+  return std::make_shared<HubDistanceLabeling>(&pll_natural, "pll");
+}
+
+std::vector<std::uint8_t> bits_of(std::uint64_t mask, std::uint64_t m) {
+  std::vector<std::uint8_t> S(m);
+  for (std::uint64_t i = 0; i < m; ++i) S[i] = (mask >> i) & 1;
+  return S;
+}
+
+TEST(Trivial, ExhaustiveSmall) {
+  const std::uint64_t m = 6;
+  const TrivialProtocol protocol(m);
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> S(m);
+    for (auto& b : S) b = static_cast<std::uint8_t>(rng.next_below(2));
+    for (std::uint64_t a = 0; a < m; ++a) {
+      for (std::uint64_t b = 0; b < m; ++b) {
+        EXPECT_TRUE(run_protocol(protocol, S, a, b).correct());
+      }
+    }
+  }
+}
+
+TEST(Trivial, MessageSizes) {
+  const std::uint64_t m = 16;
+  const TrivialProtocol protocol(m);
+  const auto S = bits_of(0xabcd, m);
+  const ProtocolRun run = run_protocol(protocol, S, 3, 9);
+  EXPECT_EQ(run.alice_bits, m + ceil_log2(m));
+  EXPECT_EQ(run.bob_bits, ceil_log2(m));
+}
+
+TEST(Trivial, RejectsBadInstance) {
+  const TrivialProtocol protocol(4);
+  EXPECT_THROW((void)protocol.alice({1, 0}, 0), hublab::InvalidArgument);
+  EXPECT_THROW((void)protocol.alice({1, 0, 1, 1}, 9), hublab::InvalidArgument);
+}
+
+TEST(Gadget, RejectsDegenerateParams) {
+  // b = 1 gives digit base s/2 = 1: repr() would be degenerate.
+  EXPECT_THROW(GadgetProtocol(lb::GadgetParams{1, 2}, hub_scheme()), hublab::InvalidArgument);
+  EXPECT_THROW(GadgetProtocol(lb::GadgetParams{2, 1}, nullptr), hublab::InvalidArgument);
+}
+
+TEST(Gadget, ReprAndDigitsRoundTrip) {
+  const GadgetProtocol protocol(lb::GadgetParams{3, 2}, hub_scheme());
+  EXPECT_EQ(protocol.universe_size(), 16u);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    const lb::Coords x = protocol.digits(a);
+    EXPECT_EQ(protocol.repr(x), a);
+  }
+}
+
+TEST(Gadget, ReprIsAdditiveModM) {
+  const GadgetProtocol protocol(lb::GadgetParams{3, 2}, hub_scheme());
+  const std::uint64_t m = protocol.universe_size();
+  for (std::uint64_t a = 0; a < m; a += 3) {
+    for (std::uint64_t b = 0; b < m; b += 5) {
+      lb::Coords sum = protocol.digits(a);
+      const lb::Coords zb = protocol.digits(b);
+      for (std::size_t k = 0; k < sum.size(); ++k) sum[k] += zb[k];
+      EXPECT_EQ(protocol.repr(sum), (a + b) % m);
+    }
+  }
+}
+
+TEST(Gadget, RemovalMaskMatchesRepr) {
+  const GadgetProtocol protocol(lb::GadgetParams{2, 1}, hub_scheme());
+  // m = 2; midlevel layer has s = 4 vertices with repr values (y0 mod 2).
+  const auto mask = protocol.removal_mask({1, 0});
+  ASSERT_EQ(mask.size(), 4u);
+  EXPECT_FALSE(mask[0]);  // repr 0 -> S[0] = 1 -> kept
+  EXPECT_TRUE(mask[1]);   // repr 1 -> S[1] = 0 -> removed
+  EXPECT_FALSE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST(Gadget, ExhaustiveTinyInstanceOnH) {
+  // b=2, l=1: m = 2.  All 4 bitstrings x all (a,b) pairs.
+  const GadgetProtocol protocol(lb::GadgetParams{2, 1}, hub_scheme());
+  const std::uint64_t m = protocol.universe_size();
+  ASSERT_EQ(m, 2u);
+  for (std::uint64_t mask = 0; mask < (1u << m); ++mask) {
+    const auto S = bits_of(mask, m);
+    for (std::uint64_t a = 0; a < m; ++a) {
+      for (std::uint64_t b = 0; b < m; ++b) {
+        const ProtocolRun run = run_protocol(protocol, S, a, b);
+        EXPECT_TRUE(run.correct()) << "mask=" << mask << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Gadget, ExhaustiveM4OnH) {
+  // b=3, l=1: m = 4.  16 bitstrings x 16 (a,b) pairs.
+  const GadgetProtocol protocol(lb::GadgetParams{3, 1}, hub_scheme());
+  const std::uint64_t m = protocol.universe_size();
+  ASSERT_EQ(m, 4u);
+  for (std::uint64_t mask = 0; mask < (1u << m); ++mask) {
+    const auto S = bits_of(mask, m);
+    for (std::uint64_t a = 0; a < m; ++a) {
+      for (std::uint64_t b = 0; b < m; ++b) {
+        EXPECT_TRUE(run_protocol(protocol, S, a, b).correct());
+      }
+    }
+  }
+}
+
+TEST(Gadget, RandomizedM16OnH) {
+  // b=3, l=2: m = 16; layered graph with 5*64 vertices.
+  const GadgetProtocol protocol(lb::GadgetParams{3, 2}, hub_scheme());
+  const ProtocolStats stats = evaluate_protocol(protocol, 60, 7, 20);
+  EXPECT_TRUE(stats.all_correct());
+  EXPECT_GT(stats.max_alice_bits, 0u);
+}
+
+TEST(Gadget, ExhaustiveTinyInstanceOnDegree3) {
+  const GadgetProtocol protocol(lb::GadgetParams{2, 1}, hub_scheme(), /*use_degree3=*/true);
+  const std::uint64_t m = protocol.universe_size();
+  for (std::uint64_t mask = 0; mask < (1u << m); ++mask) {
+    const auto S = bits_of(mask, m);
+    for (std::uint64_t a = 0; a < m; ++a) {
+      for (std::uint64_t b = 0; b < m; ++b) {
+        EXPECT_TRUE(run_protocol(protocol, S, a, b).correct());
+      }
+    }
+  }
+}
+
+TEST(Gadget, DegreeThreeNameDiffers) {
+  const GadgetProtocol on_h(lb::GadgetParams{2, 1}, hub_scheme(), false);
+  const GadgetProtocol on_g(lb::GadgetParams{2, 1}, hub_scheme(), true);
+  EXPECT_NE(on_h.name(), on_g.name());
+}
+
+TEST(Gadget, FlatSchemeAlsoWorks) {
+  const auto flat = std::make_shared<FlatDistanceLabeling>();
+  const GadgetProtocol protocol(lb::GadgetParams{2, 1}, flat);
+  const ProtocolStats stats = evaluate_protocol(protocol, 30, 3, 10);
+  EXPECT_TRUE(stats.all_correct());
+}
+
+TEST(Gadget, OutOfRangeIndexThrows) {
+  const GadgetProtocol protocol(lb::GadgetParams{2, 1}, hub_scheme());
+  EXPECT_THROW((void)protocol.alice({1, 1}, 5), hublab::InvalidArgument);
+  EXPECT_THROW((void)protocol.bob({1, 1}, 2), hublab::InvalidArgument);
+}
+
+TEST(Gadget, WrongSLengthThrows) {
+  const GadgetProtocol protocol(lb::GadgetParams{2, 1}, hub_scheme());
+  EXPECT_THROW((void)protocol.alice({1, 1, 1}, 0), hublab::InvalidArgument);
+}
+
+TEST(EvaluateProtocol, CountsTrials) {
+  const TrivialProtocol protocol(8);
+  const ProtocolStats stats = evaluate_protocol(protocol, 25, 11);
+  EXPECT_EQ(stats.trials, 25u);
+  EXPECT_TRUE(stats.all_correct());
+}
+
+}  // namespace
+}  // namespace hublab::si

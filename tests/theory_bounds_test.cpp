@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/distance_matrix.hpp"
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "hub/constructions.hpp"
+#include "hub/structured.hpp"
+#include "hub/upperbound.hpp"
+#include "lowerbound/certify.hpp"
+#include "lowerbound/gadget.hpp"
+#include "util/rng.hpp"
+
+/// Statistical verification of the paper's quantitative claims: not just
+/// "the construction is exact" but "the sizes behave as the proofs say",
+/// within generous constant slack, averaged over seeds.
+
+namespace hublab {
+namespace {
+
+/// Paper Sec. 1.2 / proof of Thm 4.1, step (*): a random set S of size
+/// ~ (n/D) ln D leaves at most ~ n^2/D far pairs uncovered (in
+/// expectation).  We check the measured residuals against 4x that budget.
+TEST(TheoryBounds, DistantCoverResidualIsBounded) {
+  const std::size_t n = 300;
+  for (const std::size_t D : {3u, 5u, 8u}) {
+    double total_patched = 0;
+    const int seeds = 5;
+    for (int s = 1; s <= seeds; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) * 100 + D);
+      const Graph g = gen::random_regular(n, 3, rng);
+      const DistanceMatrix truth = DistanceMatrix::compute(g);
+      DistantCoverStats stats;
+      (void)random_distant_cover(g, truth, D, rng, &stats);
+      total_patched += static_cast<double>(stats.patched_pairs);
+    }
+    const double avg_patched = total_patched / seeds;
+    const double budget = 4.0 * static_cast<double>(n) * static_cast<double>(n) /
+                          static_cast<double>(D);
+    EXPECT_LE(avg_patched, budget) << "D=" << D;
+  }
+}
+
+/// Thm 4.1 accounting: sum |Q_v| (far pairs the sample missed) must stay
+/// within the same n^2/D style budget; the shared part n|S| is
+/// (n^2/D) ln D by construction.
+TEST(TheoryBounds, PipelineStageBudgets) {
+  const std::size_t n = 300;
+  for (const std::size_t D : {3u, 4u, 6u}) {
+    Rng gen_rng(n + D);
+    const Graph g = gen::random_regular(n, 3, gen_rng);
+    const DistanceMatrix truth = DistanceMatrix::compute(g);
+    Rng rng(D);
+    UpperBoundStats stats;
+    (void)upper_bound_labeling(g, truth, D, rng, &stats);
+    const double nn = static_cast<double>(n) * static_cast<double>(n);
+    EXPECT_LE(static_cast<double>(stats.sum_q), 4.0 * nn / static_cast<double>(D)) << D;
+    // Color conflicts hit pairs with |H| <= D under D^3 colors: expected
+    // fraction <= 1/D of the small pairs.
+    EXPECT_LE(static_cast<double>(stats.sum_r), 2.0 * nn / static_cast<double>(D)) << D;
+    // n|S| = n * ceil((n/D) ln D + 1).
+    const double expected_sample =
+        static_cast<double>(n) / static_cast<double>(D) * std::log(static_cast<double>(D));
+    EXPECT_LE(static_cast<double>(stats.sample_size), expected_sample + 2.0) << D;
+  }
+}
+
+/// Thm 2.1 (iii): the certified bound grows like layer_size within a fixed
+/// level count -- doubling b at fixed l multiplies the bound by ~2^l
+/// (T scales by 4^l, n by 2^l).
+TEST(TheoryBounds, CountingBoundScalesWithSideLength) {
+  const double b3 = lb::certified_bound_h(lb::GadgetParams{3, 2});
+  const double b4 = lb::certified_bound_h(lb::GadgetParams{4, 2});
+  const double b5 = lb::certified_bound_h(lb::GadgetParams{5, 2});
+  ASSERT_GT(b3, 0.0);
+  // Ratio approaches 2^l = 4 from below (the "-1" correction fades).
+  EXPECT_GT(b4 / b3, 3.0);
+  EXPECT_LT(b4 / b3, 6.5);
+  EXPECT_GT(b5 / b4, 3.4);
+  EXPECT_LT(b5 / b4, 4.6);
+}
+
+/// Tree labels: centroid decomposition gives max label <= floor(log2 n)+1
+/// exactly (not just asymptotically).
+TEST(TheoryBounds, CentroidDepthIsLogExact) {
+  for (const std::size_t n : {15u, 31u, 63u, 127u, 255u}) {
+    const Graph g = gen::path(n);
+    const HubLabeling l = tree_centroid_labeling(g);
+    const auto limit = static_cast<std::size_t>(std::floor(std::log2(n))) + 1;
+    EXPECT_LE(l.max_label_size(), limit) << n;
+  }
+}
+
+/// The gadget hop diameter claimed by GadgetParams is attained exactly on
+/// small instances (4l hops corner to corner... bounded by, and close to).
+TEST(TheoryBounds, HopDiameterBoundTight) {
+  for (const auto& p : {lb::GadgetParams{2, 1}, lb::GadgetParams{2, 2}}) {
+    const lb::LayeredGadget h(p);
+    const Dist hop = diameter_exact(unweighted_copy(h.graph()));
+    EXPECT_LE(hop, p.hop_diameter_bound());
+    EXPECT_GE(hop, p.hop_diameter_bound() / 2);  // within 2x: levels alone force 2l
+  }
+}
+
+}  // namespace
+}  // namespace hublab

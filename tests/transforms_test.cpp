@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const Graph g = gen::grid(4, 4);
+  EXPECT_EQ(num_connected_components(g), 1u);
+}
+
+TEST(Components, CountsIsolatedVertices) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(num_connected_components(g), 4u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Components, LargestComponentExtraction) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  std::vector<Vertex> mapping;
+  const Graph big = largest_component(g, &mapping);
+  EXPECT_EQ(big.num_vertices(), 3u);
+  EXPECT_EQ(big.num_edges(), 2u);
+  EXPECT_NE(mapping[0], kInvalidVertex);
+  EXPECT_EQ(mapping[5], kInvalidVertex);
+}
+
+TEST(Relabel, PreservesStructure) {
+  const Graph g = gen::path(4);
+  const std::vector<Vertex> perm{3, 2, 1, 0};
+  const Graph h = relabel(g, perm);
+  EXPECT_TRUE(h.has_edge(3, 2));
+  EXPECT_TRUE(h.has_edge(1, 0));
+  EXPECT_FALSE(h.has_edge(3, 1));
+}
+
+TEST(Relabel, RejectsNonPermutation) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(relabel(g, {0, 0, 1}), InvalidArgument);
+  EXPECT_THROW(relabel(g, {0, 1}), InvalidArgument);
+}
+
+TEST(UnweightedCopy, StripsWeights) {
+  Rng rng(1);
+  const Graph g = gen::road_like(4, 4, 0.2, 9, rng);
+  const Graph u = unweighted_copy(g);
+  EXPECT_FALSE(u.is_weighted());
+  EXPECT_EQ(u.num_edges(), g.num_edges());
+}
+
+TEST(ReduceDegree, CapRespected) {
+  const Graph g = gen::star(20);  // center degree 19
+  const DegreeReduction red = reduce_degree(g, 3);
+  EXPECT_LE(red.graph.max_degree(), 3u + 2u);
+  EXPECT_GT(red.graph.num_vertices(), g.num_vertices());
+}
+
+TEST(ReduceDegree, InvalidCapThrows) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(reduce_degree(g, 0), InvalidArgument);
+}
+
+TEST(ReduceDegree, MappingsConsistent) {
+  const Graph g = gen::star(10);
+  const DegreeReduction red = reduce_degree(g, 2);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LT(red.representative[v], red.graph.num_vertices());
+    EXPECT_EQ(red.origin[red.representative[v]], v);
+  }
+  for (Vertex c = 0; c < red.graph.num_vertices(); ++c) {
+    EXPECT_LT(red.origin[c], g.num_vertices());
+  }
+}
+
+TEST(ReduceDegree, LowDegreeGraphUnchangedInSize) {
+  const Graph g = gen::cycle(10);
+  const DegreeReduction red = reduce_degree(g, 2);
+  EXPECT_EQ(red.graph.num_vertices(), 10u);
+  EXPECT_EQ(red.graph.num_edges(), 10u);
+}
+
+/// The core property: distances between original vertices are preserved.
+class ReduceDegreeDistance : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ReduceDegreeDistance, PreservesAllPairs) {
+  const auto [n, m, cap] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 1000 + static_cast<std::uint64_t>(m));
+  const Graph g = gen::connected_gnm(static_cast<std::size_t>(n), static_cast<std::size_t>(m), rng);
+  const DegreeReduction red = reduce_degree(g, static_cast<std::size_t>(cap));
+  EXPECT_LE(red.graph.max_degree(), static_cast<std::size_t>(cap) + 2);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto orig = sssp_distances(g, u);
+    const auto redd = sssp_distances(red.graph, red.representative[u]);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(orig[v], redd[red.representative[v]])
+          << "distance mismatch " << u << "-" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReduceDegreeDistance,
+                         ::testing::Values(std::make_tuple(30, 45, 1),
+                                           std::make_tuple(30, 45, 2),
+                                           std::make_tuple(50, 100, 2),
+                                           std::make_tuple(50, 100, 3),
+                                           std::make_tuple(40, 120, 3),
+                                           std::make_tuple(25, 24, 1)));
+
+TEST(ReduceDegree, StarDistancesPreserved) {
+  const Graph g = gen::star(30);
+  const DegreeReduction red = reduce_degree(g, 3);
+  const auto d = sssp_distances(red.graph, red.representative[0]);
+  for (Vertex leaf = 1; leaf < 30; ++leaf) {
+    EXPECT_EQ(d[red.representative[leaf]], 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "algo/distance_matrix.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "hub/pll.hpp"
+#include "hub/upperbound.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(UpperBound, RejectsBadParameters) {
+  Rng rng(1);
+  const Graph g = gen::cycle(10);
+  const auto truth = DistanceMatrix::compute(g);
+  EXPECT_THROW(upper_bound_labeling(g, truth, 1, rng), InvalidArgument);
+  const Graph weighted = gen::randomize_weights(g, 5, rng);
+  const auto wtruth = DistanceMatrix::compute(weighted);
+  EXPECT_THROW(upper_bound_labeling(weighted, wtruth, 3, rng), InvalidArgument);
+}
+
+TEST(UpperBound, ExactOnCycle) {
+  Rng rng(2);
+  const Graph g = gen::cycle(24);
+  const auto truth = DistanceMatrix::compute(g);
+  UpperBoundStats stats;
+  const HubLabeling l = upper_bound_labeling(g, truth, 3, rng, &stats);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+  EXPECT_EQ(stats.n, 24u);
+  EXPECT_EQ(stats.total_hubs, l.total_hubs());
+}
+
+TEST(UpperBound, ExactOnGrid) {
+  Rng rng(3);
+  const Graph g = gen::grid(6, 6);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = upper_bound_labeling(g, truth, 4, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(UpperBound, ExactOnTree) {
+  Rng rng(4);
+  const Graph g = gen::binary_tree(63);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = upper_bound_labeling(g, truth, 3, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(UpperBound, ExactOnDisconnected) {
+  Rng rng(5);
+  GraphBuilder b(20);
+  for (Vertex v = 0; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 10; v + 1 < 20; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = upper_bound_labeling(g, truth, 3, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+class UpperBoundSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, std::size_t>> {};
+
+TEST_P(UpperBoundSweep, ExactOnRandomRegular) {
+  const auto [seed, n, D] = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::random_regular(n, 3, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  UpperBoundStats stats;
+  const HubLabeling l = upper_bound_labeling(g, truth, D, rng, &stats);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+  EXPECT_GE(stats.sample_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UpperBoundSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(40, 80),
+                                            ::testing::Values(2, 3, 5)));
+
+TEST(UpperBound, WorksOnZeroOneWeights) {
+  Rng rng(6);
+  const Graph base = gen::connected_gnm(40, 100, rng);
+  const DegreeReduction red = reduce_degree(base, 2);
+  const auto truth = DistanceMatrix::compute(red.graph);
+  const HubLabeling l = upper_bound_labeling(red.graph, truth, 3, rng);
+  EXPECT_FALSE(verify_labeling(red.graph, l, truth).has_value());
+}
+
+TEST(UpperBoundSparse, ExactAfterProjection) {
+  Rng rng(7);
+  const Graph g = gen::connected_gnm(50, 150, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = upper_bound_labeling_sparse(g, 3, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(UpperBoundSparse, HeavyTailInput) {
+  Rng rng(8);
+  const Graph g = gen::barabasi_albert(60, 3, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = upper_bound_labeling_sparse(g, 3, rng);
+  EXPECT_FALSE(verify_labeling(g, l, truth).has_value());
+}
+
+TEST(UpperBoundSparse, RejectsWeightedInput) {
+  Rng rng(9);
+  const Graph g = gen::randomize_weights(gen::cycle(10), 5, rng);
+  EXPECT_THROW(upper_bound_labeling_sparse(g, 3, rng), InvalidArgument);
+}
+
+TEST(UpperBound, StatsAccounting) {
+  Rng rng(10);
+  const Graph g = gen::random_regular(60, 3, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  UpperBoundStats stats;
+  const HubLabeling l = upper_bound_labeling(g, truth, 3, rng, &stats);
+  EXPECT_EQ(stats.D, 3u);
+  EXPECT_GT(stats.total_hubs, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_label_size, l.average_label_size());
+  // Every vertex keeps itself in F_v, so N(F_v) alone gives >= n hubs...
+  EXPECT_GE(stats.sum_nf, g.num_vertices());
+}
+
+class Lemma42Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma42Sweep, MatchingsAreInducedPerColorClass) {
+  Rng rng(GetParam());
+  const Graph g = gen::random_regular(50, 3, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  Rng pipeline_rng(GetParam() * 31 + 7);
+  EXPECT_TRUE(verify_lemma_4_2(g, truth, 3, pipeline_rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma42Sweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Lemma42, HoldsOnGridAndCycle) {
+  Rng rng(11);
+  {
+    const Graph g = gen::grid(5, 5);
+    const auto truth = DistanceMatrix::compute(g);
+    EXPECT_TRUE(verify_lemma_4_2(g, truth, 4, rng));
+  }
+  {
+    const Graph g = gen::cycle(30);
+    const auto truth = DistanceMatrix::compute(g);
+    EXPECT_TRUE(verify_lemma_4_2(g, truth, 3, rng));
+  }
+}
+
+TEST(UpperBound, LabelSizeScalesReasonably) {
+  // Not a theorem check (n too small for asymptotics), but the construction
+  // should stay within a moderate factor of n per label on bounded-degree
+  // graphs -- catches accidental quadratic blowups.
+  Rng rng(12);
+  const Graph g = gen::random_regular(100, 3, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling l = upper_bound_labeling(g, truth, 3, rng);
+  EXPECT_LT(l.average_label_size(), 100.0);
+}
+
+}  // namespace
+}  // namespace hublab

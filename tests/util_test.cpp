@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/bitstream.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  shuffle(w, rng);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(5);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto w = v;
+  shuffle(w, rng);
+  EXPECT_NE(v, w);
+}
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter w;
+  const std::vector<bool> bits{true, false, false, true, true, true, false, true, false};
+  for (bool b : bits) w.put_bit(b);
+  const BitString s = w.take();
+  EXPECT_EQ(s.size_bits(), bits.size());
+  BitReader r(s);
+  for (bool b : bits) EXPECT_EQ(r.get_bit(), b);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.put_bits(0x2a, 6);
+  w.put_bits(0, 0);
+  w.put_bits(0xffffffffffffffffULL, 64);
+  w.put_bits(5, 3);
+  const BitString s = w.take();
+  BitReader r(s);
+  EXPECT_EQ(r.get_bits(6), 0x2au);
+  EXPECT_EQ(r.get_bits(0), 0u);
+  EXPECT_EQ(r.get_bits(64), 0xffffffffffffffffULL);
+  EXPECT_EQ(r.get_bits(3), 5u);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter w;
+  w.put_bits(3, 2);
+  const BitString s = w.take();
+  BitReader r(s);
+  (void)r.get_bits(2);
+  EXPECT_THROW((void)r.get_bit(), ParseError);
+}
+
+TEST(BitStream, GammaKnownCodes) {
+  // gamma(1) = "1"; gamma(2) = "010" reversed-LSB layout: check lengths.
+  EXPECT_EQ(gamma_code_length(1), 1u);
+  EXPECT_EQ(gamma_code_length(2), 3u);
+  EXPECT_EQ(gamma_code_length(3), 3u);
+  EXPECT_EQ(gamma_code_length(4), 5u);
+  EXPECT_EQ(gamma_code_length(255), 15u);
+}
+
+TEST(BitStream, DeltaShorterThanGammaForLarge) {
+  EXPECT_LT(delta_code_length(1u << 20), gamma_code_length(1u << 20));
+}
+
+class GammaRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GammaRoundTrip, Value) {
+  const std::uint64_t v = GetParam();
+  BitWriter w;
+  w.put_gamma(v);
+  w.put_delta(v);
+  w.put_gamma0(v - 1);
+  w.put_delta0(v - 1);
+  const BitString s = w.take();
+  EXPECT_EQ(s.size_bits(), gamma_code_length(v) + delta_code_length(v) +
+                               gamma_code_length(v) + delta_code_length(v));
+  BitReader r(s);
+  EXPECT_EQ(r.get_gamma(), v);
+  EXPECT_EQ(r.get_delta(), v);
+  EXPECT_EQ(r.get_gamma0(), v - 1);
+  EXPECT_EQ(r.get_delta0(), v - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, GammaRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1023, 1024, 999983,
+                                           1ULL << 32, (1ULL << 62) + 12345));
+
+TEST(BitStream, InterleavedCodesRoundTrip) {
+  Rng rng(99);
+  std::vector<std::uint64_t> values;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next_below(1'000'000) + 1;
+    values.push_back(v);
+    if (i % 2 == 0) w.put_gamma(v);
+    else w.put_delta(v);
+  }
+  const BitString s = w.take();
+  BitReader r(s);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = (i % 2 == 0) ? r.get_gamma() : r.get_delta();
+    EXPECT_EQ(v, values[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, TruncatedGammaThrows) {
+  BitWriter w;
+  w.put_bit(false);
+  w.put_bit(false);
+  const BitString s = w.take();
+  BitReader r(s);
+  EXPECT_THROW((void)r.get_gamma(), ParseError);
+}
+
+TEST(BitStream, CeilFloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(TextTable, RendersAllRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_u64(123456789ULL), "123456789");
+  EXPECT_NE(fmt_sci(12345.0).find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hublab

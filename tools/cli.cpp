@@ -1,0 +1,263 @@
+#include "tools/cli.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "algo/shortest_paths.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/transforms.hpp"
+#include "hub/order.hpp"
+#include "hub/pll.hpp"
+#include "hub/serialize.hpp"
+#include "lowerbound/certify.hpp"
+#include "lowerbound/gadget.hpp"
+#include "sumindex/sumindex.hpp"
+#include "util/error.hpp"
+
+namespace hublab::cli {
+
+namespace {
+
+/// Tiny argument cursor: positionals in order plus --key value options.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  [[nodiscard]] std::optional<std::string> next_positional() {
+    while (cursor_ < args_.size()) {
+      const std::string& a = args_[cursor_];
+      if (a.rfind("--", 0) == 0 || a == "-o") {
+        cursor_ += 2;  // skip option and its value
+        continue;
+      }
+      return args_[cursor_++];
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<std::string> option(const std::string& name) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return args_[i + 1];
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t option_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto v = option(name);
+    return v ? std::stoull(*v) : fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::size_t cursor_ = 0;
+};
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw InvalidArgument(std::string("expected a number for ") + what + ", got: " + s);
+  }
+}
+
+int cmd_gen(Args& args, std::ostream& out) {
+  const auto family = args.next_positional();
+  if (!family) throw InvalidArgument("gen: missing family (gnm|grid|tree|ba|regular|road|gadget-h|gadget-g)");
+  const auto output = args.option("-o");
+  Rng rng(args.option_u64("--seed", 1));
+  const std::uint64_t n = args.option_u64("--n", 100);
+  const std::uint64_t m = args.option_u64("--m", 2 * n);
+  const std::uint64_t rows = args.option_u64("--rows", 10);
+  const std::uint64_t cols = args.option_u64("--cols", 10);
+  const std::uint64_t b = args.option_u64("--b", 2);
+  const std::uint64_t ell = args.option_u64("--l", 2);
+
+  Graph g;
+  if (*family == "gnm") {
+    g = gen::connected_gnm(n, m, rng);
+  } else if (*family == "grid") {
+    g = gen::grid(rows, cols);
+  } else if (*family == "tree") {
+    g = gen::random_tree(n, rng);
+  } else if (*family == "ba") {
+    g = gen::barabasi_albert(n, args.option_u64("--k", 2), rng);
+  } else if (*family == "regular") {
+    g = gen::random_regular(n, args.option_u64("--d", 3), rng);
+  } else if (*family == "road") {
+    g = gen::road_like(rows, cols, 0.2, static_cast<Weight>(args.option_u64("--maxw", 10)), rng);
+  } else if (*family == "gadget-h") {
+    g = lb::LayeredGadget(
+            lb::GadgetParams{static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(ell)})
+            .graph();
+  } else if (*family == "gadget-g") {
+    const lb::LayeredGadget h(
+        lb::GadgetParams{static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(ell)});
+    g = lb::Degree3Gadget(h).graph();
+  } else {
+    throw InvalidArgument("gen: unknown family: " + *family);
+  }
+
+  if (output) {
+    io::save_edge_list(g, *output);
+    out << "wrote " << *output << ": n=" << g.num_vertices() << " m=" << g.num_edges() << "\n";
+  } else {
+    io::write_edge_list(g, out);
+  }
+  return 0;
+}
+
+int cmd_stats(Args& args, std::ostream& out) {
+  const auto file = args.next_positional();
+  if (!file) throw InvalidArgument("stats: missing graph file");
+  const Graph g = io::load_edge_list(*file);
+  out << "n=" << g.num_vertices() << " m=" << g.num_edges()
+      << " avg_degree=" << g.average_degree() << " max_degree=" << g.max_degree()
+      << " weighted=" << (g.is_weighted() ? "yes" : "no")
+      << " components=" << num_connected_components(g) << "\n";
+  if (g.num_vertices() > 0 && num_connected_components(g) == 1) {
+    out << "diameter>=" << diameter_two_sweep(g) << " (two-sweep bound)\n";
+  }
+  return 0;
+}
+
+std::vector<Vertex> order_from_name(const Graph& g, const std::string& name, std::uint64_t seed) {
+  if (name == "degree") return make_vertex_order(g, VertexOrder::kDegreeDescending);
+  if (name == "natural") return make_vertex_order(g, VertexOrder::kNatural);
+  if (name == "random") return make_vertex_order(g, VertexOrder::kRandom, seed);
+  if (name == "betweenness") {
+    Rng rng(seed);
+    return betweenness_order(g, std::min<std::size_t>(64, g.num_vertices()), rng);
+  }
+  throw InvalidArgument("unknown order: " + name + " (degree|natural|random|betweenness)");
+}
+
+int cmd_label(Args& args, std::ostream& out) {
+  const auto file = args.next_positional();
+  if (!file) throw InvalidArgument("label: missing graph file");
+  const Graph g = io::load_edge_list(*file);
+  const std::string order_name = args.option("--order").value_or("degree");
+  const auto order = order_from_name(g, order_name, args.option_u64("--seed", 1));
+  const HubLabeling labels = pruned_landmark_labeling(g, order);
+  out << "PLL(" << order_name << "): avg=" << labels.average_label_size()
+      << " max=" << labels.max_label_size() << " total=" << labels.total_hubs()
+      << " bytes=" << labels.memory_bytes() << "\n";
+  if (const auto output = args.option("-o")) {
+    save_labeling_file(labels, *output);
+    out << "wrote " << *output << "\n";
+  }
+  return 0;
+}
+
+int cmd_query(Args& args, std::ostream& out) {
+  const auto graph_file = args.next_positional();
+  const auto labels_file = args.next_positional();
+  const auto u_str = args.next_positional();
+  const auto v_str = args.next_positional();
+  if (!graph_file || !labels_file || !u_str || !v_str) {
+    throw InvalidArgument("query: usage: query GRAPH LABELS U V");
+  }
+  const Graph g = io::load_edge_list(*graph_file);
+  const HubLabeling labels = load_labeling_file(*labels_file);
+  if (labels.num_vertices() != g.num_vertices()) {
+    throw InvalidArgument("query: labels do not match graph size");
+  }
+  const auto u = static_cast<Vertex>(parse_u64(*u_str, "U"));
+  const auto v = static_cast<Vertex>(parse_u64(*v_str, "V"));
+  if (u >= g.num_vertices() || v >= g.num_vertices()) {
+    throw InvalidArgument("query: vertex out of range");
+  }
+  const HubQueryResult q = labels.query_with_hub(u, v);
+  const Dist reference = bidirectional_distance(g, u, v);
+  out << "dist(" << u << "," << v << ") = ";
+  if (q.dist == kInfDist) out << "inf";
+  else out << q.dist;
+  out << " via hub " << q.meeting_hub << "; dijkstra=" << (reference == kInfDist ? 0 : reference)
+      << " agree=" << (q.dist == reference ? "yes" : "NO") << "\n";
+  return q.dist == reference ? 0 : 1;
+}
+
+int cmd_verify(Args& args, std::ostream& out) {
+  const auto graph_file = args.next_positional();
+  const auto labels_file = args.next_positional();
+  if (!graph_file || !labels_file) throw InvalidArgument("verify: usage: verify GRAPH LABELS");
+  const Graph g = io::load_edge_list(*graph_file);
+  const HubLabeling labels = load_labeling_file(*labels_file);
+  if (labels.num_vertices() != g.num_vertices()) {
+    throw InvalidArgument("verify: labels do not match graph size");
+  }
+  const std::uint64_t samples = args.option_u64("--samples", 200);
+  const auto defect = verify_labeling_sampled(g, labels, samples, args.option_u64("--seed", 7));
+  if (defect) {
+    out << "DEFECT: kind="
+        << (defect->kind == LabelingDefect::Kind::kWrongDistance ? "wrong-distance"
+                                                                 : "uncovered-pair")
+        << " u=" << defect->u << " v=" << defect->v << " stored=" << defect->stored
+        << " actual=" << defect->actual << "\n";
+    return 1;
+  }
+  out << "ok: " << samples << " sampled checks passed\n";
+  return 0;
+}
+
+int cmd_certify_gadget(Args& args, std::ostream& out) {
+  const auto b_str = args.next_positional();
+  const auto l_str = args.next_positional();
+  if (!b_str || !l_str) throw InvalidArgument("certify-gadget: usage: certify-gadget B L");
+  const lb::GadgetParams p{static_cast<std::uint32_t>(parse_u64(*b_str, "B")),
+                           static_cast<std::uint32_t>(parse_u64(*l_str, "L"))};
+  const lb::LayeredGadget h(p);
+  const auto report = lb::verify_lemma_2_2(h, 128, 1);
+  out << "H_{" << p.b << "," << p.ell << "}: n=" << h.graph().num_vertices()
+      << " m=" << h.graph().num_edges() << "\n";
+  out << "lemma 2.2: " << (report.ok() ? "ok" : "FAILED") << " (" << report.pairs_checked
+      << " pairs)\n";
+  out << "counting bound: any labeling needs avg >= " << lb::certified_bound_h(p)
+      << " hubs/vertex (T=" << p.num_triplets() << ")\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_sumindex(Args& args, std::ostream& out) {
+  const auto b_str = args.next_positional();
+  const auto l_str = args.next_positional();
+  if (!b_str || !l_str) throw InvalidArgument("sumindex: usage: sumindex B L [--trials N]");
+  const lb::GadgetParams p{static_cast<std::uint32_t>(parse_u64(*b_str, "B")),
+                           static_cast<std::uint32_t>(parse_u64(*l_str, "L"))};
+  const auto scheme = std::make_shared<HubDistanceLabeling>(
+      +[](const Graph& g) { return pruned_landmark_labeling(g, VertexOrder::kNatural); }, "pll");
+  const si::GadgetProtocol protocol(p, scheme);
+  const std::uint64_t trials = args.option_u64("--trials", 32);
+  const auto stats = si::evaluate_protocol(protocol, trials, args.option_u64("--seed", 17), 8);
+  out << "sum-index over m=" << protocol.universe_size() << ": " << stats.correct << "/"
+      << stats.trials << " correct, max message " << stats.max_alice_bits << " bits\n";
+  return stats.all_correct() ? 0 : 1;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "usage: hublab <gen|stats|label|query|verify|certify-gadget|sumindex> ...\n";
+    return 2;
+  }
+  Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
+  try {
+    if (args[0] == "gen") return cmd_gen(rest, out);
+    if (args[0] == "stats") return cmd_stats(rest, out);
+    if (args[0] == "label") return cmd_label(rest, out);
+    if (args[0] == "query") return cmd_query(rest, out);
+    if (args[0] == "verify") return cmd_verify(rest, out);
+    if (args[0] == "certify-gadget") return cmd_certify_gadget(rest, out);
+    if (args[0] == "sumindex") return cmd_sumindex(rest, out);
+    err << "unknown command: " << args[0] << "\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace hublab::cli

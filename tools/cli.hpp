@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file cli.hpp
+/// The `hublab` command-line tool, as a testable library function.
+///
+/// Subcommands:
+///   gen <family> [options] -o FILE      generate a graph (edge list)
+///   stats FILE                          print graph statistics
+///   label FILE [-o LABELS] [--order X]  build a PLL labeling, print stats
+///   query GRAPH LABELS U V              answer a distance query from disk
+///   verify GRAPH LABELS [--samples N]   verify labels against the graph
+///   certify-gadget B L                  Lemma 2.2 + counting bound
+///   sumindex B L [--trials N]           run the Theorem 1.6 protocol
+///
+/// Returns a process exit code; all output goes to the provided streams.
+
+namespace hublab::cli {
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace hublab::cli

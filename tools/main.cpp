@@ -1,0 +1,12 @@
+/// \file main.cpp
+/// Entry point of the `hublab` command-line tool (see cli.hpp).
+
+#include <iostream>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hublab::cli::run(args, std::cout, std::cerr);
+}
