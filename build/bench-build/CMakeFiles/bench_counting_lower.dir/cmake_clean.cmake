@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_counting_lower"
+  "../bench/bench_counting_lower.pdb"
+  "CMakeFiles/bench_counting_lower.dir/bench_counting_lower.cpp.o"
+  "CMakeFiles/bench_counting_lower.dir/bench_counting_lower.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counting_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

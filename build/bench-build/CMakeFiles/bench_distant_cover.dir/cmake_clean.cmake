@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distant_cover"
+  "../bench/bench_distant_cover.pdb"
+  "CMakeFiles/bench_distant_cover.dir/bench_distant_cover.cpp.o"
+  "CMakeFiles/bench_distant_cover.dir/bench_distant_cover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distant_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dynamic_updates"
+  "../bench/bench_dynamic_updates.pdb"
+  "CMakeFiles/bench_dynamic_updates.dir/bench_dynamic_updates.cpp.o"
+  "CMakeFiles/bench_dynamic_updates.dir/bench_dynamic_updates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

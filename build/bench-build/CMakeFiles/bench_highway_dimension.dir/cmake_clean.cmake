@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_highway_dimension"
+  "../bench/bench_highway_dimension.pdb"
+  "CMakeFiles/bench_highway_dimension.dir/bench_highway_dimension.cpp.o"
+  "CMakeFiles/bench_highway_dimension.dir/bench_highway_dimension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_highway_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

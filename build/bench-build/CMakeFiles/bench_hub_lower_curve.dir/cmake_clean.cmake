@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hub_lower_curve"
+  "../bench/bench_hub_lower_curve.pdb"
+  "CMakeFiles/bench_hub_lower_curve.dir/bench_hub_lower_curve.cpp.o"
+  "CMakeFiles/bench_hub_lower_curve.dir/bench_hub_lower_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hub_lower_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lowerbound_certify"
+  "../bench/bench_lowerbound_certify.pdb"
+  "CMakeFiles/bench_lowerbound_certify.dir/bench_lowerbound_certify.cpp.o"
+  "CMakeFiles/bench_lowerbound_certify.dir/bench_lowerbound_certify.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowerbound_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pll_orderings"
+  "../bench/bench_pll_orderings.pdb"
+  "CMakeFiles/bench_pll_orderings.dir/bench_pll_orderings.cpp.o"
+  "CMakeFiles/bench_pll_orderings.dir/bench_pll_orderings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pll_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_query_oracles"
+  "../bench/bench_query_oracles.pdb"
+  "CMakeFiles/bench_query_oracles.dir/bench_query_oracles.cpp.o"
+  "CMakeFiles/bench_query_oracles.dir/bench_query_oracles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rs_behrend"
+  "../bench/bench_rs_behrend.pdb"
+  "CMakeFiles/bench_rs_behrend.dir/bench_rs_behrend.cpp.o"
+  "CMakeFiles/bench_rs_behrend.dir/bench_rs_behrend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rs_behrend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

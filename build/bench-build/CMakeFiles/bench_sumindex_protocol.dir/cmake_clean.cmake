@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sumindex_protocol"
+  "../bench/bench_sumindex_protocol.pdb"
+  "CMakeFiles/bench_sumindex_protocol.dir/bench_sumindex_protocol.cpp.o"
+  "CMakeFiles/bench_sumindex_protocol.dir/bench_sumindex_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sumindex_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

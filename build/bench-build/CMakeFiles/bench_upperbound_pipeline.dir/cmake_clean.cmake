@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_upperbound_pipeline"
+  "../bench/bench_upperbound_pipeline.pdb"
+  "CMakeFiles/bench_upperbound_pipeline.dir/bench_upperbound_pipeline.cpp.o"
+  "CMakeFiles/bench_upperbound_pipeline.dir/bench_upperbound_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upperbound_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowerbound_gadget.dir/lowerbound_gadget.cpp.o"
+  "CMakeFiles/lowerbound_gadget.dir/lowerbound_gadget.cpp.o.d"
+  "lowerbound_gadget"
+  "lowerbound_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowerbound_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

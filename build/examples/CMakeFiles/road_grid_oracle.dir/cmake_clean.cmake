@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_grid_oracle.dir/road_grid_oracle.cpp.o"
+  "CMakeFiles/road_grid_oracle.dir/road_grid_oracle.cpp.o.d"
+  "road_grid_oracle"
+  "road_grid_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_grid_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

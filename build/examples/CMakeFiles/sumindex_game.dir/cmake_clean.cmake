@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sumindex_game.dir/sumindex_game.cpp.o"
+  "CMakeFiles/sumindex_game.dir/sumindex_game.cpp.o.d"
+  "sumindex_game"
+  "sumindex_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sumindex_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

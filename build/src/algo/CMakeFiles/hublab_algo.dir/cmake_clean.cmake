@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_algo.dir/distance_matrix.cpp.o"
+  "CMakeFiles/hublab_algo.dir/distance_matrix.cpp.o.d"
+  "CMakeFiles/hublab_algo.dir/shortest_paths.cpp.o"
+  "CMakeFiles/hublab_algo.dir/shortest_paths.cpp.o.d"
+  "libhublab_algo.a"
+  "libhublab_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhublab_algo.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_graph.dir/generators.cpp.o"
+  "CMakeFiles/hublab_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hublab_graph.dir/graph.cpp.o"
+  "CMakeFiles/hublab_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hublab_graph.dir/io.cpp.o"
+  "CMakeFiles/hublab_graph.dir/io.cpp.o.d"
+  "CMakeFiles/hublab_graph.dir/transforms.cpp.o"
+  "CMakeFiles/hublab_graph.dir/transforms.cpp.o.d"
+  "libhublab_graph.a"
+  "libhublab_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hub/approx.cpp" "src/hub/CMakeFiles/hublab_hub.dir/approx.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/approx.cpp.o.d"
+  "/root/repo/src/hub/canonical.cpp" "src/hub/CMakeFiles/hublab_hub.dir/canonical.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/canonical.cpp.o.d"
+  "/root/repo/src/hub/constructions.cpp" "src/hub/CMakeFiles/hublab_hub.dir/constructions.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/constructions.cpp.o.d"
+  "/root/repo/src/hub/highway.cpp" "src/hub/CMakeFiles/hublab_hub.dir/highway.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/highway.cpp.o.d"
+  "/root/repo/src/hub/incremental.cpp" "src/hub/CMakeFiles/hublab_hub.dir/incremental.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/incremental.cpp.o.d"
+  "/root/repo/src/hub/labeling.cpp" "src/hub/CMakeFiles/hublab_hub.dir/labeling.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/labeling.cpp.o.d"
+  "/root/repo/src/hub/order.cpp" "src/hub/CMakeFiles/hublab_hub.dir/order.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/order.cpp.o.d"
+  "/root/repo/src/hub/pll.cpp" "src/hub/CMakeFiles/hublab_hub.dir/pll.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/pll.cpp.o.d"
+  "/root/repo/src/hub/serialize.cpp" "src/hub/CMakeFiles/hublab_hub.dir/serialize.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/serialize.cpp.o.d"
+  "/root/repo/src/hub/structured.cpp" "src/hub/CMakeFiles/hublab_hub.dir/structured.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/structured.cpp.o.d"
+  "/root/repo/src/hub/upperbound.cpp" "src/hub/CMakeFiles/hublab_hub.dir/upperbound.cpp.o" "gcc" "src/hub/CMakeFiles/hublab_hub.dir/upperbound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hublab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hublab_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hublab_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hublab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

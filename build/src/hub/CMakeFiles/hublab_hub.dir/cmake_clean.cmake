@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_hub.dir/approx.cpp.o"
+  "CMakeFiles/hublab_hub.dir/approx.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/canonical.cpp.o"
+  "CMakeFiles/hublab_hub.dir/canonical.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/constructions.cpp.o"
+  "CMakeFiles/hublab_hub.dir/constructions.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/highway.cpp.o"
+  "CMakeFiles/hublab_hub.dir/highway.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/incremental.cpp.o"
+  "CMakeFiles/hublab_hub.dir/incremental.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/labeling.cpp.o"
+  "CMakeFiles/hublab_hub.dir/labeling.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/order.cpp.o"
+  "CMakeFiles/hublab_hub.dir/order.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/pll.cpp.o"
+  "CMakeFiles/hublab_hub.dir/pll.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/serialize.cpp.o"
+  "CMakeFiles/hublab_hub.dir/serialize.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/structured.cpp.o"
+  "CMakeFiles/hublab_hub.dir/structured.cpp.o.d"
+  "CMakeFiles/hublab_hub.dir/upperbound.cpp.o"
+  "CMakeFiles/hublab_hub.dir/upperbound.cpp.o.d"
+  "libhublab_hub.a"
+  "libhublab_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

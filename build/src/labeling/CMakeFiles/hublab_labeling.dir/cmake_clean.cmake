@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_labeling.dir/distance_labeling.cpp.o"
+  "CMakeFiles/hublab_labeling.dir/distance_labeling.cpp.o.d"
+  "libhublab_labeling.a"
+  "libhublab_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_lowerbound.dir/certify.cpp.o"
+  "CMakeFiles/hublab_lowerbound.dir/certify.cpp.o.d"
+  "CMakeFiles/hublab_lowerbound.dir/counting.cpp.o"
+  "CMakeFiles/hublab_lowerbound.dir/counting.cpp.o.d"
+  "CMakeFiles/hublab_lowerbound.dir/gadget.cpp.o"
+  "CMakeFiles/hublab_lowerbound.dir/gadget.cpp.o.d"
+  "libhublab_lowerbound.a"
+  "libhublab_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_matching.dir/bipartite.cpp.o"
+  "CMakeFiles/hublab_matching.dir/bipartite.cpp.o.d"
+  "CMakeFiles/hublab_matching.dir/induced_matching.cpp.o"
+  "CMakeFiles/hublab_matching.dir/induced_matching.cpp.o.d"
+  "libhublab_matching.a"
+  "libhublab_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

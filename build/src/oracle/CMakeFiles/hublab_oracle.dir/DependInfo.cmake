@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/alt.cpp" "src/oracle/CMakeFiles/hublab_oracle.dir/alt.cpp.o" "gcc" "src/oracle/CMakeFiles/hublab_oracle.dir/alt.cpp.o.d"
+  "/root/repo/src/oracle/arc_flags.cpp" "src/oracle/CMakeFiles/hublab_oracle.dir/arc_flags.cpp.o" "gcc" "src/oracle/CMakeFiles/hublab_oracle.dir/arc_flags.cpp.o.d"
+  "/root/repo/src/oracle/contraction_hierarchy.cpp" "src/oracle/CMakeFiles/hublab_oracle.dir/contraction_hierarchy.cpp.o" "gcc" "src/oracle/CMakeFiles/hublab_oracle.dir/contraction_hierarchy.cpp.o.d"
+  "/root/repo/src/oracle/oracle.cpp" "src/oracle/CMakeFiles/hublab_oracle.dir/oracle.cpp.o" "gcc" "src/oracle/CMakeFiles/hublab_oracle.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hublab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hublab_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hub/CMakeFiles/hublab_hub.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hublab_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hublab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_oracle.dir/alt.cpp.o"
+  "CMakeFiles/hublab_oracle.dir/alt.cpp.o.d"
+  "CMakeFiles/hublab_oracle.dir/arc_flags.cpp.o"
+  "CMakeFiles/hublab_oracle.dir/arc_flags.cpp.o.d"
+  "CMakeFiles/hublab_oracle.dir/contraction_hierarchy.cpp.o"
+  "CMakeFiles/hublab_oracle.dir/contraction_hierarchy.cpp.o.d"
+  "CMakeFiles/hublab_oracle.dir/oracle.cpp.o"
+  "CMakeFiles/hublab_oracle.dir/oracle.cpp.o.d"
+  "libhublab_oracle.a"
+  "libhublab_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs/behrend.cpp" "src/rs/CMakeFiles/hublab_rs.dir/behrend.cpp.o" "gcc" "src/rs/CMakeFiles/hublab_rs.dir/behrend.cpp.o.d"
+  "/root/repo/src/rs/rs_graph.cpp" "src/rs/CMakeFiles/hublab_rs.dir/rs_graph.cpp.o" "gcc" "src/rs/CMakeFiles/hublab_rs.dir/rs_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hublab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hublab_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hublab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

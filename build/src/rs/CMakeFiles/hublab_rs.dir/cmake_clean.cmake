@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_rs.dir/behrend.cpp.o"
+  "CMakeFiles/hublab_rs.dir/behrend.cpp.o.d"
+  "CMakeFiles/hublab_rs.dir/rs_graph.cpp.o"
+  "CMakeFiles/hublab_rs.dir/rs_graph.cpp.o.d"
+  "libhublab_rs.a"
+  "libhublab_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

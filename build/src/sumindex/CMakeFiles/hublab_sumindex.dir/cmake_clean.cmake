@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_sumindex.dir/sumindex.cpp.o"
+  "CMakeFiles/hublab_sumindex.dir/sumindex.cpp.o.d"
+  "libhublab_sumindex.a"
+  "libhublab_sumindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_sumindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_util.dir/bitstream.cpp.o"
+  "CMakeFiles/hublab_util.dir/bitstream.cpp.o.d"
+  "CMakeFiles/hublab_util.dir/table.cpp.o"
+  "CMakeFiles/hublab_util.dir/table.cpp.o.d"
+  "libhublab_util.a"
+  "libhublab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

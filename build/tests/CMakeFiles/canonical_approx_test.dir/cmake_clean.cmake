@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canonical_approx_test.dir/canonical_approx_test.cpp.o"
+  "CMakeFiles/canonical_approx_test.dir/canonical_approx_test.cpp.o.d"
+  "canonical_approx_test"
+  "canonical_approx_test.pdb"
+  "canonical_approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canonical_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constructions_test.dir/constructions_test.cpp.o"
+  "CMakeFiles/constructions_test.dir/constructions_test.cpp.o.d"
+  "constructions_test"
+  "constructions_test.pdb"
+  "constructions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constructions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_test.dir/highway_test.cpp.o"
+  "CMakeFiles/highway_test.dir/highway_test.cpp.o.d"
+  "highway_test"
+  "highway_test.pdb"
+  "highway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/induced_matching_test.dir/induced_matching_test.cpp.o"
+  "CMakeFiles/induced_matching_test.dir/induced_matching_test.cpp.o.d"
+  "induced_matching_test"
+  "induced_matching_test.pdb"
+  "induced_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/induced_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

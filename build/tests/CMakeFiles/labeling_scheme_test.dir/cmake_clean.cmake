@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeling_scheme_test.dir/labeling_scheme_test.cpp.o"
+  "CMakeFiles/labeling_scheme_test.dir/labeling_scheme_test.cpp.o.d"
+  "labeling_scheme_test"
+  "labeling_scheme_test.pdb"
+  "labeling_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeling_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_test.dir/rs_test.cpp.o"
+  "CMakeFiles/rs_test.dir/rs_test.cpp.o.d"
+  "rs_test"
+  "rs_test.pdb"
+  "rs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/structured_test.cpp" "tests/CMakeFiles/structured_test.dir/structured_test.cpp.o" "gcc" "tests/CMakeFiles/structured_test.dir/structured_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hublab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hublab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hublab_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hublab_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/hublab_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hub/CMakeFiles/hublab_hub.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/hublab_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/hublab_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/sumindex/CMakeFiles/hublab_sumindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/hublab_oracle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

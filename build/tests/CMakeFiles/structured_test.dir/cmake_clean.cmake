@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_test.dir/structured_test.cpp.o"
+  "CMakeFiles/structured_test.dir/structured_test.cpp.o.d"
+  "structured_test"
+  "structured_test.pdb"
+  "structured_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sumindex_test.dir/sumindex_test.cpp.o"
+  "CMakeFiles/sumindex_test.dir/sumindex_test.cpp.o.d"
+  "sumindex_test"
+  "sumindex_test.pdb"
+  "sumindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sumindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

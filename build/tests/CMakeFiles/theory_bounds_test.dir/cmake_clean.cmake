@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_bounds_test.dir/theory_bounds_test.cpp.o"
+  "CMakeFiles/theory_bounds_test.dir/theory_bounds_test.cpp.o.d"
+  "theory_bounds_test"
+  "theory_bounds_test.pdb"
+  "theory_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

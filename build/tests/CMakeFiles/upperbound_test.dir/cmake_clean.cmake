@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upperbound_test.dir/upperbound_test.cpp.o"
+  "CMakeFiles/upperbound_test.dir/upperbound_test.cpp.o.d"
+  "upperbound_test"
+  "upperbound_test.pdb"
+  "upperbound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upperbound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

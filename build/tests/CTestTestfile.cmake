@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/induced_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/rs_test[1]_include.cmake")
+include("/root/repo/build/tests/hub_labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/pll_test[1]_include.cmake")
+include("/root/repo/build/tests/constructions_test[1]_include.cmake")
+include("/root/repo/build/tests/canonical_approx_test[1]_include.cmake")
+include("/root/repo/build/tests/structured_test[1]_include.cmake")
+include("/root/repo/build/tests/highway_test[1]_include.cmake")
+include("/root/repo/build/tests/contraction_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/goal_directed_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/upperbound_test[1]_include.cmake")
+include("/root/repo/build/tests/lowerbound_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/sumindex_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

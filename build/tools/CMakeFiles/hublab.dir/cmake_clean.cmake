@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab.dir/main.cpp.o"
+  "CMakeFiles/hublab.dir/main.cpp.o.d"
+  "hublab"
+  "hublab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

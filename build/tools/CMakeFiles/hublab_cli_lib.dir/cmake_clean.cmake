@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hublab_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/hublab_cli_lib.dir/cli.cpp.o.d"
+  "libhublab_cli_lib.a"
+  "libhublab_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hublab_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
