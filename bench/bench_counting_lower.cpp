@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "algo/shortest_paths.hpp"
 #include "lowerbound/counting.hpp"
@@ -54,7 +55,7 @@ int main() {
                    fmt_double(std::sqrt(n), 1), fmt_double(paper_target, 1),
                    decode_ok ? "ok" : "FAIL"});
   }
-  table.print(
+  table.print(std::cout, 
       "counting technique: LB tracks sqrt(n); the paper's hub-label bound lives at "
       "n/2^{Theta(sqrt(log n))} -- exponentially higher (last column)");
 

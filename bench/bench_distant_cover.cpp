@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "algo/distance_matrix.hpp"
 #include "graph/generators.hpp"
@@ -46,7 +47,7 @@ int main() {
     }
     table.add_row({"-", "-", "-", "-", fmt_double(pll.average_label_size(), 2), "ok",
                    "PLL reference"});
-    table.print("random 3-regular, n = " + std::to_string(n));
+    table.print(std::cout, "random 3-regular, n = " + std::to_string(n));
     if (!all_ok) {
       std::printf("\ndistant-cover ablation: MISMATCH\n");
       return 1;

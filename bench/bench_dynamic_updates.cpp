@@ -8,6 +8,7 @@
 /// batch.
 
 #include <cstdio>
+#include <iostream>
 
 #include "algo/shortest_paths.hpp"
 #include "graph/generators.hpp"
@@ -73,7 +74,7 @@ int main() {
                    fmt_u64(inc.total_hubs()), fmt_u64(rebuilt.total_hubs()),
                    fmt_double(overhead, 3), exact ? "ok" : "FAIL"});
   }
-  table.print("incremental insertions (overhead = incremental hubs / rebuilt hubs)");
+  table.print(std::cout, "incremental insertions (overhead = incremental hubs / rebuilt hubs)");
 
   std::printf("\ndynamic updates ablation: %s\n", all_ok ? "OK" : "MISMATCH");
   return all_ok ? 0 : 1;

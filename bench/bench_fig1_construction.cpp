@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 
 #include "algo/shortest_paths.hpp"
 #include "graph/io.hpp"
@@ -31,7 +32,7 @@ int main() {
   params.add_row({"A = 3*l*s^2", fmt_u64(p.base_weight()), "96"});
   params.add_row({"|V(H)|", fmt_u64(h.graph().num_vertices()), "80"});
   params.add_row({"|E(H)|", fmt_u64(h.graph().num_edges()), "256"});
-  params.print("H_{2,2} parameters");
+  params.print(std::cout, "H_{2,2} parameters");
 
   // Blue path: unique shortest v_{0,(1,0)} -> v_{4,(3,2)}.
   const lb::Coords x{1, 0};
@@ -55,7 +56,7 @@ int main() {
   fig.add_row({"passes v_{2,(2,1)}", through_mid ? "yes" : "NO (bug!)", "yes", ""});
   fig.add_row({"red (detour)", fmt_u64(path_length(h.graph(), red)),
                fmt_u64(4 * p.base_weight() + 8), "4A+8"});
-  fig.print("Figure 1 paths");
+  fig.print(std::cout, "Figure 1 paths");
 
   // Degree-3 expansion stats for the same instance.
   const lb::Degree3Gadget g3(h);
@@ -65,7 +66,7 @@ int main() {
   exp.add_row({"max degree", fmt_u64(g3.graph().max_degree())});
   exp.add_row({"tree vertices", fmt_u64(g3.num_tree_vertices())});
   exp.add_row({"path vertices", fmt_u64(g3.num_path_vertices())});
-  exp.print("Degree-3 expansion G_{2,2}");
+  exp.print(std::cout, "Degree-3 expansion G_{2,2}");
 
   std::ofstream dot("fig1_h22.dot");
   io::write_dot(h.graph(), dot, "H_2_2");

@@ -9,6 +9,7 @@
 /// show large loads -- the same dichotomy Theorem 1.1 formalizes.
 
 #include <cstdio>
+#include <iostream>
 
 #include "algo/distance_matrix.hpp"
 #include "graph/generators.hpp"
@@ -61,7 +62,7 @@ int main() {
                    fmt_u64(sum_covers), fmt_double(l.average_label_size(), 2),
                    fmt_double(pll.average_label_size(), 2), exact ? "ok" : "FAIL"});
   }
-  table.print("multiscale SP-cover labeling; 'h estimate' = max per-scale ball load");
+  table.print(std::cout, "multiscale SP-cover labeling; 'h estimate' = max per-scale ball load");
 
   // Per-scale detail for the two extremes.
   for (const char* pick : {"grid 14x14 (road-like)", "random 3-regular n=196"}) {
@@ -76,7 +77,7 @@ int main() {
                         "(" + fmt_u64(s.r) + "," + fmt_u64(2 * s.r) + "]",
                         fmt_u64(s.cover_size), fmt_u64(s.max_ball_load)});
       }
-      detail.print(std::string("per-scale detail: ") + pick);
+      detail.print(std::cout, std::string("per-scale detail: ") + pick);
     }
   }
 

@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "hub/pll.hpp"
 #include "lowerbound/certify.hpp"
@@ -77,7 +78,7 @@ int main() {
                       fmt_u64(g3.graph().num_vertices()), fmt_double(bound_h, 3),
                       fmt_double(pll_h.average_label_size(), 2), pll_g});
   }
-  measured.print("Part 1 (measured): PLL can never beat the certified counting bound");
+  measured.print(std::cout, "Part 1 (measured): PLL can never beat the certified counting bound");
 
   // ---- Part 2: analytic diagonal ------------------------------------------
   TextTable analytic({"b=l", "log2 n_G", "log2 T", "certified avg lb", "loss = n/bound",
@@ -101,7 +102,7 @@ int main() {
                       fmt_double(std::log2(e.triplets), 1),
                       e.certified > 0 ? fmt_sci(e.certified, 2) : "0", loss_str, shape_str});
   }
-  analytic.print(
+  analytic.print(std::cout, 
       "Part 2 (analytic diagonal b=l): the shape column converging to a constant is "
       "the n/2^{Theta(sqrt(log n))} law of Theorem 1.1");
 

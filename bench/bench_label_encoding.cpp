@@ -8,6 +8,7 @@
 /// 2-bit-corrections scheme ([AGHP16a] paradigm from the related work).
 
 #include <cstdio>
+#include <iostream>
 
 #include "graph/generators.hpp"
 #include "hub/pll.hpp"
@@ -67,7 +68,7 @@ int main() {
     table.add_row({f.name, fmt_double(pll.average_label_size(), 1), fmt_double(gamma, 1),
                    fmt_double(delta, 1), fmt_double(fixed, 1), fmt_double(flat, 1), corr});
   }
-  table.print("average bits per label (all schemes decode exactly; approx+corr unweighted only)");
+  table.print(std::cout, "average bits per label (all schemes decode exactly; approx+corr unweighted only)");
 
   std::printf("\nlabel encoding ablation: OK\n");
   return 0;

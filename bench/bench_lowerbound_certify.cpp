@@ -11,6 +11,7 @@
 ///         confirm the measured average respects (and exceeds) the bound.
 
 #include <cstdio>
+#include <iostream>
 
 #include "algo/shortest_paths.hpp"
 #include "graph/transforms.hpp"
@@ -65,7 +66,7 @@ int main() {
                    fmt_u64(p.num_triplets()), report.ok() ? "ok" : "FAIL", diam_str,
                    fmt_double(bound, 3), pll_avg, ratio});
   }
-  table.print("Theorem 2.1 certification on H_{b,l} (PLL average must be >= certified bound)");
+  table.print(std::cout, "Theorem 2.1 certification on H_{b,l} (PLL average must be >= certified bound)");
 
   // Degree-3 expansions: claim (ii) of Theorem 2.1 plus cross-level
   // distance preservation spot checks.
@@ -81,7 +82,7 @@ int main() {
                      report.ok() ? "ok" : "FAIL",
                      fmt_sci(lb::certified_bound_g(p, g3.graph().num_vertices()), 2)});
   }
-  g3table.print("Theorem 2.1 (i)-(iii) on the degree-3 expansion G_{b,l}");
+  g3table.print(std::cout, "Theorem 2.1 (i)-(iii) on the degree-3 expansion G_{b,l}");
 
   std::printf("\nTHM2.1 certification: %s\n", all_ok ? "OK" : "MISMATCH");
   return all_ok ? 0 : 1;

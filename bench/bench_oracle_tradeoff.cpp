@@ -10,6 +10,7 @@
 /// its observed stretch is reported instead of assumed.
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -81,7 +82,7 @@ void run_workload(const Graph& g, const char* name) {
                    stretch_count > 0 ? fmt_double(stretch_sum / static_cast<double>(stretch_count), 3)
                                      : "-"});
   }
-  table.print(std::string("Oracle space/time tradeoff on ") + name);
+  table.print(std::cout, std::string("Oracle space/time tradeoff on ") + name);
 }
 
 }  // namespace

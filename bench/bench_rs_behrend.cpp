@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "rs/behrend.hpp"
 #include "rs/rs_graph.hpp"
@@ -40,7 +41,7 @@ int main() {
                   fmt_double(static_cast<double>(dense.size()) / static_cast<double>(N), 4),
                   fmt_double(ref, 1)});
   }
-  sets.print("3-AP-free set sizes (Behrend bound reference: N / 2^{sqrt(log2 N)})");
+  sets.print(std::cout, "3-AP-free set sizes (Behrend bound reference: N / 2^{sqrt(log2 N)})");
 
   TextTable graphs({"M", "|A|", "n=3M", "edges", "classes", "min r", "avg r", "n^2/edges",
                     "valid", "time(s)"});
@@ -60,7 +61,7 @@ int main() {
                     fmt_double(rsg.partition.avg_matching_size(), 2), fmt_double(ratio, 1),
                     valid ? "ok" : "FAIL", fmt_double(timer.elapsed_s(), 2)});
   }
-  graphs.print("RS graphs: n^2/edges is the RS(n)-style density loss (Definition 1.3)");
+  graphs.print(std::cout, "RS graphs: n^2/edges is the RS(n)-style density loss (Definition 1.3)");
 
   std::printf("\nRS experiment: %s\n", all_ok ? "OK" : "MISMATCH");
   return all_ok ? 0 : 1;

@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "algo/distance_matrix.hpp"
 #include "graph/generators.hpp"
@@ -45,7 +46,7 @@ int main() {
                    fmt_double(static_cast<double>(l.max_label_size()) / lg, 2),
                    exact ? "ok" : "FAIL"});
   }
-  trees.print("random trees: centroid labels scale as log n (max/log2n stays ~1)");
+  trees.print(std::cout, "random trees: centroid labels scale as log n (max/log2n stays ~1)");
 
   TextTable grids({"side", "n", "separator avg", "sqrt n", "avg/sqrt n", "PLL avg", "exact"});
   for (const std::size_t side : {8u, 16u, 24u, 32u, 48u}) {
@@ -67,7 +68,7 @@ int main() {
                    fmt_double(l.average_label_size(), 2), fmt_double(rt, 1),
                    fmt_double(l.average_label_size() / rt, 2), pll_avg, exact ? "ok" : "FAIL"});
   }
-  grids.print("square grids: separator labels scale as sqrt n (avg/sqrt n stays ~constant)");
+  grids.print(std::cout, "square grids: separator labels scale as sqrt n (avg/sqrt n stays ~constant)");
 
   std::printf(
       "\nContrast: Theorem 1.1 shows sparse graphs in general sit at n/2^{Theta(sqrt(log n))} --\n"

@@ -12,6 +12,7 @@
 /// right-to-left: any smaller distance label would beat SUMINDEX(m).
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 
 #include "hub/pll.hpp"
@@ -71,7 +72,7 @@ int main() {
                    fmt_u64(stats.max_alice_bits), fmt_u64(m + ceil_log2(m)),
                    fmt_double(elapsed, 2)});
   }
-  table.print("Theorem 1.6 protocol (every row must decode 100% correctly)");
+  table.print(std::cout, "Theorem 1.6 protocol (every row must decode 100% correctly)");
 
   // Baseline sanity: the trivial protocol on the same universe sizes.
   TextTable base({"m", "trials", "correct", "alice bits"});
@@ -83,7 +84,7 @@ int main() {
                   fmt_u64(stats.correct) + "/" + fmt_u64(stats.trials),
                   fmt_u64(stats.max_alice_bits)});
   }
-  base.print("Trivial ship-S baseline");
+  base.print(std::cout, "Trivial ship-S baseline");
 
   std::printf("\nTHM1.6 protocol: %s\n", all_ok ? "OK" : "MISMATCH");
   return all_ok ? 0 : 1;

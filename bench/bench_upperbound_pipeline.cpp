@@ -11,6 +11,7 @@
 /// PLL is shown as the practical yardstick.
 
 #include <cstdio>
+#include <iostream>
 
 #include "algo/distance_matrix.hpp"
 #include "graph/generators.hpp"
@@ -51,7 +52,7 @@ int main() {
                      fmt_double(elapsed, 2)});
     }
   }
-  table.print("Theorem 4.1 pipeline (all rows must be exact shortest-path covers)");
+  table.print(std::cout, "Theorem 4.1 pipeline (all rows must be exact shortest-path covers)");
 
   // Lemma 4.2 verification on a mid-size instance.
   {

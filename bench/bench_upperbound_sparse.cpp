@@ -5,6 +5,7 @@
 /// (the [ADKP16]-style construction the paper builds on).
 
 #include <cstdio>
+#include <iostream>
 
 #include "algo/distance_matrix.hpp"
 #include "graph/generators.hpp"
@@ -64,7 +65,7 @@ int main() {
                    fmt_double(distant.average_label_size(), 2), greedy_avg,
                    exact ? "ok" : "FAIL"});
   }
-  table.print("Theorem 1.4 on sparse graphs (average hub-set sizes; smaller is better)");
+  table.print(std::cout, "Theorem 1.4 on sparse graphs (average hub-set sizes; smaller is better)");
 
   // Degree-reduction accounting for a heavy-tailed instance.
   {
@@ -77,7 +78,7 @@ int main() {
     dr.add_row({"vertices", fmt_u64(g.num_vertices()), fmt_u64(red.graph.num_vertices())});
     dr.add_row({"edges", fmt_u64(g.num_edges()), fmt_u64(red.graph.num_edges())});
     dr.add_row({"max degree", fmt_u64(g.max_degree()), fmt_u64(red.graph.max_degree())});
-    dr.print("Degree reduction gadget (Theorem 1.4 step 1) on Barabasi-Albert n=400");
+    dr.print(std::cout, "Degree reduction gadget (Theorem 1.4 step 1) on Barabasi-Albert n=400");
   }
 
   std::printf("\nTHM1.4 sparse: %s\n", all_ok ? "OK" : "MISMATCH");

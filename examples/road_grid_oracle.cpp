@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "algo/shortest_paths.hpp"
 #include "graph/generators.hpp"
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
   table.add_row({"hub labels (PLL)", fmt_u64(hub_oracle.space_bytes() / 1024),
                  fmt_double(hub_us, 2), fmt_u64(agree) + "/1000"});
   table.add_row({"bidirectional dijkstra", "0", fmt_double(bidir_us, 2), "(reference)"});
-  table.print("routing strategies");
+  table.print(std::cout, "routing strategies");
 
   // Show one concrete route.
   const Vertex s = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -37,6 +38,71 @@ Weight Graph::max_weight() const {
   Weight best = 1;
   for (const Arc& a : arcs_) best = std::max(best, a.weight);
   return best;
+}
+
+namespace {
+
+std::string arc_name(Vertex u, std::size_t slot, const Arc& a) {
+  return "arc #" + std::to_string(slot) + " (" + std::to_string(u) + " -> " +
+         std::to_string(a.to) + ", w=" + std::to_string(a.weight) + ")";
+}
+
+}  // namespace
+
+AuditReport Graph::audit() const {
+  AuditReport report;
+  const std::string ctx = "graph";
+
+  if (offsets_.empty()) {
+    report.require(arcs_.empty(), ctx,
+                   "empty offset array but " + std::to_string(arcs_.size()) + " arcs stored");
+    report.require(!weighted_, ctx, "empty graph flagged as weighted");
+    return report;
+  }
+
+  const std::size_t n = offsets_.size() - 1;
+  report.require(offsets_.front() == 0, ctx,
+                 "offsets[0] expected 0, observed " + std::to_string(offsets_.front()));
+  report.require(offsets_.back() == arcs_.size(), ctx,
+                 "offsets[n] expected " + std::to_string(arcs_.size()) + " (arc count), observed " +
+                     std::to_string(offsets_.back()));
+  for (std::size_t u = 0; u + 1 < offsets_.size(); ++u) {
+    if (!report.require(offsets_[u] <= offsets_[u + 1], ctx,
+                        "offsets not monotone at vertex " + std::to_string(u) + ": " +
+                            std::to_string(offsets_[u]) + " > " +
+                            std::to_string(offsets_[u + 1]))) {
+      return report;  // adjacency ranges are meaningless past this point
+    }
+  }
+  if (offsets_.back() > arcs_.size()) return report;
+
+  bool any_nonunit = false;
+  for (Vertex u = 0; u < n; ++u) {
+    for (std::size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+      const Arc& a = arcs_[i];
+      if (!report.require(a.to < n, ctx,
+                          arc_name(u, i, a) + " target out of range, n=" + std::to_string(n))) {
+        continue;
+      }
+      report.require(a.to != u, ctx, arc_name(u, i, a) + " is a self-loop");
+      if (i > offsets_[u]) {
+        report.require(arcs_[i - 1].to < a.to, ctx,
+                       arc_name(u, i, a) + " not strictly after previous target " +
+                           std::to_string(arcs_[i - 1].to) + " (unsorted or duplicate)");
+      }
+      if (a.weight != 1) any_nonunit = true;
+      // Undirected symmetry: the reverse arc exists with equal weight.
+      const Dist back = edge_weight(a.to, u);
+      report.require(back == a.weight, ctx,
+                     arc_name(u, i, a) + " reverse arc " +
+                         (back == kInfDist ? std::string("missing")
+                                           : "has weight " + std::to_string(back)));
+    }
+  }
+  report.require(weighted_ == any_nonunit, ctx,
+                 std::string("weighted flag is ") + (weighted_ ? "true" : "false") +
+                     " but a non-unit weight arc " + (any_nonunit ? "exists" : "does not exist"));
+  return report;
 }
 
 void GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {

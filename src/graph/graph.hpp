@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 /// \file graph.hpp
 /// Core immutable graph type in compressed sparse row (CSR) form.
@@ -52,12 +53,12 @@ class Graph {
 
   /// Arcs out of vertex u.
   [[nodiscard]] std::span<const Arc> arcs(Vertex u) const {
-    HUBLAB_ASSERT(u < num_vertices());
+    HUBLAB_ASSERT_RANGE(u, num_vertices());
     return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
   }
 
   [[nodiscard]] std::size_t degree(Vertex u) const {
-    HUBLAB_ASSERT(u < num_vertices());
+    HUBLAB_ASSERT_RANGE(u, num_vertices());
     return offsets_[u + 1] - offsets_[u];
   }
 
@@ -79,6 +80,12 @@ class Graph {
   [[nodiscard]] std::size_t memory_bytes() const {
     return offsets_.size() * sizeof(std::size_t) + arcs_.size() * sizeof(Arc);
   }
+
+  /// Deep invariant audit (see util/audit.hpp): CSR well-formedness
+  /// (offset monotonicity, sorted deduplicated adjacency, in-range targets,
+  /// no self-loops) and undirected symmetry (every arc has a reverse arc of
+  /// equal weight).  O(m log d).
+  [[nodiscard]] AuditReport audit() const;
 
  private:
   friend class GraphBuilder;

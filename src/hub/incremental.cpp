@@ -53,7 +53,8 @@ Dist IncrementalPll::query_upto(Vertex u, Vertex v, Vertex rank_limit) const {
 }
 
 Dist IncrementalPll::query(Vertex u, Vertex v) const {
-  HUBLAB_ASSERT(u < labels_.size() && v < labels_.size());
+  HUBLAB_ASSERT_RANGE(u, labels_.size());
+  HUBLAB_ASSERT_RANGE(v, labels_.size());
   return query_upto(u, v, static_cast<Vertex>(order_.size()));
 }
 
@@ -135,7 +136,8 @@ HubLabeling IncrementalPll::labels() const {
 
 std::vector<Vertex> unpack_shortest_path(const Graph& g, const HubLabeling& labels, Vertex u,
                                          Vertex v) {
-  HUBLAB_ASSERT(u < g.num_vertices() && v < g.num_vertices());
+  HUBLAB_ASSERT_RANGE(u, g.num_vertices());
+  HUBLAB_ASSERT_RANGE(v, g.num_vertices());
   Dist remaining = labels.query(u, v);
   if (remaining == kInfDist) return {};
   std::vector<Vertex> path{u};

@@ -1,6 +1,7 @@
 #include "hub/labeling.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "algo/distance_matrix.hpp"
 #include "algo/shortest_paths.hpp"
@@ -25,7 +26,8 @@ void HubLabeling::finalize() {
 Dist HubLabeling::query(Vertex u, Vertex v) const { return query_with_hub(u, v).dist; }
 
 HubQueryResult HubLabeling::query_with_hub(Vertex u, Vertex v) const {
-  HUBLAB_ASSERT(u < labels_.size() && v < labels_.size());
+  HUBLAB_ASSERT_RANGE(u, labels_.size());
+  HUBLAB_ASSERT_RANGE(v, labels_.size());
   HUBLAB_ASSERT_MSG(finalized_, "HubLabeling::finalize() must be called before querying");
   const auto& a = labels_[u];
   const auto& b = labels_[v];
@@ -51,7 +53,7 @@ HubQueryResult HubLabeling::query_with_hub(Vertex u, Vertex v) const {
 }
 
 bool HubLabeling::has_hub(Vertex v, Vertex hub) const {
-  HUBLAB_ASSERT(v < labels_.size());
+  HUBLAB_ASSERT_RANGE(v, labels_.size());
   const auto& label = labels_[v];
   const auto it = std::lower_bound(label.begin(), label.end(), hub,
                                    [](const HubEntry& e, Vertex h) { return e.hub < h; });
@@ -73,6 +75,65 @@ std::size_t HubLabeling::max_label_size() const {
   std::size_t best = 0;
   for (const auto& label : labels_) best = std::max(best, label.size());
   return best;
+}
+
+AuditReport HubLabeling::audit(const Graph& g, std::size_t num_samples,
+                               std::uint64_t seed) const {
+  AuditReport report;
+  const std::string ctx = "hub-labeling";
+  const std::size_t n = labels_.size();
+
+  if (!report.require(n == g.num_vertices(), ctx,
+                      "labeling has " + std::to_string(n) + " vertices, graph has " +
+                          std::to_string(g.num_vertices()))) {
+    return report;
+  }
+  report.require(finalized_ || total_hubs() == 0, ctx,
+                 "labeling has entries but finalize() was not called since the last add_hub()");
+
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& label = labels_[v];
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      const std::string entry = "label S(" + std::to_string(v) + ") entry #" + std::to_string(i);
+      report.require(label[i].hub < n, ctx,
+                     entry + " hub " + std::to_string(label[i].hub) + " out of range, n=" +
+                         std::to_string(n));
+      if (i > 0) {
+        report.require(label[i - 1].hub < label[i].hub, ctx,
+                       entry + " hub " + std::to_string(label[i].hub) +
+                           " not strictly after previous hub " +
+                           std::to_string(label[i - 1].hub) + " (unsorted or duplicate)");
+      }
+      if (label[i].hub == v) {
+        report.require(label[i].dist == 0, ctx,
+                       entry + " self-hub distance expected 0, observed " +
+                           std::to_string(label[i].dist));
+      }
+    }
+  }
+  if (!report.ok() || num_samples == 0 || n == 0) return report;
+
+  // Sampled cover property: entries are exact and sampled pairs query exact.
+  Rng rng(seed);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const std::vector<Dist> dist_u = sssp_distances(g, u);
+    for (const HubEntry& e : labels_[u]) {
+      report.require(dist_u[e.hub] == e.dist, ctx,
+                     "S(" + std::to_string(u) + ") stores dist " + std::to_string(e.dist) +
+                         " to hub " + std::to_string(e.hub) + ", true distance is " +
+                         std::to_string(dist_u[e.hub]));
+    }
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (dist_u[v] == kInfDist) continue;
+    const Dist answered = query(u, v);
+    report.require(answered == dist_u[v], ctx,
+                   "query(" + std::to_string(u) + ", " + std::to_string(v) + ") = " +
+                       (answered == kInfDist ? std::string("inf (uncovered pair)")
+                                             : std::to_string(answered)) +
+                       ", true distance is " + std::to_string(dist_u[v]));
+  }
+  return report;
 }
 
 std::optional<LabelingDefect> verify_labeling(const Graph& g, const HubLabeling& labeling,

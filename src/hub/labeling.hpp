@@ -42,7 +42,7 @@ class HubLabeling {
 
   /// Append an entry; call finalize() before querying.
   void add_hub(Vertex v, Vertex hub, Dist dist) {
-    HUBLAB_ASSERT(v < labels_.size());
+    HUBLAB_ASSERT_RANGE(v, labels_.size());
     labels_[v].push_back(HubEntry{hub, dist});
     finalized_ = false;
   }
@@ -59,7 +59,7 @@ class HubLabeling {
   [[nodiscard]] HubQueryResult query_with_hub(Vertex u, Vertex v) const;
 
   [[nodiscard]] std::span<const HubEntry> label(Vertex v) const {
-    HUBLAB_ASSERT(v < labels_.size());
+    HUBLAB_ASSERT_RANGE(v, labels_.size());
     return labels_[v];
   }
 
@@ -78,6 +78,15 @@ class HubLabeling {
   [[nodiscard]] std::size_t memory_bytes() const {
     return total_hubs() * sizeof(HubEntry);
   }
+
+  /// Deep invariant audit (see util/audit.hpp): every label is sorted
+  /// strictly by hub id (hence deduplicated) with in-range hubs, and a
+  /// sampled cover-property check against per-source SSSP ground truth --
+  /// `num_samples` random sources have every label entry's distance
+  /// re-derived and `num_samples` random pairs must query to the exact
+  /// distance.  Pass num_samples = 0 to audit structure only.
+  [[nodiscard]] AuditReport audit(const Graph& g, std::size_t num_samples = 32,
+                                  std::uint64_t seed = 1) const;
 
  private:
   std::vector<std::vector<HubEntry>> labels_;

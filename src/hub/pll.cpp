@@ -24,6 +24,8 @@ std::vector<Vertex> make_vertex_order(const Graph& g, VertexOrder order, std::ui
       std::stable_sort(result.begin(), result.end(),
                        [&g](Vertex a, Vertex b) { return g.degree(a) > g.degree(b); });
       break;
+    default:
+      HUBLAB_UNREACHABLE();
   }
   return result;
 }

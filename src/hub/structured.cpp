@@ -4,6 +4,7 @@
 
 #include "algo/shortest_paths.hpp"
 #include "graph/transforms.hpp"
+#include "util/assert.hpp"
 #include "util/error.hpp"
 
 namespace hublab {
@@ -186,6 +187,7 @@ class GridSeparatorLabeler {
   /// Add every separator vertex as a hub of every vertex in the region,
   /// with exact whole-graph distances.
   void add_separator_hubs(const Region& reg, const std::vector<Vertex>& separator) {
+    HUBLAB_ASSERT(reg.r1 < rows_ && reg.c1 < cols_);
     for (Vertex s : separator) {
       const auto dist = sssp_distances(g_, s);
       for (std::size_t r = reg.r0; r <= reg.r1; ++r) {

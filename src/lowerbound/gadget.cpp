@@ -1,8 +1,11 @@
 #include "lowerbound/gadget.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "algo/shortest_paths.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace hublab::lb {
 
@@ -150,6 +153,93 @@ Vertex LayeredGadget::predicted_midpoint(const Coords& x, const Coords& z) const
     mid[k] = static_cast<std::uint32_t>((x[k] + z[k]) / 2);
   }
   return vertex_at(params_.ell, mid);
+}
+
+AuditReport LayeredGadget::audit(std::size_t num_samples, std::uint64_t seed) const {
+  AuditReport report;
+  const std::string ctx = "lowerbound/gadget";
+  const std::uint64_t s = params_.s();
+  const std::uint64_t ell = params_.ell;
+  const std::uint64_t A = params_.base_weight();
+
+  if (!report.require(graph_.num_vertices() == params_.num_h_vertices(), ctx,
+                      "graph has " + std::to_string(graph_.num_vertices()) +
+                          " vertices, parameters demand " +
+                          std::to_string(params_.num_h_vertices()))) {
+    return report;
+  }
+
+  for (Vertex u = 0; u < graph_.num_vertices(); ++u) {
+    const std::uint64_t level = level_of(u);
+    const std::uint64_t index = index_of(u);
+    if (level == ell && midlevel_removed(index)) {
+      report.require(graph_.degree(u) == 0, ctx,
+                     "masked midlevel vertex v_{" + std::to_string(level) + "," +
+                         std::to_string(index) + "} has degree " +
+                         std::to_string(graph_.degree(u)) + ", expected 0");
+      continue;
+    }
+    for (const Arc& a : graph_.arcs(u)) {
+      const std::uint64_t nb_level = level_of(a.to);
+      const std::string edge = "edge v_{" + std::to_string(level) + "," + std::to_string(index) +
+                               "} - v_{" + std::to_string(nb_level) + "," +
+                               std::to_string(index_of(a.to)) + "}";
+      if (!report.require(nb_level == level + 1 || level == nb_level + 1, ctx,
+                          edge + " does not join adjacent levels")) {
+        continue;
+      }
+      if (nb_level != level + 1) continue;  // audit each edge once, oriented upward
+      // The level-i -> level-i+1 step changes exactly coordinate c(i).
+      const std::uint64_t c = (level < ell) ? level : (2 * ell - 1 - level);
+      const Coords cu = index_to_coords(index);
+      const Coords cv = index_to_coords(index_of(a.to));
+      bool only_c_changed = true;
+      for (std::uint64_t k = 0; k < ell; ++k) {
+        if (k != c && cu[k] != cv[k]) only_c_changed = false;
+      }
+      report.require(only_c_changed, ctx,
+                     edge + " changes a coordinate other than c(i)=" + std::to_string(c));
+      const std::uint64_t delta =
+          cu[c] > cv[c] ? cu[c] - cv[c] : cv[c] - cu[c];
+      report.require(a.weight == A + delta * delta, ctx,
+                     edge + " has weight " + std::to_string(a.weight) + ", expected A + delta^2 = " +
+                         std::to_string(A + delta * delta));
+    }
+  }
+  if (!report.ok() || num_samples == 0) return report;
+  // Lemma 2.2 holds for the unmasked gadget; a mask may reroute distances.
+  if (std::any_of(removed_.begin(), removed_.end(), [](bool r) { return r; })) return report;
+
+  // Sampled Lemma 2.2 check: for random even-difference pairs (x, z), the
+  // v_{0,x} -> v_{2l,z} distance matches the closed form and is realized
+  // through the predicted midpoint hub.
+  Rng rng(seed);
+  for (std::size_t it = 0; it < num_samples; ++it) {
+    Coords x(ell);
+    Coords z(ell);
+    for (std::uint64_t k = 0; k < ell; ++k) {
+      x[k] = static_cast<std::uint32_t>(rng.next_below(s));
+      // Same parity as x[k] so all coordinate differences are even.
+      const std::uint64_t parity = x[k] % 2;
+      z[k] = static_cast<std::uint32_t>(2 * rng.next_below((s - parity + 1) / 2) + parity);
+    }
+    const Vertex source = vertex_at(0, x);
+    const Vertex target = vertex_at(2 * ell, z);
+    const Vertex mid = predicted_midpoint(x, z);
+    const Dist predicted = predicted_distance(x, z);
+    const std::vector<Dist> from_source = sssp_distances(graph_, source);
+    const std::vector<Dist> from_mid = sssp_distances(graph_, mid);
+    const std::string pair = "pair v_{0," + std::to_string(coords_to_index(x)) + "} -> v_{2l," +
+                             std::to_string(coords_to_index(z)) + "}";
+    report.require(from_source[target] == predicted, ctx,
+                   pair + " has distance " + std::to_string(from_source[target]) +
+                       ", Lemma 2.2 predicts " + std::to_string(predicted));
+    report.require(from_source[mid] + from_mid[target] == predicted, ctx,
+                   pair + " is not realized through the predicted midpoint: " +
+                       std::to_string(from_source[mid]) + " + " + std::to_string(from_mid[target]) +
+                       " != " + std::to_string(predicted));
+  }
+  return report;
 }
 
 Degree3Gadget::Degree3Gadget(const LayeredGadget& h) {

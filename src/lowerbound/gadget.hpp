@@ -98,6 +98,15 @@ class LayeredGadget {
   /// Lemma 2.2 predicted unique midpoint v_{l,(x+z)/2}.
   [[nodiscard]] Vertex predicted_midpoint(const Coords& x, const Coords& z) const;
 
+  /// Deep invariant audit (see util/audit.hpp): every edge joins adjacent
+  /// levels, changes exactly the level's designated coordinate c(i), and has
+  /// weight A + (j_c - j'_c)^2; masked midlevel vertices are isolated.  With
+  /// num_samples > 0, additionally spot-checks Lemma 2.2 on sampled
+  /// even-difference endpoint pairs (predicted distance and midpoint hub)
+  /// via Dijkstra ground truth.
+  [[nodiscard]] AuditReport audit(std::size_t num_samples = 4,
+                                  std::uint64_t seed = 1) const;
+
  private:
   GadgetParams params_;
   std::vector<bool> removed_;  ///< midlevel mask (empty = nothing removed)

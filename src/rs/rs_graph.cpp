@@ -1,6 +1,7 @@
 #include "rs/rs_graph.hpp"
 
 #include <map>
+#include <string>
 
 #include "rs/behrend.hpp"
 #include "util/error.hpp"
@@ -50,6 +51,50 @@ RsWitness measure_rs_witness(const Graph& g) {
                         : static_cast<double>(w.num_vertices) * static_cast<double>(w.num_vertices) /
                               static_cast<double>(w.num_edges);
   return w;
+}
+
+AuditReport audit_rs_graph(const RsGraph& rs) {
+  AuditReport report;
+  const std::string ctx = "rs";
+  const std::uint64_t M = rs.M;
+
+  if (!report.require(rs.graph.num_vertices() == 3 * M, ctx,
+                      "graph has " + std::to_string(rs.graph.num_vertices()) +
+                          " vertices, expected 3M = " + std::to_string(3 * M))) {
+    return report;
+  }
+  report.require(rs.graph.num_edges() == M * rs.set_size, ctx,
+                 "graph has " + std::to_string(rs.graph.num_edges()) +
+                     " edges, expected M * |A| = " + std::to_string(M * rs.set_size));
+
+  // Every edge crosses from X = [0, M) to Y = [M, 3M) with x + a = y - M,
+  // so the Y endpoint is at most x + 2M - 1.
+  for (Vertex u = 0; u < M; ++u) {
+    for (const Arc& a : rs.graph.arcs(u)) {
+      report.require(a.to >= M && a.to < u + 2 * M, ctx,
+                     "edge {" + std::to_string(u) + ", " + std::to_string(a.to) +
+                         "} leaves the bipartite X-Y pattern (M = " + std::to_string(M) + ")");
+    }
+  }
+  for (auto v = static_cast<Vertex>(M); v < 3 * M; ++v) {
+    for (const Arc& a : rs.graph.arcs(v)) {
+      report.require(a.to < M, ctx,
+                     "edge {" + std::to_string(v) + ", " + std::to_string(a.to) +
+                         "} joins two Y-side vertices (M = " + std::to_string(M) + ")");
+    }
+  }
+
+  report.require(rs.partition.num_matchings() <= rs.graph.num_vertices(), ctx,
+                 "partition uses " + std::to_string(rs.partition.num_matchings()) +
+                     " classes, Definition 1.3 allows at most n = " +
+                     std::to_string(rs.graph.num_vertices()));
+  for (std::size_t c = 0; c < rs.partition.matchings.size(); ++c) {
+    report.require(!rs.partition.matchings[c].empty(), ctx,
+                   "partition class #" + std::to_string(c) + " is empty");
+  }
+  report.require(is_valid_induced_partition(rs.graph, rs.partition), ctx,
+                 "partition is not a valid edge partition into induced matchings");
+  return report;
 }
 
 }  // namespace hublab::rs

@@ -52,4 +52,11 @@ struct RsWitness {
 
 RsWitness measure_rs_witness(const Graph& g);
 
+/// Deep invariant audit (see util/audit.hpp): the graph has 3M vertices and
+/// M * |A| edges, every edge crosses from X = [0, M) to Y = [M, 3M), the
+/// partition is a valid edge partition into induced matchings (re-verified
+/// from scratch), and it uses at most n = 3M classes as Definition 1.3
+/// requires.
+[[nodiscard]] AuditReport audit_rs_graph(const RsGraph& rs);
+
 }  // namespace hublab::rs

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 /// \file assert.hpp
 /// Invariant checking for hublab.
@@ -10,6 +12,10 @@
 /// enabled in all build types because this library's correctness claims are
 /// the whole point of the reproduction.  User-input errors (bad files, bad
 /// parameters) throw exceptions instead -- see util/error.hpp.
+///
+/// `HUBLAB_ASSERT_RANGE(i, n)` is the bounds-check variant: it prints both
+/// the offending index and the bound on failure.  `HUBLAB_UNREACHABLE()`
+/// marks control-flow paths the surrounding invariants rule out.
 
 namespace hublab::detail {
 
@@ -18,6 +24,49 @@ namespace hublab::detail {
   std::fprintf(stderr, "hublab assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg != nullptr ? msg : "");
   std::abort();
+}
+
+[[noreturn]] inline void unreachable_fail(const char* file, int line) {
+  std::fprintf(stderr, "hublab reached unreachable code\n  at %s:%d\n", file, line);
+  std::abort();
+}
+
+[[noreturn]] inline void range_fail(const char* index_expr, const char* bound_expr,
+                                    std::uint64_t index, std::uint64_t bound, bool negative,
+                                    const char* file, int line) {
+  if (negative) {
+    std::fprintf(stderr,
+                 "hublab bounds check failed: %s < %s\n  at %s:%d\n  index %s is negative "
+                 "(-%llu), bound is %llu\n",
+                 index_expr, bound_expr, file, line, index_expr,
+                 static_cast<unsigned long long>(index), static_cast<unsigned long long>(bound));
+  } else {
+    std::fprintf(stderr,
+                 "hublab bounds check failed: %s < %s\n  at %s:%d\n  index is %llu, bound is "
+                 "%llu\n",
+                 index_expr, bound_expr, file, line, static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(bound));
+  }
+  std::abort();
+}
+
+/// Bounds check `0 <= index < bound` that works for any mix of signed and
+/// unsigned integer operands without conversion surprises.
+template <typename I, typename N>
+constexpr void check_range(I index, N bound, const char* index_expr, const char* bound_expr,
+                           const char* file, int line) {
+  static_assert(std::is_integral_v<I> && std::is_integral_v<N>,
+                "HUBLAB_ASSERT_RANGE needs integral operands");
+  if constexpr (std::is_signed_v<I>) {
+    if (index < 0) {
+      range_fail(index_expr, bound_expr, static_cast<std::uint64_t>(-(index + 1)) + 1,
+                 static_cast<std::uint64_t>(bound), true, file, line);
+    }
+  }
+  if (static_cast<std::uint64_t>(index) >= static_cast<std::uint64_t>(bound)) {
+    range_fail(index_expr, bound_expr, static_cast<std::uint64_t>(index),
+               static_cast<std::uint64_t>(bound), false, file, line);
+  }
 }
 
 }  // namespace hublab::detail
@@ -31,3 +80,10 @@ namespace hublab::detail {
   do {                                                                       \
     if (!(expr)) ::hublab::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+/// Assert 0 <= index < bound; the failure message reports both values.
+#define HUBLAB_ASSERT_RANGE(index, bound) \
+  ::hublab::detail::check_range((index), (bound), #index, #bound, __FILE__, __LINE__)
+
+/// Mark a path that the surrounding invariants make impossible.
+#define HUBLAB_UNREACHABLE() ::hublab::detail::unreachable_fail(__FILE__, __LINE__)

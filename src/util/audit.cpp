@@ -1,0 +1,34 @@
+#include "util/audit.hpp"
+
+namespace hublab {
+
+void AuditReport::fail(const std::string& context, const std::string& message) {
+  ++num_issues_;
+  if (issues_.size() < kMaxRecorded) issues_.push_back(AuditIssue{context, message});
+}
+
+bool AuditReport::require(bool ok, const std::string& context, const std::string& message) {
+  if (!ok) fail(context, message);
+  return ok;
+}
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "audit: ok\n";
+  std::string out = "audit: " + std::to_string(num_issues_) + " issue(s)\n";
+  for (const AuditIssue& issue : issues_) {
+    out += "  " + issue.to_string() + "\n";
+  }
+  if (num_issues_ > issues_.size()) {
+    out += "  ... and " + std::to_string(num_issues_ - issues_.size()) + " more\n";
+  }
+  return out;
+}
+
+void AuditReport::merge(const AuditReport& other) {
+  for (const AuditIssue& issue : other.issues_) {
+    if (issues_.size() < kMaxRecorded) issues_.push_back(issue);
+  }
+  num_issues_ += other.num_issues_;
+}
+
+}  // namespace hublab

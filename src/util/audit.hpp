@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file audit.hpp
+/// Deep invariant audits.
+///
+/// `HUBLAB_ASSERT` guards cheap preconditions on every call; an *audit* is
+/// the expensive counterpart: an O(n)-or-worse walk over a whole structure
+/// that re-derives its invariants from scratch (CSR well-formedness, label
+/// sortedness, cover properties, gadget layer structure, ...).  Audits never
+/// abort -- they collect every violation into an AuditReport so one run of
+/// the randomized self-check test reports all drift at once, and so
+/// sanitizer builds exercise the deep read paths of each module.
+///
+/// Contract for per-module checkers (see docs/correctness.md):
+///   * named `audit_<structure>`, declared in the structure's own header;
+///   * read-only: auditing a structure never mutates it;
+///   * every issue message names the offending element and both the expected
+///     and the observed value;
+///   * a default-constructed (empty) structure audits clean.
+
+namespace hublab {
+
+/// One violated invariant found by a deep audit.
+struct AuditIssue {
+  std::string context;  ///< which structure/module, e.g. "graph" or "rs"
+  std::string message;  ///< what is wrong, with offending values
+
+  [[nodiscard]] std::string to_string() const { return context + ": " + message; }
+};
+
+/// Accumulates audit issues.  Recording caps at `kMaxRecorded` messages so a
+/// completely corrupt structure cannot allocate without bound, but the total
+/// violation count stays exact.
+class AuditReport {
+ public:
+  static constexpr std::size_t kMaxRecorded = 64;
+
+  /// Record a failed invariant.
+  void fail(const std::string& context, const std::string& message);
+
+  /// Record a failure iff `ok` is false; returns `ok` so callers can guard
+  /// dependent checks:  `if (report.require(...)) { ...deeper checks... }`.
+  bool require(bool ok, const std::string& context, const std::string& message);
+
+  /// True when no invariant was violated.
+  [[nodiscard]] bool ok() const { return num_issues_ == 0; }
+
+  /// Total number of violations found (may exceed issues().size()).
+  [[nodiscard]] std::size_t num_issues() const { return num_issues_; }
+
+  /// The first kMaxRecorded violations, in discovery order.
+  [[nodiscard]] const std::vector<AuditIssue>& issues() const { return issues_; }
+
+  /// Human-readable summary, one line per recorded issue.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Fold another report's issues into this one.
+  void merge(const AuditReport& other);
+
+ private:
+  std::vector<AuditIssue> issues_;
+  std::size_t num_issues_ = 0;
+};
+
+}  // namespace hublab

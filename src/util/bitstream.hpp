@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -50,8 +51,14 @@ class BitWriter {
 
   [[nodiscard]] std::size_t size_bits() const { return out_.bit_count; }
 
-  /// Finish writing and take the accumulated bits.
-  [[nodiscard]] BitString take() { return std::move(out_); }
+  /// Finish writing and take the accumulated bits; the writer is reset to
+  /// empty and can be reused.  (Moving BitString alone would leave a stale
+  /// bit_count behind an emptied byte vector.)
+  [[nodiscard]] BitString take() {
+    BitString result = std::move(out_);
+    out_ = BitString{};
+    return result;
+  }
 
  private:
   BitString out_;

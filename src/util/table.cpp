@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
+#include <ostream>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -62,9 +62,8 @@ std::string TextTable::to_string() const {
   return out.str();
 }
 
-void TextTable::print(const std::string& title) const {
-  std::printf("\n== %s ==\n%s", title.c_str(), to_string().c_str());
-  std::fflush(stdout);
+void TextTable::print(std::ostream& out, const std::string& title) const {
+  out << "\n== " << title << " ==\n" << to_string() << std::flush;
 }
 
 std::string fmt_double(double value, int precision) {

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 /// \file table.hpp
 /// Minimal fixed-width text table used by the benchmark/report binaries to
 /// print the rows each experiment regenerates (see DESIGN.md section 4).
+/// The library never writes to stdout itself (hublab_lint enforces this);
+/// callers pass the destination stream explicitly.
 
 namespace hublab {
 
@@ -19,8 +22,8 @@ class TextTable {
   /// Render with column alignment; numeric-looking cells right-aligned.
   [[nodiscard]] std::string to_string() const;
 
-  /// Render and write to stdout with a title line.
-  void print(const std::string& title) const;
+  /// Render and write to `out` with a title line.
+  void print(std::ostream& out, const std::string& title) const;
 
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
 

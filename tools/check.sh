@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full correctness matrix (see docs/correctness.md):
+#
+#   1. RelWithDebInfo build + full test suite        (preset dev)
+#   2. ASan+UBSan build + full test suite            (preset asan-ubsan)
+#   3. clang-tidy gate                               (run-tidy; skips w/o clang-tidy)
+#   4. hublab_lint incl. header self-containment     (run-lint)
+#   5. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#
+# Exits non-zero on the first failing stage.  Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+stage() {
+  echo
+  echo "=== check.sh: $* ==="
+}
+
+stage "1/5 RelWithDebInfo build + tests"
+cmake --preset dev
+cmake --build --preset dev -j "${jobs}"
+ctest --preset dev -j "${jobs}"
+
+stage "2/5 ASan+UBSan build + tests"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${jobs}"
+ctest --preset asan-ubsan -j "${jobs}"
+
+stage "3/5 clang-tidy gate"
+cmake --build --preset dev --target run-tidy
+
+stage "4/5 hublab_lint (with header self-containment)"
+cmake --build --preset dev --target run-lint
+
+stage "5/5 Werror build"
+cmake --preset werror
+cmake --build --preset werror -j "${jobs}"
+
+stage "all stages passed"

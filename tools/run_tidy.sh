@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# clang-tidy over every first-party translation unit, using the compile
+# database of an existing build directory.  Degrades to a skip (exit 0) when
+# clang-tidy is not installed so the `run-tidy` target stays callable on
+# minimal toolchains; CI images with clang get the real gate.
+#
+# Usage: run_tidy.sh [SOURCE_DIR] [BUILD_DIR]
+set -u
+
+src_dir="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build_dir="${2:-${src_dir}/build}"
+
+tidy="${HUBLAB_CLANG_TIDY:-}"
+if [ -z "${tidy}" ] || [ "${tidy}" = "HUBLAB_CLANG_TIDY_EXE-NOTFOUND" ]; then
+  tidy="$(command -v clang-tidy || true)"
+fi
+if [ -z "${tidy}" ]; then
+  echo "run-tidy: clang-tidy not found on PATH; skipping (install clang-tidy to enable the gate)"
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run-tidy: ${build_dir}/compile_commands.json not found; configure first" >&2
+  exit 1
+fi
+
+cd "${src_dir}" || exit 1
+files=$(find src tools tests -name '*.cpp' | sort)
+
+status=0
+for f in ${files}; do
+  # Only lint files the build actually compiles (check.sh configures the
+  # full tree, so in practice this is every first-party .cpp).
+  if ! grep -q "$(basename "${f}")" "${build_dir}/compile_commands.json"; then
+    echo "run-tidy: ${f} not in compile database; skipping"
+    continue
+  fi
+  echo "run-tidy: ${f}"
+  "${tidy}" -p "${build_dir}" --quiet --warnings-as-errors='*' "${f}" || status=1
+done
+
+if [ "${status}" -ne 0 ]; then
+  echo "run-tidy: FAILED (findings above)" >&2
+else
+  echo "run-tidy: clean"
+fi
+exit "${status}"
