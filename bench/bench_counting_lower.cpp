@@ -11,28 +11,34 @@
 
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 
 #include "algo/shortest_paths.hpp"
+#include "bench/harness.hpp"
 #include "lowerbound/counting.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace hublab;
 
-int main() {
-  std::printf("Experiment CNT: the counting lower bound vs the paper's target shape\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(
+      argc, argv, "counting_lower",
+      "Experiment CNT: the counting lower bound vs the paper's target shape");
 
   TextTable table({"k", "n", "m (ones)", "family bits", "counting LB (bits/term)", "sqrt n",
                    "paper target n/2^sqrt(lg n)", "decode"});
   bool all_ok = true;
   Rng rng(1);
 
-  for (const std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
+  auto sweep_span = harness.phase("counting-family-sweep");
+  const std::vector<std::size_t> full_ks{4, 8, 16, 32, 64};
+  const std::vector<std::size_t> smoke_ks{4, 8, 16};
+  for (const std::size_t k : harness.smoke() ? smoke_ks : full_ks) {
     const lb::CountingFamily fam(k);
     std::vector<std::uint8_t> bits(fam.num_bits());
     for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_below(2));
     const Graph g = fam.instance(bits);
+    harness.add_graph("counting-family", g.num_vertices(), g.num_edges());
 
     // Verify the decoding on this member.
     bool decode_ok = true;
@@ -55,10 +61,10 @@ int main() {
                    fmt_double(std::sqrt(n), 1), fmt_double(paper_target, 1),
                    decode_ok ? "ok" : "FAIL"});
   }
-  table.print(std::cout, 
+  sweep_span.end();
+  harness.print(table,
       "counting technique: LB tracks sqrt(n); the paper's hub-label bound lives at "
       "n/2^{Theta(sqrt(log n))} -- exponentially higher (last column)");
 
-  std::printf("\nCNT experiment: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("CNT experiment", all_ok);
 }

@@ -11,9 +11,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 
 #include "algo/distance_matrix.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/constructions.hpp"
 #include "hub/pll.hpp"
@@ -21,19 +21,24 @@
 
 using namespace hublab;
 
-int main() {
-  std::printf("Ablation: random distant-pair cover, sweeping D (paper Sec. 1.2)\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "distant_cover",
+                         "Ablation: random distant-pair cover, sweeping D (paper Sec. 1.2)");
 
-  for (const std::size_t n : {400u, 900u}) {
+  bool all_ok = true;
+  const std::vector<std::size_t> full_sizes{400, 900};
+  const std::vector<std::size_t> smoke_sizes{400};
+  for (const std::size_t n : harness.smoke() ? smoke_sizes : full_sizes) {
+    auto size_span = harness.phase("sweep-n" + std::to_string(n));
     Rng gen_rng(n);
     const Graph g = gen::random_regular(n, 3, gen_rng);
+    harness.add_graph("random-3-regular", g.num_vertices(), g.num_edges());
     const DistanceMatrix truth = DistanceMatrix::compute(g);
     const HubLabeling pll = pruned_landmark_labeling(g);
     const auto log_n = static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(n))));
 
     TextTable table({"D", "|S| shared", "ball hubs", "patched", "avg label", "exact",
                      "note"});
-    bool all_ok = true;
     std::vector<std::size_t> ds{2, 3, 4, 6, 8, 12, log_n};
     for (const std::size_t D : ds) {
       Rng rng(100 + D);
@@ -47,13 +52,10 @@ int main() {
     }
     table.add_row({"-", "-", "-", "-", fmt_double(pll.average_label_size(), 2), "ok",
                    "PLL reference"});
-    table.print(std::cout, "random 3-regular, n = " + std::to_string(n));
-    if (!all_ok) {
-      std::printf("\ndistant-cover ablation: MISMATCH\n");
-      return 1;
-    }
+    size_span.end();
+    harness.print(table, "random 3-regular, n = " + std::to_string(n));
+    if (!all_ok) break;
   }
 
-  std::printf("\ndistant-cover ablation: OK\n");
-  return 0;
+  return harness.finish("distant-cover ablation", all_ok);
 }

@@ -8,9 +8,9 @@
 /// batch.
 
 #include <cstdio>
-#include <iostream>
 
 #include "algo/shortest_paths.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/incremental.hpp"
 #include "hub/pll.hpp"
@@ -19,15 +19,20 @@
 
 using namespace hublab;
 
-int main() {
-  std::printf("Ablation: incremental PLL vs rebuild under edge insertions\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "dynamic_updates",
+                         "Ablation: incremental PLL vs rebuild under edge insertions");
   bool all_ok = true;
 
   TextTable table({"n", "m0", "inserts", "update ms/edge", "rebuild ms", "inc hubs",
                    "rebuilt hubs", "overhead", "exact"});
-  for (const std::size_t n : {200u, 500u, 1000u}) {
+  const std::vector<std::size_t> full_sizes{200, 500, 1000};
+  const std::vector<std::size_t> smoke_sizes{200, 500};
+  for (const std::size_t n : harness.smoke() ? smoke_sizes : full_sizes) {
+    auto size_span = harness.phase("inserts-n" + std::to_string(n));
     Rng rng(n);
     const Graph g = gen::connected_gnm(n, 2 * n, rng);
+    harness.add_graph("connected-gnm", g.num_vertices(), g.num_edges());
     IncrementalPll inc(g);
 
     // Insert a 5% batch of random edges.
@@ -74,8 +79,7 @@ int main() {
                    fmt_u64(inc.total_hubs()), fmt_u64(rebuilt.total_hubs()),
                    fmt_double(overhead, 3), exact ? "ok" : "FAIL"});
   }
-  table.print(std::cout, "incremental insertions (overhead = incremental hubs / rebuilt hubs)");
+  harness.print(table, "incremental insertions (overhead = incremental hubs / rebuilt hubs)");
 
-  std::printf("\ndynamic updates ablation: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("dynamic updates ablation", all_ok);
 }

@@ -10,20 +10,24 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <iostream>
 
 #include "algo/shortest_paths.hpp"
+#include "bench/harness.hpp"
 #include "graph/io.hpp"
 #include "lowerbound/gadget.hpp"
 #include "util/table.hpp"
 
 using namespace hublab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig1_construction",
+                         "Experiment FIG1: the H_{2,2} instance of Figure 1");
+
+  auto build_span = harness.phase("build-gadget");
   const lb::GadgetParams p{2, 2};
   const lb::LayeredGadget h(p);
-
-  std::printf("Experiment FIG1: the H_{2,2} instance of Figure 1\n");
+  build_span.end();
+  harness.add_graph("layered-gadget H_{2,2}", h.graph().num_vertices(), h.graph().num_edges());
 
   TextTable params({"quantity", "value", "paper"});
   params.add_row({"s (side length)", fmt_u64(p.s()), "4"});
@@ -32,9 +36,10 @@ int main() {
   params.add_row({"A = 3*l*s^2", fmt_u64(p.base_weight()), "96"});
   params.add_row({"|V(H)|", fmt_u64(h.graph().num_vertices()), "80"});
   params.add_row({"|E(H)|", fmt_u64(h.graph().num_edges()), "256"});
-  params.print(std::cout, "H_{2,2} parameters");
+  harness.print(params, "H_{2,2} parameters");
 
   // Blue path: unique shortest v_{0,(1,0)} -> v_{4,(3,2)}.
+  auto paths_span = harness.phase("check-paths");
   const lb::Coords x{1, 0};
   const lb::Coords z{3, 2};
   const Vertex src = h.vertex_at(0, x);
@@ -49,6 +54,7 @@ int main() {
   const std::vector<Vertex> red{h.vertex_at(0, {1, 0}), h.vertex_at(1, {3, 0}),
                                 h.vertex_at(2, {3, 2}), h.vertex_at(3, {3, 2}),
                                 h.vertex_at(4, {3, 2})};
+  paths_span.end();
 
   TextTable fig({"path", "length", "paper", "note"});
   fig.add_row({"blue (shortest)", fmt_u64(tree.dist[dst]), fmt_u64(4 * p.base_weight() + 4),
@@ -56,17 +62,21 @@ int main() {
   fig.add_row({"passes v_{2,(2,1)}", through_mid ? "yes" : "NO (bug!)", "yes", ""});
   fig.add_row({"red (detour)", fmt_u64(path_length(h.graph(), red)),
                fmt_u64(4 * p.base_weight() + 8), "4A+8"});
-  fig.print(std::cout, "Figure 1 paths");
+  harness.print(fig, "Figure 1 paths");
 
   // Degree-3 expansion stats for the same instance.
+  auto expand_span = harness.phase("degree3-expansion");
   const lb::Degree3Gadget g3(h);
+  expand_span.end();
+  harness.add_graph("degree3-gadget G_{2,2}", g3.graph().num_vertices(),
+                    g3.graph().num_edges());
   TextTable exp({"quantity", "value"});
   exp.add_row({"|V(G_{2,2})|", fmt_u64(g3.graph().num_vertices())});
   exp.add_row({"|E(G_{2,2})|", fmt_u64(g3.graph().num_edges())});
   exp.add_row({"max degree", fmt_u64(g3.graph().max_degree())});
   exp.add_row({"tree vertices", fmt_u64(g3.num_tree_vertices())});
   exp.add_row({"path vertices", fmt_u64(g3.num_path_vertices())});
-  exp.print(std::cout, "Degree-3 expansion G_{2,2}");
+  harness.print(exp, "Degree-3 expansion G_{2,2}");
 
   std::ofstream dot("fig1_h22.dot");
   io::write_dot(h.graph(), dot, "H_2_2");
@@ -75,6 +85,5 @@ int main() {
   const bool ok = tree.dist[dst] == 4 * p.base_weight() + 4 && counts[dst] == 1 && through_mid &&
                   path_length(h.graph(), red) == 4 * p.base_weight() + 8 &&
                   g3.graph().max_degree() == 3;
-  std::printf("FIG1 reproduction: %s\n", ok ? "OK" : "MISMATCH");
-  return ok ? 0 : 1;
+  return harness.finish("FIG1 reproduction", ok);
 }

@@ -9,9 +9,9 @@
 /// show large loads -- the same dichotomy Theorem 1.1 formalizes.
 
 #include <cstdio>
-#include <iostream>
 
 #include "algo/distance_matrix.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/highway.hpp"
 #include "hub/pll.hpp"
@@ -20,24 +20,26 @@
 
 using namespace hublab;
 
-int main() {
-  std::printf("Experiment HWY: highway-dimension proxy across graph families\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "highway_dimension",
+                         "Experiment HWY: highway-dimension proxy across graph families");
   bool all_ok = true;
 
   struct Family {
     std::string name;
     Graph graph;
   };
+  const std::size_t n = harness.smoke() ? 100 : 196;
   std::vector<Family> families;
-  families.push_back({"grid 14x14 (road-like)", gen::grid(14, 14)});
-  families.push_back({"path n=196", gen::path(196)});
+  families.push_back({"grid (road-like)", harness.smoke() ? gen::grid(10, 10) : gen::grid(14, 14)});
+  families.push_back({"path", gen::path(n)});
   {
     Rng rng(1);
-    families.push_back({"random 3-regular n=196", gen::random_regular(196, 3, rng)});
+    families.push_back({"random 3-regular", gen::random_regular(n, 3, rng)});
   }
   {
     Rng rng(2);
-    families.push_back({"barabasi-albert n=196", gen::barabasi_albert(196, 2, rng)});
+    families.push_back({"barabasi-albert", gen::barabasi_albert(n, 2, rng)});
   }
   {
     // Degree-3 gadget of Theorem 2.1 (unweighted expansion of H_{1,1}).
@@ -45,10 +47,12 @@ int main() {
     families.push_back({"gadget G_{1,1} (n=90)", lb::Degree3Gadget(h).graph()});
   }
 
+  auto sweep_span = harness.phase("multiscale-covers");
   TextTable table({"family", "n", "h estimate", "scales", "sum covers", "avg label",
                    "PLL avg", "exact"});
   for (const auto& f : families) {
     const Graph& g = f.graph;
+    harness.add_graph(f.name, g.num_vertices(), g.num_edges());
     const DistanceMatrix truth = DistanceMatrix::compute(g);
     MultiscaleStats stats;
     const HubLabeling l = multiscale_cover_labeling(g, truth, &stats);
@@ -62,10 +66,12 @@ int main() {
                    fmt_u64(sum_covers), fmt_double(l.average_label_size(), 2),
                    fmt_double(pll.average_label_size(), 2), exact ? "ok" : "FAIL"});
   }
-  table.print(std::cout, "multiscale SP-cover labeling; 'h estimate' = max per-scale ball load");
+  sweep_span.end();
+  harness.print(table, "multiscale SP-cover labeling; 'h estimate' = max per-scale ball load");
 
   // Per-scale detail for the two extremes.
-  for (const char* pick : {"grid 14x14 (road-like)", "random 3-regular n=196"}) {
+  auto detail_span = harness.phase("per-scale-detail");
+  for (const char* pick : {"grid (road-like)", "random 3-regular"}) {
     for (const auto& f : families) {
       if (f.name != pick) continue;
       const DistanceMatrix truth = DistanceMatrix::compute(f.graph);
@@ -77,10 +83,10 @@ int main() {
                         "(" + fmt_u64(s.r) + "," + fmt_u64(2 * s.r) + "]",
                         fmt_u64(s.cover_size), fmt_u64(s.max_ball_load)});
       }
-      detail.print(std::cout, std::string("per-scale detail: ") + pick);
+      harness.print(detail, std::string("per-scale detail: ") + pick);
     }
   }
+  detail_span.end();
 
-  std::printf("\nHWY experiment: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("HWY experiment", all_ok);
 }

@@ -16,8 +16,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 
+#include "bench/harness.hpp"
 #include "hub/pll.hpp"
 #include "lowerbound/certify.hpp"
 #include "lowerbound/gadget.hpp"
@@ -55,15 +55,22 @@ DiagonalEstimate estimate_diagonal(double b, double ell) {
 
 }  // namespace
 
-int main() {
-  std::printf("Experiment THM1.1: avg hub size >= n / 2^{Theta(sqrt(log n))} on Delta=3 graphs\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(
+      argc, argv, "hub_lower_curve",
+      "Experiment THM1.1: avg hub size >= n / 2^{Theta(sqrt(log n))} on Delta=3 graphs");
 
   // ---- Part 1: measured instances ----------------------------------------
+  auto measured_span = harness.phase("measured-instances");
   TextTable measured({"b", "l", "n_H", "n_G", "certified lb (H)", "PLL avg (H)", "PLL avg (G)"});
   bool all_ok = true;
-  for (const auto& p : std::vector<lb::GadgetParams>{{1, 1}, {2, 1}, {1, 2}, {2, 2}}) {
+  const std::vector<lb::GadgetParams> full_params{{1, 1}, {2, 1}, {1, 2}, {2, 2}};
+  const std::vector<lb::GadgetParams> smoke_params{{1, 1}, {2, 1}, {1, 2}};
+  for (const auto& p : harness.smoke() ? smoke_params : full_params) {
     const lb::LayeredGadget h(p);
     const lb::Degree3Gadget g3(h);
+    harness.add_graph("layered-gadget", h.graph().num_vertices(), h.graph().num_edges());
+    harness.add_graph("degree3-gadget", g3.graph().num_vertices(), g3.graph().num_edges());
     const double bound_h = lb::certified_bound_h(p);
     const HubLabeling pll_h = pruned_landmark_labeling(h.graph());
     all_ok = all_ok && pll_h.average_label_size() >= bound_h;
@@ -78,9 +85,11 @@ int main() {
                       fmt_u64(g3.graph().num_vertices()), fmt_double(bound_h, 3),
                       fmt_double(pll_h.average_label_size(), 2), pll_g});
   }
-  measured.print(std::cout, "Part 1 (measured): PLL can never beat the certified counting bound");
+  measured_span.end();
+  harness.print(measured, "Part 1 (measured): PLL can never beat the certified counting bound");
 
   // ---- Part 2: analytic diagonal ------------------------------------------
+  auto analytic_span = harness.phase("analytic-diagonal");
   TextTable analytic({"b=l", "log2 n_G", "log2 T", "certified avg lb", "loss = n/bound",
                       "log2(loss)/sqrt(log2 n)"});
   double prev_shape = 0.0;
@@ -102,7 +111,8 @@ int main() {
                       fmt_double(std::log2(e.triplets), 1),
                       e.certified > 0 ? fmt_sci(e.certified, 2) : "0", loss_str, shape_str});
   }
-  analytic.print(std::cout, 
+  analytic_span.end();
+  harness.print(analytic,
       "Part 2 (analytic diagonal b=l): the shape column converging to a constant is "
       "the n/2^{Theta(sqrt(log n))} law of Theorem 1.1");
 
@@ -110,6 +120,5 @@ int main() {
   const bool shape_converges = last_shape > 0 && std::abs(last_shape - prev_shape) < 1.0;
   all_ok = all_ok && shape_converges;
 
-  std::printf("\nTHM1.1 curve: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("THM1.1 curve", all_ok);
 }

@@ -8,8 +8,8 @@
 /// 2-bit-corrections scheme ([AGHP16a] paradigm from the related work).
 
 #include <cstdio>
-#include <iostream>
 
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/pll.hpp"
 #include "labeling/distance_labeling.hpp"
@@ -24,18 +24,20 @@ HubLabeling pll_factory(const Graph& g) { return pruned_landmark_labeling(g); }
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation: label encodings (bits per vertex)\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "label_encoding",
+                         "Ablation: label encodings (bits per vertex)");
 
   struct Family {
     std::string name;
     Graph graph;
     bool unweighted;
   };
+  const std::size_t n = harness.smoke() ? 150 : 400;
   std::vector<Family> families;
   {
     Rng rng(1);
-    families.push_back({"gnm n=400 m=800", gen::connected_gnm(400, 800, rng), true});
+    families.push_back({"gnm m=2n", gen::connected_gnm(n, 2 * n, rng), true});
   }
   {
     Rng rng(2);
@@ -46,13 +48,15 @@ int main() {
                       lb::LayeredGadget(lb::GadgetParams{3, 2}).graph(), false});
   {
     Rng rng(3);
-    families.push_back({"barabasi-albert n=400 k=2", gen::barabasi_albert(400, 2, rng), true});
+    families.push_back({"barabasi-albert k=2", gen::barabasi_albert(n, 2, rng), true});
   }
 
   TextTable table({"family", "avg hubs", "hub+gamma", "hub+delta", "hub+fixed32", "flat rows",
                    "approx+corr"});
   for (const auto& f : families) {
     const Graph& g = f.graph;
+    harness.add_graph(f.name, g.num_vertices(), g.num_edges());
+    auto family_span = harness.phase("encode-" + f.name);
     const HubLabeling pll = pruned_landmark_labeling(g);
     const double gamma =
         HubDistanceLabeling::encode_labeling(pll, DistCodec::kGamma).average_bits();
@@ -68,8 +72,8 @@ int main() {
     table.add_row({f.name, fmt_double(pll.average_label_size(), 1), fmt_double(gamma, 1),
                    fmt_double(delta, 1), fmt_double(fixed, 1), fmt_double(flat, 1), corr});
   }
-  table.print(std::cout, "average bits per label (all schemes decode exactly; approx+corr unweighted only)");
+  harness.print(table,
+                "average bits per label (all schemes decode exactly; approx+corr unweighted only)");
 
-  std::printf("\nlabel encoding ablation: OK\n");
-  return 0;
+  return harness.finish("label encoding ablation", true);
 }

@@ -11,32 +11,35 @@
 ///         confirm the measured average respects (and exceeds) the bound.
 
 #include <cstdio>
-#include <iostream>
 
 #include "algo/shortest_paths.hpp"
+#include "bench/harness.hpp"
 #include "graph/transforms.hpp"
 #include "hub/pll.hpp"
 #include "lowerbound/certify.hpp"
 #include "lowerbound/gadget.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace hublab;
 
-int main() {
-  std::printf("Experiment THM2.1/LEM2.2: certifying the lower-bound gadget family\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "lowerbound_certify",
+                         "Experiment THM2.1/LEM2.2: certifying the lower-bound gadget family");
 
-  const std::vector<lb::GadgetParams> sweep{
+  const std::vector<lb::GadgetParams> full_sweep{
       {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {1, 2}, {2, 2}, {3, 2}, {4, 2}, {1, 3}, {2, 3}, {3, 3},
   };
+  const std::vector<lb::GadgetParams> smoke_sweep{{1, 1}, {2, 1}, {1, 2}, {2, 2}};
+  const auto& sweep = harness.smoke() ? smoke_sweep : full_sweep;
 
   TextTable table({"b", "l", "n_H", "m_H", "triplets T", "lemma2.2", "hop diam",
                    "certified avg lb (H)", "PLL avg (H)", "ratio"});
   bool all_ok = true;
 
+  auto sweep_span = harness.phase("certify-H-sweep");
   for (const auto& p : sweep) {
     const lb::LayeredGadget h(p);
-    Timer timer;
+    harness.add_graph("layered-gadget", h.graph().num_vertices(), h.graph().num_edges());
     const lb::Lemma22Report report = verify_lemma_2_2(h, /*max_sources=*/256, /*seed=*/1);
     all_ok = all_ok && report.ok();
 
@@ -66,15 +69,19 @@ int main() {
                    fmt_u64(p.num_triplets()), report.ok() ? "ok" : "FAIL", diam_str,
                    fmt_double(bound, 3), pll_avg, ratio});
   }
-  table.print(std::cout, "Theorem 2.1 certification on H_{b,l} (PLL average must be >= certified bound)");
+  sweep_span.end();
+  harness.print(table,
+                "Theorem 2.1 certification on H_{b,l} (PLL average must be >= certified bound)");
 
   // Degree-3 expansions: claim (ii) of Theorem 2.1 plus cross-level
   // distance preservation spot checks.
+  auto g3_span = harness.phase("certify-G-degree3");
   TextTable g3table({"b", "l", "n_G", "m_G", "max deg", "lemma2.2 on G",
                      "certified avg lb (G)"});
   for (const auto& p : std::vector<lb::GadgetParams>{{1, 1}, {2, 1}, {1, 2}, {2, 2}}) {
     const lb::LayeredGadget h(p);
     const lb::Degree3Gadget g3(h);
+    harness.add_graph("degree3-gadget", g3.graph().num_vertices(), g3.graph().num_edges());
     const lb::Lemma22Report report = verify_lemma_2_2_degree3(h, g3, /*max_sources=*/64, 1);
     all_ok = all_ok && report.ok() && g3.graph().max_degree() <= 3;
     g3table.add_row({fmt_u64(p.b), fmt_u64(p.ell), fmt_u64(g3.graph().num_vertices()),
@@ -82,8 +89,8 @@ int main() {
                      report.ok() ? "ok" : "FAIL",
                      fmt_sci(lb::certified_bound_g(p, g3.graph().num_vertices()), 2)});
   }
-  g3table.print(std::cout, "Theorem 2.1 (i)-(iii) on the degree-3 expansion G_{b,l}");
+  g3_span.end();
+  harness.print(g3table, "Theorem 2.1 (i)-(iii) on the degree-3 expansion G_{b,l}");
 
-  std::printf("\nTHM2.1 certification: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("THM2.1 certification", all_ok);
 }

@@ -10,11 +10,11 @@
 /// its observed stretch is reported instead of assumed.
 
 #include <cstdio>
-#include <iostream>
 #include <memory>
 #include <vector>
 
 #include "algo/distance_matrix.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/pll.hpp"
 #include "oracle/alt.hpp"
@@ -28,28 +28,37 @@ using namespace hublab;
 
 namespace {
 
-void run_workload(const Graph& g, const char* name) {
+void run_workload(bench::Harness& harness, const Graph& g, const char* family,
+                  const char* name) {
   const std::size_t n = g.num_vertices();
+  harness.add_graph(family, g.num_vertices(), g.num_edges());
   Rng pick(42);
   std::vector<std::pair<Vertex, Vertex>> queries;
-  for (int i = 0; i < 2000; ++i) {
+  const int num_queries = harness.smoke() ? 400 : 2000;
+  for (int i = 0; i < num_queries; ++i) {
     queries.emplace_back(static_cast<Vertex>(pick.next_below(n)),
                          static_cast<Vertex>(pick.next_below(n)));
   }
   const DistanceMatrix truth = DistanceMatrix::compute(g);
 
   std::vector<std::unique_ptr<DistanceOracle>> oracles;
-  oracles.push_back(std::make_unique<ApspOracle>(g));
-  oracles.push_back(std::make_unique<HubLabelOracle>(g, pruned_landmark_labeling(g)));
-  oracles.push_back(std::make_unique<ContractionHierarchy>(g));
-  oracles.push_back(std::make_unique<ArcFlagsOracle>(g, 16));
-  oracles.push_back(std::make_unique<AltOracle>(g, farthest_landmarks(g, 8)));
-  oracles.push_back(std::make_unique<BidirectionalOracle>(g));
-  oracles.push_back(std::make_unique<SsspOracle>(g));
-  std::vector<Vertex> landmarks;
-  for (Vertex v = 0; v < 16 && v < n; ++v) landmarks.push_back(static_cast<Vertex>(v * (n / 16)));
-  oracles.push_back(std::make_unique<LandmarkOracle>(g, landmarks));
+  {
+    auto build_span = harness.phase(std::string("build-oracles-") + family);
+    oracles.push_back(std::make_unique<ApspOracle>(g));
+    oracles.push_back(std::make_unique<HubLabelOracle>(g, pruned_landmark_labeling(g)));
+    oracles.push_back(std::make_unique<ContractionHierarchy>(g));
+    oracles.push_back(std::make_unique<ArcFlagsOracle>(g, 16));
+    oracles.push_back(std::make_unique<AltOracle>(g, farthest_landmarks(g, 8)));
+    oracles.push_back(std::make_unique<BidirectionalOracle>(g));
+    oracles.push_back(std::make_unique<SsspOracle>(g));
+    std::vector<Vertex> landmarks;
+    for (Vertex v = 0; v < 16 && v < n; ++v) {
+      landmarks.push_back(static_cast<Vertex>(v * (n / 16)));
+    }
+    oracles.push_back(std::make_unique<LandmarkOracle>(g, landmarks));
+  }
 
+  auto query_span = harness.phase(std::string("query-oracles-") + family);
   TextTable table({"oracle", "space (KiB)", "avg query (us)", "S*T (KiB*us)", "exact %",
                    "avg stretch"});
   for (const auto& oracle : oracles) {
@@ -82,22 +91,26 @@ void run_workload(const Graph& g, const char* name) {
                    stretch_count > 0 ? fmt_double(stretch_sum / static_cast<double>(stretch_count), 3)
                                      : "-"});
   }
-  table.print(std::cout, std::string("Oracle space/time tradeoff on ") + name);
+  query_span.end();
+  harness.print(table, std::string("Oracle space/time tradeoff on ") + name);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Experiment TRADEOFF: exact-distance oracle landscape\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "oracle_tradeoff",
+                         "Experiment TRADEOFF: exact-distance oracle landscape");
   {
-    const Graph g = gen::grid(32, 32);
-    run_workload(g, "grid 32x32 (n=1024)");
+    const Graph g = harness.smoke() ? gen::grid(16, 16) : gen::grid(32, 32);
+    run_workload(harness, g, "grid", harness.smoke() ? "grid 16x16 (n=256)" : "grid 32x32 (n=1024)");
   }
   {
     Rng rng(7);
-    const Graph g = gen::connected_gnm(1500, 3000, rng);
-    run_workload(g, "connected G(n,m) n=1500 m=3000");
+    const Graph g = harness.smoke() ? gen::connected_gnm(500, 1000, rng)
+                                    : gen::connected_gnm(1500, 3000, rng);
+    run_workload(harness, g, "connected-gnm",
+                 harness.smoke() ? "connected G(n,m) n=500 m=1000"
+                                 : "connected G(n,m) n=1500 m=3000");
   }
-  std::printf("\nTRADEOFF experiment: OK\n");
-  return 0;
+  return harness.finish("TRADEOFF experiment", true);
 }

@@ -9,15 +9,14 @@
 /// helps, by Theorem 2.1).
 
 #include <cstdio>
-#include <iostream>
 
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/order.hpp"
 #include "hub/pll.hpp"
 #include "lowerbound/gadget.hpp"
 #include "oracle/contraction_hierarchy.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace hublab;
 
@@ -29,8 +28,9 @@ double avg_for_order(const Graph& g, const std::vector<Vertex>& order) {
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation: PLL vertex orderings across graph families\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "pll_orderings",
+                         "Ablation: PLL vertex orderings across graph families");
 
   TextTable table({"family", "n", "m", "degree", "betweenness~", "random", "natural",
                    "CH-derived"});
@@ -39,10 +39,11 @@ int main() {
     std::string name;
     Graph graph;
   };
+  const std::size_t n = harness.smoke() ? 200 : 600;
   std::vector<Family> families;
   {
     Rng rng(1);
-    families.push_back({"barabasi-albert k=3", gen::barabasi_albert(600, 3, rng)});
+    families.push_back({"barabasi-albert k=3", gen::barabasi_albert(n, 3, rng)});
   }
   {
     Rng rng(2);
@@ -50,17 +51,19 @@ int main() {
   }
   {
     Rng rng(3);
-    families.push_back({"random 3-regular", gen::random_regular(600, 3, rng)});
+    families.push_back({"random 3-regular", gen::random_regular(n, 3, rng)});
   }
   {
     Rng rng(4);
-    families.push_back({"gnm m=2n", gen::connected_gnm(600, 1200, rng)});
+    families.push_back({"gnm m=2n", gen::connected_gnm(n, 2 * n, rng)});
   }
   families.push_back({"gadget H_{3,2}", lb::LayeredGadget(lb::GadgetParams{3, 2}).graph()});
-  families.push_back({"grid 25x25", gen::grid(25, 25)});
+  if (!harness.smoke()) families.push_back({"grid 25x25", gen::grid(25, 25)});
 
   for (const auto& f : families) {
     const Graph& g = f.graph;
+    harness.add_graph(f.name, g.num_vertices(), g.num_edges());
+    auto family_span = harness.phase("orderings-" + f.name);
     Rng bt_rng(7);
     const auto bt_order = betweenness_order(g, std::min<std::size_t>(64, g.num_vertices()), bt_rng);
     // Hub labels read off a contraction hierarchy (the CH ordering is its
@@ -73,9 +76,8 @@ int main() {
                    fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kNatural)), 2),
                    fmt_double(ch_avg, 2)});
   }
-  table.print(std::cout, "average |S(v)| by PLL order (all labelings exact by construction)");
+  harness.print(table, "average |S(v)| by PLL order (all labelings exact by construction)");
 
   std::printf("\nNote the gadget row: per Theorem 2.1 no ordering can make its labels small.\n");
-  std::printf("\nPLL ordering ablation: OK\n");
-  return 0;
+  return harness.finish("PLL ordering ablation", true);
 }

@@ -6,10 +6,19 @@
 /// Expected shape: hub-label queries are orders of magnitude faster than
 /// Dijkstra-style searches, at the cost of preprocessed space -- the
 /// tradeoff the paper's oracle discussion formalizes.
+///
+/// Unlike the table benches this one drives google-benchmark, so main()
+/// registers the cases explicitly (capped iteration counts under --smoke)
+/// and forwards only benchmark's own flags to its parser.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "algo/shortest_paths.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/pll.hpp"
 #include "oracle/oracle.hpp"
@@ -92,15 +101,67 @@ void bm_pll_construction(benchmark::State& state) {
   }
 }
 
-BENCHMARK_CAPTURE(bm_hub_query, road40x40, road_workload());
-BENCHMARK_CAPTURE(bm_bidirectional, road40x40, road_workload());
-BENCHMARK_CAPTURE(bm_full_sssp, road40x40, road_workload())->Iterations(200);
-BENCHMARK_CAPTURE(bm_hub_query, gnm2000, sparse_workload());
-BENCHMARK_CAPTURE(bm_bidirectional, gnm2000, sparse_workload());
-BENCHMARK_CAPTURE(bm_full_sssp, gnm2000, sparse_workload())->Iterations(200);
-BENCHMARK(bm_pll_construction)->Arg(250)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
+void register_benchmarks(bool smoke) {
+  using Fn = void (*)(benchmark::State&, const Workload&);
+  struct QueryCase {
+    const char* name;
+    Fn fn;
+    const Workload& (*workload)();
+    std::int64_t smoke_iterations;  ///< 0 = let benchmark pick, even in smoke
+  };
+  const std::vector<QueryCase> cases{
+      {"bm_hub_query/road40x40", &bm_hub_query, &road_workload, 256},
+      {"bm_bidirectional/road40x40", &bm_bidirectional, &road_workload, 16},
+      {"bm_full_sssp/road40x40", &bm_full_sssp, &road_workload, 4},
+      {"bm_hub_query/gnm2000", &bm_hub_query, &sparse_workload, 256},
+      {"bm_bidirectional/gnm2000", &bm_bidirectional, &sparse_workload, 16},
+      {"bm_full_sssp/gnm2000", &bm_full_sssp, &sparse_workload, 4},
+  };
+  for (const QueryCase& c : cases) {
+    auto* b = benchmark::RegisterBenchmark(
+        c.name, [fn = c.fn, wl = c.workload](benchmark::State& s) { fn(s, wl()); });
+    if (smoke) {
+      b->Iterations(c.smoke_iterations);
+    } else if (std::strstr(c.name, "bm_full_sssp") != nullptr) {
+      b->Iterations(200);
+    }
+  }
+  auto* pll = benchmark::RegisterBenchmark("bm_pll_construction", &bm_pll_construction)
+                  ->Unit(benchmark::kMillisecond);
+  if (smoke) {
+    pll->Arg(250)->Iterations(1);
+  } else {
+    pll->Arg(250)->Arg(500)->Arg(1000);
+  }
+}
 
 }  // namespace
 }  // namespace hublab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hublab::bench::Harness harness(
+      argc, argv, "query_oracles",
+      "Experiment PRACT: exact distance-query microbenchmarks (google-benchmark)");
+
+  // Forward only benchmark's own flags; the harness flags are not its.
+  std::vector<char*> bm_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) bm_argv.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+
+  hublab::register_benchmarks(harness.smoke());
+  harness.add_graph("road-like-40x40", hublab::road_workload().graph.num_vertices(),
+                    hublab::road_workload().graph.num_edges());
+  harness.add_graph("connected-gnm", hublab::sparse_workload().graph.num_vertices(),
+                    hublab::sparse_workload().graph.num_edges());
+
+  std::size_t ran = 0;
+  {
+    auto run_span = harness.phase("run-benchmarks");
+    ran = benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return harness.finish("PRACT microbench", ran > 0);
+}

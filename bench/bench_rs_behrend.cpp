@@ -9,8 +9,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 
+#include "bench/harness.hpp"
 #include "rs/behrend.hpp"
 #include "rs/rs_graph.hpp"
 #include "util/table.hpp"
@@ -19,13 +19,16 @@
 using namespace hublab;
 using namespace hublab::rs;
 
-int main() {
-  std::printf("Experiment RS: progression-free sets and Ruzsa-Szemeredi graphs\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "rs_behrend",
+                         "Experiment RS: progression-free sets and Ruzsa-Szemeredi graphs");
 
+  auto sets_span = harness.phase("progression-free-sets");
   TextTable sets({"N", "behrend |A|", "(d,k,r)", "base3 |A|", "optimal |A|", "dense/N",
                   "N/2^sqrt(lgN)"});
-  for (const std::uint64_t N :
-       {20ULL, 100ULL, 1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+  const std::vector<std::uint64_t> full_ns{20, 100, 1000, 10000, 100000, 1000000};
+  const std::vector<std::uint64_t> smoke_ns{20, 100, 1000};
+  for (const std::uint64_t N : harness.smoke() ? smoke_ns : full_ns) {
     BehrendParams params;
     const auto behrend = behrend_set_with_params(N, params);
     const auto base3 = base3_set(N);
@@ -41,14 +44,19 @@ int main() {
                   fmt_double(static_cast<double>(dense.size()) / static_cast<double>(N), 4),
                   fmt_double(ref, 1)});
   }
-  sets.print(std::cout, "3-AP-free set sizes (Behrend bound reference: N / 2^{sqrt(log2 N)})");
+  sets_span.end();
+  harness.print(sets, "3-AP-free set sizes (Behrend bound reference: N / 2^{sqrt(log2 N)})");
 
+  auto graphs_span = harness.phase("rs-graphs");
   TextTable graphs({"M", "|A|", "n=3M", "edges", "classes", "min r", "avg r", "n^2/edges",
                     "valid", "time(s)"});
   bool all_ok = true;
-  for (const std::uint64_t M : {20ULL, 100ULL, 500ULL, 2000ULL}) {
+  const std::vector<std::uint64_t> full_ms{20, 100, 500, 2000};
+  const std::vector<std::uint64_t> smoke_ms{20, 100};
+  for (const std::uint64_t M : harness.smoke() ? smoke_ms : full_ms) {
     Timer timer;
     const RsGraph rsg = build_rs_graph(M, dense_set(M));
+    harness.add_graph("ruzsa-szemeredi", rsg.graph.num_vertices(), rsg.graph.num_edges());
     const bool valid = is_valid_induced_partition(rsg.graph, rsg.partition) &&
                        rsg.partition.num_matchings() <= rsg.graph.num_vertices();
     all_ok = all_ok && valid;
@@ -61,8 +69,9 @@ int main() {
                     fmt_double(rsg.partition.avg_matching_size(), 2), fmt_double(ratio, 1),
                     valid ? "ok" : "FAIL", fmt_double(timer.elapsed_s(), 2)});
   }
-  graphs.print(std::cout, "RS graphs: n^2/edges is the RS(n)-style density loss (Definition 1.3)");
+  graphs_span.end();
+  harness.print(graphs,
+                "RS graphs: n^2/edges is the RS(n)-style density loss (Definition 1.3)");
 
-  std::printf("\nRS experiment: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("RS experiment", all_ok);
 }

@@ -12,25 +12,29 @@
 
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 
 #include "algo/distance_matrix.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/pll.hpp"
 #include "hub/structured.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace hublab;
 
-int main() {
-  std::printf("Experiment STRUCT: hub labelings of trees and grids (Sec. 1.1 survey)\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "structured_classes",
+                         "Experiment STRUCT: hub labelings of trees and grids (Sec. 1.1 survey)");
   bool all_ok = true;
 
+  auto trees_span = harness.phase("tree-centroid-labels");
   TextTable trees({"n", "centroid avg", "centroid max", "log2 n", "max/log2 n", "exact"});
-  for (const std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+  const std::vector<std::size_t> full_tree_ns{100, 1000, 10000, 100000};
+  const std::vector<std::size_t> smoke_tree_ns{100, 1000};
+  for (const std::size_t n : harness.smoke() ? smoke_tree_ns : full_tree_ns) {
     Rng rng(n);
     const Graph g = gen::random_tree(n, rng);
+    harness.add_graph("random-tree", g.num_vertices(), g.num_edges());
     const HubLabeling l = tree_centroid_labeling(g);
     const double lg = std::log2(static_cast<double>(n));
     bool exact = true;
@@ -46,12 +50,16 @@ int main() {
                    fmt_double(static_cast<double>(l.max_label_size()) / lg, 2),
                    exact ? "ok" : "FAIL"});
   }
-  trees.print(std::cout, "random trees: centroid labels scale as log n (max/log2n stays ~1)");
+  trees_span.end();
+  harness.print(trees, "random trees: centroid labels scale as log n (max/log2n stays ~1)");
 
+  auto grids_span = harness.phase("grid-separator-labels");
   TextTable grids({"side", "n", "separator avg", "sqrt n", "avg/sqrt n", "PLL avg", "exact"});
-  for (const std::size_t side : {8u, 16u, 24u, 32u, 48u}) {
+  const std::vector<std::size_t> full_sides{8, 16, 24, 32, 48};
+  const std::vector<std::size_t> smoke_sides{8, 16};
+  for (const std::size_t side : harness.smoke() ? smoke_sides : full_sides) {
     const Graph g = gen::grid(side, side);
-    Timer timer;
+    harness.add_graph("grid", g.num_vertices(), g.num_edges());
     const HubLabeling l = grid_separator_labeling(g, side, side);
     const double rt = std::sqrt(static_cast<double>(g.num_vertices()));
     bool exact = true;
@@ -68,11 +76,12 @@ int main() {
                    fmt_double(l.average_label_size(), 2), fmt_double(rt, 1),
                    fmt_double(l.average_label_size() / rt, 2), pll_avg, exact ? "ok" : "FAIL"});
   }
-  grids.print(std::cout, "square grids: separator labels scale as sqrt n (avg/sqrt n stays ~constant)");
+  grids_span.end();
+  harness.print(grids,
+                "square grids: separator labels scale as sqrt n (avg/sqrt n stays ~constant)");
 
   std::printf(
       "\nContrast: Theorem 1.1 shows sparse graphs in general sit at n/2^{Theta(sqrt(log n))} --\n"
       "exponentially worse than either structured class above.\n");
-  std::printf("\nSTRUCT experiment: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("STRUCT experiment", all_ok);
 }

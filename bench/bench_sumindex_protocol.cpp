@@ -12,9 +12,9 @@
 /// right-to-left: any smaller distance label would beat SUMINDEX(m).
 
 #include <cstdio>
-#include <iostream>
 #include <memory>
 
+#include "bench/harness.hpp"
 #include "hub/pll.hpp"
 #include "sumindex/sumindex.hpp"
 #include "util/table.hpp"
@@ -30,8 +30,9 @@ HubLabeling pll_natural(const Graph& g) {
 
 }  // namespace
 
-int main() {
-  std::printf("Experiment THM1.6: Sum-Index via gadget distance labels\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "sumindex_protocol",
+                         "Experiment THM1.6: Sum-Index via gadget distance labels");
 
   const auto scheme = std::make_shared<HubDistanceLabeling>(&pll_natural, "pll");
 
@@ -45,13 +46,15 @@ int main() {
     bool degree3;
     std::uint64_t trials;
   };
-  const std::vector<Case> cases{
+  const std::vector<Case> full_cases{
       {2, 1, false, 64}, {3, 1, false, 64}, {2, 2, false, 64},
       {3, 2, false, 48}, {4, 1, false, 64}, {4, 2, false, 24},
       {2, 1, true, 32},  {3, 1, true, 24},
   };
+  const std::vector<Case> smoke_cases{{2, 1, false, 16}, {2, 2, false, 8}, {2, 1, true, 8}};
 
-  for (const auto& c : cases) {
+  auto gadget_span = harness.phase("gadget-protocols");
+  for (const auto& c : harness.smoke() ? smoke_cases : full_cases) {
     const lb::GadgetParams params{c.b, c.ell};
     const si::GadgetProtocol protocol(params, scheme, c.degree3);
     const std::uint64_t m = protocol.universe_size();
@@ -65,6 +68,8 @@ int main() {
     const lb::LayeredGadget h(params);
     std::uint64_t n = h.graph().num_vertices();
     if (c.degree3) n = lb::Degree3Gadget(h).graph().num_vertices();
+    harness.add_graph(c.degree3 ? "masked-degree3-gadget" : "masked-gadget", n,
+                      h.graph().num_edges());
 
     table.add_row({fmt_u64(c.b), fmt_u64(c.ell), fmt_u64(m), c.degree3 ? "G'" : "H'", fmt_u64(n),
                    fmt_u64(stats.trials),
@@ -72,9 +77,11 @@ int main() {
                    fmt_u64(stats.max_alice_bits), fmt_u64(m + ceil_log2(m)),
                    fmt_double(elapsed, 2)});
   }
-  table.print(std::cout, "Theorem 1.6 protocol (every row must decode 100% correctly)");
+  gadget_span.end();
+  harness.print(table, "Theorem 1.6 protocol (every row must decode 100% correctly)");
 
   // Baseline sanity: the trivial protocol on the same universe sizes.
+  auto trivial_span = harness.phase("trivial-baseline");
   TextTable base({"m", "trials", "correct", "alice bits"});
   for (const std::uint64_t m : {2ULL, 4ULL, 16ULL, 64ULL}) {
     const si::TrivialProtocol protocol(m);
@@ -84,8 +91,8 @@ int main() {
                   fmt_u64(stats.correct) + "/" + fmt_u64(stats.trials),
                   fmt_u64(stats.max_alice_bits)});
   }
-  base.print(std::cout, "Trivial ship-S baseline");
+  trivial_span.end();
+  harness.print(base, "Trivial ship-S baseline");
 
-  std::printf("\nTHM1.6 protocol: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("THM1.6 protocol", all_ok);
 }

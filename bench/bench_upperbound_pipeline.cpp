@@ -11,9 +11,9 @@
 /// PLL is shown as the practical yardstick.
 
 #include <cstdio>
-#include <iostream>
 
 #include "algo/distance_matrix.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "hub/labeling.hpp"
 #include "hub/pll.hpp"
@@ -23,16 +23,21 @@
 
 using namespace hublab;
 
-int main() {
-  std::printf("Experiment THM4.1: upper-bound pipeline on random 3-regular graphs\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "upperbound_pipeline",
+                         "Experiment THM4.1: upper-bound pipeline on random 3-regular graphs");
 
   TextTable table({"n", "D", "n|S|", "sum|Q|", "sum|R|", "sum|F|", "groups", "avg label",
                    "PLL avg", "exact", "time(s)"});
   bool all_ok = true;
 
-  for (const std::size_t n : {100u, 200u, 400u, 800u}) {
+  const std::vector<std::size_t> full_sizes{100, 200, 400, 800};
+  const std::vector<std::size_t> smoke_sizes{100, 200};
+  for (const std::size_t n : harness.smoke() ? smoke_sizes : full_sizes) {
+    auto size_span = harness.phase("pipeline-n" + std::to_string(n));
     Rng gen_rng(n);
     const Graph g = gen::random_regular(n, 3, gen_rng);
+    harness.add_graph("random-3-regular", g.num_vertices(), g.num_edges());
     const DistanceMatrix truth = DistanceMatrix::compute(g);
     const HubLabeling pll = pruned_landmark_labeling(g);
 
@@ -52,20 +57,21 @@ int main() {
                      fmt_double(elapsed, 2)});
     }
   }
-  table.print(std::cout, "Theorem 4.1 pipeline (all rows must be exact shortest-path covers)");
+  harness.print(table, "Theorem 4.1 pipeline (all rows must be exact shortest-path covers)");
 
   // Lemma 4.2 verification on a mid-size instance.
   {
+    auto lemma_span = harness.phase("lemma-4.2");
     Rng rng(7);
     const Graph g = gen::random_regular(200, 3, rng);
     const DistanceMatrix truth = DistanceMatrix::compute(g);
     Rng lemma_rng(8);
     const bool lemma_ok = verify_lemma_4_2(g, truth, 3, lemma_rng);
+    lemma_span.end();
     std::printf("\nLemma 4.2 (per-color matchings are induced): %s\n",
                 lemma_ok ? "verified" : "VIOLATED");
     all_ok = all_ok && lemma_ok;
   }
 
-  std::printf("\nTHM4.1 pipeline: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("THM4.1 pipeline", all_ok);
 }

@@ -5,21 +5,21 @@
 /// (the [ADKP16]-style construction the paper builds on).
 
 #include <cstdio>
-#include <iostream>
 
 #include "algo/distance_matrix.hpp"
+#include "bench/harness.hpp"
 #include "graph/generators.hpp"
 #include "graph/transforms.hpp"
 #include "hub/constructions.hpp"
 #include "hub/pll.hpp"
 #include "hub/upperbound.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace hublab;
 
-int main() {
-  std::printf("Experiment THM1.4: sparse graphs m = c*n, all constructions exact\n");
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "upperbound_sparse",
+                         "Experiment THM1.4: sparse graphs m = c*n, all constructions exact");
 
   TextTable table({"n", "m", "family", "thm1.4 avg", "PLL avg", "distant-D4 avg",
                    "greedy avg", "all exact"});
@@ -30,16 +30,19 @@ int main() {
     std::size_t m;
     const char* family;
   };
-  const std::vector<Case> cases{
+  const std::vector<Case> full_cases{
       {200, 400, "gnm"}, {200, 600, "gnm"}, {400, 800, "gnm"},
       {400, 1200, "gnm"}, {300, 600, "ba"},
   };
+  const std::vector<Case> smoke_cases{{200, 400, "gnm"}, {300, 600, "ba"}};
 
-  for (const auto& c : cases) {
+  auto sweep_span = harness.phase("constructions-sweep");
+  for (const auto& c : harness.smoke() ? smoke_cases : full_cases) {
     Rng rng(c.n + c.m);
     const Graph g = std::string(c.family) == "ba"
                         ? gen::barabasi_albert(c.n, c.m / c.n, rng)
                         : gen::connected_gnm(c.n, c.m, rng);
+    harness.add_graph(c.family, g.num_vertices(), g.num_edges());
     const DistanceMatrix truth = DistanceMatrix::compute(g);
 
     Rng ub_rng(1);
@@ -65,22 +68,25 @@ int main() {
                    fmt_double(distant.average_label_size(), 2), greedy_avg,
                    exact ? "ok" : "FAIL"});
   }
-  table.print(std::cout, "Theorem 1.4 on sparse graphs (average hub-set sizes; smaller is better)");
+  sweep_span.end();
+  harness.print(table,
+                "Theorem 1.4 on sparse graphs (average hub-set sizes; smaller is better)");
 
   // Degree-reduction accounting for a heavy-tailed instance.
   {
+    auto red_span = harness.phase("degree-reduction");
     Rng rng(9);
     const Graph g = gen::barabasi_albert(400, 2, rng);
     const std::size_t cap = std::max<std::size_t>(1, (g.num_edges() + g.num_vertices() - 1) /
                                                         g.num_vertices());
     const DegreeReduction red = reduce_degree(g, cap);
+    red_span.end();
     TextTable dr({"quantity", "original", "reduced"});
     dr.add_row({"vertices", fmt_u64(g.num_vertices()), fmt_u64(red.graph.num_vertices())});
     dr.add_row({"edges", fmt_u64(g.num_edges()), fmt_u64(red.graph.num_edges())});
     dr.add_row({"max degree", fmt_u64(g.max_degree()), fmt_u64(red.graph.max_degree())});
-    dr.print(std::cout, "Degree reduction gadget (Theorem 1.4 step 1) on Barabasi-Albert n=400");
+    harness.print(dr, "Degree reduction gadget (Theorem 1.4 step 1) on Barabasi-Albert n=400");
   }
 
-  std::printf("\nTHM1.4 sparse: %s\n", all_ok ? "OK" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return harness.finish("THM1.4 sparse", all_ok);
 }

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/table.hpp"
+#include "util/trace.hpp"
+
+/// \file harness.hpp
+/// Shared runner for the bench binaries.  Every bench constructs one
+/// `Harness`, wraps its work in `phase()` spans, registers the graphs it
+/// ran on, prints its tables through `print()`, and returns
+/// `finish(label, ok)` from main().  The harness owns the cross-cutting
+/// concerns that used to be copy-pasted sixteen times:
+///
+///  - the banner line and the `<LABEL>: OK|MISMATCH` trailer contract that
+///    tools/check.sh and the integration tests grep for;
+///  - `--smoke` (cheap parameters for CI; benches query `smoke()`),
+///    `--trace` (phase tree + metrics dump on stdout) and
+///    `--json-out FILE` flag parsing;
+///  - the machine-readable result: `BENCH_<name>.json` conforming to
+///    `util/bench_schema.hpp` (validated by `hublab validate-bench` in the
+///    bench-smoke stage of tools/check.sh), carrying per-phase wall times
+///    and counter deltas plus the final registry contents.
+///
+/// The registry is reset at construction so the JSON reflects this run
+/// only.  Benches live outside src/, so writing to stdout here is fine.
+
+// CMake defines HUBLAB_GIT_REV from `git rev-parse --short HEAD`; keep a
+// fallback so the header also compiles in isolation (lint self-containment).
+#ifndef HUBLAB_GIT_REV
+#define HUBLAB_GIT_REV "unknown"
+#endif
+
+namespace hublab::bench {
+
+class Harness {
+ public:
+  /// Parses flags, resets the global metrics registry and prints the
+  /// banner.  `name` keys the JSON file (`BENCH_<name>.json` in the
+  /// working directory unless `--json-out` overrides it).
+  Harness(int argc, char** argv, std::string name, std::string_view banner)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--smoke") {
+        smoke_ = true;
+      } else if (arg == "--trace") {
+        trace_ = true;
+      } else if (arg == "--json-out" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      }
+    }
+    if (json_path_.empty()) json_path_ = "BENCH_" + name_ + ".json";
+    metrics::registry().reset();
+    std::printf("%.*s%s\n", static_cast<int>(banner.size()), banner.data(),
+                smoke_ ? "  [smoke]" : "");
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// True when invoked with --smoke: run the cheapest parameters that
+  /// still exercise every phase.
+  [[nodiscard]] bool smoke() const { return smoke_; }
+
+  /// Open a named phase; keep the returned span alive for its duration.
+  [[nodiscard]] Tracer::Span phase(std::string phase_name) {
+    return tracer_.span(std::move(phase_name));
+  }
+
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// Record an input graph for the JSON `graphs` array.
+  void add_graph(std::string family, std::uint64_t n, std::uint64_t m) {
+    graphs_.push_back(GraphInfo{std::move(family), n, m});
+  }
+
+  /// Inner repetitions of the measured work (default 1).
+  void set_repetitions(std::uint64_t reps) { repetitions_ = reps == 0 ? 1 : reps; }
+
+  [[nodiscard]] std::ostream& out() const { return std::cout; }
+
+  void print(const TextTable& table, const std::string& title) {
+    table.print(std::cout, title);
+  }
+
+  /// Print the `<label>: OK|MISMATCH` trailer, write BENCH_<name>.json and
+  /// return the process exit code.
+  [[nodiscard]] int finish(const std::string& label, bool ok) {
+    std::printf("\n%s: %s\n", label.c_str(), ok ? "OK" : "MISMATCH");
+    if (trace_) {
+      std::printf("\nphases:\n");
+      tracer_.write_tree(std::cout);
+      metrics::registry().dump(std::cout);
+    }
+    std::ofstream json(json_path_);
+    write_json(json, ok);
+    if (json.good()) {
+      std::printf("bench JSON written to %s\n", json_path_.c_str());
+    } else {
+      std::printf("bench JSON: FAILED to write %s\n", json_path_.c_str());
+    }
+    return ok ? 0 : 1;
+  }
+
+  /// Emit the full result document (exposed for tests).
+  void write_json(std::ostream& os, bool ok) {
+    metrics::Registry& reg = metrics::registry();
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema_version", std::uint64_t{1});
+    w.kv("bench", name_);
+    w.kv("git_rev", HUBLAB_GIT_REV);
+    w.kv("smoke", smoke_);
+    w.kv("ok", ok);
+    w.kv("repetitions", repetitions_);
+
+    w.key("graphs").begin_array();
+    for (const GraphInfo& g : graphs_) {
+      w.begin_object();
+      w.kv("family", g.family);
+      w.kv("n", g.n);
+      w.kv("m", g.m);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("phases").begin_array();
+    for (const Tracer::Record& r : tracer_.records()) {
+      if (r.open) continue;
+      w.begin_object();
+      w.kv("name", r.name);
+      w.kv("wall_s", r.dur_s);
+      w.kv("depth", std::uint64_t{static_cast<std::uint64_t>(r.depth)});
+      if (!r.counter_deltas.empty()) {
+        w.key("counters").begin_object();
+        for (const metrics::CounterSnapshot& c : r.counter_deltas) w.kv(c.name, c.value);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("counters").begin_object();
+    for (const metrics::CounterSnapshot& c : reg.counters()) w.kv(c.name, c.value);
+    w.end_object();
+
+    w.key("gauges").begin_object();
+    for (const metrics::GaugeSnapshot& g : reg.gauges()) w.kv(g.name, g.value);
+    w.end_object();
+
+    w.key("histograms").begin_object();
+    for (const metrics::HistogramSnapshot& h : reg.histograms()) {
+      w.key(h.name).begin_object();
+      w.kv("count", h.count);
+      w.kv("sum", h.sum);
+      w.kv("min", h.min);
+      w.kv("max", h.max);
+      w.kv("p50", h.p50);
+      w.kv("p90", h.p90);
+      w.kv("p99", h.p99);
+      w.end_object();
+    }
+    w.end_object();
+
+    w.end_object();
+    os << '\n';
+  }
+
+ private:
+  struct GraphInfo {
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+  };
+
+  std::string name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  bool trace_ = false;
+  std::uint64_t repetitions_ = 1;
+  std::vector<GraphInfo> graphs_;
+  Tracer tracer_;
+};
+
+}  // namespace hublab::bench

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace hublab {
 
@@ -26,6 +27,7 @@ SsspResult bfs(const Graph& g, Vertex source) {
   r.dist[source] = 0;
   std::vector<Vertex> next;
   Dist level = 0;
+  std::uint64_t visited = 1;
   while (!frontier.empty()) {
     ++level;
     next.clear();
@@ -38,8 +40,10 @@ SsspResult bfs(const Graph& g, Vertex source) {
         }
       }
     }
+    visited += next.size();
     frontier.swap(next);
   }
+  metrics::registry().counter("sp.bfs.visited").add(visited);
   return r;
 }
 
@@ -77,19 +81,25 @@ SsspResult dijkstra(const Graph& g, Vertex source) {
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
   r.dist[source] = 0;
   pq.emplace(0, source);
+  std::uint64_t settled = 0;
+  std::uint64_t relaxed = 0;
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d != r.dist[u]) continue;  // stale entry
+    ++settled;
     for (const Arc& a : g.arcs(u)) {
       const Dist nd = d + a.weight;
       if (nd < r.dist[a.to]) {
         r.dist[a.to] = nd;
         r.parent[a.to] = u;
         pq.emplace(nd, a.to);
+        ++relaxed;
       }
     }
   }
+  metrics::registry().counter("sp.dijkstra.settled").add(settled);
+  metrics::registry().counter("sp.dijkstra.relaxed").add(relaxed);
   return r;
 }
 
@@ -117,14 +127,17 @@ Dist bidirectional_distance(const Graph& g, Vertex s, Vertex t) {
   qf.emplace(0, s);
   qb.emplace(0, t);
   Dist best = kInfDist;
+  std::uint64_t settled_total = 0;
 
-  auto relax = [&g, &best](std::priority_queue<Item, std::vector<Item>, std::greater<>>& pq,
-                           std::vector<Dist>& mine, const std::vector<Dist>& other) -> Dist {
+  auto relax = [&g, &best, &settled_total](
+                   std::priority_queue<Item, std::vector<Item>, std::greater<>>& pq,
+                   std::vector<Dist>& mine, const std::vector<Dist>& other) -> Dist {
     // Settle one vertex of this direction; return its settled distance.
     while (!pq.empty()) {
       const auto [d, u] = pq.top();
       pq.pop();
       if (d != mine[u]) continue;
+      ++settled_total;
       if (other[u] != kInfDist) best = std::min(best, d + other[u]);
       for (const Arc& a : g.arcs(u)) {
         const Dist nd = d + a.weight;
@@ -150,6 +163,7 @@ Dist bidirectional_distance(const Graph& g, Vertex s, Vertex t) {
       top_b = relax(qb, db, df);
     }
   }
+  metrics::registry().counter("sp.bidij.settled").add(settled_total);
   return best;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <queue>
 
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hublab {
@@ -58,7 +59,9 @@ class PllBuilder {
     }
     // Convert rank-keyed entries to vertex-keyed public labels.
     HubLabeling out(g_.num_vertices());
+    metrics::Histogram& label_sizes = metrics::registry().histogram("pll.label_size");
     for (Vertex v = 0; v < g_.num_vertices(); ++v) {
+      label_sizes.record(labels_[v].size());
       for (const RankEntry& e : labels_[v]) out.add_hub(v, order_[e.rank], e.dist);
     }
     out.finalize();
@@ -93,11 +96,19 @@ class PllBuilder {
     dist_[root] = 0;
     Dist level = 0;
     std::vector<Vertex> next;
+    std::uint64_t visited = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t pushes = 0;
     while (!frontier.empty()) {
       for (Vertex u : frontier) {
+        ++visited;
         // Prune: already answered at distance <= level by earlier hubs.
-        if (query_via_labels(u) <= level) continue;
+        if (query_via_labels(u) <= level) {
+          ++pruned;
+          continue;
+        }
         labels_[u].push_back(RankEntry{k, level});
+        ++pushes;
         for (const Arc& a : g_.arcs(u)) {
           if (dist_[a.to] == kInfDist) {
             dist_[a.to] = level + 1;
@@ -112,6 +123,9 @@ class PllBuilder {
     }
     for (Vertex v : touched) dist_[v] = kInfDist;
     clear_root_label(root);
+    c_visited_.add(visited);
+    c_pruned_.add(pruned);
+    c_pushes_.add(pushes);
   }
 
   void pruned_dijkstra(Vertex k) {
@@ -122,12 +136,20 @@ class PllBuilder {
     std::vector<Vertex> touched{root};
     dist_[root] = 0;
     pq.emplace(0, root);
+    std::uint64_t visited = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t pushes = 0;
     while (!pq.empty()) {
       const auto [d, u] = pq.top();
       pq.pop();
       if (d != dist_[u]) continue;
-      if (query_via_labels(u) <= d) continue;  // prune
+      ++visited;
+      if (query_via_labels(u) <= d) {  // prune
+        ++pruned;
+        continue;
+      }
       labels_[u].push_back(RankEntry{k, d});
+      ++pushes;
       for (const Arc& a : g_.arcs(u)) {
         const Dist nd = d + a.weight;
         if (nd < dist_[a.to]) {
@@ -139,6 +161,9 @@ class PllBuilder {
     }
     for (Vertex v : touched) dist_[v] = kInfDist;
     clear_root_label(root);
+    c_visited_.add(visited);
+    c_pruned_.add(pruned);
+    c_pushes_.add(pushes);
   }
 
   const Graph& g_;
@@ -146,6 +171,9 @@ class PllBuilder {
   std::vector<std::vector<RankEntry>> labels_;
   std::vector<Dist> root_dist_;  ///< rank-indexed distances of current root
   std::vector<Dist> dist_;       ///< per-BFS tentative distances
+  metrics::Counter& c_visited_ = metrics::registry().counter("pll.visited");
+  metrics::Counter& c_pruned_ = metrics::registry().counter("pll.pruned");
+  metrics::Counter& c_pushes_ = metrics::registry().counter("pll.label_pushes");
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "matching/bipartite.hpp"
 #include "matching/induced_matching.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace hublab {
 
@@ -200,6 +201,19 @@ HubLabeling upper_bound_labeling(const Graph& g, const DistanceMatrix& truth, st
   stats.total_hubs = labeling.total_hubs();
   stats.average_label_size = labeling.average_label_size();
   if (stats_out != nullptr) *stats_out = stats;
+
+  // Mirror the Theorem 4.1 stage sizes into the metrics registry so traces
+  // and bench JSON pick them up without threading UpperBoundStats around.
+  metrics::Registry& reg = metrics::registry();
+  reg.gauge("thm41.sample_size").set(static_cast<std::int64_t>(stats.sample_size));
+  reg.gauge("thm41.sum_q").set(static_cast<std::int64_t>(stats.sum_q));
+  reg.gauge("thm41.sum_r").set(static_cast<std::int64_t>(stats.sum_r));
+  reg.gauge("thm41.sum_f").set(static_cast<std::int64_t>(stats.sum_f));
+  reg.gauge("thm41.sum_nf").set(static_cast<std::int64_t>(stats.sum_nf));
+  reg.gauge("thm41.num_groups").set(static_cast<std::int64_t>(stats.num_groups));
+  reg.gauge("thm41.cover_size").set(static_cast<std::int64_t>(stats.sum_matchings));
+  reg.gauge("thm41.total_hubs").set(static_cast<std::int64_t>(stats.total_hubs));
+  reg.counter("thm41.runs").add(1);
   return labeling;
 }
 

@@ -5,6 +5,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "util/metrics.hpp"
+
 namespace hublab {
 
 namespace {
@@ -85,14 +87,17 @@ struct Shortcut {
   Dist weight;
 };
 
-/// Shortcuts needed to contract v right now.
+/// Shortcuts needed to contract v right now.  Each candidate neighbor pair
+/// costs one witness search; `witness_searches` accumulates that count.
 std::vector<Shortcut> required_shortcuts(const Overlay& overlay, Vertex v,
-                                         std::size_t settle_limit) {
+                                         std::size_t settle_limit,
+                                         std::uint64_t& witness_searches) {
   std::vector<Shortcut> shortcuts;
   const auto& nbrs = overlay.neighbors(v);
   for (auto it1 = nbrs.begin(); it1 != nbrs.end(); ++it1) {
     for (auto it2 = std::next(it1); it2 != nbrs.end(); ++it2) {
       const Dist via = it1->second + it2->second;
+      ++witness_searches;
       if (!overlay.has_witness(it1->first, it2->first, v, via, settle_limit)) {
         shortcuts.push_back(Shortcut{it1->first, it2->first, via});
       }
@@ -110,10 +115,12 @@ ContractionHierarchy::ContractionHierarchy(const Graph& g, std::size_t witness_s
 
   Overlay overlay(g);
   std::vector<std::uint32_t> deleted_neighbors(n, 0);
+  std::uint64_t witness_searches = 0;
 
   // Lazy priority queue: (priority, vertex); re-evaluate on pop.
-  auto priority_of = [&overlay, &deleted_neighbors, witness_settle_limit](Vertex v) {
-    const auto shortcuts = required_shortcuts(overlay, v, witness_settle_limit);
+  auto priority_of = [&overlay, &deleted_neighbors, &witness_searches,
+                      witness_settle_limit](Vertex v) {
+    const auto shortcuts = required_shortcuts(overlay, v, witness_settle_limit, witness_searches);
     return static_cast<std::int64_t>(shortcuts.size()) * 4 -
            static_cast<std::int64_t>(overlay.degree(v)) * 2 +
            static_cast<std::int64_t>(deleted_neighbors[v]);
@@ -140,7 +147,7 @@ ContractionHierarchy::ContractionHierarchy(const Graph& g, std::size_t witness_s
       up_[v].push_back(UpArc{u, w});
       ++deleted_neighbors[u];
     }
-    const auto shortcuts = required_shortcuts(overlay, v, witness_settle_limit);
+    const auto shortcuts = required_shortcuts(overlay, v, witness_settle_limit, witness_searches);
     overlay.mark_contracted(v);
     for (const Shortcut& s : shortcuts) {
       overlay.insert(s.from, s.to, s.weight);
@@ -149,6 +156,9 @@ ContractionHierarchy::ContractionHierarchy(const Graph& g, std::size_t witness_s
     }
     rank_[v] = next_rank++;
   }
+  metrics::registry().counter("ch.contracted").add(next_rank);
+  metrics::registry().counter("ch.shortcuts").add(num_shortcuts_);
+  metrics::registry().counter("ch.witness_searches").add(witness_searches);
 
   // Sort upward arcs for cache friendliness.
   for (auto& arcs : up_) {

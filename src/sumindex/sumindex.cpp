@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hublab::si {
@@ -167,6 +168,8 @@ ProtocolStats evaluate_protocol(const SumIndexProtocol& protocol, std::uint64_t 
   ProtocolStats stats;
   std::vector<std::uint8_t> S(m);
   std::uint64_t queries_left = 0;
+  metrics::Histogram& h_alice = metrics::registry().histogram("si.alice_bits");
+  metrics::Histogram& h_bob = metrics::registry().histogram("si.bob_bits");
   for (std::uint64_t t = 0; t < num_trials; ++t) {
     if (queries_left == 0) {
       for (auto& bit : S) bit = static_cast<std::uint8_t>(rng.next_below(2));
@@ -180,7 +183,11 @@ ProtocolStats evaluate_protocol(const SumIndexProtocol& protocol, std::uint64_t 
     if (run.correct()) ++stats.correct;
     stats.max_alice_bits = std::max(stats.max_alice_bits, run.alice_bits);
     stats.max_bob_bits = std::max(stats.max_bob_bits, run.bob_bits);
+    h_alice.record(run.alice_bits);
+    h_bob.record(run.bob_bits);
   }
+  metrics::registry().counter("si.trials").add(stats.trials);
+  metrics::registry().counter("si.correct").add(stats.correct);
   return stats;
 }
 

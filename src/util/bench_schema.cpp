@@ -1,0 +1,113 @@
+#include "util/bench_schema.hpp"
+
+namespace hublab {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const JsonValue& doc) : doc_(doc) {}
+
+  std::vector<std::string> run() {
+    if (!doc_.is_object()) {
+      fail("document: expected a JSON object");
+      return errors_;
+    }
+    const JsonValue* version = require(doc_, "schema_version", "", JsonValue::Kind::kNumber);
+    if (version != nullptr &&
+        version->number_value != static_cast<double>(kBenchSchemaVersion)) {
+      fail("schema_version: expected " + std::to_string(kBenchSchemaVersion));
+    }
+    const JsonValue* bench = require(doc_, "bench", "", JsonValue::Kind::kString);
+    if (bench != nullptr && bench->string_value.empty()) fail("bench: must be non-empty");
+    require(doc_, "git_rev", "", JsonValue::Kind::kString);
+    require(doc_, "smoke", "", JsonValue::Kind::kBool);
+    require(doc_, "ok", "", JsonValue::Kind::kBool);
+    const JsonValue* reps = require(doc_, "repetitions", "", JsonValue::Kind::kNumber);
+    if (reps != nullptr && reps->number_value < 1) fail("repetitions: must be >= 1");
+    check_graphs();
+    check_phases();
+    check_metric_object(doc_.find("counters"), "counters");
+    check_metric_object(doc_.find("gauges"), "gauges");
+    return errors_;
+  }
+
+ private:
+  void fail(std::string message) { errors_.push_back(std::move(message)); }
+
+  /// Member presence + kind check; returns the member when well-kinded.
+  const JsonValue* require(const JsonValue& obj, const std::string& name,
+                           const std::string& prefix, JsonValue::Kind kind) {
+    const JsonValue* member = obj.find(name);
+    const std::string path = prefix.empty() ? name : prefix + "." + name;
+    if (member == nullptr) {
+      fail(path + ": missing");
+      return nullptr;
+    }
+    if (member->kind != kind) {
+      fail(path + ": wrong type");
+      return nullptr;
+    }
+    return member;
+  }
+
+  void check_graphs() {
+    const JsonValue* graphs = require(doc_, "graphs", "", JsonValue::Kind::kArray);
+    if (graphs == nullptr) return;
+    for (std::size_t i = 0; i < graphs->array_items.size(); ++i) {
+      const JsonValue& g = graphs->array_items[i];
+      const std::string prefix = "graphs[" + std::to_string(i) + "]";
+      if (!g.is_object()) {
+        fail(prefix + ": expected an object");
+        continue;
+      }
+      require(g, "family", prefix, JsonValue::Kind::kString);
+      require(g, "n", prefix, JsonValue::Kind::kNumber);
+      require(g, "m", prefix, JsonValue::Kind::kNumber);
+    }
+  }
+
+  void check_phases() {
+    const JsonValue* phases = require(doc_, "phases", "", JsonValue::Kind::kArray);
+    if (phases == nullptr) return;
+    for (std::size_t i = 0; i < phases->array_items.size(); ++i) {
+      const JsonValue& p = phases->array_items[i];
+      const std::string prefix = "phases[" + std::to_string(i) + "]";
+      if (!p.is_object()) {
+        fail(prefix + ": expected an object");
+        continue;
+      }
+      require(p, "name", prefix, JsonValue::Kind::kString);
+      const JsonValue* wall = require(p, "wall_s", prefix, JsonValue::Kind::kNumber);
+      if (wall != nullptr && wall->number_value < 0) fail(prefix + ".wall_s: negative");
+      const JsonValue* counters = p.find("counters");
+      if (counters != nullptr) check_metric_object(counters, prefix + ".counters");
+    }
+  }
+
+  /// counters/gauges: object mapping metric names to numbers.
+  void check_metric_object(const JsonValue* obj, const std::string& prefix) {
+    if (obj == nullptr) {
+      fail(prefix + ": missing");
+      return;
+    }
+    if (!obj->is_object()) {
+      fail(prefix + ": expected an object");
+      return;
+    }
+    for (const auto& [name, v] : obj->object_members) {
+      if (!v.is_number()) fail(prefix + "." + name + ": expected a number");
+    }
+  }
+
+  const JsonValue& doc_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate_bench_json(const JsonValue& doc) {
+  return Checker(doc).run();
+}
+
+}  // namespace hublab

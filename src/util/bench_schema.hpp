@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+/// \file bench_schema.hpp
+/// Schema checks for the machine-readable BENCH_<name>.json files every
+/// bench binary emits through bench/harness.hpp (see
+/// docs/observability.md for the schema).  Used by `hublab validate-bench`
+/// and the bench-smoke stage of tools/check.sh, so a bench that silently
+/// stops reporting a field fails CI instead of producing holes in the
+/// perf trajectory.
+
+namespace hublab {
+
+/// Current schema_version emitted by bench/harness.hpp.
+inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+
+/// All schema violations in `doc` (empty result == valid).  Messages are
+/// human-readable, e.g. "phases[2].wall_s: expected a number".
+std::vector<std::string> validate_bench_json(const JsonValue& doc);
+
+}  // namespace hublab

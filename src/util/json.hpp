@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal JSON support for the observability layer: a streaming
+/// `JsonWriter` (used by the bench harness, the tracer's Chrome
+/// `trace_event` dump, and the metrics registry) and a small recursive-
+/// descent parser (used by the BENCH_*.json schema validator and the
+/// round-trip tests).  No external dependencies; the writer takes a
+/// caller-supplied `std::ostream&` like every other emitter in hublab.
+
+namespace hublab {
+
+/// Streaming JSON emitter with correct commas, escaping and (optional)
+/// pretty-printing.  Usage errors (value without a key inside an object,
+/// unbalanced end_*) trip HUBLAB_ASSERT via internal state checks.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value_null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool done() const;
+
+  /// Escape and quote `s` as a JSON string literal (exposed for tests).
+  static std::string escape(std::string_view s);
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  struct Frame {
+    bool is_object = false;
+    bool has_members = false;
+    bool key_pending = false;
+  };
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool root_written_ = false;
+};
+
+/// Parsed JSON document (numbers held as double; good enough for schema
+/// checks and round-trip tests, not a general-purpose DOM).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::vector<std::pair<std::string, JsonValue>> object_members;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view name) const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Throws ParseError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace hublab

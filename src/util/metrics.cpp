@@ -1,0 +1,163 @@
+#include "util/metrics.hpp"
+
+#if HUBLAB_METRICS_ENABLED
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace hublab::metrics {
+
+namespace {
+
+std::size_t bucket_of(std::uint64_t v) noexcept {
+  return static_cast<std::size_t>(std::bit_width(v));  // 0 -> 0, else floor_log2+1
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t v) noexcept {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen && !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ULL ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+std::uint64_t Histogram::bucket_count(std::size_t bucket) const noexcept {
+  return bucket < kNumBuckets ? buckets_[bucket].load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~0ULL;
+  return (1ULL << bucket) - 1;
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank: at least ceil(p * total) values must be <= the bound.
+  const double exact = p * static_cast<double>(total);
+  auto need = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(need) < exact) ++need;
+  if (need == 0) need = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= need) return bucket_upper_bound(b);
+  }
+  return bucket_upper_bound(kNumBuckets - 1);
+}
+
+/// Node-based maps: references handed out stay valid across later inserts.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  if (it != impl_->counters.end()) return it->second;
+  return impl_->counters[std::string(name)];
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->gauges.find(name);
+  if (it != impl_->gauges.end()) return it->second;
+  return impl_->gauges[std::string(name)];
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->histograms.find(name);
+  if (it != impl_->histograms.end()) return it->second;
+  return impl_->histograms[std::string(name)];
+}
+
+std::vector<CounterSnapshot> Registry::counters() const {
+  const std::scoped_lock lock(impl_->mutex);
+  std::vector<CounterSnapshot> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) out.push_back({name, c.value()});
+  return out;  // std::map iteration order == sorted by name
+}
+
+std::vector<GaugeSnapshot> Registry::gauges() const {
+  const std::scoped_lock lock(impl_->mutex);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) out.push_back({name, g.value()});
+  return out;
+}
+
+std::vector<HistogramSnapshot> Registry::histograms() const {
+  const std::scoped_lock lock(impl_->mutex);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    out.push_back({name, h.count(), h.sum(), h.min(), h.max(), h.percentile(0.50),
+                   h.percentile(0.90), h.percentile(0.99)});
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+void Registry::dump(std::ostream& out) const {
+  for (const auto& c : counters()) out << "counter " << c.name << " = " << c.value << "\n";
+  for (const auto& g : gauges()) out << "gauge " << g.name << " = " << g.value << "\n";
+  for (const auto& h : histograms()) {
+    out << "histogram " << h.name << " count=" << h.count << " sum=" << h.sum
+        << " min=" << h.min << " max=" << h.max << " p50<=" << h.p50 << " p90<=" << h.p90
+        << " p99<=" << h.p99 << "\n";
+  }
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace hublab::metrics
+
+#endif  // HUBLAB_METRICS_ENABLED

@@ -1,0 +1,212 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.hpp
+/// Named counters, gauges and histograms for algorithm-level observability.
+///
+/// The instrumented hot paths (PLL pruning, Dijkstra relaxations, CH
+/// contraction, the Theorem 4.1 pipeline, the Sum-Index protocol) report
+/// into a process-global `Registry`; benches and the `hublab trace` CLI
+/// read it back out.  Design constraints:
+///
+///  - **Hot-path cost**: a counter increment is one relaxed atomic add.
+///    Call sites hoist the `Counter&` out of their loops (`counter()` takes
+///    a registry lock) and, where even an atomic per iteration would show,
+///    batch into a local and `add()` once.
+///  - **Compiled out**: building with `HUBLAB_METRICS=OFF` (CMake) defines
+///    `HUBLAB_METRICS_ENABLED=0` and swaps every type below for an empty
+///    inline stub with the same API, so instrumentation costs nothing and
+///    call sites need no `#if`.
+///  - **No stdout**: all dumping takes an explicit `std::ostream&`
+///    (hublab_lint's stdout-in-library rule applies here too).
+///
+/// Semantics: counters are monotone `uint64_t` accumulators that wrap
+/// modulo 2^64 on overflow and zero on `reset()`; gauges are settable
+/// signed values (last write wins); histograms bucket values by bit width
+/// (bucket 0 holds value 0, bucket i holds [2^(i-1), 2^i - 1]) and report
+/// percentiles as the inclusive upper bound of the covering bucket.
+
+namespace hublab::metrics {
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;  ///< 0 when empty
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+#if !defined(HUBLAB_METRICS_ENABLED)
+#define HUBLAB_METRICS_ENABLED 1
+#endif
+
+#if HUBLAB_METRICS_ENABLED
+
+/// Monotone event counter.  Wraps modulo 2^64; relaxed atomics (per-metric
+/// totals need no ordering with respect to other memory).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins signed value (pipeline stage sizes, config knobs).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two-bucket histogram of unsigned values (label sizes, search
+/// space sizes).  Lock-free; percentile() is approximate with relative
+/// error < 2x by construction, which is enough to track growth laws.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;  // bit_width(v) in [0, 64]
+
+  void record(std::uint64_t v) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] std::uint64_t max() const noexcept;  ///< 0 when empty
+
+  /// Smallest bucket upper bound b such that at least p * count() recorded
+  /// values are <= b.  p in [0, 1]; 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const noexcept;
+
+  /// Inclusive upper bound of a bucket: 0 for bucket 0, 2^i - 1 for bucket i.
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t bucket) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named metric store.  Lookup interns the name on first use and returns a
+/// reference that stays valid for the registry's lifetime; snapshots are
+/// sorted by name so every dump is deterministic.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] std::vector<CounterSnapshot> counters() const;
+  [[nodiscard]] std::vector<GaugeSnapshot> gauges() const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+
+  /// Zero every registered metric (registrations persist).
+  void reset();
+
+  /// Human-readable dump (one metric per line, sorted).
+  void dump(std::ostream& out) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-global registry the instrumented library code reports into.
+Registry& registry();
+
+#else  // HUBLAB_METRICS_ENABLED == 0: zero-cost stubs, identical API.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;
+  void record(std::uint64_t) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t percentile(double) const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t) const noexcept { return 0; }
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t) noexcept { return 0; }
+};
+
+class Registry {
+ public:
+  Counter& counter(std::string_view) noexcept { return counter_; }
+  Gauge& gauge(std::string_view) noexcept { return gauge_; }
+  Histogram& histogram(std::string_view) noexcept { return histogram_; }
+  [[nodiscard]] std::vector<CounterSnapshot> counters() const { return {}; }
+  [[nodiscard]] std::vector<GaugeSnapshot> gauges() const { return {}; }
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const { return {}; }
+  void reset() noexcept {}
+  void dump(std::ostream&) const {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+inline Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+#endif  // HUBLAB_METRICS_ENABLED
+
+}  // namespace hublab::metrics

@@ -3,8 +3,14 @@
 #include <chrono>
 
 /// \file timer.hpp
-/// Wall-clock stopwatch used by the benchmark harness for coarse phase
-/// timings (google-benchmark handles the micro-level measurements).
+/// Wall-clock stopwatch used by the benchmark harness and the tracing layer
+/// for coarse phase timings (google-benchmark handles the micro-level
+/// measurements).
+///
+/// The timer starts running on construction.  `pause()` / `resume()` let a
+/// span exclude work it does not want to attribute to itself (e.g. a bench
+/// that interleaves timed queries with untimed verification); `elapsed_s()`
+/// always reports the accumulated running time only.
 
 namespace hublab {
 
@@ -12,18 +18,45 @@ class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
-  void reset() { start_ = Clock::now(); }
+  /// Zero the accumulated time and restart (running).
+  void reset() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
+  }
 
-  /// Seconds elapsed since construction or the last reset().
+  /// Stop accumulating.  No-op when already paused.
+  void pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Start accumulating again.  No-op when already running.
+  void resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Seconds accumulated while running since construction or the last
+  /// reset(); time spent paused is excluded.
   [[nodiscard]] double elapsed_s() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
   }
 
   [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
   Clock::time_point start_;
+  Duration accumulated_ = Duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace hublab

@@ -1,0 +1,106 @@
+#include "util/trace.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace hublab {
+
+namespace {
+
+/// Name-wise counter difference; both inputs are sorted by name (the
+/// registry guarantees it).  Counters registered mid-span appear with their
+/// full value; zero deltas are dropped.
+std::vector<metrics::CounterSnapshot> snapshot_delta(
+    const std::vector<metrics::CounterSnapshot>& before,
+    const std::vector<metrics::CounterSnapshot>& after) {
+  std::vector<metrics::CounterSnapshot> delta;
+  std::size_t i = 0;
+  for (const auto& a : after) {
+    while (i < before.size() && before[i].name < a.name) ++i;
+    const std::uint64_t base =
+        (i < before.size() && before[i].name == a.name) ? before[i].value : 0;
+    if (a.value != base) delta.push_back({a.name, a.value - base});
+  }
+  return delta;
+}
+
+}  // namespace
+
+Tracer::Tracer(metrics::Registry& reg) : registry_(reg) {}
+
+Tracer::Span Tracer::span(std::string name) {
+  const std::size_t parent = open_stack_.empty() ? kNoParent : open_stack_.back();
+  Record rec;
+  rec.name = std::move(name);
+  rec.start_s = timer_.elapsed_s();
+  rec.depth = static_cast<int>(open_stack_.size());
+  rec.parent = parent;
+  records_.push_back(std::move(rec));
+  const std::size_t index = records_.size() - 1;
+  open_stack_.push_back(index);
+  open_snapshots_.push_back(registry_.counters());
+  return Span(this, index);
+}
+
+void Tracer::Span::end() {
+  if (tracer_ == nullptr) return;
+  tracer_->end_span(index_);
+  tracer_ = nullptr;
+}
+
+void Tracer::end_span(std::size_t index) {
+  if (index >= records_.size() || !records_[index].open) return;  // cleared or stale
+  HUBLAB_ASSERT_MSG(!open_stack_.empty() && open_stack_.back() == index,
+                    "Tracer spans must close LIFO");
+  Record& rec = records_[index];
+  rec.dur_s = timer_.elapsed_s() - rec.start_s;
+  rec.counter_deltas = snapshot_delta(open_snapshots_.back(), registry_.counters());
+  rec.open = false;
+  open_stack_.pop_back();
+  open_snapshots_.pop_back();
+}
+
+void Tracer::clear() {
+  records_.clear();
+  open_stack_.clear();
+  open_snapshots_.clear();
+}
+
+void Tracer::write_tree(std::ostream& out) const {
+  for (const Record& rec : records_) {
+    for (int i = 0; i < rec.depth; ++i) out << "  ";
+    out << rec.name << "  ";
+    if (rec.open) {
+      out << "(open)";
+    } else {
+      out << fmt_double(rec.dur_s * 1e3, 3) << " ms";
+    }
+    for (const auto& d : rec.counter_deltas) out << "  " << d.name << " +" << d.value;
+    out << "\n";
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  JsonWriter w(out, 0);
+  w.begin_object().key("traceEvents").begin_array();
+  for (const Record& rec : records_) {
+    if (rec.open) continue;  // incomplete spans have no duration
+    w.begin_object()
+        .kv("name", std::string_view(rec.name))
+        .kv("ph", "X")
+        .kv("ts", rec.start_s * 1e6)
+        .kv("dur", rec.dur_s * 1e6)
+        .kv("pid", std::uint64_t{0})
+        .kv("tid", std::uint64_t{0});
+    w.key("args").begin_object();
+    for (const auto& d : rec.counter_deltas) w.kv(std::string_view(d.name), d.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array().end_object();
+}
+
+}  // namespace hublab

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "util/bench_schema.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace hublab {
+namespace {
+
+// Value-asserting tests are compiled only against the real metric classes;
+// with HUBLAB_METRICS=OFF the stubs report zeros by design and only the
+// API-surface and tracing/JSON tests below remain meaningful.
+#if HUBLAB_METRICS_ENABLED
+
+TEST(Counter, AddAndReset) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, WrapsModulo2To64) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.counter("c");
+  c.add(~0ULL);
+  c.add(2);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Gauge, SetAddReset) {
+  metrics::Registry reg;
+  metrics::Gauge& g = reg.gauge("g");
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+  g.add(10);
+  EXPECT_EQ(g.value(), 7);
+  g.set(2);  // last write wins over accumulated state
+  EXPECT_EQ(g.value(), 2);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(metrics::Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(metrics::Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(metrics::Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(metrics::Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(metrics::Histogram::bucket_upper_bound(64), ~0ULL);
+}
+
+TEST(Histogram, RecordsAndReportsPercentileAsBucketBound) {
+  metrics::Registry reg;
+  metrics::Histogram& h = reg.histogram("h");
+  for (const std::uint64_t v : {1u, 2u, 3u, 4u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 4u);
+  // Values 1 | 2,3 | 4 land in buckets 1 | 2 | 3.  The p50 rank (2 of 4) is
+  // first covered by bucket 2 (upper bound 3); the max rank by bucket 3.
+  EXPECT_EQ(h.percentile(0.5), 3u);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Registry, ReturnsStableReferences) {
+  metrics::Registry reg;
+  metrics::Counter& a = reg.counter("same");
+  reg.counter("other").add(1);
+  EXPECT_EQ(&a, &reg.counter("same"));
+  EXPECT_EQ(&reg.gauge("same"), &reg.gauge("same"));  // separate namespace per kind
+  EXPECT_EQ(&reg.histogram("same"), &reg.histogram("same"));
+}
+
+TEST(Registry, SnapshotsAreSortedByName) {
+  metrics::Registry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.counter("mid").add(3);
+  const std::vector<metrics::CounterSnapshot> snap = reg.counters();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+  EXPECT_EQ(snap[0].value, 2u);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsRegistrations) {
+  metrics::Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(-1);
+  reg.histogram("h").record(9);
+  reg.reset();
+  ASSERT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.counters()[0].value, 0u);
+  EXPECT_EQ(reg.gauges()[0].value, 0);
+  EXPECT_EQ(reg.histograms()[0].count, 0u);
+}
+
+TEST(Registry, DumpIsDeterministic) {
+  metrics::Registry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("size").set(42);
+  reg.histogram("dist").record(3);
+  std::ostringstream first;
+  std::ostringstream second;
+  reg.dump(first);
+  reg.dump(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_NE(first.str().find("a.count"), std::string::npos);
+  EXPECT_LT(first.str().find("a.count"), first.str().find("b.count"));
+}
+
+TEST(Tracer, SpanCapturesCounterDeltas) {
+  metrics::Registry reg;
+  Tracer tracer(reg);
+  reg.counter("work").add(3);
+  {
+    auto span = tracer.span("phase");
+    reg.counter("work").add(7);
+    reg.counter("fresh").add(2);  // registered mid-span: delta vs absent = 2
+  }
+  ASSERT_EQ(tracer.records().size(), 1u);
+  const Tracer::Record& r = tracer.records()[0];
+  EXPECT_FALSE(r.open);
+  ASSERT_EQ(r.counter_deltas.size(), 2u);
+  EXPECT_EQ(r.counter_deltas[0].name, "fresh");
+  EXPECT_EQ(r.counter_deltas[0].value, 2u);
+  EXPECT_EQ(r.counter_deltas[1].name, "work");
+  EXPECT_EQ(r.counter_deltas[1].value, 7u);
+}
+
+#endif  // HUBLAB_METRICS_ENABLED
+
+TEST(Tracer, RecordsNestedSpansWithDepthAndParent) {
+  metrics::Registry reg;
+  Tracer tracer(reg);
+  {
+    auto outer = tracer.span("outer");
+    {
+      auto inner = tracer.span("inner");
+    }
+    auto sibling = tracer.span("sibling");
+  }
+  const std::vector<Tracer::Record>& rs = tracer.records();
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[0].name, "outer");
+  EXPECT_EQ(rs[0].depth, 0);
+  EXPECT_EQ(rs[0].parent, Tracer::kNoParent);
+  EXPECT_EQ(rs[1].name, "inner");
+  EXPECT_EQ(rs[1].depth, 1);
+  EXPECT_EQ(rs[1].parent, 0u);
+  EXPECT_EQ(rs[2].name, "sibling");
+  EXPECT_EQ(rs[2].parent, 0u);
+  for (const Tracer::Record& r : rs) {
+    EXPECT_FALSE(r.open);
+    EXPECT_GE(r.dur_s, 0.0);
+  }
+  EXPECT_GE(rs[0].dur_s, rs[1].dur_s);  // outer encloses inner
+}
+
+TEST(Tracer, SpanEndIsIdempotentAndMoveSafe) {
+  metrics::Registry reg;
+  Tracer tracer(reg);
+  auto span = tracer.span("a");
+  auto moved = std::move(span);
+  moved.end();
+  moved.end();  // no-op
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_FALSE(tracer.records()[0].open);
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Tracer, ChromeTraceIsValidJson) {
+  metrics::Registry reg;
+  Tracer tracer(reg);
+  {
+    auto outer = tracer.span("outer");
+    auto inner = tracer.span("in\"ner");  // name needing escaping
+    inner.end();
+  }
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items.size(), 2u);
+  const JsonValue* ph = events->array_items[0].find("ph");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->string_value, "X");
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  // escape() returns the quoted JSON string literal.
+  EXPECT_EQ(JsonWriter::escape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, WriterParseRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "he said \"hi\"");
+  w.kv("count", std::uint64_t{18446744073709551615ULL});
+  w.kv("delta", std::int64_t{-5});
+  w.kv("ratio", 0.25);
+  w.kv("ok", true);
+  w.key("missing").value_null();
+  w.key("items").begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.key("nested").begin_object();
+  w.kv("deep", false);
+  w.end_object();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+
+  const JsonValue doc = parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->string_value, "he said \"hi\"");
+  EXPECT_DOUBLE_EQ(doc.find("ratio")->number_value, 0.25);
+  EXPECT_EQ(doc.find("delta")->number_value, -5.0);
+  EXPECT_TRUE(doc.find("ok")->bool_value);
+  EXPECT_TRUE(doc.find("missing")->is_null());
+  ASSERT_EQ(doc.find("items")->array_items.size(), 2u);
+  EXPECT_EQ(doc.find("items")->array_items[1].number_value, 2.0);
+  EXPECT_FALSE(doc.find("nested")->find("deep")->bool_value);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\": }"), ParseError);
+  EXPECT_THROW((void)parse_json("[1, 2] trailing"), ParseError);
+  EXPECT_THROW((void)parse_json(""), ParseError);
+  EXPECT_THROW((void)parse_json("{'single': 1}"), ParseError);
+}
+
+std::string make_harness_json(bool ok) {
+  const char* argv_smoke[] = {"metrics_test", "--smoke"};
+  bench::Harness harness(2, const_cast<char**>(argv_smoke), "schema_probe", "probe banner");
+  harness.add_graph("gnm", 100, 300);
+  harness.set_repetitions(3);
+  {
+    auto span = harness.phase("work");
+    metrics::registry().counter("probe.events").add(4);
+  }
+  std::ostringstream os;
+  harness.write_json(os, ok);
+  return os.str();
+}
+
+TEST(BenchSchema, HarnessJsonValidatesAndIsDeterministic) {
+  const std::string text = make_harness_json(true);
+  const JsonValue doc = parse_json(text);
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  EXPECT_EQ(doc.find("schema_version")->number_value,
+            static_cast<double>(kBenchSchemaVersion));
+  EXPECT_EQ(doc.find("bench")->string_value, "schema_probe");
+  EXPECT_TRUE(doc.find("smoke")->bool_value);
+  EXPECT_EQ(doc.find("repetitions")->number_value, 3.0);
+  ASSERT_EQ(doc.find("graphs")->array_items.size(), 1u);
+  EXPECT_EQ(doc.find("graphs")->array_items[0].find("family")->string_value, "gnm");
+  ASSERT_EQ(doc.find("phases")->array_items.size(), 1u);
+  EXPECT_EQ(doc.find("phases")->array_items[0].find("name")->string_value, "work");
+
+  // Two emissions of the same run differ only in wall times; strip the
+  // volatile wall_s members and the documents must agree byte for byte.
+  std::string again = make_harness_json(true);
+  auto strip_wall = [](std::string s) {
+    std::size_t pos = 0;
+    while ((pos = s.find("\"wall_s\":", pos)) != std::string::npos) {
+      const std::size_t end = s.find_first_of(",\n}", pos);
+      s.erase(pos, end - pos);
+    }
+    return s;
+  };
+  EXPECT_EQ(strip_wall(text), strip_wall(again));
+}
+
+TEST(BenchSchema, ValidatorRejectsBrokenDocuments) {
+  const std::string good = make_harness_json(true);
+
+  // Not an object at top level.
+  EXPECT_FALSE(validate_bench_json(parse_json("[1, 2]")).empty());
+
+  // Wrong schema version.
+  std::string wrong_version = good;
+  wrong_version.replace(wrong_version.find("\"schema_version\": 1"),
+                        std::string("\"schema_version\": 1").size(),
+                        "\"schema_version\": 99");
+  EXPECT_FALSE(validate_bench_json(parse_json(wrong_version)).empty());
+
+  // Empty bench name.
+  std::string empty_name = good;
+  empty_name.replace(empty_name.find("\"bench\": \"schema_probe\""),
+                     std::string("\"bench\": \"schema_probe\"").size(), "\"bench\": \"\"");
+  EXPECT_FALSE(validate_bench_json(parse_json(empty_name)).empty());
+
+  // Required top-level members must all be present.
+  for (const char* member :
+       {"bench", "git_rev", "smoke", "ok", "repetitions", "graphs", "phases", "counters",
+        "gauges"}) {
+    JsonValue doc = parse_json(good);
+    std::erase_if(doc.object_members,
+                  [&](const auto& kv) { return kv.first == member; });
+    EXPECT_FALSE(validate_bench_json(doc).empty()) << "missing " << member << " accepted";
+  }
+}
+
+}  // namespace
+}  // namespace hublab

@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace hublab {
 namespace {
@@ -214,6 +215,62 @@ TEST(TextTable, FormatHelpers) {
   EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_u64(123456789ULL), "123456789");
   EXPECT_NE(fmt_sci(12345.0).find('e'), std::string::npos);
+}
+
+TEST(Timer, RunsOnConstruction) {
+  const Timer t;
+  EXPECT_TRUE(t.running());
+  EXPECT_GE(t.elapsed_s(), 0.0);
+}
+
+TEST(Timer, PauseFreezesElapsed) {
+  Timer t;
+  t.pause();
+  EXPECT_FALSE(t.running());
+  const double frozen = t.elapsed_s();
+  // Busy-wait a little; the paused timer must not see it.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i;
+  EXPECT_EQ(t.elapsed_s(), frozen);
+}
+
+TEST(Timer, PauseAndResumeAreIdempotent) {
+  Timer t;
+  t.pause();
+  const double frozen = t.elapsed_s();
+  t.pause();  // no-op
+  EXPECT_EQ(t.elapsed_s(), frozen);
+  t.resume();
+  t.resume();  // no-op
+  EXPECT_TRUE(t.running());
+  EXPECT_GE(t.elapsed_s(), frozen);
+}
+
+TEST(Timer, ResumeAccumulatesAcrossPauses) {
+  Timer t;
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 1'000'000; ++i) sink = sink + i;
+  t.pause();
+  const double first = t.elapsed_s();
+  EXPECT_GT(first, 0.0);
+  t.resume();
+  for (std::uint64_t i = 0; i < 1'000'000; ++i) sink = sink + i;
+  t.pause();
+  EXPECT_GT(t.elapsed_s(), first);
+}
+
+TEST(Timer, ResetDiscardsAccumulatedTime) {
+  Timer t;
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 20'000'000; ++i) sink = sink + i;
+  t.pause();
+  const double before = t.elapsed_s();
+  EXPECT_GT(before, 0.0);
+  t.reset();
+  EXPECT_TRUE(t.running());
+  t.pause();
+  // reset() -> pause() spans no work, so the pre-reset busy loop is gone.
+  EXPECT_LT(t.elapsed_s(), before);
 }
 
 }  // namespace

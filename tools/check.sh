@@ -5,7 +5,8 @@
 #   2. ASan+UBSan build + full test suite            (preset asan-ubsan)
 #   3. clang-tidy gate                               (run-tidy; skips w/o clang-tidy)
 #   4. hublab_lint incl. header self-containment     (run-lint)
-#   5. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#   5. bench smoke: every bench --smoke + JSON schema validation
+#   6. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 set -euo pipefail
@@ -18,23 +19,42 @@ stage() {
   echo "=== check.sh: $* ==="
 }
 
-stage "1/5 RelWithDebInfo build + tests"
+stage "1/6 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/5 ASan+UBSan build + tests"
+stage "2/6 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/5 clang-tidy gate"
+stage "3/6 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "4/5 hublab_lint (with header self-containment)"
+stage "4/6 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "5/5 Werror build"
+stage "5/6 bench smoke + BENCH_*.json schema validation"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+repo_root="$(pwd -P)"
+bench_count=0
+for bench in build/dev/bench/bench_*; do
+  [ -x "${bench}" ] || continue
+  bench_count=$((bench_count + 1))
+  echo "--- $(basename "${bench}") --smoke"
+  (cd "${smoke_dir}" && "${repo_root}/${bench}" --smoke > /dev/null)
+done
+json_count="$(find "${smoke_dir}" -name 'BENCH_*.json' | wc -l)"
+if [ "${json_count}" -ne "${bench_count}" ]; then
+  echo "bench-smoke: ${bench_count} benches but ${json_count} BENCH_*.json files" >&2
+  exit 1
+fi
+build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
+echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
+
+stage "6/6 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

@@ -1,10 +1,12 @@
 #include "tools/cli.hpp"
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <sstream>
 
 #include "algo/shortest_paths.hpp"
 #include "graph/generators.hpp"
@@ -16,7 +18,11 @@
 #include "lowerbound/certify.hpp"
 #include "lowerbound/gadget.hpp"
 #include "sumindex/sumindex.hpp"
+#include "util/bench_schema.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace hublab::cli {
 
@@ -236,11 +242,105 @@ int cmd_sumindex(Args& args, std::ostream& out) {
   return stats.all_correct() ? 0 : 1;
 }
 
+/// End-to-end phase trace of a PLL pipeline on a graph file: load, order,
+/// build, query, each as a tracer span with counter deltas, followed by the
+/// full metrics dump.  --chrome FILE additionally writes trace_event JSON
+/// loadable in chrome://tracing / Perfetto.
+int cmd_trace(Args& args, std::ostream& out) {
+  const auto file = args.next_positional();
+  if (!file) {
+    throw InvalidArgument(
+        "trace: usage: trace GRAPH [--order NAME] [--seed N] [--queries K] [--chrome FILE]");
+  }
+  metrics::registry().reset();
+  Tracer tracer;
+
+  auto load_span = tracer.span("load-graph");
+  const Graph g = io::load_edge_list(*file);
+  load_span.end();
+
+  const std::string order_name = args.option("--order").value_or("degree");
+  auto order_span = tracer.span("order-" + order_name);
+  const auto order = order_from_name(g, order_name, args.option_u64("--seed", 1));
+  order_span.end();
+
+  auto build_span = tracer.span("build-pll");
+  const HubLabeling labels = pruned_landmark_labeling(g, order);
+  build_span.end();
+
+  const std::uint64_t queries = args.option_u64("--queries", 1000);
+  {
+    auto query_span = tracer.span("hub-queries");
+    Rng rng(args.option_u64("--seed", 1) + 1);
+    std::uint64_t reachable = 0;
+    for (std::uint64_t i = 0; i < queries; ++i) {
+      const auto u = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+      const auto v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+      if (labels.query(u, v) != kInfDist) ++reachable;
+    }
+    metrics::registry().counter("cli.trace.queries").add(queries);
+    metrics::registry().counter("cli.trace.reachable").add(reachable);
+  }
+  {
+    auto sssp_span = tracer.span("reference-sssp");
+    (void)sssp_distances(g, 0);
+  }
+
+  out << "graph " << *file << ": n=" << g.num_vertices() << " m=" << g.num_edges()
+      << "; PLL avg=" << labels.average_label_size() << "\n\nphases:\n";
+  tracer.write_tree(out);
+  out << "\nmetrics:\n";
+  metrics::registry().dump(out);
+
+  if (const auto chrome = args.option("--chrome")) {
+    std::ofstream chrome_out(*chrome);
+    if (!chrome_out) throw Error("trace: cannot write " + *chrome);
+    tracer.write_chrome_trace(chrome_out);
+    chrome_out << '\n';
+    out << "\nchrome trace written to " << *chrome << "\n";
+  }
+  return 0;
+}
+
+/// Validate BENCH_*.json files against the bench result schema.
+int cmd_validate_bench(Args& args, std::ostream& out) {
+  std::vector<std::string> files;
+  while (const auto f = args.next_positional()) files.push_back(*f);
+  if (files.empty()) throw InvalidArgument("validate-bench: usage: validate-bench FILE...");
+  bool all_ok = true;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      out << file << ": UNREADABLE\n";
+      all_ok = false;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<std::string> errors;
+    try {
+      const JsonValue doc = parse_json(text.str());
+      errors = validate_bench_json(doc);
+    } catch (const Error& e) {
+      errors.push_back(std::string("parse error: ") + e.what());
+    }
+    if (errors.empty()) {
+      out << file << ": ok\n";
+    } else {
+      all_ok = false;
+      out << file << ": INVALID\n";
+      for (const std::string& e : errors) out << "  " << e << "\n";
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   if (args.empty()) {
-    err << "usage: hublab <gen|stats|label|query|verify|certify-gadget|sumindex> ...\n";
+    err << "usage: hublab "
+           "<gen|stats|label|query|verify|certify-gadget|sumindex|trace|validate-bench> ...\n";
     return 2;
   }
   Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
@@ -252,6 +352,8 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (args[0] == "verify") return cmd_verify(rest, out);
     if (args[0] == "certify-gadget") return cmd_certify_gadget(rest, out);
     if (args[0] == "sumindex") return cmd_sumindex(rest, out);
+    if (args[0] == "trace") return cmd_trace(rest, out);
+    if (args[0] == "validate-bench") return cmd_validate_bench(rest, out);
     err << "unknown command: " << args[0] << "\n";
     return 2;
   } catch (const Error& e) {

@@ -1,6 +1,7 @@
 // hublab_lint: project-specific lint rules that clang-tidy cannot express.
 //
-// Scope: src/, tools/, tests/ under --root.  Rules (see docs/correctness.md):
+// Scope: src/, tools/, tests/, bench/ under --root.  Rules (see
+// docs/correctness.md):
 //
 //   rng-source        Randomness outside util/rng.hpp is banned: every
 //                     randomized component takes an explicit hublab::Rng so
@@ -19,6 +20,9 @@
 //                     with HUBLAB_ASSERT* or by throwing before mutating.
 //   self-contained    Every src/ header compiles on its own
 //                     (-fsyntax-only); disable with --no-header-check.
+//   bench-harness     Every bench binary (bench/bench_*.cpp) goes through
+//                     bench/harness.hpp so it honours --smoke/--json-out and
+//                     emits schema-valid BENCH_*.json.
 //
 // Banned tokens are assembled from fragments below so this file does not
 // flag itself.
@@ -136,7 +140,7 @@ class Linter {
 
   int run() {
     std::vector<fs::path> files;
-    for (const char* dir : {"src", "tools", "tests"}) {
+    for (const char* dir : {"src", "tools", "tests", "bench"}) {
       const fs::path base = root_ / dir;
       if (!fs::exists(base)) continue;
       for (const auto& entry : fs::recursive_directory_iterator(base)) {
@@ -178,6 +182,13 @@ class Linter {
 
     check_banned_tokens(file, lines, path, in_src);
     check_includes(file, lines, path);
+    // Raw text, not stripped lines: the include target lives inside quotes.
+    if (path.rfind("bench/bench_", 0) == 0 && !is_header &&
+        text.find("#include \"bench/harness.hpp\"") == std::string::npos) {
+      fail(file, 1, "bench-harness",
+           "bench binaries construct a bench::Harness (bench/harness.hpp) so they honour "
+           "--smoke/--json-out and emit schema-valid BENCH_*.json");
+    }
     if (is_header) {
       check_pragma_once(file, lines);
       if (in_src && text.find("\\file") == std::string::npos) {
