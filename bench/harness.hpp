@@ -9,8 +9,9 @@
 #include <utility>
 #include <vector>
 
-#include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/report.hpp"
+#include "util/resource.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
 
@@ -60,6 +61,7 @@ class Harness {
       }
     }
     if (json_path_.empty()) json_path_ = "BENCH_" + name_ + ".json";
+    start_unix_ms_ = unix_time_ms();
     metrics::registry().reset();
     std::printf("%.*s%s\n", static_cast<int>(banner.size()), banner.data(),
                 smoke_ ? "  [smoke]" : "");
@@ -81,7 +83,7 @@ class Harness {
 
   /// Record an input graph for the JSON `graphs` array.
   void add_graph(std::string family, std::uint64_t n, std::uint64_t m) {
-    graphs_.push_back(GraphInfo{std::move(family), n, m});
+    graphs_.push_back(ReportGraph{std::move(family), n, m});
   }
 
   /// Inner repetitions of the measured work (default 1).
@@ -112,83 +114,29 @@ class Harness {
     return ok ? 0 : 1;
   }
 
-  /// Emit the full result document (exposed for tests).
+  /// Emit the full result document through the shared report emitter
+  /// (util/report.hpp), so BENCH_*.json and SERVE_*.json stay one schema
+  /// (exposed for tests).
   void write_json(std::ostream& os, bool ok) {
-    metrics::Registry& reg = metrics::registry();
-    JsonWriter w(os);
-    w.begin_object();
-    w.kv("schema_version", std::uint64_t{1});
-    w.kv("bench", name_);
-    w.kv("git_rev", HUBLAB_GIT_REV);
-    w.kv("smoke", smoke_);
-    w.kv("ok", ok);
-    w.kv("repetitions", repetitions_);
-
-    w.key("graphs").begin_array();
-    for (const GraphInfo& g : graphs_) {
-      w.begin_object();
-      w.kv("family", g.family);
-      w.kv("n", g.n);
-      w.kv("m", g.m);
-      w.end_object();
-    }
-    w.end_array();
-
-    w.key("phases").begin_array();
-    for (const Tracer::Record& r : tracer_.records()) {
-      if (r.open) continue;
-      w.begin_object();
-      w.kv("name", r.name);
-      w.kv("wall_s", r.dur_s);
-      w.kv("depth", std::uint64_t{static_cast<std::uint64_t>(r.depth)});
-      if (!r.counter_deltas.empty()) {
-        w.key("counters").begin_object();
-        for (const metrics::CounterSnapshot& c : r.counter_deltas) w.kv(c.name, c.value);
-        w.end_object();
-      }
-      w.end_object();
-    }
-    w.end_array();
-
-    w.key("counters").begin_object();
-    for (const metrics::CounterSnapshot& c : reg.counters()) w.kv(c.name, c.value);
-    w.end_object();
-
-    w.key("gauges").begin_object();
-    for (const metrics::GaugeSnapshot& g : reg.gauges()) w.kv(g.name, g.value);
-    w.end_object();
-
-    w.key("histograms").begin_object();
-    for (const metrics::HistogramSnapshot& h : reg.histograms()) {
-      w.key(h.name).begin_object();
-      w.kv("count", h.count);
-      w.kv("sum", h.sum);
-      w.kv("min", h.min);
-      w.kv("max", h.max);
-      w.kv("p50", h.p50);
-      w.kv("p90", h.p90);
-      w.kv("p99", h.p99);
-      w.end_object();
-    }
-    w.end_object();
-
-    w.end_object();
-    os << '\n';
+    ReportHeader header;
+    header.name = name_;
+    header.git_rev = HUBLAB_GIT_REV;
+    header.smoke = smoke_;
+    header.ok = ok;
+    header.repetitions = repetitions_;
+    header.start_unix_ms = start_unix_ms_;
+    header.graphs = graphs_;
+    write_run_report_json(os, header, tracer_, metrics::registry());
   }
 
  private:
-  struct GraphInfo {
-    std::string family;
-    std::uint64_t n = 0;
-    std::uint64_t m = 0;
-  };
-
   std::string name_;
   std::string json_path_;
   bool smoke_ = false;
   bool trace_ = false;
   std::uint64_t repetitions_ = 1;
-  std::vector<GraphInfo> graphs_;
+  std::uint64_t start_unix_ms_ = 0;
+  std::vector<ReportGraph> graphs_;
   Tracer tracer_;
 };
 

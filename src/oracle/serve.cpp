@@ -1,0 +1,253 @@
+#include "oracle/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <ostream>
+
+#include "algo/shortest_paths.hpp"
+#include "hub/pll.hpp"
+#include "oracle/contraction_hierarchy.hpp"
+#include "oracle/oracle.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/report.hpp"
+#include "util/resource.hpp"
+#include "util/timer.hpp"
+
+namespace hublab::serve {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kPll: {
+      const auto order = make_vertex_order(g, VertexOrder::kDegreeDescending);
+      return std::make_unique<HubLabelOracle>(g, pruned_landmark_labeling(g, order));
+    }
+    case OracleKind::kCh:
+      return std::make_unique<ContractionHierarchy>(g);
+    case OracleKind::kBidij:
+      return std::make_unique<BidirectionalOracle>(g);
+  }
+  HUBLAB_UNREACHABLE();
+}
+
+}  // namespace
+
+std::string_view oracle_kind_name(OracleKind kind) noexcept {
+  switch (kind) {
+    case OracleKind::kPll: return "pll";
+    case OracleKind::kCh: return "ch";
+    case OracleKind::kBidij: return "bidij";
+  }
+  return "pll";
+}
+
+std::string_view workload_kind_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kZipf: return "zipf";
+    case WorkloadKind::kNear: return "near";
+    case WorkloadKind::kFar: return "far";
+  }
+  return "uniform";
+}
+
+std::optional<OracleKind> parse_oracle_kind(std::string_view name) noexcept {
+  if (name == "pll") return OracleKind::kPll;
+  if (name == "ch") return OracleKind::kCh;
+  if (name == "bidij") return OracleKind::kBidij;
+  return std::nullopt;
+}
+
+std::optional<WorkloadKind> parse_workload_kind(std::string_view name) noexcept {
+  if (name == "uniform") return WorkloadKind::kUniform;
+  if (name == "zipf") return WorkloadKind::kZipf;
+  if (name == "near") return WorkloadKind::kNear;
+  if (name == "far") return WorkloadKind::kFar;
+  return std::nullopt;
+}
+
+WorkloadGenerator::WorkloadGenerator(const Graph& g, WorkloadKind kind, std::uint64_t seed)
+    : g_(g), kind_(kind), rng_(seed) {
+  HUBLAB_ASSERT_MSG(g.num_vertices() > 0, "workload over an empty graph");
+  const std::size_t n = g.num_vertices();
+  if (kind_ == WorkloadKind::kZipf) {
+    // Zipf(s=1) popularity over vertex ids: weight of rank i is 1/(i+1).
+    zipf_cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / static_cast<double>(i + 1);
+      zipf_cdf_.push_back(total);
+    }
+  } else if (kind_ == WorkloadKind::kFar) {
+    // Distance sweep from a high-degree root; endpoints come from opposite
+    // finite-distance quartiles, so pairs cross most of the graph.
+    Vertex root = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (g.degree(v) > g.degree(root)) root = v;
+    }
+    const std::vector<Dist> dist = sssp_distances(g, root);
+    std::vector<Vertex> reachable_by_dist;
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] != kInfDist) reachable_by_dist.push_back(v);
+    }
+    std::sort(reachable_by_dist.begin(), reachable_by_dist.end(),
+              [&](Vertex a, Vertex b) { return dist[a] < dist[b]; });
+    const std::size_t quartile = std::max<std::size_t>(1, reachable_by_dist.size() / 4);
+    near_pool_.assign(reachable_by_dist.begin(), reachable_by_dist.begin() + quartile);
+    far_pool_.assign(reachable_by_dist.end() - quartile, reachable_by_dist.end());
+  }
+}
+
+Vertex WorkloadGenerator::zipf_vertex() {
+  const double r = rng_.next_double() * zipf_cdf_.back();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), r);
+  return static_cast<Vertex>(it - zipf_cdf_.begin());
+}
+
+Vertex WorkloadGenerator::walk_from(Vertex u) {
+  const std::uint64_t hops = 1 + rng_.next_below(4);
+  Vertex v = u;
+  for (std::uint64_t i = 0; i < hops; ++i) {
+    const auto arcs = g_.arcs(v);
+    if (arcs.empty()) break;
+    v = arcs[rng_.next_below(arcs.size())].to;
+  }
+  return v;
+}
+
+std::pair<Vertex, Vertex> WorkloadGenerator::next() {
+  const auto n = static_cast<std::uint64_t>(g_.num_vertices());
+  switch (kind_) {
+    case WorkloadKind::kUniform:
+      return {static_cast<Vertex>(rng_.next_below(n)), static_cast<Vertex>(rng_.next_below(n))};
+    case WorkloadKind::kZipf:
+      return {zipf_vertex(), zipf_vertex()};
+    case WorkloadKind::kNear: {
+      const auto u = static_cast<Vertex>(rng_.next_below(n));
+      return {u, walk_from(u)};
+    }
+    case WorkloadKind::kFar:
+      return {near_pool_[rng_.next_below(near_pool_.size())],
+              far_pool_[rng_.next_below(far_pool_.size())]};
+  }
+  HUBLAB_UNREACHABLE();
+}
+
+SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
+  if (g.num_vertices() == 0) throw InvalidArgument("serve-sim: empty graph");
+  metrics::Registry& reg = metrics::registry();
+  SimResult result;
+  result.start_unix_ms = unix_time_ms();
+  result.workload_name = workload_kind_name(config.workload);
+
+  Tracer local_tracer;
+  Tracer& t = tracer != nullptr ? *tracer : local_tracer;
+
+  std::unique_ptr<DistanceOracle> oracle;
+  {
+    auto span = t.span("build-oracle");
+    Timer build_timer;
+    oracle = build_oracle(g, config.oracle);
+    result.build_s = build_timer.elapsed_s();
+  }
+  result.oracle_name = oracle->name();
+  result.space_bytes = oracle->space_bytes();
+  reg.gauge("serve.space_bytes").set(static_cast<std::int64_t>(result.space_bytes));
+  HUBLAB_LOG_INFO("serve", "oracle built", log::Field("oracle", result.oracle_name),
+                  log::Field("build_s", result.build_s),
+                  log::Field("space_bytes", static_cast<std::uint64_t>(result.space_bytes)));
+
+  // Pairs are pre-generated so workload sampling never pollutes the
+  // measured query latencies.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  {
+    auto span = t.span("gen-workload");
+    WorkloadGenerator workload(g, config.workload, config.seed);
+    pairs.reserve(config.warmup + config.num_queries);
+    for (std::uint64_t i = 0; i < config.warmup + config.num_queries; ++i) {
+      pairs.push_back(workload.next());
+    }
+  }
+
+  {
+    auto span = t.span("run-queries");
+    for (std::uint64_t i = 0; i < config.warmup && i < pairs.size(); ++i) {
+      (void)oracle->distance(pairs[i].first, pairs[i].second);
+    }
+    Timer loop_timer;
+    for (std::size_t i = config.warmup; i < pairs.size(); ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      const Dist d = oracle->distance(pairs[i].first, pairs[i].second);
+      const auto end = std::chrono::steady_clock::now();
+      result.latency_ns.record(elapsed_ns(begin, end));
+      ++result.queries;
+      if (d != kInfDist) {
+        ++result.reachable;
+        result.checksum += d;
+      }
+    }
+    result.query_loop_s = loop_timer.elapsed_s();
+  }
+
+  reg.counter("serve.queries").add(result.queries);
+  reg.counter("serve.reachable").add(result.reachable);
+  reg.sketch("serve.query_ns").merge(result.latency_ns);
+  HUBLAB_LOG_INFO("serve", "query loop done",
+                  log::Field("workload", result.workload_name),
+                  log::Field("queries", result.queries),
+                  log::Field("reachable", result.reachable),
+                  log::Field("p50_ns", result.latency_ns.quantile(0.5)),
+                  log::Field("p99_ns", result.latency_ns.quantile(0.99)));
+  return result;
+}
+
+void write_serve_report_json(std::ostream& os, const SimResult& result, const SimConfig& config,
+                             const Graph& g, std::string_view graph_family,
+                             std::string_view git_rev, bool smoke, const Tracer& tracer) {
+  ReportHeader header;
+  header.name = "serve-" + std::string(oracle_kind_name(config.oracle));
+  header.git_rev = std::string(git_rev);
+  header.smoke = smoke;
+  header.ok = true;
+  header.repetitions = 1;
+  header.start_unix_ms = result.start_unix_ms;
+  header.graphs.push_back(
+      {std::string(graph_family), g.num_vertices(), g.num_edges()});
+  const QuantileSketch& lat = result.latency_ns;
+  write_run_report_json(os, header, tracer, metrics::registry(), [&](JsonWriter& w) {
+    w.kv("oracle", oracle_kind_name(config.oracle));
+    w.kv("oracle_impl", result.oracle_name);
+    w.kv("workload", result.workload_name);
+    w.kv("seed", config.seed);
+    w.kv("warmup", config.warmup);
+    w.kv("queries", result.queries);
+    w.kv("reachable", result.reachable);
+    w.kv("checksum", result.checksum);
+    w.kv("space_bytes", static_cast<std::uint64_t>(result.space_bytes));
+    w.kv("build_s", result.build_s);
+    w.kv("query_loop_s", result.query_loop_s);
+    w.key("latency_ns").begin_object();
+    w.kv("count", lat.count());
+    w.kv("min", lat.min());
+    w.kv("max", lat.max());
+    w.kv("p50", lat.quantile(0.5));
+    w.kv("p90", lat.quantile(0.9));
+    w.kv("p99", lat.quantile(0.99));
+    w.kv("p999", lat.quantile(0.999));
+    w.kv("rank_error", lat.rank_error_bound());
+    w.end_object();
+  });
+}
+
+}  // namespace hublab::serve

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/qsketch.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+/// \file serve.hpp
+/// Closed-loop query-serving simulator: the observability testbed for the
+/// paper's core trade-off.  Theorems 1.4/4.1 trade label size against
+/// query time; tracking that trade-off across revisions needs *latency
+/// distributions* per oracle per workload, not single wall clocks.  The
+/// simulator builds one oracle over a graph, drives N point-to-point
+/// queries from a synthetic workload, records each query's latency into a
+/// `QuantileSketch` (p50/p90/p99/p999 of actual nanosecond samples), and
+/// reports through the shared run-report JSON (`SERVE_<oracle>.json`,
+/// validated by `hublab validate-bench`) plus an optional Prometheus text
+/// dump.
+///
+/// Workloads (all deterministic given the seed):
+///  - `uniform`: independent uniform endpoints — the adversarial baseline;
+///  - `zipf`:    endpoints drawn from a Zipf(~1.0) popularity ranking over
+///               vertex ids, approximating skewed production traffic;
+///  - `near`:    u uniform, v the endpoint of a short random walk from u
+///               (1..4 hops) — local queries, the PLL fast path;
+///  - `far`:     endpoints from opposite distance quartiles of a BFS/
+///               Dijkstra sweep — long-range queries, the worst case the
+///               lower-bound gadgets are built from.
+///
+/// Registry metrics: `serve.queries` / `serve.reachable` counters, the
+/// `serve.query_ns` sketch, and a `serve.space_bytes` gauge, all tagged
+/// under tracer spans `build-oracle` / `gen-workload` / `run-queries`.
+
+namespace hublab::serve {
+
+enum class OracleKind { kPll, kCh, kBidij };
+enum class WorkloadKind { kUniform, kZipf, kNear, kFar };
+
+[[nodiscard]] std::string_view oracle_kind_name(OracleKind kind) noexcept;
+[[nodiscard]] std::string_view workload_kind_name(WorkloadKind kind) noexcept;
+[[nodiscard]] std::optional<OracleKind> parse_oracle_kind(std::string_view name) noexcept;
+[[nodiscard]] std::optional<WorkloadKind> parse_workload_kind(std::string_view name) noexcept;
+
+struct SimConfig {
+  OracleKind oracle = OracleKind::kPll;
+  WorkloadKind workload = WorkloadKind::kUniform;
+  std::uint64_t num_queries = 10000;
+  std::uint64_t warmup = 100;  ///< unrecorded leading queries (cache warming)
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  std::string oracle_name;    ///< DistanceOracle::name() of what ran
+  std::string workload_name;
+  std::uint64_t start_unix_ms = 0;  ///< wall-clock start of the simulation
+  std::uint64_t queries = 0;    ///< recorded (post-warmup) queries
+  std::uint64_t reachable = 0;  ///< queries with a finite distance
+  std::uint64_t checksum = 0;   ///< sum of finite distances (verifiable work proof)
+  std::size_t space_bytes = 0;  ///< oracle space accounting
+  double build_s = 0.0;         ///< oracle preprocessing wall time
+  double query_loop_s = 0.0;    ///< recorded query loop wall time
+  QuantileSketch latency_ns;    ///< per-query latency samples
+};
+
+/// Deterministic query-pair generator for one workload (exposed for tests
+/// and future replay tooling).  Pairs are over [0, n); the graph is needed
+/// for the near/far structure.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const Graph& g, WorkloadKind kind, std::uint64_t seed);
+
+  /// Next (source, target) pair.
+  [[nodiscard]] std::pair<Vertex, Vertex> next();
+
+ private:
+  [[nodiscard]] Vertex zipf_vertex();
+  [[nodiscard]] Vertex walk_from(Vertex u);
+
+  const Graph& g_;
+  WorkloadKind kind_;
+  Rng rng_;
+  std::vector<double> zipf_cdf_;       ///< cumulative popularity, zipf only
+  std::vector<Vertex> near_pool_;      ///< far workload: bottom distance quartile
+  std::vector<Vertex> far_pool_;       ///< far workload: top distance quartile
+};
+
+/// Build the configured oracle, run the workload, record latencies.  Spans
+/// land in `tracer` when provided; metrics land in the global registry
+/// (reset them yourself if you want a clean report).  Throws
+/// InvalidArgument on an empty graph.
+SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer = nullptr);
+
+/// Write the schema-versioned SERVE report (see util/report.hpp): the
+/// shared report document plus serve-specific members (`oracle`,
+/// `workload`, `latency_ns` quantiles, space and build time).
+void write_serve_report_json(std::ostream& os, const SimResult& result, const SimConfig& config,
+                             const Graph& g, std::string_view graph_family,
+                             std::string_view git_rev, bool smoke, const Tracer& tracer);
+
+}  // namespace hublab::serve

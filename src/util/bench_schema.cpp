@@ -14,9 +14,16 @@ class Checker {
       return errors_;
     }
     const JsonValue* version = require(doc_, "schema_version", "", JsonValue::Kind::kNumber);
-    if (version != nullptr &&
-        version->number_value != static_cast<double>(kBenchSchemaVersion)) {
-      fail("schema_version: expected " + std::to_string(kBenchSchemaVersion));
+    std::uint64_t version_value = kBenchSchemaVersion;
+    if (version != nullptr) {
+      version_value = static_cast<std::uint64_t>(version->number_value);
+      if (version->number_value < static_cast<double>(kBenchSchemaMinVersion) ||
+          version->number_value > static_cast<double>(kBenchSchemaVersion) ||
+          version->number_value != static_cast<double>(version_value)) {
+        fail("schema_version: expected an integer in [" +
+             std::to_string(kBenchSchemaMinVersion) + ", " +
+             std::to_string(kBenchSchemaVersion) + "]");
+      }
     }
     const JsonValue* bench = require(doc_, "bench", "", JsonValue::Kind::kString);
     if (bench != nullptr && bench->string_value.empty()) fail("bench: must be non-empty");
@@ -25,6 +32,12 @@ class Checker {
     require(doc_, "ok", "", JsonValue::Kind::kBool);
     const JsonValue* reps = require(doc_, "repetitions", "", JsonValue::Kind::kNumber);
     if (reps != nullptr && reps->number_value < 1) fail("repetitions: must be >= 1");
+    if (version_value >= 2) {
+      const JsonValue* start = require(doc_, "start_unix_ms", "", JsonValue::Kind::kNumber);
+      if (start != nullptr && start->number_value < 0) fail("start_unix_ms: negative");
+      const JsonValue* rss = require(doc_, "peak_rss_bytes", "", JsonValue::Kind::kNumber);
+      if (rss != nullptr && rss->number_value < 0) fail("peak_rss_bytes: negative");
+    }
     check_graphs();
     check_phases();
     check_metric_object(doc_.find("counters"), "counters");

@@ -6,17 +6,27 @@
 #include "util/json.hpp"
 
 /// \file bench_schema.hpp
-/// Schema checks for the machine-readable BENCH_<name>.json files every
-/// bench binary emits through bench/harness.hpp (see
-/// docs/observability.md for the schema).  Used by `hublab validate-bench`
-/// and the bench-smoke stage of tools/check.sh, so a bench that silently
+/// Schema checks for the machine-readable run reports — BENCH_<name>.json
+/// from bench/harness.hpp and SERVE_<oracle>.json from `hublab serve-sim`,
+/// both emitted through util/report.hpp (see docs/observability.md for the
+/// schema).  Used by `hublab validate-bench` and the bench-smoke /
+/// bench-compare stages of tools/check.sh, so a producer that silently
 /// stops reporting a field fails CI instead of producing holes in the
 /// perf trajectory.
+///
+/// Version history (the validator accepts all listed versions; the
+/// emitter writes the newest):
+///   1  phases + counters + gauges (+ optional histograms)
+///   2  adds required `start_unix_ms` and `peak_rss_bytes`
+///      (+ optional `sketches`)
 
 namespace hublab {
 
-/// Current schema_version emitted by bench/harness.hpp.
-inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+/// Current schema_version emitted by util/report.hpp.
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+
+/// Oldest schema_version the validator still accepts.
+inline constexpr std::uint64_t kBenchSchemaMinVersion = 1;
 
 /// All schema violations in `doc` (empty result == valid).  Messages are
 /// human-readable, e.g. "phases[2].wall_s: expected a number".

@@ -1,0 +1,164 @@
+#include "util/log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace hublab::log {
+
+namespace {
+
+void format_double(std::string& out, double v) {
+  char buf[32];
+  // %.17g round-trips but litters; %.6g is plenty for log fields.
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string_view level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: break;
+  }
+  return "off";
+}
+
+Field::Field(std::string_view k, double v) : key(k) { format_double(value, v); }
+
+Field::Field(std::string_view k, std::uint64_t v) : key(k), value(std::to_string(v)) {}
+
+Field::Field(std::string_view k, std::int64_t v) : key(k), value(std::to_string(v)) {}
+
+RateLimiter::RateLimiter(std::uint64_t max_per_window, double window_s)
+    : max_per_window_(max_per_window), window_s_(window_s > 0 ? window_s : 1.0) {}
+
+RateLimiter::Bucket* RateLimiter::find(std::string_view key) {
+  for (auto& [name, bucket] : buckets_) {
+    if (name == key) return &bucket;
+  }
+  buckets_.emplace_back(std::string(key), Bucket{});
+  return &buckets_.back().second;
+}
+
+bool RateLimiter::allow(std::string_view key, double now_s) {
+  if (max_per_window_ == 0) return true;
+  Bucket* bucket = find(key);
+  const auto window = static_cast<std::uint64_t>(std::floor(now_s / window_s_));
+  if (window != bucket->window) {
+    bucket->window = window;
+    bucket->in_window = 0;
+  }
+  if (bucket->in_window >= max_per_window_) {
+    ++bucket->suppressed;
+    return false;
+  }
+  ++bucket->in_window;
+  return true;
+}
+
+std::uint64_t RateLimiter::suppressed(std::string_view key) const {
+  for (const auto& [name, bucket] : buckets_) {
+    if (name == key) return bucket.suppressed;
+  }
+  return 0;
+}
+
+// util/log.cpp is the allowlisted home of raw stderr output (see the raw-io
+// rule in tools/hublab_lint.cpp): everything else in src/ logs through here.
+Logger::Logger()
+    : sink_(&std::cerr), epoch_(std::chrono::steady_clock::now()) {}
+
+double Logger::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void Logger::set_rate_limit(std::uint64_t max_per_window, double window_s) {
+  limiter_ = RateLimiter(max_per_window, window_s);
+  limiting_ = max_per_window > 0;
+}
+
+void Logger::write(Level level, std::string_view component, std::string_view message,
+                   std::initializer_list<Field> fields) {
+  if (!enabled(level) || level == Level::kOff || sink_ == nullptr) return;
+  const double ts = now_s();
+  std::uint64_t suppressed = 0;
+  if (limiting_) {
+    std::string key(component);
+    key += '/';
+    key += message;
+    RateLimiter::Bucket* bucket = limiter_.find(key);
+    if (!limiter_.allow(key, ts)) return;
+    suppressed = bucket->suppressed;
+    bucket->suppressed = 0;
+  }
+
+  std::string line;
+  if (format_ == Format::kText) {
+    line += "level=";
+    line += level_name(level);
+    line += " ts=";
+    format_double(line, ts);
+    line += " component=";
+    line += component;
+    line += " msg=";
+    line += JsonWriter::escape(message);
+    for (const Field& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (f.quoted) {
+        line += JsonWriter::escape(f.value);
+      } else {
+        line += f.value;
+      }
+    }
+    if (suppressed > 0) {
+      line += " suppressed=";
+      line += std::to_string(suppressed);
+    }
+  } else {
+    line += "{\"level\": ";
+    line += JsonWriter::escape(level_name(level));
+    line += ", \"ts\": ";
+    format_double(line, ts);
+    line += ", \"component\": ";
+    line += JsonWriter::escape(component);
+    line += ", \"msg\": ";
+    line += JsonWriter::escape(message);
+    for (const Field& f : fields) {
+      line += ", ";
+      line += JsonWriter::escape(f.key);
+      line += ": ";
+      if (f.quoted) {
+        line += JsonWriter::escape(f.value);
+      } else {
+        line += f.value;
+      }
+    }
+    if (suppressed > 0) {
+      line += ", \"suppressed\": ";
+      line += std::to_string(suppressed);
+    }
+    line += '}';
+  }
+  line += '\n';
+  *sink_ << line;
+  sink_->flush();
+  ++records_written_;
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+}  // namespace hublab::log

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file log.hpp
+/// Leveled structured logging for the serving path.
+///
+/// Library code reports *results* through return values and exceptions
+/// (hublab_lint's stdout-in-library rule); what it may not do is narrate.
+/// The serving layer, however, needs operational narration — oracle built,
+/// workload generated, query loop progress, rate-limited warnings — and
+/// this file is the one sanctioned channel for it:
+///
+///  - five levels (TRACE < DEBUG < INFO < WARN < ERROR) with both a
+///    runtime filter (`Logger::set_level`) and a compile-time floor:
+///    building with `-DHUBLAB_MIN_LOG_LEVEL=N` (CMake option
+///    `HUBLAB_LOG_LEVEL`) makes every `HUBLAB_LOG_*` call below N compile
+///    to nothing, like `HUBLAB_METRICS=OFF` does for counters;
+///  - structured `key=value` fields, rendered as logfmt-style text or as
+///    one JSON object per line (`Logger::set_format`), never interpolated
+///    into the message string;
+///  - token-less rate limiting per (component, message) key so a hot loop
+///    cannot flood the sink; suppressed counts are reported on the next
+///    emitted record;
+///  - an explicit sink `std::ostream*` (stderr by default — stdout stays
+///    reserved for program output).  `hublab_lint`'s raw-io rule forbids
+///    `fprintf`/`std::cerr` everywhere else in src/, so all diagnostics
+///    funnel through here.
+///
+/// The global `logger()` is what the macros write to; tests swap its sink
+/// for a stringstream and restore it.  Not thread-safe by design (one
+/// logger per thread of execution, like Tracer); the serving loop is
+/// single-threaded today and the API keeps the door open for per-shard
+/// loggers later.
+
+namespace hublab::log {
+
+enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// "trace", "debug", "info", "warn", "error", "off".
+[[nodiscard]] std::string_view level_name(Level level) noexcept;
+
+/// One structured field.  Numbers and bools render unquoted; strings are
+/// quoted (text) or escaped (JSON).
+struct Field {
+  Field(std::string_view k, std::string_view v) : key(k), value(v), quoted(true) {}
+  Field(std::string_view k, const char* v) : key(k), value(v), quoted(true) {}
+  Field(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+  Field(std::string_view k, double v);
+  Field(std::string_view k, std::uint64_t v);
+  Field(std::string_view k, std::int64_t v);
+  Field(std::string_view k, int v) : Field(k, static_cast<std::int64_t>(v)) {}
+  Field(std::string_view k, unsigned v) : Field(k, static_cast<std::uint64_t>(v)) {}
+
+  std::string key;
+  std::string value;
+  bool quoted = false;
+};
+
+enum class Format { kText, kJson };
+
+/// Deterministic sliding-window rate limiter, keyed by string.  At most
+/// `max_per_window` events per key per `window_s`-second window; windows
+/// are aligned to multiples of window_s since time zero.  Time is passed
+/// in explicitly so the policy is unit-testable without a clock.
+class RateLimiter {
+ public:
+  RateLimiter(std::uint64_t max_per_window, double window_s);
+
+  /// True when the event may pass; false when suppressed.  `now_s` must be
+  /// monotone non-decreasing per key.
+  [[nodiscard]] bool allow(std::string_view key, double now_s);
+
+  /// Events suppressed for `key` since the last allowed event; reset to 0
+  /// by the next allowed event.
+  [[nodiscard]] std::uint64_t suppressed(std::string_view key) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t window = 0;
+    std::uint64_t in_window = 0;
+    std::uint64_t suppressed = 0;
+  };
+  friend class Logger;
+  [[nodiscard]] Bucket* find(std::string_view key);
+
+  std::uint64_t max_per_window_;
+  double window_s_;
+  std::vector<std::pair<std::string, Bucket>> buckets_;  // few distinct keys
+};
+
+class Logger {
+ public:
+  /// Sink defaults to stderr; level to kInfo; format to text.
+  Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Redirect output; nullptr silences the logger.  The stream must
+  /// outlive the logger or the next set_sink call.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void set_level(Level level) noexcept { level_ = level; }
+  [[nodiscard]] Level level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(Level level) const noexcept { return level >= level_; }
+
+  void set_format(Format format) noexcept { format_ = format; }
+
+  /// At most `max_per_window` records per (component, message) key per
+  /// `window_s` seconds; 0 disables limiting (the default).
+  void set_rate_limit(std::uint64_t max_per_window, double window_s = 1.0);
+
+  /// Emit one record.  Filtering/rate limiting happen here; prefer the
+  /// HUBLAB_LOG_* macros, which add the compile-time floor.
+  void write(Level level, std::string_view component, std::string_view message,
+             std::initializer_list<Field> fields = {});
+
+  /// Records emitted (post-filter, post-rate-limit) since construction.
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return records_written_; }
+
+ private:
+  [[nodiscard]] double now_s() const;
+
+  std::ostream* sink_;
+  Level level_ = Level::kInfo;
+  Format format_ = Format::kText;
+  std::uint64_t records_written_ = 0;
+  RateLimiter limiter_{0, 1.0};
+  bool limiting_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The process-global logger the HUBLAB_LOG_* macros write to.
+Logger& logger();
+
+}  // namespace hublab::log
+
+/// Compile-time floor: calls below this level cost nothing (the condition
+/// is `if constexpr`).  0 = trace .. 4 = error, 5 = off.
+#ifndef HUBLAB_MIN_LOG_LEVEL
+#define HUBLAB_MIN_LOG_LEVEL 0
+#endif
+
+#define HUBLAB_LOG_AT(level_, component_, message_, ...)                            \
+  do {                                                                              \
+    if constexpr (static_cast<int>(level_) >= HUBLAB_MIN_LOG_LEVEL) {               \
+      auto& hublab_logger_ = ::hublab::log::logger();                               \
+      if (hublab_logger_.enabled(level_)) {                                         \
+        hublab_logger_.write((level_), (component_), (message_), {__VA_ARGS__});    \
+      }                                                                             \
+    }                                                                               \
+  } while (false)
+
+#define HUBLAB_LOG_TRACE(component_, message_, ...) \
+  HUBLAB_LOG_AT(::hublab::log::Level::kTrace, component_, message_ __VA_OPT__(, ) __VA_ARGS__)
+#define HUBLAB_LOG_DEBUG(component_, message_, ...) \
+  HUBLAB_LOG_AT(::hublab::log::Level::kDebug, component_, message_ __VA_OPT__(, ) __VA_ARGS__)
+#define HUBLAB_LOG_INFO(component_, message_, ...) \
+  HUBLAB_LOG_AT(::hublab::log::Level::kInfo, component_, message_ __VA_OPT__(, ) __VA_ARGS__)
+#define HUBLAB_LOG_WARN(component_, message_, ...) \
+  HUBLAB_LOG_AT(::hublab::log::Level::kWarn, component_, message_ __VA_OPT__(, ) __VA_ARGS__)
+#define HUBLAB_LOG_ERROR(component_, message_, ...) \
+  HUBLAB_LOG_AT(::hublab::log::Level::kError, component_, message_ __VA_OPT__(, ) __VA_ARGS__)

@@ -82,6 +82,7 @@ struct Registry::Impl {
   std::map<std::string, Counter, std::less<>> counters;
   std::map<std::string, Gauge, std::less<>> gauges;
   std::map<std::string, Histogram, std::less<>> histograms;
+  std::map<std::string, Sketch, std::less<>> sketches;
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -109,6 +110,13 @@ Histogram& Registry::histogram(std::string_view name) {
   return impl_->histograms[std::string(name)];
 }
 
+Sketch& Registry::sketch(std::string_view name) {
+  const std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->sketches.find(name);
+  if (it != impl_->sketches.end()) return it->second;
+  return impl_->sketches[std::string(name)];
+}
+
 std::vector<CounterSnapshot> Registry::counters() const {
   const std::scoped_lock lock(impl_->mutex);
   std::vector<CounterSnapshot> out;
@@ -130,8 +138,33 @@ std::vector<HistogramSnapshot> Registry::histograms() const {
   std::vector<HistogramSnapshot> out;
   out.reserve(impl_->histograms.size());
   for (const auto& [name, h] : impl_->histograms) {
-    out.push_back({name, h.count(), h.sum(), h.min(), h.max(), h.percentile(0.50),
-                   h.percentile(0.90), h.percentile(0.99)});
+    HistogramSnapshot snap{name,
+                           h.count(),
+                           h.sum(),
+                           h.min(),
+                           h.max(),
+                           h.percentile(0.50),
+                           h.percentile(0.90),
+                           h.percentile(0.99),
+                           {}};
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t in_bucket = h.bucket_count(b);
+      if (in_bucket > 0) snap.buckets.emplace_back(Histogram::bucket_upper_bound(b), in_bucket);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<SketchSnapshot> Registry::sketches() const {
+  const std::scoped_lock lock(impl_->mutex);
+  std::vector<SketchSnapshot> out;
+  out.reserve(impl_->sketches.size());
+  for (const auto& [name, s] : impl_->sketches) {
+    const QuantileSketch q = s.snapshot();
+    out.push_back({name, q.count(), q.sum(), q.min(), q.max(), q.quantile(0.50),
+                   q.quantile(0.90), q.quantile(0.99), q.quantile(0.999),
+                   q.rank_error_bound()});
   }
   return out;
 }
@@ -141,6 +174,7 @@ void Registry::reset() {
   for (auto& [name, c] : impl_->counters) c.reset();
   for (auto& [name, g] : impl_->gauges) g.reset();
   for (auto& [name, h] : impl_->histograms) h.reset();
+  for (auto& [name, s] : impl_->sketches) s.reset();
 }
 
 void Registry::dump(std::ostream& out) const {
@@ -150,6 +184,11 @@ void Registry::dump(std::ostream& out) const {
     out << "histogram " << h.name << " count=" << h.count << " sum=" << h.sum
         << " min=" << h.min << " max=" << h.max << " p50<=" << h.p50 << " p90<=" << h.p90
         << " p99<=" << h.p99 << "\n";
+  }
+  for (const auto& s : sketches()) {
+    out << "sketch " << s.name << " count=" << s.count << " sum=" << s.sum << " min=" << s.min
+        << " max=" << s.max << " p50=" << s.p50 << " p90=" << s.p90 << " p99=" << s.p99
+        << " p999=" << s.p999 << " rank_err<=" << s.rank_error << "\n";
   }
 }
 

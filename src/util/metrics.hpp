@@ -3,9 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "util/qsketch.hpp"
 
 /// \file metrics.hpp
 /// Named counters, gauges and histograms for algorithm-level observability.
@@ -30,7 +34,10 @@
 /// modulo 2^64 on overflow and zero on `reset()`; gauges are settable
 /// signed values (last write wins); histograms bucket values by bit width
 /// (bucket 0 holds value 0, bucket i holds [2^(i-1), 2^i - 1]) and report
-/// percentiles as the inclusive upper bound of the covering bucket.
+/// percentiles as the inclusive upper bound of the covering bucket;
+/// sketches (util/qsketch.hpp) hold mergeable streaming quantile sketches
+/// whose percentiles are actual recorded values — the serving layer's
+/// latency distributions live there.
 
 namespace hublab::metrics {
 
@@ -53,6 +60,24 @@ struct HistogramSnapshot {
   std::uint64_t p50 = 0;
   std::uint64_t p90 = 0;
   std::uint64_t p99 = 0;
+  /// (inclusive upper bound, count) for each nonempty bucket, ascending;
+  /// feeds the Prometheus cumulative `_bucket` series.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/// Quantiles are actual recorded values (see util/qsketch.hpp), unlike the
+/// pow2 bucket bounds of HistogramSnapshot — use sketches for latencies.
+struct SketchSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;  ///< 0 when empty
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t rank_error = 0;  ///< certified rank-error bound of the quantiles
 };
 
 #if !defined(HUBLAB_METRICS_ENABLED)
@@ -122,6 +147,34 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Exact-quantile latency sketch (a mutex-guarded QuantileSketch; the
+/// other metric types are lock-free, but a sketch record is a buffer push
+/// and the serving loop batches around it anyway).
+class Sketch {
+ public:
+  void record(std::uint64_t v) {
+    const std::scoped_lock lock(mutex_);
+    sketch_.record(v);
+  }
+  void merge(const QuantileSketch& other) {
+    const std::scoped_lock lock(mutex_);
+    sketch_.merge(other);
+  }
+  void reset() {
+    const std::scoped_lock lock(mutex_);
+    sketch_.reset();
+  }
+  /// Consistent copy for querying quantiles.
+  [[nodiscard]] QuantileSketch snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return sketch_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  QuantileSketch sketch_;
+};
+
 /// Named metric store.  Lookup interns the name on first use and returns a
 /// reference that stays valid for the registry's lifetime; snapshots are
 /// sorted by name so every dump is deterministic.
@@ -135,10 +188,12 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Sketch& sketch(std::string_view name);
 
   [[nodiscard]] std::vector<CounterSnapshot> counters() const;
   [[nodiscard]] std::vector<GaugeSnapshot> gauges() const;
   [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+  [[nodiscard]] std::vector<SketchSnapshot> sketches() const;
 
   /// Zero every registered metric (registrations persist).
   void reset();
@@ -185,14 +240,24 @@ class Histogram {
   [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t) noexcept { return 0; }
 };
 
+class Sketch {
+ public:
+  void record(std::uint64_t) noexcept {}
+  void merge(const QuantileSketch&) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] QuantileSketch snapshot() const { return QuantileSketch{}; }
+};
+
 class Registry {
  public:
   Counter& counter(std::string_view) noexcept { return counter_; }
   Gauge& gauge(std::string_view) noexcept { return gauge_; }
   Histogram& histogram(std::string_view) noexcept { return histogram_; }
+  Sketch& sketch(std::string_view) noexcept { return sketch_; }
   [[nodiscard]] std::vector<CounterSnapshot> counters() const { return {}; }
   [[nodiscard]] std::vector<GaugeSnapshot> gauges() const { return {}; }
   [[nodiscard]] std::vector<HistogramSnapshot> histograms() const { return {}; }
+  [[nodiscard]] std::vector<SketchSnapshot> sketches() const { return {}; }
   void reset() noexcept {}
   void dump(std::ostream&) const {}
 
@@ -200,6 +265,7 @@ class Registry {
   Counter counter_;
   Gauge gauge_;
   Histogram histogram_;
+  Sketch sketch_;
 };
 
 inline Registry& registry() {

@@ -1,0 +1,59 @@
+#include "util/prometheus.hpp"
+
+#include <cctype>
+#include <ostream>
+
+namespace hublab::metrics {
+
+namespace {
+
+/// Empty-histogram buckets are skipped; Prometheus still needs the +Inf
+/// series, so emission is unconditional there.
+void write_histogram(std::ostream& out, const std::string& name, const HistogramSnapshot& snap) {
+  out << "# TYPE " << name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (const auto& [upper_bound, in_bucket] : snap.buckets) {
+    cumulative += in_bucket;
+    out << name << "_bucket{le=\"" << upper_bound << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+  out << name << "_sum " << snap.sum << "\n";
+  out << name << "_count " << snap.count << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "hublab_";
+  for (const char c : name) {
+    const bool legal = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus_text(const Registry& reg, std::ostream& out) {
+  for (const CounterSnapshot& c : reg.counters()) {
+    const std::string name = prometheus_metric_name(c.name);
+    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : reg.gauges()) {
+    const std::string name = prometheus_metric_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const HistogramSnapshot& h : reg.histograms()) {
+    write_histogram(out, prometheus_metric_name(h.name), h);
+  }
+  for (const SketchSnapshot& s : reg.sketches()) {
+    const std::string name = prometheus_metric_name(s.name);
+    out << "# TYPE " << name << " summary\n";
+    out << name << "{quantile=\"0.5\"} " << s.p50 << "\n";
+    out << name << "{quantile=\"0.9\"} " << s.p90 << "\n";
+    out << name << "{quantile=\"0.99\"} " << s.p99 << "\n";
+    out << name << "{quantile=\"0.999\"} " << s.p999 << "\n";
+    out << name << "_sum " << s.sum << "\n";
+    out << name << "_count " << s.count << "\n";
+  }
+}
+
+}  // namespace hublab::metrics

@@ -1,0 +1,117 @@
+#include "util/qsketch.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hublab {
+
+QuantileSketch::QuantileSketch(std::size_t buffer_capacity)
+    : capacity_(std::max<std::size_t>(8, buffer_capacity + (buffer_capacity & 1))) {}
+
+void QuantileSketch::record(std::uint64_t value) {
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  levels_[0].push_back(value);
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (levels_[0].size() >= capacity_) compact_level(0);
+}
+
+void QuantileSketch::compact_level(std::size_t level) {
+  for (; level < levels_.size() && levels_[level].size() >= capacity_; ++level) {
+    if (level + 1 == levels_.size()) {
+      levels_.emplace_back();  // may reallocate: take `buf` only afterwards
+      parity_.push_back(0);
+    }
+    std::vector<std::uint64_t>& buf = levels_[level];
+    std::sort(buf.begin(), buf.end());
+    // Odd-sized buffers (possible after merge) keep their smallest element
+    // behind so the compacted remainder has even length and total weight is
+    // preserved exactly: 2j items of weight w become j items of weight 2w.
+    const std::size_t base = buf.size() & 1;
+    const std::size_t offset = base + parity_[level];
+    parity_[level] ^= 1;
+    for (std::size_t i = offset; i < buf.size(); i += 2) {
+      levels_[level + 1].push_back(buf[i]);
+    }
+    // One compaction of weight-w items shifts any rank by at most w.
+    compaction_error_ += 1ULL << level;
+    buf.resize(base);
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  HUBLAB_ASSERT_MSG(this != &other, "QuantileSketch::merge with itself");
+  if (other.count_ == 0) return;
+  if (levels_.size() < other.levels_.size()) {
+    levels_.resize(other.levels_.size());
+    parity_.resize(other.levels_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.levels_.size(); ++i) {
+    levels_[i].insert(levels_[i].end(), other.levels_[i].begin(), other.levels_[i].end());
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  compaction_error_ += other.compaction_error_;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].size() >= capacity_) compact_level(i);
+  }
+}
+
+std::uint64_t QuantileSketch::quantile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank target over the preserved total weight (== count_).
+  const double exact = p * static_cast<double>(count_);
+  auto target = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(target) < exact) ++target;
+  if (target == 0) target = 1;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> weighted;  // (value, weight)
+  weighted.reserve(stored_items());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    for (const std::uint64_t v : levels_[i]) weighted.emplace_back(v, 1ULL << i);
+  }
+  std::sort(weighted.begin(), weighted.end());
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return max_;  // numeric slack in `exact` only; weights sum to count_
+}
+
+std::uint64_t QuantileSketch::min() const noexcept {
+  return count_ == 0 ? 0 : min_;
+}
+
+std::uint64_t QuantileSketch::rank_error_bound() const noexcept {
+  if (levels_.size() <= 1) return 0;  // everything still at weight 1: exact
+  // + one max item weight for the discretization of the cumulative scan.
+  return compaction_error_ + (1ULL << (levels_.size() - 1));
+}
+
+std::size_t QuantileSketch::stored_items() const noexcept {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+void QuantileSketch::reset() {
+  levels_.clear();
+  parity_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  compaction_error_ = 0;
+}
+
+}  // namespace hublab

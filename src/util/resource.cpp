@@ -1,0 +1,31 @@
+#include "util/resource.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace hublab {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t unix_time_ms() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+}  // namespace hublab

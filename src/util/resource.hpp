@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file resource.hpp
+/// Process-level resource observations for the run reports: peak resident
+/// set size and wall-clock (epoch) time.  Everything else in the
+/// observability layer measures monotonic durations; these two are the
+/// only places a report touches the OS, kept together so the platform
+/// `#if`s live in one file.
+
+namespace hublab {
+
+/// Peak resident set size of this process in bytes (`getrusage`); 0 on
+/// platforms without the interface.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Milliseconds since the Unix epoch (system clock — NOT monotonic; for
+/// report timestamps only, never for measuring durations).
+[[nodiscard]] std::uint64_t unix_time_ms();
+
+}  // namespace hublab

@@ -7,6 +7,7 @@
 
 #include "bench/harness.hpp"
 #include "util/bench_schema.hpp"
+#include "util/qsketch.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
@@ -127,6 +128,33 @@ TEST(Registry, DumpIsDeterministic) {
   EXPECT_EQ(first.str(), second.str());
   EXPECT_NE(first.str().find("a.count"), std::string::npos);
   EXPECT_LT(first.str().find("a.count"), first.str().find("b.count"));
+}
+
+TEST(Registry, SketchRecordsMergesAndSnapshots) {
+  metrics::Registry reg;
+  metrics::Sketch& s = reg.sketch("lat");
+  for (std::uint64_t v = 1; v <= 100; ++v) s.record(v);
+
+  QuantileSketch shard;
+  for (std::uint64_t v = 101; v <= 200; ++v) shard.record(v);
+  s.merge(shard);
+
+  const std::vector<metrics::SketchSnapshot> snaps = reg.sketches();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "lat");
+  EXPECT_EQ(snaps[0].count, 200u);
+  EXPECT_EQ(snaps[0].sum, 20100u);
+  EXPECT_EQ(snaps[0].min, 1u);
+  EXPECT_EQ(snaps[0].max, 200u);
+  // 200 samples fit one buffer: quantiles are exact, rank error 0.
+  EXPECT_EQ(snaps[0].p50, 100u);
+  EXPECT_EQ(snaps[0].p90, 180u);
+  EXPECT_EQ(snaps[0].p99, 198u);
+  EXPECT_EQ(snaps[0].rank_error, 0u);
+
+  reg.reset();
+  ASSERT_EQ(reg.sketches().size(), 1u);
+  EXPECT_EQ(reg.sketches()[0].count, 0u);
 }
 
 TEST(Tracer, SpanCapturesCounterDeltas) {
@@ -290,18 +318,21 @@ TEST(BenchSchema, HarnessJsonValidatesAndIsDeterministic) {
   ASSERT_EQ(doc.find("phases")->array_items.size(), 1u);
   EXPECT_EQ(doc.find("phases")->array_items[0].find("name")->string_value, "work");
 
-  // Two emissions of the same run differ only in wall times; strip the
-  // volatile wall_s members and the documents must agree byte for byte.
+  // Two emissions of the same run differ only in wall times, the start
+  // timestamp and the RSS sample; strip those members and the documents
+  // must agree byte for byte.
   std::string again = make_harness_json(true);
-  auto strip_wall = [](std::string s) {
-    std::size_t pos = 0;
-    while ((pos = s.find("\"wall_s\":", pos)) != std::string::npos) {
-      const std::size_t end = s.find_first_of(",\n}", pos);
-      s.erase(pos, end - pos);
+  auto strip_volatile = [](std::string s) {
+    for (const char* key : {"\"wall_s\":", "\"start_unix_ms\":", "\"peak_rss_bytes\":"}) {
+      std::size_t pos = 0;
+      while ((pos = s.find(key, pos)) != std::string::npos) {
+        const std::size_t end = s.find_first_of(",\n}", pos);
+        s.erase(pos, end - pos);
+      }
     }
     return s;
   };
-  EXPECT_EQ(strip_wall(text), strip_wall(again));
+  EXPECT_EQ(strip_volatile(text), strip_volatile(again));
 }
 
 TEST(BenchSchema, ValidatorRejectsBrokenDocuments) {
@@ -310,10 +341,12 @@ TEST(BenchSchema, ValidatorRejectsBrokenDocuments) {
   // Not an object at top level.
   EXPECT_FALSE(validate_bench_json(parse_json("[1, 2]")).empty());
 
-  // Wrong schema version.
+  // Wrong schema version (the validator accepts [kBenchSchemaMinVersion,
+  // kBenchSchemaVersion], nothing newer).
+  const std::string version_member = "\"schema_version\": 2";
+  ASSERT_NE(good.find(version_member), std::string::npos);
   std::string wrong_version = good;
-  wrong_version.replace(wrong_version.find("\"schema_version\": 1"),
-                        std::string("\"schema_version\": 1").size(),
+  wrong_version.replace(wrong_version.find(version_member), version_member.size(),
                         "\"schema_version\": 99");
   EXPECT_FALSE(validate_bench_json(parse_json(wrong_version)).empty());
 
@@ -323,15 +356,37 @@ TEST(BenchSchema, ValidatorRejectsBrokenDocuments) {
                      std::string("\"bench\": \"schema_probe\"").size(), "\"bench\": \"\"");
   EXPECT_FALSE(validate_bench_json(parse_json(empty_name)).empty());
 
-  // Required top-level members must all be present.
+  // Required top-level members must all be present (start_unix_ms and
+  // peak_rss_bytes became required in schema version 2).
   for (const char* member :
        {"bench", "git_rev", "smoke", "ok", "repetitions", "graphs", "phases", "counters",
-        "gauges"}) {
+        "gauges", "start_unix_ms", "peak_rss_bytes"}) {
     JsonValue doc = parse_json(good);
     std::erase_if(doc.object_members,
                   [&](const auto& kv) { return kv.first == member; });
     EXPECT_FALSE(validate_bench_json(doc).empty()) << "missing " << member << " accepted";
   }
+}
+
+TEST(BenchSchema, ValidatorAcceptsVersion1WithoutV2Members) {
+  // Committed v1 baselines predate start_unix_ms / peak_rss_bytes; they
+  // must keep validating so bench-compare can diff old against new.
+  std::string v1 = make_harness_json(true);
+  const std::string version_member = "\"schema_version\": 2";
+  ASSERT_NE(v1.find(version_member), std::string::npos);
+  v1.replace(v1.find(version_member), version_member.size(), "\"schema_version\": 1");
+  JsonValue doc = parse_json(v1);
+  std::erase_if(doc.object_members, [](const auto& kv) {
+    return kv.first == "start_unix_ms" || kv.first == "peak_rss_bytes";
+  });
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+
+  // A document *claiming* version 2 is rejected without them.
+  JsonValue v2_doc = parse_json(make_harness_json(true));
+  std::erase_if(v2_doc.object_members,
+                [](const auto& kv) { return kv.first == "peak_rss_bytes"; });
+  EXPECT_FALSE(validate_bench_json(v2_doc).empty());
 }
 
 }  // namespace

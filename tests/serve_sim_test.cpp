@@ -1,0 +1,215 @@
+#include "oracle/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "lowerbound/gadget.hpp"
+#include "rs/rs_graph.hpp"
+#include "util/bench_schema.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/prometheus.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace hublab::serve {
+namespace {
+
+Graph small_gadget() {
+  return lb::LayeredGadget(lb::GadgetParams{1, 1}).graph();
+}
+
+SimConfig smoke_config(OracleKind oracle, WorkloadKind workload) {
+  SimConfig config;
+  config.oracle = oracle;
+  config.workload = workload;
+  config.num_queries = 300;
+  config.warmup = 20;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ServeEnums, NamesRoundTripThroughParse) {
+  for (const OracleKind kind : {OracleKind::kPll, OracleKind::kCh, OracleKind::kBidij}) {
+    EXPECT_EQ(parse_oracle_kind(oracle_kind_name(kind)), kind);
+  }
+  for (const WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kZipf,
+                                  WorkloadKind::kNear, WorkloadKind::kFar}) {
+    EXPECT_EQ(parse_workload_kind(workload_kind_name(kind)), kind);
+  }
+  EXPECT_FALSE(parse_oracle_kind("apsp").has_value());
+  EXPECT_FALSE(parse_workload_kind("bursty").has_value());
+}
+
+TEST(WorkloadGenerator, DeterministicAndInRange) {
+  // Large enough that the far-workload distance quartiles hold many
+  // vertices; on tiny graphs the pools collapse to one vertex and every
+  // seed generates the same (only possible) pair.
+  Rng graph_rng(1);
+  const Graph g = gen::connected_gnm(200, 400, graph_rng);
+  for (const WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kZipf,
+                                  WorkloadKind::kNear, WorkloadKind::kFar}) {
+    WorkloadGenerator a(g, kind, 11);
+    WorkloadGenerator b(g, kind, 11);
+    WorkloadGenerator c(g, kind, 12);
+    std::vector<std::pair<Vertex, Vertex>> from_a;
+    bool differs_from_c = false;
+    for (int i = 0; i < 200; ++i) {
+      const auto pa = a.next();
+      const auto pb = b.next();
+      const auto pc = c.next();
+      EXPECT_EQ(pa, pb) << "workload " << workload_kind_name(kind) << " not deterministic";
+      EXPECT_LT(pa.first, g.num_vertices());
+      EXPECT_LT(pa.second, g.num_vertices());
+      differs_from_c = differs_from_c || pa != pc;
+      from_a.push_back(pa);
+    }
+    EXPECT_TRUE(differs_from_c) << "seed is ignored for " << workload_kind_name(kind);
+  }
+}
+
+TEST(WorkloadGenerator, ZipfSkewsTowardLowVertexIds) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnm(500, 1000, rng);
+  WorkloadGenerator w(g, WorkloadKind::kZipf, 7);
+  std::size_t low = 0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    const auto [u, v] = w.next();
+    low += u < g.num_vertices() / 10 ? 1 : 0;
+    low += v < g.num_vertices() / 10 ? 1 : 0;
+  }
+  // Uniform endpoints would put ~10% in the first decile; Zipf(1) puts the
+  // bulk there.  Use a conservative threshold to stay seed-robust.
+  EXPECT_GT(low, static_cast<std::size_t>(2 * samples * 2 / 10));
+}
+
+TEST(RunSim, GadgetLatencyQuantilesAreMonotoneAcrossOracles) {
+  const Graph g = small_gadget();
+  for (const OracleKind oracle : {OracleKind::kPll, OracleKind::kCh, OracleKind::kBidij}) {
+    metrics::registry().reset();
+    const SimResult result = run_sim(g, smoke_config(oracle, WorkloadKind::kUniform));
+    EXPECT_EQ(result.queries, 300u);
+    EXPECT_GT(result.start_unix_ms, 0u);
+    const QuantileSketch& lat = result.latency_ns;
+    EXPECT_EQ(lat.count(), result.queries);
+    const std::uint64_t p50 = lat.quantile(0.5);
+    const std::uint64_t p90 = lat.quantile(0.9);
+    const std::uint64_t p99 = lat.quantile(0.99);
+    const std::uint64_t p999 = lat.quantile(0.999);
+    EXPECT_GT(p50, 0u);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_LE(p999, lat.max());
+    // The gadget is connected: every query must find a finite distance.
+    EXPECT_EQ(result.reachable, result.queries);
+    EXPECT_GT(result.checksum, 0u);
+  }
+}
+
+TEST(RunSim, RsGraphFamilyAndAllWorkloads) {
+  const rs::RsGraph rs_graph = rs::behrend_rs_graph(30);
+  for (const WorkloadKind workload : {WorkloadKind::kUniform, WorkloadKind::kZipf,
+                                      WorkloadKind::kNear, WorkloadKind::kFar}) {
+    metrics::registry().reset();
+    const SimResult result =
+        run_sim(rs_graph.graph, smoke_config(OracleKind::kPll, workload));
+    EXPECT_EQ(result.queries, 300u) << workload_kind_name(workload);
+    EXPECT_LE(result.latency_ns.quantile(0.5), result.latency_ns.quantile(0.99));
+    // near endpoints come from a random walk out of u, far endpoints from
+    // the reachable distance quartiles: both always produce reachable pairs.
+    if (workload == WorkloadKind::kNear || workload == WorkloadKind::kFar) {
+      EXPECT_EQ(result.reachable, result.queries) << workload_kind_name(workload);
+    }
+  }
+}
+
+#if HUBLAB_METRICS_ENABLED
+
+TEST(RunSim, PopulatesRegistryMetrics) {
+  metrics::registry().reset();
+  const Graph g = small_gadget();
+  (void)run_sim(g, smoke_config(OracleKind::kBidij, WorkloadKind::kUniform));
+  bool saw_queries = false;
+  for (const auto& c : metrics::registry().counters()) {
+    if (c.name == "serve.queries") {
+      saw_queries = true;
+      EXPECT_EQ(c.value, 300u);
+    }
+  }
+  EXPECT_TRUE(saw_queries);
+  bool saw_sketch = false;
+  for (const auto& s : metrics::registry().sketches()) {
+    if (s.name == "serve.query_ns") {
+      saw_sketch = true;
+      EXPECT_EQ(s.count, 300u);
+    }
+  }
+  EXPECT_TRUE(saw_sketch);
+}
+
+#endif  // HUBLAB_METRICS_ENABLED
+
+TEST(RunSim, RejectsEmptyGraph) {
+  const Graph g;
+  EXPECT_THROW((void)run_sim(g, SimConfig{}), InvalidArgument);
+}
+
+TEST(ServeReport, ValidatesAgainstBenchSchemaWithServeMembers) {
+  metrics::registry().reset();
+  Tracer tracer;
+  const Graph g = small_gadget();
+  const SimConfig config = smoke_config(OracleKind::kPll, WorkloadKind::kFar);
+  const SimResult result = run_sim(g, config, &tracer);
+
+  std::ostringstream os;
+  write_serve_report_json(os, result, config, g, "gadget-h", "deadbeef", true, tracer);
+  const JsonValue doc = parse_json(os.str());
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+
+  EXPECT_EQ(doc.find("bench")->string_value, "serve-pll");
+  EXPECT_EQ(doc.find("oracle")->string_value, "pll");
+  EXPECT_EQ(doc.find("workload")->string_value, "far");
+  EXPECT_EQ(doc.find("git_rev")->string_value, "deadbeef");
+  EXPECT_TRUE(doc.find("smoke")->bool_value);
+  EXPECT_EQ(doc.find("queries")->number_value, 300.0);
+  ASSERT_NE(doc.find("latency_ns"), nullptr);
+  EXPECT_GT(doc.find("latency_ns")->find("p999")->number_value, 0.0);
+  ASSERT_EQ(doc.find("graphs")->array_items.size(), 1u);
+  EXPECT_EQ(doc.find("graphs")->array_items[0].find("family")->string_value, "gadget-h");
+  // The tracer spans surface as phases.
+  bool saw_build = false;
+  for (const JsonValue& p : doc.find("phases")->array_items) {
+    saw_build = saw_build || p.find("name")->string_value == "build-oracle";
+  }
+  EXPECT_TRUE(saw_build);
+}
+
+#if HUBLAB_METRICS_ENABLED
+
+TEST(ServeReport, PrometheusDumpCoversServeMetrics) {
+  metrics::registry().reset();
+  const Graph g = small_gadget();
+  (void)run_sim(g, smoke_config(OracleKind::kPll, WorkloadKind::kUniform));
+  std::ostringstream os;
+  write_prometheus_text(metrics::registry(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE hublab_serve_queries counter"), std::string::npos);
+  EXPECT_NE(text.find("hublab_serve_queries 300"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hublab_serve_query_ns summary"), std::string::npos);
+  EXPECT_NE(text.find("hublab_serve_query_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("hublab_serve_query_ns{quantile=\"0.999\"}"), std::string::npos);
+  EXPECT_NE(text.find("hublab_serve_query_ns_count 300"), std::string::npos);
+}
+
+#endif  // HUBLAB_METRICS_ENABLED
+
+}  // namespace
+}  // namespace hublab::serve

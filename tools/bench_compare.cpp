@@ -1,0 +1,19 @@
+/// \file bench_compare.cpp
+/// Standalone entry point for the run-report regression differ:
+/// `bench_compare BASE.json NEW.json [--threshold PCT]` behaves exactly
+/// like `hublab bench-compare ...` (tools/cli.hpp documents the exit
+/// codes).  Exists so CI pipelines can gate on a single small binary.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  args.emplace_back("bench-compare");
+  args.insert(args.end(), argv + 1, argv + argc);
+  return hublab::cli::run(args, std::cout, std::cerr);
+}

@@ -6,7 +6,9 @@
 #   3. clang-tidy gate                               (run-tidy; skips w/o clang-tidy)
 #   4. hublab_lint incl. header self-containment     (run-lint)
 #   5. bench smoke: every bench --smoke + JSON schema validation
-#   6. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#   6. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
+#   7. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
+#   8. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 set -euo pipefail
@@ -19,23 +21,23 @@ stage() {
   echo "=== check.sh: $* ==="
 }
 
-stage "1/6 RelWithDebInfo build + tests"
+stage "1/8 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/6 ASan+UBSan build + tests"
+stage "2/8 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/6 clang-tidy gate"
+stage "3/8 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "4/6 hublab_lint (with header self-containment)"
+stage "4/8 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "5/6 bench smoke + BENCH_*.json schema validation"
+stage "5/8 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -54,7 +56,38 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "6/6 Werror build"
+stage "6/8 bench-compare vs committed baselines"
+# Wall-clock thresholds are deliberately loose here (different machines,
+# shared CI runners); structural metrics are seeded and should stay close.
+compare_failures=0
+for json in "${smoke_dir}"/BENCH_*.json; do
+  baseline="bench/baselines/$(basename "${json}")"
+  if [ ! -f "${baseline}" ]; then
+    echo "bench-compare: missing ${baseline} (regenerate with: $(basename "${json%.json}" | sed 's/^BENCH_/bench_/') --smoke into bench/baselines/)" >&2
+    compare_failures=$((compare_failures + 1))
+    continue
+  fi
+  echo "--- bench-compare $(basename "${json}")"
+  build/dev/tools/hublab bench-compare "${baseline}" "${json}" \
+    --threshold 500 --structural-threshold 25 \
+    || compare_failures=$((compare_failures + 1))
+done
+if [ "${compare_failures}" -ne 0 ]; then
+  echo "bench-compare: ${compare_failures} bench(es) regressed or lacked a baseline" >&2
+  exit 1
+fi
+echo "bench-compare: all benches within thresholds of bench/baselines/"
+
+stage "7/8 serve-sim smoke + SERVE_*.json schema validation"
+(cd "${smoke_dir}" \
+  && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
+  && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
+       --oracle pll --workload uniform --smoke --prom-out SERVE_pll.prom > /dev/null)
+build/dev/tools/hublab validate-bench --quiet "${smoke_dir}"/SERVE_*.json
+grep -q "hublab_serve_query_ns" "${smoke_dir}/SERVE_pll.prom"
+echo "serve-sim: SERVE_pll.json schema-valid, Prometheus dump has serve metrics"
+
+stage "8/8 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

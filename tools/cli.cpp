@@ -17,18 +17,35 @@
 #include "hub/serialize.hpp"
 #include "lowerbound/certify.hpp"
 #include "lowerbound/gadget.hpp"
+#include "oracle/serve.hpp"
+#include "rs/rs_graph.hpp"
 #include "sumindex/sumindex.hpp"
+#include "util/bench_compare.hpp"
 #include "util/bench_schema.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/prometheus.hpp"
 #include "util/trace.hpp"
+
+// CMake defines HUBLAB_GIT_REV from `git rev-parse --short HEAD`; the
+// fallback keeps the file compiling in isolation.
+#ifndef HUBLAB_GIT_REV
+#define HUBLAB_GIT_REV "unknown"
+#endif
 
 namespace hublab::cli {
 
 namespace {
 
-/// Tiny argument cursor: positionals in order plus --key value options.
+/// True for options that take no value (every other --option consumes the
+/// following argument).
+bool is_boolean_flag(const std::string& name) {
+  return name == "--smoke" || name == "--quiet" || name == "--all";
+}
+
+/// Tiny argument cursor: positionals in order plus --key value options and
+/// boolean --flags.
 class Args {
  public:
   explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
@@ -37,7 +54,7 @@ class Args {
     while (cursor_ < args_.size()) {
       const std::string& a = args_[cursor_];
       if (a.rfind("--", 0) == 0 || a == "-o") {
-        cursor_ += 2;  // skip option and its value
+        cursor_ += is_boolean_flag(a) ? 1 : 2;  // skip option (and its value)
         continue;
       }
       return args_[cursor_++];
@@ -57,6 +74,18 @@ class Args {
     return v ? std::stoull(*v) : fallback;
   }
 
+  [[nodiscard]] double option_double(const std::string& name, double fallback) const {
+    const auto v = option(name);
+    return v ? std::stod(*v) : fallback;
+  }
+
+  [[nodiscard]] bool flag(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == name) return true;
+    }
+    return false;
+  }
+
  private:
   std::vector<std::string> args_;
   std::size_t cursor_ = 0;
@@ -72,7 +101,10 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
 
 int cmd_gen(Args& args, std::ostream& out) {
   const auto family = args.next_positional();
-  if (!family) throw InvalidArgument("gen: missing family (gnm|grid|tree|ba|regular|road|gadget-h|gadget-g)");
+  if (!family) {
+    throw InvalidArgument(
+        "gen: missing family (gnm|grid|tree|ba|regular|road|rs|gadget-h|gadget-g)");
+  }
   const auto output = args.option("-o");
   Rng rng(args.option_u64("--seed", 1));
   const std::uint64_t n = args.option_u64("--n", 100);
@@ -95,6 +127,9 @@ int cmd_gen(Args& args, std::ostream& out) {
     g = gen::random_regular(n, args.option_u64("--d", 3), rng);
   } else if (*family == "road") {
     g = gen::road_like(rows, cols, 0.2, static_cast<Weight>(args.option_u64("--maxw", 10)), rng);
+  } else if (*family == "rs") {
+    // Ruzsa-Szemeredi graph from a Behrend set (Definition 1.3); 3M vertices.
+    g = rs::behrend_rs_graph(args.option_u64("--M", 16)).graph;
   } else if (*family == "gadget-h") {
     g = lb::LayeredGadget(
             lb::GadgetParams{static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(ell)})
@@ -302,17 +337,23 @@ int cmd_trace(Args& args, std::ostream& out) {
   return 0;
 }
 
-/// Validate BENCH_*.json files against the bench result schema.
+/// Validate BENCH_*.json / SERVE_*.json files against the run-report
+/// schema.  Exit codes: 0 all valid, 1 schema/parse violation, 2 unreadable
+/// file (io wins when both occur).  --quiet prints failures only.
 int cmd_validate_bench(Args& args, std::ostream& out) {
+  const bool quiet = args.flag("--quiet");
   std::vector<std::string> files;
   while (const auto f = args.next_positional()) files.push_back(*f);
-  if (files.empty()) throw InvalidArgument("validate-bench: usage: validate-bench FILE...");
-  bool all_ok = true;
+  if (files.empty()) {
+    throw InvalidArgument("validate-bench: usage: validate-bench [--quiet] FILE...");
+  }
+  bool any_invalid = false;
+  bool any_unreadable = false;
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) {
       out << file << ": UNREADABLE\n";
-      all_ok = false;
+      any_unreadable = true;
       continue;
     }
     std::ostringstream text;
@@ -325,14 +366,118 @@ int cmd_validate_bench(Args& args, std::ostream& out) {
       errors.push_back(std::string("parse error: ") + e.what());
     }
     if (errors.empty()) {
-      out << file << ": ok\n";
+      if (!quiet) out << file << ": ok\n";
     } else {
-      all_ok = false;
+      any_invalid = true;
       out << file << ": INVALID\n";
       for (const std::string& e : errors) out << "  " << e << "\n";
     }
   }
-  return all_ok ? 0 : 1;
+  if (any_unreadable) return 2;
+  return any_invalid ? 1 : 0;
+}
+
+/// Closed-loop query-serving simulation (see oracle/serve.hpp): build one
+/// oracle, drive a synthetic workload, report latency quantiles, and emit a
+/// SERVE_<oracle>.json run report plus an optional Prometheus text dump.
+int cmd_serve_sim(Args& args, std::ostream& out) {
+  const auto file = args.next_positional();
+  if (!file) {
+    throw InvalidArgument(
+        "serve-sim: usage: serve-sim GRAPH [--oracle pll|ch|bidij] "
+        "[--workload uniform|zipf|near|far] [--queries N] [--warmup N] [--seed N] "
+        "[--smoke] [--json-out FILE] [--prom-out FILE]");
+  }
+  serve::SimConfig config;
+  if (const auto o = args.option("--oracle")) {
+    const auto kind = serve::parse_oracle_kind(*o);
+    if (!kind) throw InvalidArgument("serve-sim: unknown oracle: " + *o + " (pll|ch|bidij)");
+    config.oracle = *kind;
+  }
+  if (const auto w = args.option("--workload")) {
+    const auto kind = serve::parse_workload_kind(*w);
+    if (!kind) {
+      throw InvalidArgument("serve-sim: unknown workload: " + *w + " (uniform|zipf|near|far)");
+    }
+    config.workload = *kind;
+  }
+  const bool smoke = args.flag("--smoke");
+  config.num_queries = args.option_u64("--queries", smoke ? 500 : 10000);
+  config.warmup = args.option_u64("--warmup", 100);
+  config.seed = args.option_u64("--seed", 1);
+
+  const Graph g = io::load_edge_list(*file);
+  metrics::registry().reset();
+  Tracer tracer;
+  const serve::SimResult result = serve::run_sim(g, config, &tracer);
+
+  const QuantileSketch& lat = result.latency_ns;
+  out << "serve-sim " << *file << ": oracle=" << result.oracle_name
+      << " workload=" << result.workload_name << " queries=" << result.queries
+      << " reachable=" << result.reachable << "\n";
+  out << "  build_s=" << result.build_s << " space_bytes=" << result.space_bytes
+      << " query_loop_s=" << result.query_loop_s << "\n";
+  out << "  latency_ns: p50=" << lat.quantile(0.5) << " p90=" << lat.quantile(0.9)
+      << " p99=" << lat.quantile(0.99) << " p999=" << lat.quantile(0.999)
+      << " max=" << lat.max() << " (rank error <= " << lat.rank_error_bound() << ")\n";
+
+  const std::string json_path =
+      args.option("--json-out")
+          .value_or("SERVE_" + std::string(serve::oracle_kind_name(config.oracle)) + ".json");
+  {
+    std::ofstream json(json_path);
+    if (!json) throw Error("serve-sim: cannot write " + json_path);
+    serve::write_serve_report_json(json, result, config, g, *file, HUBLAB_GIT_REV, smoke, tracer);
+  }
+  out << "serve JSON written to " << json_path << "\n";
+
+  if (const auto prom = args.option("--prom-out")) {
+    std::ofstream prom_out(*prom);
+    if (!prom_out) throw Error("serve-sim: cannot write " + *prom);
+    write_prometheus_text(metrics::registry(), prom_out);
+    out << "prometheus dump written to " << *prom << "\n";
+  }
+  return 0;
+}
+
+/// Regression-diff two run reports (see util/bench_compare.hpp).  Exit
+/// codes: 0 no regression, 1 regression past threshold or schema
+/// violation, 2 unreadable input.
+int cmd_bench_compare(Args& args, std::ostream& out) {
+  const auto base_path = args.next_positional();
+  const auto next_path = args.next_positional();
+  if (!base_path || !next_path) {
+    throw InvalidArgument(
+        "bench-compare: usage: bench-compare BASE.json NEW.json [--threshold PCT] "
+        "[--structural-threshold PCT] [--min-wall-s S] [--all]");
+  }
+  CompareOptions options;
+  options.threshold_pct = args.option_double("--threshold", options.threshold_pct);
+  options.structural_threshold_pct =
+      args.option_double("--structural-threshold", options.structural_threshold_pct);
+  options.min_wall_s = args.option_double("--min-wall-s", options.min_wall_s);
+
+  JsonValue docs[2];
+  const std::string* paths[2] = {&*base_path, &*next_path};
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(*paths[i]);
+    if (!in) {
+      out << *paths[i] << ": UNREADABLE\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      docs[i] = parse_json(text.str());
+    } catch (const Error& e) {
+      out << *paths[i] << ": parse error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  const CompareReport report = compare_bench_json(docs[0], docs[1], options);
+  write_compare_table(out, report, args.flag("--all"));
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -340,7 +485,8 @@ int cmd_validate_bench(Args& args, std::ostream& out) {
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   if (args.empty()) {
     err << "usage: hublab "
-           "<gen|stats|label|query|verify|certify-gadget|sumindex|trace|validate-bench> ...\n";
+           "<gen|stats|label|query|verify|certify-gadget|sumindex|trace|serve-sim|"
+           "validate-bench|bench-compare> ...\n";
     return 2;
   }
   Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
@@ -353,7 +499,9 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (args[0] == "certify-gadget") return cmd_certify_gadget(rest, out);
     if (args[0] == "sumindex") return cmd_sumindex(rest, out);
     if (args[0] == "trace") return cmd_trace(rest, out);
+    if (args[0] == "serve-sim") return cmd_serve_sim(rest, out);
     if (args[0] == "validate-bench") return cmd_validate_bench(rest, out);
+    if (args[0] == "bench-compare") return cmd_bench_compare(rest, out);
     err << "unknown command: " << args[0] << "\n";
     return 2;
   } catch (const Error& e) {

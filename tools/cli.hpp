@@ -15,6 +15,14 @@
 ///   verify GRAPH LABELS [--samples N]   verify labels against the graph
 ///   certify-gadget B L                  Lemma 2.2 + counting bound
 ///   sumindex B L [--trials N]           run the Theorem 1.6 protocol
+///   trace GRAPH [--chrome FILE]         phase-traced PLL pipeline
+///   serve-sim GRAPH [--oracle K]        query-serving latency simulation
+///   validate-bench [--quiet] FILE...    schema-check run reports
+///                                       (exit 0 ok / 1 invalid / 2 io)
+///   bench-compare BASE NEW [--threshold PCT]
+///                                       regression-diff two run reports
+///                                       (exit 0 ok / 1 regressed or
+///                                       invalid / 2 io)
 ///
 /// Returns a process exit code; all output goes to the provided streams.
 

@@ -9,6 +9,11 @@
 //   stdout-in-library Library code (src/) never writes to stdout; it reports
 //                     through return values and exceptions.  Report binaries
 //                     pass their own std::ostream (see util/table.hpp).
+//   raw-io            Library code (src/) never writes diagnostics through
+//                     fprintf or std::cerr; it goes through the structured
+//                     logger (util/log.hpp).  log.cpp owns the sink; crash
+//                     paths opt out with a `hublab-lint: allow raw-io`
+//                     comment.
 //   pragma-once       Every header starts with #pragma once.
 //   include-hygiene   No "../" includes; quoted includes name project files
 //                     rooted at src/ (or the repo root for tools/), and they
@@ -181,6 +186,7 @@ class Linter {
     const bool is_header = file.extension() == ".hpp";
 
     check_banned_tokens(file, lines, path, in_src);
+    if (in_src) check_raw_io(file, text, lines, path);
     check_includes(file, lines, path);
     // Raw text, not stripped lines: the include target lives inside quotes.
     if (path.rfind("bench/bench_", 0) == 0 && !is_header &&
@@ -241,6 +247,40 @@ class Linter {
                  "`" + ident + "` writes to stdout from library code; report through " +
                      "return values/exceptions or a caller-supplied std::ostream");
           }
+        }
+      }
+    }
+  }
+
+  /// raw-io: src/ never writes diagnostics through fprintf / std::cerr
+  /// directly; everything routes through the structured logger
+  /// (util/log.hpp), whose sink (log.cpp) is the one sanctioned writer.
+  /// Crash paths that cannot trust the logger opt out with a
+  /// `hublab-lint: allow raw-io` comment on the offending line or the line
+  /// above (checked against the RAW text, because stripping removes it).
+  void check_raw_io(const fs::path& file, const std::string& text,
+                    const std::vector<std::string>& lines, const std::string& path) {
+    if (path == "src/util/log.cpp") return;  // the logger's default sink
+    const std::string k_fprintf = std::string("fpr") + "intf";
+    const std::string k_cerr = std::string("ce") + "rr";
+    const std::string k_marker = std::string("hublab-lint: allow ") + "raw-io";
+
+    std::vector<std::string> raw_lines;
+    std::istringstream stream(text);
+    std::string raw;
+    while (std::getline(stream, raw)) raw_lines.push_back(raw);
+
+    const auto allowed = [&](std::size_t i) {
+      return (i < raw_lines.size() && raw_lines[i].find(k_marker) != std::string::npos) ||
+             (i > 0 && i - 1 < raw_lines.size() &&
+              raw_lines[i - 1].find(k_marker) != std::string::npos);
+    };
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      for (const std::string& ident : {k_fprintf, k_cerr}) {
+        if (contains_identifier(lines[i], ident) && !allowed(i)) {
+          fail(file, i + 1, "raw-io",
+               "`" + ident + "` bypasses the structured logger; use HUBLAB_LOG_* " +
+                   "(util/log.hpp), or mark an untrusted crash path with `" + k_marker + "`");
         }
       }
     }
