@@ -15,6 +15,7 @@
 #include "algo/shortest_paths.hpp"
 #include "bench/harness.hpp"
 #include "lowerbound/counting.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -40,18 +41,26 @@ int main(int argc, char** argv) {
     const Graph g = fam.instance(bits);
     harness.add_graph("counting-family", g.num_vertices(), g.num_edges());
 
-    // Verify the decoding on this member.
-    bool decode_ok = true;
-    for (std::size_t i = 0; i < k && decode_ok; ++i) {
-      const auto dist = sssp_distances(g, fam.terminal(i));
-      for (std::size_t j = i + 1; j < k; ++j) {
-        if (lb::CountingFamily::decode_bit(dist[fam.terminal(j)]) !=
-            static_cast<int>(bits[fam.bit_index(i, j)])) {
-          decode_ok = false;
-          break;
+    // Verify the decoding on this member.  The per-terminal SSSP decodes
+    // are independent, so they split over the harness's worker threads;
+    // the AND-reduction over per-chunk flags is order-insensitive, so the
+    // verdict is identical for every thread count.
+    const auto chunks = par::static_chunks(0, k, harness.threads());
+    std::vector<std::uint8_t> chunk_ok(chunks.size(), 1);
+    par::run_chunks(chunks, harness.threads(), [&](const par::ChunkRange& chunk) {
+      for (std::size_t i = chunk.begin; i < chunk.end && chunk_ok[chunk.index] != 0; ++i) {
+        const auto dist = sssp_distances(g, fam.terminal(i));
+        for (std::size_t j = i + 1; j < k; ++j) {
+          if (lb::CountingFamily::decode_bit(dist[fam.terminal(j)]) !=
+              static_cast<int>(bits[fam.bit_index(i, j)])) {
+            chunk_ok[chunk.index] = 0;
+            break;
+          }
         }
       }
-    }
+    });
+    bool decode_ok = true;
+    for (const std::uint8_t ok : chunk_ok) decode_ok = decode_ok && ok != 0;
     all_ok = all_ok && decode_ok;
 
     const double n = static_cast<double>(g.num_vertices());

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,9 +21,11 @@
 #include "algo/shortest_paths.hpp"
 #include "bench/harness.hpp"
 #include "graph/generators.hpp"
+#include "hub/flat_labeling.hpp"
 #include "hub/pll.hpp"
 #include "oracle/oracle.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace hublab {
 namespace {
@@ -30,6 +33,7 @@ namespace {
 struct Workload {
   Graph graph;
   HubLabeling labels;
+  FlatHubLabeling flat;
   std::vector<std::pair<Vertex, Vertex>> queries;
 };
 
@@ -39,6 +43,7 @@ const Workload& road_workload() {
     Rng rng(1);
     wl.graph = gen::road_like(40, 40, 0.15, 10, rng);
     wl.labels = pruned_landmark_labeling(wl.graph);
+    wl.flat = FlatHubLabeling(wl.labels);
     Rng pick(2);
     for (int i = 0; i < 1024; ++i) {
       wl.queries.emplace_back(static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())),
@@ -55,6 +60,7 @@ const Workload& sparse_workload() {
     Rng rng(3);
     wl.graph = gen::connected_gnm(2000, 4000, rng);
     wl.labels = pruned_landmark_labeling(wl.graph);
+    wl.flat = FlatHubLabeling(wl.labels);
     Rng pick(4);
     for (int i = 0; i < 1024; ++i) {
       wl.queries.emplace_back(static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())),
@@ -70,6 +76,15 @@ void bm_hub_query(benchmark::State& state, const Workload& w) {
   for (auto _ : state) {
     const auto [u, v] = w.queries[i++ & 1023];
     benchmark::DoNotOptimize(w.labels.query(u, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_flat_query(benchmark::State& state, const Workload& w) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [u, v] = w.queries[i++ & 1023];
+    benchmark::DoNotOptimize(w.flat.query(u, v));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -111,9 +126,11 @@ void register_benchmarks(bool smoke) {
   };
   const std::vector<QueryCase> cases{
       {"bm_hub_query/road40x40", &bm_hub_query, &road_workload, 256},
+      {"bm_flat_query/road40x40", &bm_flat_query, &road_workload, 256},
       {"bm_bidirectional/road40x40", &bm_bidirectional, &road_workload, 16},
       {"bm_full_sssp/road40x40", &bm_full_sssp, &road_workload, 4},
       {"bm_hub_query/gnm2000", &bm_hub_query, &sparse_workload, 256},
+      {"bm_flat_query/gnm2000", &bm_flat_query, &sparse_workload, 256},
       {"bm_bidirectional/gnm2000", &bm_bidirectional, &sparse_workload, 16},
       {"bm_full_sssp/gnm2000", &bm_full_sssp, &sparse_workload, 4},
   };
@@ -133,6 +150,48 @@ void register_benchmarks(bool smoke) {
   } else {
     pll->Arg(250)->Arg(500)->Arg(1000);
   }
+}
+
+/// Vector-label vs flat-label merge on the *same* labeling: equal answers
+/// (checksummed) and a relative timing.  The gauge records flat time as a
+/// percent of vector time — lower is better, so bench-compare's
+/// increase-only gate fires exactly when the flat kernel's advantage
+/// erodes.  Byte gauges expose the AoS-vs-SoA space cost side by side.
+bool run_flat_phase(bench::Harness& harness, const char* family, const Workload& w) {
+  const std::size_t passes = harness.smoke() ? 32 : 256;
+  std::uint64_t vector_sum = 0;
+  std::uint64_t flat_sum = 0;
+
+  Timer vector_timer;
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (const auto& [u, v] : w.queries) {
+      const Dist d = w.labels.query(u, v);
+      if (d != kInfDist) vector_sum += d;
+    }
+  }
+  const double vector_s = vector_timer.elapsed_s();
+
+  Timer flat_timer;
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (const auto& [u, v] : w.queries) {
+      const Dist d = w.flat.query(u, v);
+      if (d != kInfDist) flat_sum += d;
+    }
+  }
+  const double flat_s = flat_timer.elapsed_s();
+
+  const double pct = vector_s > 0.0 ? 100.0 * flat_s / vector_s : 100.0;
+  metrics::Registry& reg = metrics::registry();
+  reg.gauge(std::string("pract.flat_query_pct_of_vector.") + family)
+      .set(static_cast<std::int64_t>(pct));
+  reg.gauge(std::string("pract.label_bytes.") + family)
+      .set(static_cast<std::int64_t>(w.labels.memory_bytes()));
+  reg.gauge(std::string("pract.flat_label_bytes.") + family)
+      .set(static_cast<std::int64_t>(w.flat.memory_bytes()));
+  std::printf("flat/%s: vector=%.3fms flat=%.3fms (%.0f%%), bytes %zu -> %zu, checksums %s\n",
+              family, vector_s * 1e3, flat_s * 1e3, pct, w.labels.memory_bytes(),
+              w.flat.memory_bytes(), vector_sum == flat_sum ? "agree" : "DISAGREE");
+  return vector_sum == flat_sum;
 }
 
 }  // namespace
@@ -163,5 +222,12 @@ int main(int argc, char** argv) {
     ran = benchmark::RunSpecifiedBenchmarks();
   }
   benchmark::Shutdown();
-  return harness.finish("PRACT microbench", ran > 0);
+
+  bool flat_ok = true;
+  {
+    auto flat_span = harness.phase("flat-vs-vector");
+    flat_ok = hublab::run_flat_phase(harness, "road40x40", hublab::road_workload());
+    flat_ok = hublab::run_flat_phase(harness, "gnm2000", hublab::sparse_workload()) && flat_ok;
+  }
+  return harness.finish("PRACT microbench", ran > 0 && flat_ok);
 }

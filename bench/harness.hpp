@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "util/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/report.hpp"
 #include "util/resource.hpp"
 #include "util/table.hpp"
@@ -25,8 +27,9 @@
 ///  - the banner line and the `<LABEL>: OK|MISMATCH` trailer contract that
 ///    tools/check.sh and the integration tests grep for;
 ///  - `--smoke` (cheap parameters for CI; benches query `smoke()`),
-///    `--trace` (phase tree + metrics dump on stdout) and
-///    `--json-out FILE` flag parsing;
+///    `--trace` (phase tree + metrics dump on stdout), `--threads N`
+///    (worker count for parallel entry points; benches query `threads()`)
+///    and `--json-out FILE` flag parsing;
 ///  - the machine-readable result: `BENCH_<name>.json` conforming to
 ///    `util/bench_schema.hpp` (validated by `hublab validate-bench` in the
 ///    bench-smoke stage of tools/check.sh), carrying per-phase wall times
@@ -58,8 +61,11 @@ class Harness {
         trace_ = true;
       } else if (arg == "--json-out" && i + 1 < argc) {
         json_path_ = argv[++i];
+      } else if (arg == "--threads" && i + 1 < argc) {
+        threads_ = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       }
     }
+    threads_ = par::resolve_threads(threads_);
     if (json_path_.empty()) json_path_ = "BENCH_" + name_ + ".json";
     start_unix_ms_ = unix_time_ms();
     metrics::registry().reset();
@@ -73,6 +79,12 @@ class Harness {
   /// True when invoked with --smoke: run the cheapest parameters that
   /// still exercise every phase.
   [[nodiscard]] bool smoke() const { return smoke_; }
+
+  /// Resolved worker-thread count (--threads, else HUBLAB_THREADS, else 1);
+  /// benches pass this to the parallel entry points they exercise.  The
+  /// value is recorded in the bench JSON so baselines from different
+  /// thread counts are never silently compared.
+  [[nodiscard]] std::size_t threads() const { return threads_; }
 
   /// Open a named phase; keep the returned span alive for its duration.
   [[nodiscard]] Tracer::Span phase(std::string phase_name) {
@@ -125,6 +137,7 @@ class Harness {
     header.ok = ok;
     header.repetitions = repetitions_;
     header.start_unix_ms = start_unix_ms_;
+    header.threads = threads_;
     header.graphs = graphs_;
     write_run_report_json(os, header, tracer_, metrics::registry());
   }
@@ -134,6 +147,7 @@ class Harness {
   std::string json_path_;
   bool smoke_ = false;
   bool trace_ = false;
+  std::size_t threads_ = 0;  ///< resolved in the constructor (>= 1 after)
   std::uint64_t repetitions_ = 1;
   std::uint64_t start_unix_ms_ = 0;
   std::vector<ReportGraph> graphs_;

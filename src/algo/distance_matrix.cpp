@@ -1,17 +1,22 @@
 #include "algo/distance_matrix.hpp"
 
+#include <algorithm>
+
 #include "algo/shortest_paths.hpp"
+#include "util/parallel.hpp"
 
 namespace hublab {
 
-DistanceMatrix DistanceMatrix::compute(const Graph& g) {
+DistanceMatrix DistanceMatrix::compute(const Graph& g, std::size_t threads) {
   DistanceMatrix m;
   m.n_ = g.num_vertices();
   m.data_.resize(m.n_ * m.n_);
-  for (Vertex u = 0; u < m.n_; ++u) {
-    const auto d = sssp_distances(g, u);
-    std::copy(d.begin(), d.end(), m.data_.begin() + static_cast<std::ptrdiff_t>(u) * m.n_);
-  }
+  par::parallel_for(0, m.n_, threads, [&](const par::ChunkRange& chunk) {
+    for (std::size_t u = chunk.begin; u < chunk.end; ++u) {
+      const auto d = sssp_distances(g, static_cast<Vertex>(u));
+      std::copy(d.begin(), d.end(), m.data_.begin() + static_cast<std::ptrdiff_t>(u * m.n_));
+    }
+  });
   return m;
 }
 

@@ -19,7 +19,11 @@ class DistanceMatrix {
   DistanceMatrix() = default;
 
   /// Compute by n SSSP runs (BFS / 0-1 BFS / Dijkstra as appropriate).
-  static DistanceMatrix compute(const Graph& g);
+  /// The per-source runs are independent, so `threads` splits them over
+  /// deterministic static chunks (util/parallel.hpp); every row is written
+  /// by exactly one chunk and the matrix is bit-identical for every thread
+  /// count.
+  static DistanceMatrix compute(const Graph& g, std::size_t threads = 1);
 
   [[nodiscard]] std::size_t num_vertices() const { return n_; }
 

@@ -1,0 +1,27 @@
+#include "hub/flat_labeling.hpp"
+
+namespace hublab {
+
+FlatHubLabeling::FlatHubLabeling(const HubLabeling& labels)
+    : num_vertices_(labels.num_vertices()) {
+  const std::size_t slots = labels.total_hubs() + num_vertices_;  // one sentinel per label
+  offsets_.reserve(num_vertices_ + 1);
+  hubs_.reserve(slots);
+  dists_.reserve(slots);
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    const std::size_t first = hubs_.size();
+    offsets_.push_back(first);
+    for (const HubEntry& e : labels.label(v)) {
+      HUBLAB_ASSERT_MSG(e.hub != kInvalidVertex, "kInvalidVertex is reserved as the sentinel");
+      HUBLAB_ASSERT_MSG(hubs_.size() == first || hubs_.back() < e.hub,
+                        "FlatHubLabeling requires a finalized (sorted, deduplicated) labeling");
+      hubs_.push_back(e.hub);
+      dists_.push_back(e.dist);
+    }
+    hubs_.push_back(kInvalidVertex);
+    dists_.push_back(kInfDist);
+  }
+  offsets_.push_back(hubs_.size());
+}
+
+}  // namespace hublab

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hub/labeling.hpp"
+
+/// \file flat_labeling.hpp
+/// Structure-of-arrays hub labeling for the query fast path.
+///
+/// `HubLabeling` stores labels as vector<vector<HubEntry>>: one heap
+/// allocation per vertex, a pointer chase per label on every query, and
+/// 12-byte entries padded to 16.  The query merge is exactly where exact
+/// distance oracles win or lose (the space/time tradeoff of the source
+/// paper's Section 1.1), so `FlatHubLabeling` converts a finalized
+/// labeling into three flat arrays:
+///
+///  - `offsets_[v]` — CSR-style start of v's label in the hub/dist arrays;
+///  - `hubs_`      — all hub ids, each label sorted ascending and
+///                   terminated by a `kInvalidVertex` sentinel;
+///  - `dists_`     — distances parallel to `hubs_` (sentinel slots hold
+///                   `kInfDist`).
+///
+/// Splitting hubs from distances keeps the merge loop's comparisons on a
+/// dense u32 stream, and the sentinel (== the maximum u32, sorting after
+/// every real hub) lets the merge advance without bounds checks: the loop
+/// only ever tests hub values, and terminates when both cursors reach
+/// their sentinels.  Queries return bit-identical results to
+/// `HubLabeling::query` on the labeling the structure was built from.
+///
+/// The structure is immutable; rebuild it after the source labeling
+/// changes.
+
+namespace hublab {
+
+class FlatHubLabeling {
+ public:
+  FlatHubLabeling() = default;
+
+  /// Convert a finalized labeling (sorted, deduplicated labels).
+  explicit FlatHubLabeling(const HubLabeling& labels);
+
+  [[nodiscard]] std::size_t num_vertices() const { return num_vertices_; }
+
+  /// Entries of S(v), excluding the sentinel.
+  [[nodiscard]] std::size_t label_size(Vertex v) const {
+    HUBLAB_ASSERT_RANGE(v, num_vertices_);
+    return offsets_[v + 1] - offsets_[v] - 1;
+  }
+
+  /// Hub ids of S(v) in ascending order, excluding the sentinel.
+  [[nodiscard]] std::span<const Vertex> hubs(Vertex v) const {
+    HUBLAB_ASSERT_RANGE(v, num_vertices_);
+    return {hubs_.data() + offsets_[v], label_size(v)};
+  }
+
+  /// Distances parallel to hubs(v).
+  [[nodiscard]] std::span<const Dist> dists(Vertex v) const {
+    HUBLAB_ASSERT_RANGE(v, num_vertices_);
+    return {dists_.data() + offsets_[v], label_size(v)};
+  }
+
+  /// Sum of label sizes over all vertices (sentinels excluded).
+  [[nodiscard]] std::size_t total_hubs() const {
+    return hubs_.empty() ? 0 : hubs_.size() - num_vertices_;
+  }
+
+  /// Common-hub minimum over the flat arrays; kInfDist when the labels
+  /// share no hub.  Same results as HubLabeling::query on the source
+  /// labeling.
+  [[nodiscard]] Dist query(Vertex u, Vertex v) const { return query_with_hub(u, v).dist; }
+
+  /// As query(), also reporting the meeting hub.
+  [[nodiscard]] HubQueryResult query_with_hub(Vertex u, Vertex v) const {
+    HUBLAB_ASSERT_RANGE(u, num_vertices_);
+    HUBLAB_ASSERT_RANGE(v, num_vertices_);
+    const Vertex* ha = hubs_.data() + offsets_[u];
+    const Dist* da = dists_.data() + offsets_[u];
+    const Vertex* hb = hubs_.data() + offsets_[v];
+    const Dist* db = dists_.data() + offsets_[v];
+    HubQueryResult best;
+    for (;;) {
+      const Vertex a = *ha;
+      const Vertex b = *hb;
+      if (a == b) {
+        if (a == kInvalidVertex) break;  // both cursors hit their sentinels
+        const Dist d = *da + *db;
+        if (d < best.dist) {
+          best.dist = d;
+          best.meeting_hub = a;
+        }
+        ++ha, ++da;
+        ++hb, ++db;
+      } else if (a < b) {
+        ++ha, ++da;
+      } else {
+        ++hb, ++db;
+      }
+    }
+    return best;
+  }
+
+  /// Actual heap footprint: array capacities plus the container
+  /// bookkeeping, comparable with HubLabeling::memory_bytes().
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(std::size_t) + hubs_.capacity() * sizeof(Vertex) +
+           dists_.capacity() * sizeof(Dist);
+  }
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<std::size_t> offsets_;  ///< size n + 1, counting sentinels
+  std::vector<Vertex> hubs_;          ///< per-label sorted, sentinel-terminated
+  std::vector<Dist> dists_;           ///< parallel to hubs_
+};
+
+}  // namespace hublab

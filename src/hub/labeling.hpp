@@ -38,6 +38,11 @@ class HubLabeling {
   HubLabeling() = default;
   explicit HubLabeling(std::size_t n) : labels_(n) {}
 
+  /// Adopt pre-built labels (e.g. assembled per-vertex by parallel
+  /// builders); call finalize() before querying.
+  explicit HubLabeling(std::vector<std::vector<HubEntry>> labels)
+      : labels_(std::move(labels)), finalized_(false) {}
+
   [[nodiscard]] std::size_t num_vertices() const { return labels_.size(); }
 
   /// Append an entry; call finalize() before querying.
@@ -74,8 +79,16 @@ class HubLabeling {
 
   [[nodiscard]] std::size_t max_label_size() const;
 
-  /// In-memory size of the raw representation.
-  [[nodiscard]] std::size_t memory_bytes() const {
+  /// Actual heap footprint of the representation: every label vector's
+  /// *capacity* (what the allocator really holds, not just what is used)
+  /// plus the per-vector bookkeeping in labels_.  This is what a serving
+  /// process pays for the vector-of-vectors layout; compare with
+  /// FlatHubLabeling::memory_bytes() for the SoA cost.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Payload alone: label entries actually in use, no capacity slack and
+  /// no per-vector headers (the space the paper's bounds count).
+  [[nodiscard]] std::size_t payload_bytes() const {
     return total_hubs() * sizeof(HubEntry);
   }
 
@@ -85,8 +98,12 @@ class HubLabeling {
   /// `num_samples` random sources have every label entry's distance
   /// re-derived and `num_samples` random pairs must query to the exact
   /// distance.  Pass num_samples = 0 to audit structure only.
+  ///
+  /// `threads` parallelizes the per-vertex and per-sample loops
+  /// (util/parallel.hpp); the report is bit-identical for every thread
+  /// count (per-chunk reports merged in chunk order).
   [[nodiscard]] AuditReport audit(const Graph& g, std::size_t num_samples = 32,
-                                  std::uint64_t seed = 1) const;
+                                  std::uint64_t seed = 1, std::size_t threads = 1) const;
 
  private:
   std::vector<std::vector<HubEntry>> labels_;
@@ -108,19 +125,30 @@ struct LabelingDefect {
 /// Full verification against ground truth: every entry's distance is exact
 /// and every connected pair queries to the true distance.
 /// Returns nullopt when the labeling is a correct shortest-path cover.
+///
+/// `threads` splits the scans over deterministic static chunks; the
+/// returned defect is always the *first* one in sequential scan order,
+/// independent of the thread count (later chunks abort early once an
+/// earlier chunk has found a defect).
 std::optional<LabelingDefect> verify_labeling(const Graph& g, const HubLabeling& labeling,
-                                              const DistanceMatrix& truth);
+                                              const DistanceMatrix& truth,
+                                              std::size_t threads = 1);
 
 /// Sampled verification for larger graphs: checks `num_samples` random pairs
 /// (and all label entries of the sampled endpoints) against per-source SSSP.
+/// The sample pairs are drawn sequentially up front, so the samples — and
+/// the first defect in sample order — are identical for every `threads`.
 std::optional<LabelingDefect> verify_labeling_sampled(const Graph& g, const HubLabeling& labeling,
-                                                      std::size_t num_samples,
-                                                      std::uint64_t seed);
+                                                      std::size_t num_samples, std::uint64_t seed,
+                                                      std::size_t threads = 1);
 
 /// Monotone closure S*_v from the proof of Theorem 2.1: fix a shortest-path
 /// tree T_v per vertex and replace S(v) by the vertex set of the minimal
 /// subtree of T_v containing S(v) (i.e., all tree ancestors of each hub).
 /// |S*_v| <= diam(G) * |S_v| and the result is still a shortest-path cover.
-HubLabeling monotone_closure(const Graph& g, const HubLabeling& labeling);
+/// The per-vertex loop is parallelized over `threads`; the closed labeling
+/// is bit-identical for every thread count.
+HubLabeling monotone_closure(const Graph& g, const HubLabeling& labeling,
+                             std::size_t threads = 1);
 
 }  // namespace hublab

@@ -6,6 +6,7 @@
 
 #include "algo/distance_matrix.hpp"
 #include "graph/graph.hpp"
+#include "hub/flat_labeling.hpp"
 #include "hub/labeling.hpp"
 
 /// \file oracle.hpp
@@ -77,6 +78,22 @@ class HubLabelOracle final : public DistanceOracle {
 
  private:
   HubLabeling labels_;
+};
+
+/// Hub-labeling oracle over the flat SoA representation
+/// (hub/flat_labeling.hpp): same answers as HubLabelOracle on the same
+/// labeling, but the query merge runs over sentinel-terminated flat arrays
+/// and space drops to the CSR cost.
+class FlatHubLabelOracle final : public DistanceOracle {
+ public:
+  explicit FlatHubLabelOracle(const HubLabeling& labeling) : labels_(labeling) {}
+  [[nodiscard]] std::string name() const override { return "hub-labels-flat"; }
+  [[nodiscard]] Dist distance(Vertex u, Vertex v) const override { return labels_.query(u, v); }
+  [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }
+  [[nodiscard]] const FlatHubLabeling& labeling() const { return labels_; }
+
+ private:
+  FlatHubLabeling labels_;
 };
 
 /// Landmark oracle: k landmark SSSP trees; queries return the best

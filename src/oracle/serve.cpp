@@ -13,6 +13,7 @@
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/report.hpp"
 #include "util/resource.hpp"
 #include "util/timer.hpp"
@@ -33,6 +34,10 @@ std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, OracleKind kind) {
       const auto order = make_vertex_order(g, VertexOrder::kDegreeDescending);
       return std::make_unique<HubLabelOracle>(g, pruned_landmark_labeling(g, order));
     }
+    case OracleKind::kPllFlat: {
+      const auto order = make_vertex_order(g, VertexOrder::kDegreeDescending);
+      return std::make_unique<FlatHubLabelOracle>(pruned_landmark_labeling(g, order));
+    }
     case OracleKind::kCh:
       return std::make_unique<ContractionHierarchy>(g);
     case OracleKind::kBidij:
@@ -41,11 +46,19 @@ std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, OracleKind kind) {
   HUBLAB_UNREACHABLE();
 }
 
+/// The query loop is chunked for the per-thread latency sketches.  The
+/// chunk count is a *constant*, not the thread count: per-chunk sketches
+/// merge associatively-sensitively (see util/qsketch.hpp), so the chunking
+/// must not change when --threads does, or the merged sketch structure
+/// would differ between thread counts.
+constexpr std::size_t kQueryChunks = 64;
+
 }  // namespace
 
 std::string_view oracle_kind_name(OracleKind kind) noexcept {
   switch (kind) {
     case OracleKind::kPll: return "pll";
+    case OracleKind::kPllFlat: return "pll-flat";
     case OracleKind::kCh: return "ch";
     case OracleKind::kBidij: return "bidij";
   }
@@ -64,6 +77,7 @@ std::string_view workload_kind_name(WorkloadKind kind) noexcept {
 
 std::optional<OracleKind> parse_oracle_kind(std::string_view name) noexcept {
   if (name == "pll") return OracleKind::kPll;
+  if (name == "pll-flat") return OracleKind::kPllFlat;
   if (name == "ch") return OracleKind::kCh;
   if (name == "bidij") return OracleKind::kBidij;
   return std::nullopt;
@@ -150,6 +164,7 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
   SimResult result;
   result.start_unix_ms = unix_time_ms();
   result.workload_name = workload_kind_name(config.workload);
+  result.threads = par::resolve_threads(config.threads);
 
   Tracer local_tracer;
   Tracer& t = tracer != nullptr ? *tracer : local_tracer;
@@ -163,6 +178,13 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
   }
   result.oracle_name = oracle->name();
   result.space_bytes = oracle->space_bytes();
+  // For hub-label oracles also report the flat SoA footprint, so reports
+  // show the vector-vs-flat space saving side by side.
+  if (const auto* hub = dynamic_cast<const HubLabelOracle*>(oracle.get())) {
+    result.space_bytes_flat = FlatHubLabeling(hub->labeling()).memory_bytes();
+  } else if (const auto* flat = dynamic_cast<const FlatHubLabelOracle*>(oracle.get())) {
+    result.space_bytes_flat = flat->labeling().memory_bytes();
+  }
   reg.gauge("serve.space_bytes").set(static_cast<std::int64_t>(result.space_bytes));
   HUBLAB_LOG_INFO("serve", "oracle built", log::Field("oracle", result.oracle_name),
                   log::Field("build_s", result.build_s),
@@ -185,19 +207,42 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
     for (std::uint64_t i = 0; i < config.warmup && i < pairs.size(); ++i) {
       (void)oracle->distance(pairs[i].first, pairs[i].second);
     }
+
+    // Closed-loop recorded queries on result.threads workers.  The chunk
+    // list is fixed (kQueryChunks), each chunk records into its own slot,
+    // and slots merge in chunk order below — so everything except the
+    // wall-clock latency values is bit-identical across thread counts.
+    struct ChunkStats {
+      QuantileSketch latency_ns;
+      std::uint64_t queries = 0;
+      std::uint64_t reachable = 0;
+      std::uint64_t checksum = 0;
+    };
+    const std::size_t first = std::min<std::size_t>(config.warmup, pairs.size());
+    const auto chunks = par::static_chunks(first, pairs.size(), kQueryChunks);
+    std::vector<ChunkStats> stats(chunks.size());
     Timer loop_timer;
-    for (std::size_t i = config.warmup; i < pairs.size(); ++i) {
-      const auto begin = std::chrono::steady_clock::now();
-      const Dist d = oracle->distance(pairs[i].first, pairs[i].second);
-      const auto end = std::chrono::steady_clock::now();
-      result.latency_ns.record(elapsed_ns(begin, end));
-      ++result.queries;
-      if (d != kInfDist) {
-        ++result.reachable;
-        result.checksum += d;
+    par::run_chunks(chunks, result.threads, [&](const par::ChunkRange& chunk) {
+      ChunkStats& s = stats[chunk.index];
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        const auto begin = std::chrono::steady_clock::now();
+        const Dist d = oracle->distance(pairs[i].first, pairs[i].second);
+        const auto end = std::chrono::steady_clock::now();
+        s.latency_ns.record(elapsed_ns(begin, end));
+        ++s.queries;
+        if (d != kInfDist) {
+          ++s.reachable;
+          s.checksum += d;
+        }
       }
-    }
+    });
     result.query_loop_s = loop_timer.elapsed_s();
+    for (const ChunkStats& s : stats) {
+      result.latency_ns.merge(s.latency_ns);
+      result.queries += s.queries;
+      result.reachable += s.reachable;
+      result.checksum += s.checksum;
+    }
   }
 
   reg.counter("serve.queries").add(result.queries);
@@ -222,6 +267,7 @@ void write_serve_report_json(std::ostream& os, const SimResult& result, const Si
   header.ok = true;
   header.repetitions = 1;
   header.start_unix_ms = result.start_unix_ms;
+  header.threads = result.threads;
   header.graphs.push_back(
       {std::string(graph_family), g.num_vertices(), g.num_edges()});
   const QuantileSketch& lat = result.latency_ns;
@@ -235,6 +281,7 @@ void write_serve_report_json(std::ostream& os, const SimResult& result, const Si
     w.kv("reachable", result.reachable);
     w.kv("checksum", result.checksum);
     w.kv("space_bytes", static_cast<std::uint64_t>(result.space_bytes));
+    w.kv("space_bytes_flat", static_cast<std::uint64_t>(result.space_bytes_flat));
     w.kv("build_s", result.build_s);
     w.kv("query_loop_s", result.query_loop_s);
     w.key("latency_ns").begin_object();

@@ -35,13 +35,17 @@
 ///               Dijkstra sweep — long-range queries, the worst case the
 ///               lower-bound gadgets are built from.
 ///
+/// Oracles: `pll` (vector-label hub labeling), `pll-flat` (the same
+/// labeling through the flat SoA kernel of hub/flat_labeling.hpp), `ch`,
+/// and `bidij`.
+///
 /// Registry metrics: `serve.queries` / `serve.reachable` counters, the
 /// `serve.query_ns` sketch, and a `serve.space_bytes` gauge, all tagged
 /// under tracer spans `build-oracle` / `gen-workload` / `run-queries`.
 
 namespace hublab::serve {
 
-enum class OracleKind { kPll, kCh, kBidij };
+enum class OracleKind { kPll, kPllFlat, kCh, kBidij };
 enum class WorkloadKind { kUniform, kZipf, kNear, kFar };
 
 [[nodiscard]] std::string_view oracle_kind_name(OracleKind kind) noexcept;
@@ -55,16 +59,19 @@ struct SimConfig {
   std::uint64_t num_queries = 10000;
   std::uint64_t warmup = 100;  ///< unrecorded leading queries (cache warming)
   std::uint64_t seed = 1;
+  std::size_t threads = 1;  ///< query-loop workers (0 = HUBLAB_THREADS, else 1)
 };
 
 struct SimResult {
   std::string oracle_name;    ///< DistanceOracle::name() of what ran
   std::string workload_name;
   std::uint64_t start_unix_ms = 0;  ///< wall-clock start of the simulation
+  std::size_t threads = 1;      ///< resolved query-loop worker count
   std::uint64_t queries = 0;    ///< recorded (post-warmup) queries
   std::uint64_t reachable = 0;  ///< queries with a finite distance
   std::uint64_t checksum = 0;   ///< sum of finite distances (verifiable work proof)
   std::size_t space_bytes = 0;  ///< oracle space accounting
+  std::size_t space_bytes_flat = 0;  ///< FlatHubLabeling footprint (hub oracles; else 0)
   double build_s = 0.0;         ///< oracle preprocessing wall time
   double query_loop_s = 0.0;    ///< recorded query loop wall time
   QuantileSketch latency_ns;    ///< per-query latency samples
@@ -96,6 +103,14 @@ class WorkloadGenerator {
 /// land in `tracer` when provided; metrics land in the global registry
 /// (reset them yourself if you want a clean report).  Throws
 /// InvalidArgument on an empty graph.
+///
+/// With `config.threads > 1` the recorded query loop runs on N workers
+/// over a *fixed* chunking of the pre-generated pairs (chunk count is
+/// independent of the thread count), each chunk recording into its own
+/// QuantileSketch; the per-chunk sketches and counts are merged in chunk
+/// order afterwards, so queries/reachable/checksum and the sketch's merge
+/// structure are bit-identical for every thread count (the latency
+/// *values* are wall-clock samples and vary run to run regardless).
 SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer = nullptr);
 
 /// Write the schema-versioned SERVE report (see util/report.hpp): the

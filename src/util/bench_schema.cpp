@@ -38,6 +38,13 @@ class Checker {
       const JsonValue* rss = require(doc_, "peak_rss_bytes", "", JsonValue::Kind::kNumber);
       if (rss != nullptr && rss->number_value < 0) fail("peak_rss_bytes: negative");
     }
+    // `threads` is an optional v2 addition (reports written before the
+    // parallel layer lack it); when present it must be a number >= 1.
+    const JsonValue* threads = doc_.find("threads");
+    if (threads != nullptr) {
+      if (!threads->is_number()) fail("threads: wrong type");
+      else if (threads->number_value < 1) fail("threads: must be >= 1");
+    }
     check_graphs();
     check_phases();
     check_metric_object(doc_.find("counters"), "counters");

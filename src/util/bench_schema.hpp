@@ -18,7 +18,8 @@
 /// emitter writes the newest):
 ///   1  phases + counters + gauges (+ optional histograms)
 ///   2  adds required `start_unix_ms` and `peak_rss_bytes`
-///      (+ optional `sketches`)
+///      (+ optional `sketches`; later also an optional `threads` member,
+///      a number >= 1 — reports with and without it both validate)
 
 namespace hublab {
 

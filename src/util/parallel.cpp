@@ -1,0 +1,200 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hublab::par {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// One in-flight run_chunks call.  Chunks are claimed by an atomic ticket
+/// (any executor may run any chunk); exceptions are parked per chunk index
+/// so the caller rethrows the lowest one regardless of scheduling.
+struct Job {
+  const std::vector<ChunkRange>* chunks = nullptr;
+  const std::function<void(const ChunkRange&)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t completed = 0;  ///< chunks fully executed; guarded by Pool::mutex_
+  std::vector<std::exception_ptr> errors;
+};
+
+/// Lazily grown pool of recycled worker threads.  One job runs at a time
+/// (run() serializes); the calling thread participates, so a job with
+/// `threads` executors uses `threads - 1` workers.
+class Pool {
+ public:
+  ~Pool() {
+    {
+      const std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void run(const std::vector<ChunkRange>& chunks, std::size_t threads,
+           const std::function<void(const ChunkRange&)>& body) {
+    const std::scoped_lock serial(run_mutex_);
+    Job job;
+    job.chunks = &chunks;
+    job.body = &body;
+    job.errors.assign(chunks.size(), nullptr);
+    {
+      const std::scoped_lock lock(mutex_);
+      while (workers_.size() + 1 < threads) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+      job_ = &job;
+      ++generation_;
+    }
+    wake_.notify_all();
+    participate(job);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // `job` may not leave this frame while any worker still holds a
+      // pointer to it, hence the active_ == 0 condition.
+      done_.wait(lock, [&] { return job.completed == chunks.size() && active_ == 0; });
+      job_ = nullptr;
+    }
+    for (const std::exception_ptr& e : job.errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        if (job == nullptr) continue;  // the job already drained
+        ++active_;
+      }
+      participate(*job);
+      {
+        const std::scoped_lock lock(mutex_);
+        --active_;
+      }
+      done_.notify_all();
+    }
+  }
+
+  void participate(Job& job) {
+    t_in_parallel_region = true;
+    const std::size_t total = job.chunks->size();
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      try {
+        (*job.body)((*job.chunks)[i]);
+      } catch (...) {
+        job.errors[i] = std::current_exception();
+      }
+      bool last = false;
+      {
+        const std::scoped_lock lock(mutex_);
+        last = ++job.completed == total;
+      }
+      if (last) done_.notify_all();
+    }
+    t_in_parallel_region = false;
+  }
+
+  std::mutex run_mutex_;  ///< serializes concurrent run() callers
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;            ///< guarded by mutex_
+  std::uint64_t generation_ = 0;  ///< guarded by mutex_
+  std::size_t active_ = 0;        ///< workers inside participate(); guarded by mutex_
+  bool stop_ = false;             ///< guarded by mutex_
+};
+
+Pool& pool() {
+  static Pool p;  // joined at static destruction
+  return p;
+}
+
+}  // namespace
+
+std::vector<ChunkRange> static_chunks(std::size_t begin, std::size_t end, std::size_t chunks) {
+  std::vector<ChunkRange> out;
+  if (end <= begin || chunks == 0) return out;
+  const std::size_t len = end - begin;
+  const std::size_t k = std::min(chunks, len);
+  out.reserve(k);
+  const std::size_t base = len / k;
+  const std::size_t extra = len % k;
+  std::size_t at = begin;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    out.push_back(ChunkRange{at, at + size, i});
+    at += size;
+  }
+  return out;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  std::size_t t = requested;
+  if (t == 0) {
+    if (const char* env = std::getenv("HUBLAB_THREADS")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) t = static_cast<std::size_t>(v);
+    }
+  }
+  if (t == 0) t = 1;
+  return std::min(t, kMaxThreads);
+}
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+void run_chunks(const std::vector<ChunkRange>& chunks, std::size_t threads,
+                const std::function<void(const ChunkRange&)>& body) {
+  if (chunks.empty()) return;
+  threads = std::min(resolve_threads(threads), chunks.size());
+  if (threads <= 1 || in_parallel_region()) {
+    // Same contract as the pooled path: every chunk runs, then the
+    // lowest-indexed exception (if any) is rethrown.
+    std::vector<std::exception_ptr> errors(chunks.size());
+    for (const ChunkRange& chunk : chunks) {
+      try {
+        body(chunk);
+      } catch (...) {
+        errors[chunk.index] = std::current_exception();
+      }
+    }
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return;
+  }
+  pool().run(chunks, threads, body);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,
+                  const std::function<void(const ChunkRange&)>& body) {
+  threads = resolve_threads(threads);
+  run_chunks(static_chunks(begin, end, threads), threads, body);
+}
+
+}  // namespace hublab::par

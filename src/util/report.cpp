@@ -21,6 +21,7 @@ void write_run_report_json(std::ostream& os, const ReportHeader& header, const T
   w.kv("repetitions", header.repetitions);
   w.kv("start_unix_ms", header.start_unix_ms);
   w.kv("peak_rss_bytes", peak_rss_bytes());
+  w.kv("threads", header.threads == 0 ? 1 : header.threads);
 
   w.key("graphs").begin_array();
   for (const ReportGraph& g : header.graphs) {

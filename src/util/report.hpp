@@ -38,6 +38,7 @@ struct ReportHeader {
   bool ok = false;
   std::uint64_t repetitions = 1;
   std::uint64_t start_unix_ms = 0;  ///< wall-clock start (util/resource.hpp)
+  std::uint64_t threads = 1;        ///< worker threads the run used (>= 1)
   std::vector<ReportGraph> graphs;
 };
 

@@ -6,6 +6,7 @@
 #include "hub/constructions.hpp"
 #include "hub/labeling.hpp"
 #include "hub/pll.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace hublab {
@@ -81,7 +82,11 @@ TEST(HubLabeling, Statistics) {
   EXPECT_EQ(l.total_hubs(), 3u);
   EXPECT_DOUBLE_EQ(l.average_label_size(), 1.0);
   EXPECT_EQ(l.max_label_size(), 2u);
-  EXPECT_EQ(l.memory_bytes(), 3 * sizeof(HubEntry));
+  // payload counts entries only; the heap footprint additionally carries the
+  // per-vertex vector headers and any capacity slack.
+  EXPECT_EQ(l.payload_bytes(), 3 * sizeof(HubEntry));
+  EXPECT_GE(l.memory_bytes(),
+            l.payload_bytes() + 3 * sizeof(std::vector<HubEntry>));
 }
 
 TEST(VerifyLabeling, AcceptsCorrectCover) {
@@ -179,6 +184,114 @@ TEST(MonotoneClosure, ClosedUnderTreeAncestors) {
       for (Vertex x = lo; x <= hi; ++x) EXPECT_TRUE(closed.has_hub(v, x));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts: every parallel entry point must return
+// bit-identical results for threads = 1 and threads = 4 (the contract of
+// util/parallel.hpp / docs/performance.md).
+// ---------------------------------------------------------------------------
+
+void expect_same_labels(const HubLabeling& a, const HubLabeling& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto la = a.label(v);
+    const auto lb = b.label(v);
+    ASSERT_EQ(la.size(), lb.size()) << "label size differs at v=" << v;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i], lb[i]) << "entry " << i << " of v=" << v;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, DistanceMatrixMatchesSequential) {
+  Rng rng(11);
+  const Graph g = gen::connected_gnm(50, 100, rng);
+  const auto seq = DistanceMatrix::compute(g, 1);
+  const auto par4 = DistanceMatrix::compute(g, 4);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(seq.at(u, v), par4.at(u, v)) << "dist(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, VerifyLabelingFindsSameFirstDefect) {
+  const Graph g = gen::path(9);
+  const auto truth = DistanceMatrix::compute(g);
+  // Two planted wrong distances; the reported defect must be the first in
+  // sequential scan order regardless of which chunk scans it.
+  HubLabeling bad(9);
+  for (Vertex v = 0; v < 9; ++v) bad.add_hub(v, 0, v);  // hub 0 covers all
+  bad.add_hub(3, 8, 1);  // true dist(3,8) = 5
+  bad.add_hub(7, 8, 9);  // true dist(7,8) = 1
+  bad.finalize();
+  const auto seq = verify_labeling(g, bad, truth, 1);
+  const auto par4 = verify_labeling(g, bad, truth, 4);
+  ASSERT_TRUE(seq.has_value());
+  ASSERT_TRUE(par4.has_value());
+  EXPECT_EQ(seq->kind, par4->kind);
+  EXPECT_EQ(seq->u, par4->u);
+  EXPECT_EQ(seq->v, par4->v);
+  EXPECT_EQ(seq->stored, par4->stored);
+  EXPECT_EQ(seq->actual, par4->actual);
+}
+
+TEST(ParallelDeterminism, VerifyLabelingAcceptsCoverAtAnyThreadCount) {
+  Rng rng(12);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  const auto truth = DistanceMatrix::compute(g);
+  const HubLabeling pll = pruned_landmark_labeling(g);
+  EXPECT_FALSE(verify_labeling(g, pll, truth, 1).has_value());
+  EXPECT_FALSE(verify_labeling(g, pll, truth, 4).has_value());
+}
+
+TEST(ParallelDeterminism, SampledVerifierDrawsSameSamples) {
+  const Graph g = gen::path(12);
+  HubLabeling l(12);
+  for (Vertex v = 0; v < 12; ++v) l.add_hub(v, v, 0);  // only self-hubs
+  l.finalize();
+  const auto seq = verify_labeling_sampled(g, l, 300, 5, 1);
+  const auto par4 = verify_labeling_sampled(g, l, 300, 5, 4);
+  ASSERT_TRUE(seq.has_value());
+  ASSERT_TRUE(par4.has_value());
+  EXPECT_EQ(seq->u, par4->u);
+  EXPECT_EQ(seq->v, par4->v);
+  EXPECT_EQ(static_cast<int>(seq->kind), static_cast<int>(par4->kind));
+}
+
+TEST(ParallelDeterminism, MonotoneClosureIsThreadCountInvariant) {
+  Rng rng(13);
+  const Graph g = gen::connected_gnm(45, 90, rng);
+  const HubLabeling pll = pruned_landmark_labeling(g);
+  const HubLabeling seq = monotone_closure(g, pll, 1);
+  const HubLabeling par4 = monotone_closure(g, pll, 4);
+  expect_same_labels(seq, par4);
+}
+
+TEST(ParallelDeterminism, AuditReportIsThreadCountInvariant) {
+  Rng rng(14);
+  const Graph g = gen::connected_gnm(40, 80, rng);
+  // A corrupted labeling so the report actually carries issues.
+  HubLabeling bad = pruned_landmark_labeling(g);
+  HubLabeling twisted(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const HubEntry& e : bad.label(v)) {
+      twisted.add_hub(v, e.hub, e.dist + (v % 3 == 0 ? 1 : 0));
+    }
+  }
+  twisted.finalize();
+  const AuditReport seq = twisted.audit(g, 24, 9, 1);
+  const AuditReport par4 = twisted.audit(g, 24, 9, 4);
+  EXPECT_EQ(seq.ok(), par4.ok());
+  EXPECT_EQ(seq.num_issues(), par4.num_issues());
+  EXPECT_EQ(seq.to_string(), par4.to_string());
+
+  // And a clean labeling audits clean at every thread count.
+  const AuditReport clean1 = bad.audit(g, 24, 9, 1);
+  const AuditReport clean4 = bad.audit(g, 24, 9, 4);
+  EXPECT_TRUE(clean1.ok());
+  EXPECT_EQ(clean1.to_string(), clean4.to_string());
 }
 
 }  // namespace

@@ -368,6 +368,39 @@ TEST(BenchSchema, ValidatorRejectsBrokenDocuments) {
   }
 }
 
+TEST(Harness, ParsesThreadsFlag) {
+  const char* argv[] = {"metrics_test", "--smoke", "--threads", "4"};
+  bench::Harness harness(4, const_cast<char**>(argv), "threads_probe", "banner");
+  EXPECT_EQ(harness.threads(), 4u);
+  std::ostringstream os;
+  harness.write_json(os, true);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  ASSERT_NE(doc.find("threads"), nullptr);
+  EXPECT_EQ(doc.find("threads")->number_value, 4.0);
+}
+
+TEST(BenchSchema, ThreadsMemberIsOptionalButValidated) {
+  const std::string good = make_harness_json(true);
+  const std::string threads_member = "\"threads\": 1";
+  ASSERT_NE(good.find(threads_member), std::string::npos);
+
+  // Absent is fine: pre-threads baselines must keep validating.
+  JsonValue no_threads = parse_json(good);
+  std::erase_if(no_threads.object_members,
+                [](const auto& kv) { return kv.first == "threads"; });
+  EXPECT_TRUE(validate_bench_json(no_threads).empty());
+
+  // Present but zero or mistyped is rejected.
+  std::string zero = good;
+  zero.replace(zero.find(threads_member), threads_member.size(), "\"threads\": 0");
+  EXPECT_FALSE(validate_bench_json(parse_json(zero)).empty());
+  std::string mistyped = good;
+  mistyped.replace(mistyped.find(threads_member), threads_member.size(),
+                   "\"threads\": \"four\"");
+  EXPECT_FALSE(validate_bench_json(parse_json(mistyped)).empty());
+}
+
 TEST(BenchSchema, ValidatorAcceptsVersion1WithoutV2Members) {
   // Committed v1 baselines predate start_unix_ms / peak_rss_bytes; they
   // must keep validating so bench-compare can diff old against new.

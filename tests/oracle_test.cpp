@@ -21,6 +21,7 @@ TEST_P(OracleAgreement, AllExactOraclesAgree) {
   const SsspOracle sssp_oracle(g);
   const BidirectionalOracle bidir(g);
   const HubLabelOracle hubs(g, pruned_landmark_labeling(g));
+  const FlatHubLabelOracle flat(hubs.labeling());
 
   Rng pick(GetParam() + 100);
   for (int i = 0; i < 60; ++i) {
@@ -31,6 +32,7 @@ TEST_P(OracleAgreement, AllExactOraclesAgree) {
     EXPECT_EQ(sssp_oracle.distance(u, v), expected);
     EXPECT_EQ(bidir.distance(u, v), expected);
     EXPECT_EQ(hubs.distance(u, v), expected);
+    EXPECT_EQ(flat.distance(u, v), expected);
   }
 }
 
@@ -61,8 +63,16 @@ TEST(Oracles, SpaceAccounting) {
   EXPECT_EQ(apsp.space_bytes(), 36u * 36u * sizeof(Dist));
   const SsspOracle od(g);
   EXPECT_EQ(od.space_bytes(), 0u);
+  // Hub-label space is the real heap footprint (capacities + per-vector
+  // headers), bounded below by the entry payload the paper's bounds count.
   const HubLabelOracle hubs(g, pruned_landmark_labeling(g));
-  EXPECT_EQ(hubs.space_bytes(), hubs.labeling().total_hubs() * sizeof(HubEntry));
+  EXPECT_EQ(hubs.space_bytes(), hubs.labeling().memory_bytes());
+  EXPECT_GE(hubs.space_bytes(), hubs.labeling().payload_bytes());
+  // The flat SoA layout drops the per-vertex headers, so it always
+  // undercuts the vector-of-vectors footprint of the same labeling.
+  const FlatHubLabelOracle flat(hubs.labeling());
+  EXPECT_EQ(flat.space_bytes(), flat.labeling().memory_bytes());
+  EXPECT_LT(flat.space_bytes(), hubs.space_bytes());
   const LandmarkOracle lm(g, {0, 1, 2});
   EXPECT_EQ(lm.space_bytes(), 3u * 36u * sizeof(Dist));
 }

@@ -197,6 +197,45 @@ TEST(QuantileSketch, QuantileReturnsRecordedValues) {
   }
 }
 
+TEST(QuantileSketch, ChunkMergeIsExecutionOrderInvariant) {
+  // The serve-sim reduction pattern (oracle/serve.cpp): the stream is cut
+  // into a *fixed* number of chunks, each chunk builds its own sketch, and
+  // the chunks are merged into the result in chunk-index order.  Workers
+  // may *execute* chunks in any order, so the merged sketch must depend
+  // only on the chunk contents and the merge order — not on when each
+  // chunk sketch was built.
+  constexpr std::size_t kChunks = 16;
+  Rng rng(31);
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 8000; ++i) stream.push_back(rng.next_below(1u << 24));
+  const std::size_t per = stream.size() / kChunks;
+
+  auto build_chunk = [&](std::size_t c) {
+    QuantileSketch s(64);
+    for (std::size_t i = c * per; i < (c + 1) * per; ++i) s.record(stream[i]);
+    return s;
+  };
+
+  // Execution order 0,1,2,...  vs reversed; slots keyed by chunk index.
+  std::vector<QuantileSketch> forward(kChunks, QuantileSketch(64));
+  for (std::size_t c = 0; c < kChunks; ++c) forward[c] = build_chunk(c);
+  std::vector<QuantileSketch> backward(kChunks, QuantileSketch(64));
+  for (std::size_t c = kChunks; c-- > 0;) backward[c] = build_chunk(c);
+
+  QuantileSketch a(64);
+  for (std::size_t c = 0; c < kChunks; ++c) a.merge(forward[c]);
+  QuantileSketch b(64);
+  for (std::size_t c = 0; c < kChunks; ++c) b.merge(backward[c]);
+
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.stored_items(), b.stored_items());
+  EXPECT_EQ(a.rank_error_bound(), b.rank_error_bound());
+  for (const double p : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(p), b.quantile(p)) << "p=" << p;
+  }
+}
+
 TEST(QuantileSketch, ResetClearsEverything) {
   QuantileSketch s(16);
   for (std::uint64_t v = 0; v < 1000; ++v) s.record(v);

@@ -35,7 +35,8 @@ SimConfig smoke_config(OracleKind oracle, WorkloadKind workload) {
 }
 
 TEST(ServeEnums, NamesRoundTripThroughParse) {
-  for (const OracleKind kind : {OracleKind::kPll, OracleKind::kCh, OracleKind::kBidij}) {
+  for (const OracleKind kind :
+       {OracleKind::kPll, OracleKind::kPllFlat, OracleKind::kCh, OracleKind::kBidij}) {
     EXPECT_EQ(parse_oracle_kind(oracle_kind_name(kind)), kind);
   }
   for (const WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kZipf,
@@ -155,6 +156,65 @@ TEST(RunSim, PopulatesRegistryMetrics) {
 }
 
 #endif  // HUBLAB_METRICS_ENABLED
+
+TEST(RunSim, FlatOracleMatchesVectorOracleAnswers) {
+  // pll and pll-flat serve the same labeling through different layouts;
+  // the served answers (checksum over distances) must agree exactly.
+  const Graph g = small_gadget();
+  metrics::registry().reset();
+  const SimResult vec = run_sim(g, smoke_config(OracleKind::kPll, WorkloadKind::kUniform));
+  metrics::registry().reset();
+  const SimResult flat = run_sim(g, smoke_config(OracleKind::kPllFlat, WorkloadKind::kUniform));
+  EXPECT_EQ(vec.checksum, flat.checksum);
+  EXPECT_EQ(vec.reachable, flat.reachable);
+  EXPECT_GT(flat.space_bytes_flat, 0u);
+  EXPECT_GT(vec.space_bytes_flat, 0u);  // hub-label serve also reports the flat cost
+}
+
+TEST(RunSim, ThreadCountDoesNotChangeResults) {
+  // The determinism contract for the serve loop: everything except wall
+  // times — checksum, reachability, and the latency sketch's *structure*
+  // (count; quantiles depend on timing values, so only count is stable) —
+  // is identical at --threads 1 and --threads 4.  The chunking is fixed at
+  // kQueryChunks, so the merge tree does not change with the worker count.
+  const Graph g = small_gadget();
+  metrics::registry().reset();
+  SimConfig one = smoke_config(OracleKind::kPllFlat, WorkloadKind::kZipf);
+  one.threads = 1;
+  const SimResult r1 = run_sim(g, one);
+  metrics::registry().reset();
+  SimConfig four = smoke_config(OracleKind::kPllFlat, WorkloadKind::kZipf);
+  four.threads = 4;
+  const SimResult r4 = run_sim(g, four);
+
+  EXPECT_EQ(r1.threads, 1u);
+  EXPECT_EQ(r4.threads, 4u);
+  EXPECT_EQ(r1.queries, r4.queries);
+  EXPECT_EQ(r1.checksum, r4.checksum);
+  EXPECT_EQ(r1.reachable, r4.reachable);
+  EXPECT_EQ(r1.latency_ns.count(), r4.latency_ns.count());
+  EXPECT_EQ(r1.space_bytes, r4.space_bytes);
+  EXPECT_EQ(r1.space_bytes_flat, r4.space_bytes_flat);
+}
+
+TEST(ServeReport, CarriesThreadsAndFlatSpace) {
+  metrics::registry().reset();
+  Tracer tracer;
+  const Graph g = small_gadget();
+  SimConfig config = smoke_config(OracleKind::kPll, WorkloadKind::kUniform);
+  config.threads = 4;
+  const SimResult result = run_sim(g, config, &tracer);
+  EXPECT_EQ(result.threads, 4u);
+
+  std::ostringstream os;
+  write_serve_report_json(os, result, config, g, "gadget-h", "deadbeef", true, tracer);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  ASSERT_NE(doc.find("threads"), nullptr);
+  EXPECT_EQ(doc.find("threads")->number_value, 4.0);
+  ASSERT_NE(doc.find("space_bytes_flat"), nullptr);
+  EXPECT_GT(doc.find("space_bytes_flat")->number_value, 0.0);
+}
 
 TEST(RunSim, RejectsEmptyGraph) {
   const Graph g;

@@ -3,12 +3,13 @@
 #
 #   1. RelWithDebInfo build + full test suite        (preset dev)
 #   2. ASan+UBSan build + full test suite            (preset asan-ubsan)
-#   3. clang-tidy gate                               (run-tidy; skips w/o clang-tidy)
-#   4. hublab_lint incl. header self-containment     (run-lint)
-#   5. bench smoke: every bench --smoke + JSON schema validation
-#   6. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
-#   7. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
-#   8. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#   3. ThreadSanitizer build + parallel-path tests   (preset tsan)
+#   4. clang-tidy gate                               (run-tidy; skips w/o clang-tidy)
+#   5. hublab_lint incl. header self-containment     (run-lint)
+#   6. bench smoke: every bench --smoke + JSON schema validation
+#   7. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
+#   8. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
+#   9. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 set -euo pipefail
@@ -21,23 +22,34 @@ stage() {
   echo "=== check.sh: $* ==="
 }
 
-stage "1/8 RelWithDebInfo build + tests"
+stage "1/9 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/8 ASan+UBSan build + tests"
+stage "2/9 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/8 clang-tidy gate"
+stage "3/9 TSan build + parallel-path tests"
+# The suites that drive util/parallel's pool with threads > 1: the pool
+# itself, every parallelized hub-labeling entry point, the flat kernel, the
+# threaded serve loop and the sketch merges it reduces with.  -fsanitize=
+# thread aborts on the first data race (no recovery), so a green run means
+# zero reports.
+cmake --preset tsan
+cmake --build --preset tsan -j "${jobs}"
+ctest --preset tsan -j "${jobs}" \
+  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch'
+
+stage "4/9 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "4/8 hublab_lint (with header self-containment)"
+stage "5/9 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "5/8 bench smoke + BENCH_*.json schema validation"
+stage "6/9 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -56,7 +68,7 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "6/8 bench-compare vs committed baselines"
+stage "7/9 bench-compare vs committed baselines"
 # Wall-clock thresholds are deliberately loose here (different machines,
 # shared CI runners); structural metrics are seeded and should stay close.
 compare_failures=0
@@ -78,16 +90,20 @@ if [ "${compare_failures}" -ne 0 ]; then
 fi
 echo "bench-compare: all benches within thresholds of bench/baselines/"
 
-stage "7/8 serve-sim smoke + SERVE_*.json schema validation"
+stage "8/9 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \
   && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
   && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
-       --oracle pll --workload uniform --smoke --prom-out SERVE_pll.prom > /dev/null)
+       --oracle pll --workload uniform --smoke --prom-out SERVE_pll.prom > /dev/null \
+  && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
+       --oracle pll-flat --workload uniform --smoke --threads 4 \
+       --json-out SERVE_pll_flat.json > /dev/null)
 build/dev/tools/hublab validate-bench --quiet "${smoke_dir}"/SERVE_*.json
 grep -q "hublab_serve_query_ns" "${smoke_dir}/SERVE_pll.prom"
-echo "serve-sim: SERVE_pll.json schema-valid, Prometheus dump has serve metrics"
+grep -q '"threads": 4' "${smoke_dir}/SERVE_pll_flat.json"
+echo "serve-sim: SERVE_*.json schema-valid, Prometheus dump has serve metrics"
 
-stage "8/8 Werror build"
+stage "9/9 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

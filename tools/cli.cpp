@@ -12,6 +12,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/transforms.hpp"
+#include "hub/flat_labeling.hpp"
 #include "hub/order.hpp"
 #include "hub/pll.hpp"
 #include "hub/serialize.hpp"
@@ -183,9 +184,10 @@ int cmd_label(Args& args, std::ostream& out) {
   const std::string order_name = args.option("--order").value_or("degree");
   const auto order = order_from_name(g, order_name, args.option_u64("--seed", 1));
   const HubLabeling labels = pruned_landmark_labeling(g, order);
+  const FlatHubLabeling flat(labels);
   out << "PLL(" << order_name << "): avg=" << labels.average_label_size()
       << " max=" << labels.max_label_size() << " total=" << labels.total_hubs()
-      << " bytes=" << labels.memory_bytes() << "\n";
+      << " bytes=" << labels.memory_bytes() << " flat_bytes=" << flat.memory_bytes() << "\n";
   if (const auto output = args.option("-o")) {
     save_labeling_file(labels, *output);
     out << "wrote " << *output << "\n";
@@ -231,7 +233,9 @@ int cmd_verify(Args& args, std::ostream& out) {
     throw InvalidArgument("verify: labels do not match graph size");
   }
   const std::uint64_t samples = args.option_u64("--samples", 200);
-  const auto defect = verify_labeling_sampled(g, labels, samples, args.option_u64("--seed", 7));
+  const auto threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
+  const auto defect =
+      verify_labeling_sampled(g, labels, samples, args.option_u64("--seed", 7), threads);
   if (defect) {
     out << "DEFECT: kind="
         << (defect->kind == LabelingDefect::Kind::kWrongDistance ? "wrong-distance"
@@ -384,14 +388,16 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   const auto file = args.next_positional();
   if (!file) {
     throw InvalidArgument(
-        "serve-sim: usage: serve-sim GRAPH [--oracle pll|ch|bidij] "
+        "serve-sim: usage: serve-sim GRAPH [--oracle pll|pll-flat|ch|bidij] "
         "[--workload uniform|zipf|near|far] [--queries N] [--warmup N] [--seed N] "
-        "[--smoke] [--json-out FILE] [--prom-out FILE]");
+        "[--threads N] [--smoke] [--json-out FILE] [--prom-out FILE]");
   }
   serve::SimConfig config;
   if (const auto o = args.option("--oracle")) {
     const auto kind = serve::parse_oracle_kind(*o);
-    if (!kind) throw InvalidArgument("serve-sim: unknown oracle: " + *o + " (pll|ch|bidij)");
+    if (!kind) {
+      throw InvalidArgument("serve-sim: unknown oracle: " + *o + " (pll|pll-flat|ch|bidij)");
+    }
     config.oracle = *kind;
   }
   if (const auto w = args.option("--workload")) {
@@ -405,6 +411,7 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   config.num_queries = args.option_u64("--queries", smoke ? 500 : 10000);
   config.warmup = args.option_u64("--warmup", 100);
   config.seed = args.option_u64("--seed", 1);
+  config.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
 
   const Graph g = io::load_edge_list(*file);
   metrics::registry().reset();
@@ -413,9 +420,10 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
 
   const QuantileSketch& lat = result.latency_ns;
   out << "serve-sim " << *file << ": oracle=" << result.oracle_name
-      << " workload=" << result.workload_name << " queries=" << result.queries
-      << " reachable=" << result.reachable << "\n";
+      << " workload=" << result.workload_name << " threads=" << result.threads
+      << " queries=" << result.queries << " reachable=" << result.reachable << "\n";
   out << "  build_s=" << result.build_s << " space_bytes=" << result.space_bytes
+      << " space_bytes_flat=" << result.space_bytes_flat
       << " query_loop_s=" << result.query_loop_s << "\n";
   out << "  latency_ns: p50=" << lat.quantile(0.5) << " p90=" << lat.quantile(0.9)
       << " p99=" << lat.quantile(0.99) << " p999=" << lat.quantile(0.999)

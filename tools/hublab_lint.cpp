@@ -14,6 +14,11 @@
 //                     logger (util/log.hpp).  log.cpp owns the sink; crash
 //                     paths opt out with a `hublab-lint: allow raw-io`
 //                     comment.
+//   raw-thread        Library code (src/) never spawns raw std::thread /
+//                     std::jthread / std::async; parallelism goes through
+//                     util/parallel.hpp so the determinism contract
+//                     (docs/performance.md) holds.  parallel.cpp owns the
+//                     pool; opt out with `hublab-lint: allow raw-thread`.
 //   pragma-once       Every header starts with #pragma once.
 //   include-hygiene   No "../" includes; quoted includes name project files
 //                     rooted at src/ (or the repo root for tools/), and they
@@ -186,7 +191,10 @@ class Linter {
     const bool is_header = file.extension() == ".hpp";
 
     check_banned_tokens(file, lines, path, in_src);
-    if (in_src) check_raw_io(file, text, lines, path);
+    if (in_src) {
+      check_raw_io(file, text, lines, path);
+      check_raw_thread(file, text, lines, path);
+    }
     check_includes(file, lines, path);
     // Raw text, not stripped lines: the include target lives inside quotes.
     if (path.rfind("bench/bench_", 0) == 0 && !is_header &&
@@ -281,6 +289,43 @@ class Linter {
           fail(file, i + 1, "raw-io",
                "`" + ident + "` bypasses the structured logger; use HUBLAB_LOG_* " +
                    "(util/log.hpp), or mark an untrusted crash path with `" + k_marker + "`");
+        }
+      }
+    }
+  }
+
+  /// raw-thread: src/ never spawns threads directly — std::thread,
+  /// std::jthread and std::async (and their <thread> include) are confined
+  /// to util/parallel.cpp, the pool behind parallel_for.  Everything else
+  /// expresses parallelism through util/parallel.hpp, which is what keeps
+  /// results bit-identical across thread counts (docs/performance.md).
+  /// Escape hatch: a `hublab-lint: allow raw-thread` comment on the line
+  /// or the line above, mirroring the raw-io rule.
+  void check_raw_thread(const fs::path& file, const std::string& text,
+                        const std::vector<std::string>& lines, const std::string& path) {
+    if (path == "src/util/parallel.cpp") return;  // the sanctioned pool
+    const std::string k_thread = std::string("th") + "read";
+    const std::string k_jthread = "j" + k_thread;
+    const std::string k_async = std::string("as") + "ync";
+    const std::string k_marker = std::string("hublab-lint: allow ") + "raw-" + k_thread;
+
+    std::vector<std::string> raw_lines;
+    std::istringstream stream(text);
+    std::string raw;
+    while (std::getline(stream, raw)) raw_lines.push_back(raw);
+
+    const auto allowed = [&](std::size_t i) {
+      return (i < raw_lines.size() && raw_lines[i].find(k_marker) != std::string::npos) ||
+             (i > 0 && i - 1 < raw_lines.size() &&
+              raw_lines[i - 1].find(k_marker) != std::string::npos);
+    };
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      for (const std::string& ident : {k_thread, k_jthread, k_async}) {
+        if (contains_identifier(lines[i], ident) && !allowed(i)) {
+          fail(file, i + 1, "raw-" + k_thread,
+               "`" + ident + "` spawns threads outside util/parallel.cpp; use parallel_for " +
+                   "(util/parallel.hpp) so results stay deterministic across thread counts, " +
+                   "or mark a sanctioned use with `" + k_marker + "`");
         }
       }
     }
