@@ -8,6 +8,7 @@
 /// (no signal -- everything is similar), the adversarial gadget (nothing
 /// helps, by Theorem 2.1).
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -17,13 +18,27 @@
 #include "lowerbound/gadget.hpp"
 #include "oracle/contraction_hierarchy.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace hublab;
 
 namespace {
 
-double avg_for_order(const Graph& g, const std::vector<Vertex>& order) {
-  return pruned_landmark_labeling(g, order).average_label_size();
+double avg_for_order(const Graph& g, const std::vector<Vertex>& order, const PllConfig& config) {
+  return pruned_landmark_labeling(g, order, config).average_label_size();
+}
+
+bool same_labels(const HubLabeling& a, const HubLabeling& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto la = a.label(v);
+    const auto lb = b.label(v);
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (la[i].hub != lb[i].hub || la[i].dist != lb[i].dist) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -69,15 +84,78 @@ int main(int argc, char** argv) {
     // Hub labels read off a contraction hierarchy (the CH ordering is its
     // own heuristic; Section 1.1's point that CH reduces to hub labeling).
     const double ch_avg = ContractionHierarchy(g).extract_hub_labeling().average_label_size();
+    const PllConfig pll = harness.pll_config();
     table.add_row({f.name, fmt_u64(g.num_vertices()), fmt_u64(g.num_edges()),
-                   fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kDegreeDescending)), 2),
-                   fmt_double(avg_for_order(g, bt_order), 2),
-                   fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kRandom, 11)), 2),
-                   fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kNatural)), 2),
+                   fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kDegreeDescending), pll), 2),
+                   fmt_double(avg_for_order(g, bt_order, pll), 2),
+                   fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kRandom, 11), pll), 2),
+                   fmt_double(avg_for_order(g, make_vertex_order(g, VertexOrder::kNatural), pll), 2),
                    fmt_double(ch_avg, 2)});
   }
   harness.print(table, "average |S(v)| by PLL order (all labelings exact by construction)");
 
+  // Construction-kernel head-to-head: the scalar builder (bp_roots = 0)
+  // against the bit-parallel kernel.  Two parts:
+  //
+  //  1. Byte-identity spot-check on every unweighted ablation family at
+  //     the harness config (the kernel's contract; tests/pll_bp_test.cpp
+  //     carries the full matrix).
+  //  2. A timed head-to-head on a random 3-regular graph at construction
+  //     scale — the regime the kernel exists for: the Theorem 4.1 / RS
+  //     pipelines rebuild labelings on exactly this family, and at
+  //     ablation-table sizes both builders finish in microseconds of
+  //     fixed overhead.  bp_roots follows the n/8 guidance for
+  //     weak-hierarchy graphs (docs/performance.md, "Choosing bp_roots").
+  //
+  // The summed BP construction time lands in the lower-is-better
+  // pract.bp_construct_pct_of_scalar gauge, gated at <= 70% by
+  // tools/check.sh.
+  bool bp_ok = true;
+  double scalar_s = 0.0;
+  double bp_s = 0.0;
+  std::size_t kernel_n = 0;
+  std::size_t kernel_roots = 0;
+  {
+    auto span = harness.phase("scalar-vs-bp");
+    for (const auto& f : families) {
+      if (f.graph.is_weighted()) continue;
+      const auto order = make_vertex_order(f.graph, VertexOrder::kDegreeDescending);
+      const HubLabeling scalar_labels =
+          pruned_landmark_labeling(f.graph, order, PllConfig{0, 1});
+      const HubLabeling bp_labels =
+          pruned_landmark_labeling(f.graph, order, harness.pll_config());
+      bp_ok = bp_ok && same_labels(scalar_labels, bp_labels);
+    }
+
+    kernel_n = harness.smoke() ? 2000 : 3000;
+    kernel_roots = kernel_n / 8;
+    Rng rng(5);
+    const Graph big = gen::random_regular(kernel_n, 3, rng);
+    harness.add_graph("random 3-regular (kernel)", big.num_vertices(), big.num_edges());
+    const auto order = make_vertex_order(big, VertexOrder::kDegreeDescending);
+    const PllConfig scalar_config{0, 1};
+    const PllConfig bp_config{kernel_roots, harness.threads()};
+    const std::size_t reps = harness.smoke() ? 2 : 3;
+    HubLabeling scalar_labels;
+    HubLabeling bp_labels;
+    for (std::size_t r = 0; r < reps; ++r) {
+      Timer t;
+      scalar_labels = pruned_landmark_labeling(big, order, scalar_config);
+      scalar_s += t.elapsed_s();
+      t.reset();
+      bp_labels = pruned_landmark_labeling(big, order, bp_config);
+      bp_s += t.elapsed_s();
+    }
+    bp_ok = bp_ok && same_labels(scalar_labels, bp_labels);
+  }
+  const auto pct = static_cast<std::int64_t>(
+      std::llround(scalar_s > 0.0 ? 100.0 * bp_s / scalar_s : 100.0));
+  metrics::registry().gauge("pract.bp_construct_pct_of_scalar").set(pct);
+  std::printf("\nscalar-vs-bp: labels %s, bp construction at %lld%% of scalar "
+              "(3-regular n=%zu, bp_roots=%zu, lower is better)\n",
+              bp_ok ? "identical" : "DIFFER", static_cast<long long>(pct), kernel_n,
+              kernel_roots);
+
   std::printf("\nNote the gadget row: per Theorem 2.1 no ordering can make its labels small.\n");
-  return harness.finish("PLL ordering ablation", true);
+  return harness.finish("PLL ordering ablation", bp_ok);
 }

@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
     const Graph g = gen::random_regular(n, 3, gen_rng);
     harness.add_graph("random-3-regular", g.num_vertices(), g.num_edges());
     const DistanceMatrix truth = DistanceMatrix::compute(g);
-    const HubLabeling pll = pruned_landmark_labeling(g);
+    const HubLabeling pll = pruned_landmark_labeling(g, VertexOrder::kDegreeDescending, 0,
+                                                     harness.pll_config());
 
     for (const std::size_t D : {2u, 3u, 4u, 6u}) {
       Rng rng(1000 + D);

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "hub/pll.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/report.hpp"
@@ -63,6 +64,8 @@ class Harness {
         json_path_ = argv[++i];
       } else if (arg == "--threads" && i + 1 < argc) {
         threads_ = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else if (arg == "--bp-roots" && i + 1 < argc) {
+        bp_roots_ = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       }
     }
     threads_ = par::resolve_threads(threads_);
@@ -85,6 +88,14 @@ class Harness {
   /// value is recorded in the bench JSON so baselines from different
   /// thread counts are never silently compared.
   [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Bit-parallel root count for PLL constructions (--bp-roots, default
+  /// kPllDefaultBpRoots).  Benches that build hub labels pass this via
+  /// PllConfig; the value is recorded in the bench JSON like `threads`.
+  [[nodiscard]] std::size_t bp_roots() const { return bp_roots_; }
+
+  /// The harness's PLL construction knobs in one place.
+  [[nodiscard]] PllConfig pll_config() const { return PllConfig{bp_roots_, threads_}; }
 
   /// Open a named phase; keep the returned span alive for its duration.
   [[nodiscard]] Tracer::Span phase(std::string phase_name) {
@@ -138,6 +149,7 @@ class Harness {
     header.repetitions = repetitions_;
     header.start_unix_ms = start_unix_ms_;
     header.threads = threads_;
+    header.bp_roots = static_cast<std::int64_t>(bp_roots_);
     header.graphs = graphs_;
     write_run_report_json(os, header, tracer_, metrics::registry());
   }
@@ -148,6 +160,7 @@ class Harness {
   bool smoke_ = false;
   bool trace_ = false;
   std::size_t threads_ = 0;  ///< resolved in the constructor (>= 1 after)
+  std::size_t bp_roots_ = kPllDefaultBpRoots;
   std::uint64_t repetitions_ = 1;
   std::uint64_t start_unix_ms_ = 0;
   std::vector<ReportGraph> graphs_;

@@ -24,4 +24,25 @@ FlatHubLabeling::FlatHubLabeling(const HubLabeling& labels)
   offsets_.push_back(hubs_.size());
 }
 
+FlatHubLabeling::FlatHubLabeling(std::size_t num_vertices, std::vector<std::size_t> offsets,
+                                 std::vector<Vertex> hubs, std::vector<Dist> dists)
+    : num_vertices_(num_vertices),
+      offsets_(std::move(offsets)),
+      hubs_(std::move(hubs)),
+      dists_(std::move(dists)) {
+  HUBLAB_ASSERT_MSG(offsets_.size() == num_vertices_ + 1, "offsets must have n + 1 entries");
+  HUBLAB_ASSERT_MSG(hubs_.size() == dists_.size(), "hub/dist arrays must be parallel");
+  HUBLAB_ASSERT_MSG(offsets_.empty() || offsets_.back() == hubs_.size(),
+                    "final offset must close the hub array");
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    const std::size_t first = offsets_[v];
+    const std::size_t last = offsets_[v + 1] - 1;  // sentinel slot
+    HUBLAB_ASSERT_MSG(hubs_[last] == kInvalidVertex && dists_[last] == kInfDist,
+                      "every label must be sentinel-terminated");
+    for (std::size_t i = first + 1; i < last; ++i) {
+      HUBLAB_ASSERT_MSG(hubs_[i - 1] < hubs_[i], "labels must be sorted and deduplicated");
+    }
+  }
+}
+
 }  // namespace hublab

@@ -40,6 +40,13 @@ class FlatHubLabeling {
   /// Convert a finalized labeling (sorted, deduplicated labels).
   explicit FlatHubLabeling(const HubLabeling& labels);
 
+  /// Adopt pre-built flat arrays (the PLL builder's single-pass finalize).
+  /// The arrays must already be in this class's layout: `offsets` has
+  /// n + 1 entries counting sentinels, every label is sorted ascending by
+  /// hub id and terminated by a kInvalidVertex/kInfDist sentinel pair.
+  FlatHubLabeling(std::size_t num_vertices, std::vector<std::size_t> offsets,
+                  std::vector<Vertex> hubs, std::vector<Dist> dists);
+
   [[nodiscard]] std::size_t num_vertices() const { return num_vertices_; }
 
   /// Entries of S(v), excluding the sentinel.

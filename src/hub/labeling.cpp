@@ -15,12 +15,20 @@ namespace hublab {
 void HubLabeling::finalize() {
   if (finalized_) return;
   for (auto& label : labels_) {
-    std::sort(label.begin(), label.end(), [](const HubEntry& a, const HubEntry& b) {
-      return a.hub != b.hub ? a.hub < b.hub : a.dist < b.dist;
-    });
-    label.erase(std::unique(label.begin(), label.end(),
-                            [](const HubEntry& a, const HubEntry& b) { return a.hub == b.hub; }),
-                label.end());
+    // Rows with strictly increasing hub ids are already in finalized form;
+    // one scan beats the sort for builders that emit hub-sorted rows.
+    const bool strictly_sorted =
+        std::adjacent_find(label.begin(), label.end(), [](const HubEntry& a, const HubEntry& b) {
+          return a.hub >= b.hub;
+        }) == label.end();
+    if (!strictly_sorted) {
+      std::sort(label.begin(), label.end(), [](const HubEntry& a, const HubEntry& b) {
+        return a.hub != b.hub ? a.hub < b.hub : a.dist < b.dist;
+      });
+      label.erase(std::unique(label.begin(), label.end(),
+                              [](const HubEntry& a, const HubEntry& b) { return a.hub == b.hub; }),
+                  label.end());
+    }
     label.shrink_to_fit();
   }
   finalized_ = true;

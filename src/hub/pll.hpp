@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "hub/flat_labeling.hpp"
 #include "hub/labeling.hpp"
 
 /// \file pll.hpp
@@ -16,6 +18,16 @@
 /// dropped without breaking exactness for that order.  The paper's related
 /// work positions hub labeling practice around exactly this family of
 /// constructions, so PLL is the measurement yardstick in our benches.
+///
+/// Construction kernel (docs/performance.md, "Construction kernel"): the
+/// builder keeps its in-progress labels in a chunked arena (no per-push
+/// heap allocation) and, on unweighted graphs, accelerates the pruning
+/// test with AIY-style *bit-parallel root tables* for the first
+/// `PllConfig::bp_roots` roots of the order — exact distances plus 64-bit
+/// neighborhood masks, consulted before any label scan.  Only prunes the
+/// scalar builder would also take are taken, so the produced labels are
+/// byte-identical to the scalar path (`bp_roots = 0`) and invariant in
+/// `PllConfig::threads`.
 
 namespace hublab {
 
@@ -28,13 +40,108 @@ enum class VertexOrder {
 /// Compute the processing order.
 std::vector<Vertex> make_vertex_order(const Graph& g, VertexOrder order, std::uint64_t seed = 0);
 
+/// Default number of bit-parallel roots (see PllConfig::bp_roots).
+inline constexpr std::size_t kPllDefaultBpRoots = 64;
+
+/// Construction-time knobs.  Every setting is a pure performance knob: the
+/// produced labeling is byte-identical for every combination.
+struct PllConfig {
+  /// Number of highest-ranked roots that get a bit-parallel table
+  /// (distance plus S_{-1}/S_0 masks over up to 64 neighbors) before the
+  /// pruned searches start.  0 disables the kernel; the value is clamped
+  /// to n.  Ignored (treated as 0) on weighted graphs and on graphs with
+  /// more than 65535 vertices, where the 16-bit distance rows of the
+  /// table could truncate.
+  std::size_t bp_roots = kPllDefaultBpRoots;
+
+  /// Worker threads for the per-root work (the bit-parallel table build
+  /// and the prune scan of large BFS frontiers).  0 defers to
+  /// HUBLAB_THREADS (util/parallel.hpp); label commits stay in frontier
+  /// order, so the labeling does not depend on this.
+  std::size_t threads = 1;
+};
+
 /// Build a PLL labeling using the given precomputed order (a permutation of
 /// the vertices; order[0] is the most important vertex).
-HubLabeling pruned_landmark_labeling(const Graph& g, const std::vector<Vertex>& order);
+HubLabeling pruned_landmark_labeling(const Graph& g, const std::vector<Vertex>& order,
+                                     const PllConfig& config = {});
 
 /// Convenience overload choosing the order internally.
 HubLabeling pruned_landmark_labeling(const Graph& g,
                                      VertexOrder order = VertexOrder::kDegreeDescending,
-                                     std::uint64_t seed = 0);
+                                     std::uint64_t seed = 0, const PllConfig& config = {});
+
+/// As pruned_landmark_labeling, but finalizes straight into the flat SoA
+/// layout in a single pass over the builder's arena — the intermediate
+/// vector-of-vectors representation is never materialized.  The result is
+/// byte-identical to `FlatHubLabeling(pruned_landmark_labeling(g, order))`.
+FlatHubLabeling pruned_landmark_labeling_flat(const Graph& g, const std::vector<Vertex>& order,
+                                              const PllConfig& config = {});
+
+/// Exact distances from the first min(bp_roots, n) roots of an order plus
+/// Akiba–Iwata–Yoshida bit-parallel neighborhood masks, built by one
+/// mask-propagating multi-source BFS per root (the 64-bit batch being the
+/// root's first <= 64 neighbors).  Exposed for tests and for reuse as a
+/// cheap distance-upper-bound oracle; the PLL builder consults it before
+/// scanning any label.
+class BitParallelRoots {
+ public:
+  /// Sentinel distance row value: unreachable from the root.
+  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+
+  BitParallelRoots() = default;
+
+  /// Build tables for the first min(bp_roots, n) entries of `order`.
+  /// `threads` parallelizes over roots (per-root results are written to
+  /// disjoint rows, so the tables are thread-count invariant).  On
+  /// weighted graphs or n > 65535 the table set is empty.
+  BitParallelRoots(const Graph& g, const std::vector<Vertex>& order, std::size_t bp_roots,
+                   std::size_t threads);
+
+  [[nodiscard]] std::size_t num_roots() const { return num_roots_; }
+  [[nodiscard]] bool active() const { return num_roots_ > 0; }
+
+  /// Distance row of v: dist(i) = BFS distance from the i-th root
+  /// (kUnreachable when disconnected).  Valid for i < num_roots().
+  [[nodiscard]] const std::uint16_t* dist_row(Vertex v) const {
+    return dist_.data() + static_cast<std::size_t>(v) * num_roots_;
+  }
+
+  /// Mask rows of v: bit j of sm1(v)[i] / s0(v)[i] is set when the j-th
+  /// selected neighbor s of root i satisfies dist(s, v) == dist(root, v) - 1
+  /// (respectively == dist(root, v)).
+  [[nodiscard]] const std::uint64_t* sm1_row(Vertex v) const {
+    return sm1_.data() + static_cast<std::size_t>(v) * num_roots_;
+  }
+  [[nodiscard]] const std::uint64_t* s0_row(Vertex v) const {
+    return s0_.data() + static_cast<std::size_t>(v) * num_roots_;
+  }
+
+  /// Upper bound on dist(u, v) through root i or one of its selected
+  /// neighbors: d(r,u) + d(r,v) minus the AIY mask correction (2 when the
+  /// S_{-1} masks intersect, 1 on a cross S_{-1}/S_0 hit).  kInfDist when
+  /// either endpoint cannot see the root.
+  [[nodiscard]] Dist estimate(Vertex u, Vertex v, std::size_t i) const;
+
+  /// Minimum of estimate(u, v, i) over all roots.
+  [[nodiscard]] Dist estimate(Vertex u, Vertex v) const;
+
+  /// Peak BFS frontier size of root i's table build (the construction-side
+  /// analog of a pruned search's peak frontier).  Valid for i < num_roots().
+  [[nodiscard]] std::uint64_t peak_frontier(std::size_t i) const { return peaks_[i]; }
+
+  /// Heap footprint of the tables in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return dist_.capacity() * sizeof(std::uint16_t) +
+           (sm1_.capacity() + s0_.capacity()) * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t num_roots_ = 0;
+  std::vector<std::uint16_t> dist_;  ///< n rows of num_roots_ distances
+  std::vector<std::uint64_t> sm1_;   ///< n rows of num_roots_ S_{-1} masks
+  std::vector<std::uint64_t> s0_;    ///< n rows of num_roots_ S_0 masks
+  std::vector<std::uint64_t> peaks_;  ///< per-root peak BFS frontier size
+};
 
 }  // namespace hublab

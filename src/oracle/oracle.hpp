@@ -87,6 +87,8 @@ class HubLabelOracle final : public DistanceOracle {
 class FlatHubLabelOracle final : public DistanceOracle {
  public:
   explicit FlatHubLabelOracle(const HubLabeling& labeling) : labels_(labeling) {}
+  /// Adopt an already-flat labeling (the builder's single-pass finalize).
+  explicit FlatHubLabelOracle(FlatHubLabeling labeling) : labels_(std::move(labeling)) {}
   [[nodiscard]] std::string name() const override { return "hub-labels-flat"; }
   [[nodiscard]] Dist distance(Vertex u, Vertex v) const override { return labels_.query(u, v); }
   [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }

@@ -28,15 +28,18 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
 }
 
-std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, OracleKind kind) {
+std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, const SimConfig& config) {
+  const OracleKind kind = config.oracle;
+  const PllConfig pll{config.bp_roots, config.threads};
   switch (kind) {
     case OracleKind::kPll: {
       const auto order = make_vertex_order(g, VertexOrder::kDegreeDescending);
-      return std::make_unique<HubLabelOracle>(g, pruned_landmark_labeling(g, order));
+      return std::make_unique<HubLabelOracle>(g, pruned_landmark_labeling(g, order, pll));
     }
     case OracleKind::kPllFlat: {
       const auto order = make_vertex_order(g, VertexOrder::kDegreeDescending);
-      return std::make_unique<FlatHubLabelOracle>(pruned_landmark_labeling(g, order));
+      // Single-pass finalize straight into the flat layout.
+      return std::make_unique<FlatHubLabelOracle>(pruned_landmark_labeling_flat(g, order, pll));
     }
     case OracleKind::kCh:
       return std::make_unique<ContractionHierarchy>(g);
@@ -173,7 +176,7 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
   {
     auto span = t.span("build-oracle");
     Timer build_timer;
-    oracle = build_oracle(g, config.oracle);
+    oracle = build_oracle(g, config);
     result.build_s = build_timer.elapsed_s();
   }
   result.oracle_name = oracle->name();
@@ -268,6 +271,7 @@ void write_serve_report_json(std::ostream& os, const SimResult& result, const Si
   header.repetitions = 1;
   header.start_unix_ms = result.start_unix_ms;
   header.threads = result.threads;
+  header.bp_roots = static_cast<std::int64_t>(config.bp_roots);
   header.graphs.push_back(
       {std::string(graph_family), g.num_vertices(), g.num_edges()});
   const QuantileSketch& lat = result.latency_ns;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "hub/pll.hpp"
 #include "util/qsketch.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -60,6 +61,11 @@ struct SimConfig {
   std::uint64_t warmup = 100;  ///< unrecorded leading queries (cache warming)
   std::uint64_t seed = 1;
   std::size_t threads = 1;  ///< query-loop workers (0 = HUBLAB_THREADS, else 1)
+  /// Bit-parallel root count for the PLL construction kernel (hub-label
+  /// oracles only; see PllConfig::bp_roots).  A pure build-speed knob —
+  /// the labels, and hence every query answer, are identical for any
+  /// value.
+  std::size_t bp_roots = kPllDefaultBpRoots;
 };
 
 struct SimResult {

@@ -401,6 +401,44 @@ TEST(BenchSchema, ThreadsMemberIsOptionalButValidated) {
   EXPECT_FALSE(validate_bench_json(parse_json(mistyped)).empty());
 }
 
+TEST(Harness, ParsesBpRootsFlag) {
+  const char* argv[] = {"metrics_test", "--smoke", "--bp-roots", "16"};
+  bench::Harness harness(4, const_cast<char**>(argv), "bp_probe", "banner");
+  EXPECT_EQ(harness.bp_roots(), 16u);
+  EXPECT_EQ(harness.pll_config().bp_roots, 16u);
+  std::ostringstream os;
+  harness.write_json(os, true);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  ASSERT_NE(doc.find("bp_roots"), nullptr);
+  EXPECT_EQ(doc.find("bp_roots")->number_value, 16.0);
+}
+
+TEST(BenchSchema, BpRootsMemberIsOptionalButValidated) {
+  const std::string good = make_harness_json(true);
+  const std::string member = "\"bp_roots\": 64";
+  ASSERT_NE(good.find(member), std::string::npos);
+
+  // Absent is fine: baselines predating the construction kernel must
+  // keep validating.
+  JsonValue without = parse_json(good);
+  std::erase_if(without.object_members,
+                [](const auto& kv) { return kv.first == "bp_roots"; });
+  EXPECT_TRUE(validate_bench_json(without).empty());
+
+  // Zero is a real configuration (the scalar builder); negative or
+  // mistyped is rejected.
+  std::string zero = good;
+  zero.replace(zero.find(member), member.size(), "\"bp_roots\": 0");
+  EXPECT_TRUE(validate_bench_json(parse_json(zero)).empty());
+  std::string negative = good;
+  negative.replace(negative.find(member), member.size(), "\"bp_roots\": -1");
+  EXPECT_FALSE(validate_bench_json(parse_json(negative)).empty());
+  std::string mistyped = good;
+  mistyped.replace(mistyped.find(member), member.size(), "\"bp_roots\": \"lots\"");
+  EXPECT_FALSE(validate_bench_json(parse_json(mistyped)).empty());
+}
+
 TEST(BenchSchema, ValidatorAcceptsVersion1WithoutV2Members) {
   // Committed v1 baselines predate start_unix_ms / peak_rss_bytes; they
   // must keep validating so bench-compare can diff old against new.

@@ -41,7 +41,7 @@ stage "3/9 TSan build + parallel-path tests"
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -j "${jobs}" \
-  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch'
+  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch|PllBp'
 
 stage "4/9 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
@@ -89,6 +89,21 @@ if [ "${compare_failures}" -ne 0 ]; then
   exit 1
 fi
 echo "bench-compare: all benches within thresholds of bench/baselines/"
+
+# The bit-parallel construction kernel must keep its win: the scalar-vs-bp
+# phase of bench_pll_orderings records BP construction time as a percent of
+# the scalar builder's, and the acceptance bar is <= 70%.
+bp_pct="$(grep -o '"pract.bp_construct_pct_of_scalar": [0-9]*' \
+  "${smoke_dir}/BENCH_pll_orderings.json" | grep -o '[0-9]*$')"
+if [ -z "${bp_pct}" ]; then
+  echo "bench-compare: pract.bp_construct_pct_of_scalar missing from BENCH_pll_orderings.json" >&2
+  exit 1
+fi
+if [ "${bp_pct}" -gt 70 ]; then
+  echo "bench-compare: bp construction at ${bp_pct}% of scalar (must be <= 70%)" >&2
+  exit 1
+fi
+echo "bench-compare: bp construction at ${bp_pct}% of scalar (<= 70%)"
 
 stage "8/9 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \

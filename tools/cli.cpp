@@ -183,7 +183,10 @@ int cmd_label(Args& args, std::ostream& out) {
   const Graph g = io::load_edge_list(*file);
   const std::string order_name = args.option("--order").value_or("degree");
   const auto order = order_from_name(g, order_name, args.option_u64("--seed", 1));
-  const HubLabeling labels = pruned_landmark_labeling(g, order);
+  PllConfig pll;
+  pll.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
+  pll.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
+  const HubLabeling labels = pruned_landmark_labeling(g, order, pll);
   const FlatHubLabeling flat(labels);
   out << "PLL(" << order_name << "): avg=" << labels.average_label_size()
       << " max=" << labels.max_label_size() << " total=" << labels.total_hubs()
@@ -390,7 +393,7 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
     throw InvalidArgument(
         "serve-sim: usage: serve-sim GRAPH [--oracle pll|pll-flat|ch|bidij] "
         "[--workload uniform|zipf|near|far] [--queries N] [--warmup N] [--seed N] "
-        "[--threads N] [--smoke] [--json-out FILE] [--prom-out FILE]");
+        "[--threads N] [--bp-roots N] [--smoke] [--json-out FILE] [--prom-out FILE]");
   }
   serve::SimConfig config;
   if (const auto o = args.option("--oracle")) {
@@ -412,6 +415,7 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   config.warmup = args.option_u64("--warmup", 100);
   config.seed = args.option_u64("--seed", 1);
   config.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
+  config.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
 
   const Graph g = io::load_edge_list(*file);
   metrics::registry().reset();
