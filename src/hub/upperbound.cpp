@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <map>
 
 #include "graph/transforms.hpp"
 #include "matching/bipartite.hpp"
@@ -23,7 +23,7 @@ struct PipelineState {
   std::vector<std::vector<Vertex>> q_of;      ///< Q_v (plus distance-0 partners)
   std::vector<std::vector<Vertex>> r_of;      ///< R_v
   /// E^h_{a,b} keyed by ((h * (D+1)) + a) * (D+1) + b.
-  std::unordered_map<std::uint64_t, std::vector<std::pair<Vertex, Vertex>>> groups;
+  std::map<std::uint64_t, std::vector<std::pair<Vertex, Vertex>>> groups;
 
   [[nodiscard]] std::uint64_t key(Vertex h, Dist a, Dist b) const {
     return (static_cast<std::uint64_t>(h) * (D + 1) + a) * (D + 1) + b;
@@ -249,7 +249,7 @@ bool verify_lemma_4_2(const Graph& g, const DistanceMatrix& truth, std::size_t D
   // Regroup the (h, a, b) classes by (color(h), a, b); within one class the
   // lemma asserts each MM^h_{a,b} is an induced matching of the union graph
   // G^c_{a,b} over the class.
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_color_ab;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> by_color_ab;
   for (const auto& [key, pairs] : st.groups) {
     const Vertex h = st.key_hub(key);
     const std::uint64_t cab = key - static_cast<std::uint64_t>(h) * (D + 1) * (D + 1) +

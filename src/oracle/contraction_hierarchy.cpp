@@ -167,42 +167,52 @@ ContractionHierarchy::ContractionHierarchy(const Graph& g, std::size_t witness_s
   }
 }
 
+std::vector<std::pair<Vertex, Dist>> ContractionHierarchy::upward_search(Vertex source) const {
+  // Exhaustive upward Dijkstra; the upward search spaces are small by
+  // construction.
+  std::unordered_map<Vertex, Dist> dist;
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (dist[u] != d) continue;
+    for (const UpArc& a : up_[u]) {
+      const Dist nd = d + a.weight;
+      auto [it, fresh] = dist.try_emplace(a.to, nd);
+      if (fresh || nd < it->second) {
+        it->second = nd;
+        pq.emplace(nd, a.to);
+      }
+    }
+  }
+  std::vector<std::pair<Vertex, Dist>> settled(dist.begin(), dist.end());
+  std::sort(settled.begin(), settled.end());
+  return settled;
+}
+
 Dist ContractionHierarchy::distance(Vertex s, Vertex t) const {
   HUBLAB_ASSERT(s < up_.size() && t < up_.size());
   if (s == t) return 0;
 
-  // Exhaustive upward Dijkstra from one endpoint, then the other; the
-  // upward search spaces are small by construction.
-  auto upward_distances = [this](Vertex source) {
-    std::unordered_map<Vertex, Dist> dist;
-    using Item = std::pair<Dist, Vertex>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    dist[source] = 0;
-    pq.emplace(0, source);
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (dist[u] != d) continue;
-      for (const UpArc& a : up_[u]) {
-        const Dist nd = d + a.weight;
-        auto [it, fresh] = dist.try_emplace(a.to, nd);
-        if (fresh || nd < it->second) {
-          it->second = nd;
-          pq.emplace(nd, a.to);
-        }
-      }
-    }
-    return dist;
-  };
-
-  const auto from_s = upward_distances(s);
-  const auto from_t = upward_distances(t);
+  // Two-pointer intersection of the vertex-sorted upward search spaces.
+  const auto from_s = upward_search(s);
+  const auto from_t = upward_search(t);
   Dist best = kInfDist;
-  const auto& small = from_s.size() <= from_t.size() ? from_s : from_t;
-  const auto& large = from_s.size() <= from_t.size() ? from_t : from_s;
-  for (const auto& [v, d] : small) {
-    const auto it = large.find(v);
-    if (it != large.end()) best = std::min(best, d + it->second);
+  auto it_s = from_s.begin();
+  auto it_t = from_t.begin();
+  while (it_s != from_s.end() && it_t != from_t.end()) {
+    if (it_s->first < it_t->first) {
+      ++it_s;
+    } else if (it_t->first < it_s->first) {
+      ++it_t;
+    } else {
+      best = std::min(best, it_s->second + it_t->second);
+      ++it_s;
+      ++it_t;
+    }
   }
   return best;
 }
@@ -221,26 +231,7 @@ HubLabeling ContractionHierarchy::extract_hub_labeling() const {
   // exact distance.
   HubLabeling raw(n);
   for (Vertex v = 0; v < n; ++v) {
-    // Rebuild the upward Dijkstra inline (mirrors distance()).
-    std::unordered_map<Vertex, Dist> dist;
-    using Item = std::pair<Dist, Vertex>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    dist[v] = 0;
-    pq.emplace(0, v);
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (dist[u] != d) continue;
-      for (const UpArc& a : up_[u]) {
-        const Dist nd = d + a.weight;
-        auto [it, fresh] = dist.try_emplace(a.to, nd);
-        if (fresh || nd < it->second) {
-          it->second = nd;
-          pq.emplace(nd, a.to);
-        }
-      }
-    }
-    for (const auto& [w, d] : dist) raw.add_hub(v, w, d);
+    for (const auto& [w, d] : upward_search(v)) raw.add_hub(v, w, d);
   }
   raw.finalize();
 

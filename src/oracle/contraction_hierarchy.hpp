@@ -58,6 +58,11 @@ class ContractionHierarchy final : public DistanceOracle {
     Dist weight;
   };
 
+  /// Exhaustive upward Dijkstra from `source`: the settled (vertex,
+  /// distance) pairs sorted by vertex id, so both the query intersection
+  /// and the label extraction consume them in deterministic order.
+  [[nodiscard]] std::vector<std::pair<Vertex, Dist>> upward_search(Vertex source) const;
+
   std::vector<std::vector<UpArc>> up_;  ///< upward arcs (to higher-rank vertices)
   std::vector<std::uint32_t> rank_;
   std::size_t num_shortcuts_ = 0;

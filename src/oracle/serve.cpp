@@ -1,7 +1,6 @@
 #include "oracle/serve.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 #include <ostream>
 
@@ -21,12 +20,6 @@
 namespace hublab::serve {
 
 namespace {
-
-std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
-                         std::chrono::steady_clock::time_point to) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
-}
 
 std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, const SimConfig& config) {
   const OracleKind kind = config.oracle;
@@ -228,10 +221,9 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
     par::run_chunks(chunks, result.threads, [&](const par::ChunkRange& chunk) {
       ChunkStats& s = stats[chunk.index];
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-        const auto begin = std::chrono::steady_clock::now();
+        const std::uint64_t begin_ns = monotonic_ns();
         const Dist d = oracle->distance(pairs[i].first, pairs[i].second);
-        const auto end = std::chrono::steady_clock::now();
-        s.latency_ns.record(elapsed_ns(begin, end));
+        s.latency_ns.record(monotonic_ns() - begin_ns);
         ++s.queries;
         if (d != kInfDist) {
           ++s.reachable;

@@ -21,14 +21,14 @@ namespace hublab::detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
-  // hublab-lint: allow raw-io (crash path; the logger may be unusable here)
+  // hublab-lint-allow(raw-io) (crash path; the logger may be unusable here)
   std::fprintf(stderr, "hublab assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg != nullptr ? msg : "");
   std::abort();
 }
 
 [[noreturn]] inline void unreachable_fail(const char* file, int line) {
-  // hublab-lint: allow raw-io (crash path)
+  // hublab-lint-allow(raw-io) (crash path)
   std::fprintf(stderr, "hublab reached unreachable code\n  at %s:%d\n", file, line);
   std::abort();
 }
@@ -37,14 +37,14 @@ namespace hublab::detail {
                                     std::uint64_t index, std::uint64_t bound, bool negative,
                                     const char* file, int line) {
   if (negative) {
-    // hublab-lint: allow raw-io (crash path)
+    // hublab-lint-allow(raw-io) (crash path)
     std::fprintf(stderr,
                  "hublab bounds check failed: %s < %s\n  at %s:%d\n  index %s is negative "
                  "(-%llu), bound is %llu\n",
                  index_expr, bound_expr, file, line, index_expr,
                  static_cast<unsigned long long>(index), static_cast<unsigned long long>(bound));
   } else {
-    // hublab-lint: allow raw-io (crash path)
+    // hublab-lint-allow(raw-io) (crash path)
     std::fprintf(stderr,
                  "hublab bounds check failed: %s < %s\n  at %s:%d\n  index is %llu, bound is "
                  "%llu\n",

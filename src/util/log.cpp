@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace hublab::log {
 
@@ -73,12 +74,11 @@ std::uint64_t RateLimiter::suppressed(std::string_view key) const {
 }
 
 // util/log.cpp is the allowlisted home of raw stderr output (see the raw-io
-// rule in tools/hublab_lint.cpp): everything else in src/ logs through here.
-Logger::Logger()
-    : sink_(&std::cerr), epoch_(std::chrono::steady_clock::now()) {}
+// rule in docs/correctness.md): everything else in src/ logs through here.
+Logger::Logger() : sink_(&std::cerr), epoch_ns_(monotonic_ns()) {}
 
 double Logger::now_s() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  return static_cast<double>(monotonic_ns() - epoch_ns_) * 1e-9;
 }
 
 void Logger::set_rate_limit(std::uint64_t max_per_window, double window_s) {

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
@@ -135,7 +134,7 @@ class Logger {
   std::uint64_t records_written_ = 0;
   RateLimiter limiter_{0, 1.0};
   bool limiting_ = false;
-  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t epoch_ns_ = 0;  ///< monotonic_ns() at construction
 };
 
 /// The process-global logger the HUBLAB_LOG_* macros write to.

@@ -151,7 +151,9 @@ std::vector<ChunkRange> static_chunks(std::size_t begin, std::size_t end, std::s
 std::size_t resolve_threads(std::size_t requested) {
   std::size_t t = requested;
   if (t == 0) {
-    if (const char* env = std::getenv("HUBLAB_THREADS")) {
+    // Read once, before any worker threads exist; nothing in the process
+    // mutates the environment.
+    if (const char* env = std::getenv("HUBLAB_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       char* end = nullptr;
       const unsigned long long v = std::strtoull(env, &end, 10);
       if (end != env && *end == '\0' && v > 0) t = static_cast<std::size_t>(v);

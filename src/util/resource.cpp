@@ -1,6 +1,6 @@
 #include "util/resource.hpp"
 
-#include <chrono>
+#include "util/timer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -22,10 +22,6 @@ std::uint64_t peak_rss_bytes() {
 #endif
 }
 
-std::uint64_t unix_time_ms() {
-  const auto now = std::chrono::system_clock::now().time_since_epoch();
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
-}
+std::uint64_t unix_time_ms() { return wall_unix_ms(); }
 
 }  // namespace hublab

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 /// \file timer.hpp
 /// Wall-clock stopwatch used by the benchmark harness and the tracing layer
@@ -11,8 +12,30 @@
 /// span exclude work it does not want to attribute to itself (e.g. a bench
 /// that interleaves timed queries with untimed verification); `elapsed_s()`
 /// always reports the accumulated running time only.
+///
+/// This header is the only sanctioned clock source in src/ (the
+/// `wall-clock` lint rule): raw timestamps come from `monotonic_ns()`
+/// (latency measurement, log timestamps) or `wall_unix_ms()` (run
+/// metadata such as the bench JSON `start_unix_ms`), never from
+/// `std::chrono::*_clock` directly.
 
 namespace hublab {
+
+/// Nanoseconds on the monotonic clock, for durations and latencies.  The
+/// epoch is unspecified; only differences are meaningful.
+[[nodiscard]] inline std::uint64_t monotonic_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+/// Milliseconds since the Unix epoch on the wall clock, for run metadata
+/// only — wall time is not monotone, so never difference two reads.
+[[nodiscard]] inline std::uint64_t wall_unix_ms() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
 
 class Timer {
  public:

@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file bad_header.hpp
+/// Fixture: self-contained -- uses std::string without including it.
+
+namespace fixture {
+
+inline std::size_t length_of(const std::string& s) { return s.size(); }
+
+}  // namespace fixture

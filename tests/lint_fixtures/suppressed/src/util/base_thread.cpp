@@ -1,0 +1,8 @@
+// Fixture: baseline grandfathering -- raw-thread silenced by the
+// committed tools/lint_baseline.json of this fixture root.
+
+namespace fixture {
+
+void spawn() { std::thread t([] {}); }
+
+}  // namespace fixture

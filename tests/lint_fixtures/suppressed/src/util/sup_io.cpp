@@ -1,0 +1,9 @@
+// Fixture: inline suppression marker on the offending line.
+
+namespace fixture {
+
+void crash_note() {
+  std::cerr << "boom";  // hublab-lint-allow(raw-io)
+}
+
+}  // namespace fixture

@@ -1,0 +1,3 @@
+// Fixture: bench-harness -- a bench binary that skips bench/harness.hpp.
+
+int main() { return 0; }

@@ -1,0 +1,12 @@
+// Fixture: atomic-order -- atomic ops with the implicit seq_cst default.
+
+#include <atomic>
+
+namespace fixture {
+
+struct Counter {
+  std::atomic<int> hits;
+  void bump() { hits.store(hits.load() + 1); }
+};
+
+}  // namespace fixture

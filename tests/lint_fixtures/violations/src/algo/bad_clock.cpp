@@ -1,0 +1,9 @@
+// Fixture: wall-clock -- a raw clock read outside util/timer.hpp.
+
+namespace fixture {
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: unordered-iter -- range-for over a hash map.
+
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [key, value] : table) total += value;
+  return total;
+}
+
+}  // namespace fixture

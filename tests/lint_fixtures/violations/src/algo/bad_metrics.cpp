@@ -1,0 +1,13 @@
+// Fixture: metric/span drift -- one undocumented metric and span next to
+// documented ones that stay clean.
+
+namespace fixture {
+
+void record(Registry& reg, Tracer& tracer) {
+  reg.counter("fixture.documented").add(1);
+  reg.counter("fixture.undocumented").add(1);
+  auto span_listed = tracer.span("fixture-listed");
+  auto span_rogue = tracer.span("fixture-unlisted");
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: mutex-guard -- manual lock()/unlock() instead of RAII.
+
+#include <mutex>
+
+namespace fixture {
+
+struct Locked {
+  std::mutex mu;
+  int value = 0;
+  void update(int v) {
+    mu.lock();
+    value = v;
+    mu.unlock();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: float-reduce -- FP accumulation inside a parallel_for body.
+
+namespace fixture {
+
+double sum_parallel() {
+  double acc = 0.0;
+  parallel_for(0, 100, [&](int i) { acc += static_cast<double>(i); });
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: volatile-sync -- volatile used as a poor man's flag.
+
+namespace fixture {
+
+volatile int g_flag = 0;
+
+void raise() { g_flag = 1; }
+
+}  // namespace fixture

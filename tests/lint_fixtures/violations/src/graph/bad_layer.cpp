@@ -1,0 +1,3 @@
+// Fixture: layer-upward -- graph/ (rank 1) including oracle/ (rank 3).
+
+#include "oracle/thing.hpp"

@@ -1,0 +1,10 @@
+// Fixture: assert-guard -- a mutating API with no precondition check.
+
+namespace fixture {
+
+struct Box {
+  int value = 0;
+  void set_value(int v) { value = v; }
+};
+
+}  // namespace fixture

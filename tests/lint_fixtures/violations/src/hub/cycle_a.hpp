@@ -1,0 +1,6 @@
+#pragma once
+
+/// \file cycle_a.hpp
+/// Fixture: layer-cycle -- includes cycle_b.hpp, which includes us back.
+
+#include "hub/cycle_b.hpp"

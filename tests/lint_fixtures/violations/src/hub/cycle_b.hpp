@@ -1,0 +1,6 @@
+#pragma once
+
+/// \file cycle_b.hpp
+/// Fixture: layer-cycle -- the second half of the include cycle.
+
+#include "hub/cycle_a.hpp"

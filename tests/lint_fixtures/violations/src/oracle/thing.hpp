@@ -1,0 +1,6 @@
+#pragma once
+
+/// \file thing.hpp
+/// Fixture support header: exists so the layer-upward include resolves.
+
+namespace fixture {}

@@ -1,0 +1,4 @@
+// Fixture: include-hygiene -- a ../ escape and an unresolvable include.
+
+#include "../escape.hpp"
+#include "nonexistent/missing.hpp"

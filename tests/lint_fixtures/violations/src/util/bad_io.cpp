@@ -1,0 +1,7 @@
+// Fixture: raw-io -- diagnostics bypassing the structured logger.
+
+namespace fixture {
+
+void grumble() { std::cerr << "boom"; }
+
+}  // namespace fixture

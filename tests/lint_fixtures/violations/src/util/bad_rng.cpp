@@ -1,0 +1,10 @@
+// Fixture: rng-source -- a raw standard-library engine outside util/rng.hpp.
+
+namespace fixture {
+
+int roll() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

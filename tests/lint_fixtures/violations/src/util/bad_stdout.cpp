@@ -1,0 +1,7 @@
+// Fixture: stdout-in-library -- library code narrating to stdout.
+
+namespace fixture {
+
+void narrate() { std::cout << "hello"; }
+
+}  // namespace fixture

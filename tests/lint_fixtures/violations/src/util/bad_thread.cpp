@@ -1,0 +1,7 @@
+// Fixture: raw-thread -- spawning a thread outside util/parallel.cpp.
+
+namespace fixture {
+
+void spawn() { std::thread t([] {}); }
+
+}  // namespace fixture

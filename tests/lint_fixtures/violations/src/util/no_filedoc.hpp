@@ -1,0 +1,5 @@
+#pragma once
+
+// Fixture: file-doc -- src/ header without a file-doc comment.
+
+namespace fixture {}

@@ -1,0 +1,4 @@
+/// \file no_pragma.hpp
+/// Fixture: pragma-once -- header missing the pragma.
+
+namespace fixture {}

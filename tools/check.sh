@@ -6,10 +6,11 @@
 #   3. ThreadSanitizer build + parallel-path tests   (preset tsan)
 #   4. clang-tidy gate                               (run-tidy; skips w/o clang-tidy)
 #   5. hublab_lint incl. header self-containment     (run-lint)
-#   6. bench smoke: every bench --smoke + JSON schema validation
-#   7. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
-#   8. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
-#   9. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#   6. hublab_lint --sarif + SARIF 2.1.0 validation  (CI artifact)
+#   7. bench smoke: every bench --smoke + JSON schema validation
+#   8. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
+#   9. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
+#  10. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 set -euo pipefail
@@ -22,17 +23,17 @@ stage() {
   echo "=== check.sh: $* ==="
 }
 
-stage "1/9 RelWithDebInfo build + tests"
+stage "1/10 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/9 ASan+UBSan build + tests"
+stage "2/10 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/9 TSan build + parallel-path tests"
+stage "3/10 TSan build + parallel-path tests"
 # The suites that drive util/parallel's pool with threads > 1: the pool
 # itself, every parallelized hub-labeling entry point, the flat kernel, the
 # threaded serve loop and the sketch merges it reduces with.  -fsanitize=
@@ -43,13 +44,31 @@ cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -j "${jobs}" \
   -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch|PllBp'
 
-stage "4/9 clang-tidy gate"
+stage "4/10 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "5/9 hublab_lint (with header self-containment)"
+stage "5/10 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "6/9 bench smoke + BENCH_*.json schema validation"
+stage "6/10 hublab_lint SARIF artifact"
+# Re-run the analyzer emitting SARIF (the CI-consumable artifact) and prove
+# the document is well-formed 2.1.0 with the full rule catalog.  Headers
+# were already probed in stage 5.
+sarif_out="$(mktemp)"
+build/dev/tools/hublab_lint --root . --no-header-check --sarif "${sarif_out}" > /dev/null
+python3 - "${sarif_out}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+assert doc["version"] == "2.1.0", doc["version"]
+run = doc["runs"][0]
+rules = run["tool"]["driver"]["rules"]
+assert len(rules) >= 20, f"expected >= 20 rule descriptors, got {len(rules)}"
+print(f"sarif: valid 2.1.0, {len(rules)} rules, {len(run['results'])} results")
+PY
+rm -f "${sarif_out}"
+
+stage "7/10 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -68,7 +87,7 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "7/9 bench-compare vs committed baselines"
+stage "8/10 bench-compare vs committed baselines"
 # Wall-clock thresholds are deliberately loose here (different machines,
 # shared CI runners); structural metrics are seeded and should stay close.
 compare_failures=0
@@ -105,7 +124,7 @@ if [ "${bp_pct}" -gt 70 ]; then
 fi
 echo "bench-compare: bp construction at ${bp_pct}% of scalar (<= 70%)"
 
-stage "8/9 serve-sim smoke + SERVE_*.json schema validation"
+stage "9/10 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \
   && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
   && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
@@ -118,7 +137,7 @@ grep -q "hublab_serve_query_ns" "${smoke_dir}/SERVE_pll.prom"
 grep -q '"threads": 4' "${smoke_dir}/SERVE_pll_flat.json"
 echo "serve-sim: SERVE_*.json schema-valid, Prometheus dump has serve metrics"
 
-stage "9/9 Werror build"
+stage "10/10 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

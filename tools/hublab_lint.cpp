@@ -1,513 +1,80 @@
-// hublab_lint: project-specific lint rules that clang-tidy cannot express.
+// hublab_lint: the repo's multi-pass static analyzer (see docs/correctness.md
+// and tools/lint/lint.hpp for the pass and rule catalog).
 //
-// Scope: src/, tools/, tests/, bench/ under --root.  Rules (see
-// docs/correctness.md):
+// Usage:
+//   hublab_lint [--root DIR] [--compiler CXX] [--no-header-check]
+//               [--baseline FILE | --no-baseline]
+//               [--json] [--sarif OUT.sarif]
 //
-//   rng-source        Randomness outside util/rng.hpp is banned: every
-//                     randomized component takes an explicit hublab::Rng so
-//                     results reproduce across runs and platforms.
-//   stdout-in-library Library code (src/) never writes to stdout; it reports
-//                     through return values and exceptions.  Report binaries
-//                     pass their own std::ostream (see util/table.hpp).
-//   raw-io            Library code (src/) never writes diagnostics through
-//                     fprintf or std::cerr; it goes through the structured
-//                     logger (util/log.hpp).  log.cpp owns the sink; crash
-//                     paths opt out with a `hublab-lint: allow raw-io`
-//                     comment.
-//   raw-thread        Library code (src/) never spawns raw std::thread /
-//                     std::jthread / std::async; parallelism goes through
-//                     util/parallel.hpp so the determinism contract
-//                     (docs/performance.md) holds.  parallel.cpp owns the
-//                     pool; opt out with `hublab-lint: allow raw-thread`.
-//   pragma-once       Every header starts with #pragma once.
-//   include-hygiene   No "../" includes; quoted includes name project files
-//                     rooted at src/ (or the repo root for tools/), and they
-//                     must exist.
-//   file-doc          Every src/ header carries a `/// \file` comment
-//                     explaining its role.
-//   assert-guard      Public mutating APIs in graph/, hub/ and lowerbound/
-//                     (add_*/insert_*/remove_*/set_*) validate their inputs
-//                     with HUBLAB_ASSERT* or by throwing before mutating.
-//   self-contained    Every src/ header compiles on its own
-//                     (-fsyntax-only); disable with --no-header-check.
-//   bench-harness     Every bench binary (bench/bench_*.cpp) goes through
-//                     bench/harness.hpp so it honours --smoke/--json-out and
-//                     emits schema-valid BENCH_*.json.
-//
-// Banned tokens are assembled from fragments below so this file does not
-// flag itself.
+// Exit codes: 0 clean, 1 findings, 2 usage/configuration error.  Text (or
+// --json) goes to stdout; --sarif additionally writes a SARIF 2.1.0 file.
 
-#include <algorithm>
-#include <cctype>
-#include <cstdlib>
-#include <filesystem>
+#include <exception>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "tools/lint/lint.hpp"
 
 namespace {
 
-struct Violation {
-  std::string file;
-  std::size_t line;
-  std::string rule;
-  std::string message;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--compiler CXX] [--no-header-check]\n"
+               "       [--baseline FILE | --no-baseline] [--json] [--sarif OUT.sarif]\n";
+  return 2;
 }
-
-/// True when `text` contains `ident` as a whole identifier (not a substring
-/// of a longer identifier).  A leading "::" qualifier still matches.
-bool contains_identifier(const std::string& text, const std::string& ident) {
-  std::size_t pos = 0;
-  while ((pos = text.find(ident, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
-    const std::size_t end = pos + ident.size();
-    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
-}
-
-/// Strip // and /* */ comments (tracking block state across lines) and
-/// string/char literals, so lint tokens inside either never count.
-std::vector<std::string> stripped_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  bool in_block = false;
-  bool in_string = false;
-  bool in_char = false;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-      in_string = in_char = false;  // unterminated literals never span lines here
-      continue;
-    }
-    if (in_block) {
-      if (c == '*' && next == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    if (in_string) {
-      if (c == '\\') ++i;
-      else if (c == '"') in_string = false;
-      continue;
-    }
-    if (in_char) {
-      if (c == '\\') ++i;
-      else if (c == '\'') in_char = false;
-      continue;
-    }
-    if (c == '/' && next == '/') {
-      // Skip to end of line.
-      while (i + 1 < text.size() && text[i + 1] != '\n') ++i;
-      continue;
-    }
-    if (c == '/' && next == '*') {
-      in_block = true;
-      ++i;
-      continue;
-    }
-    if (c == '"') {
-      in_string = true;
-      current += ' ';
-      continue;
-    }
-    if (c == '\'' && !(i > 0 && is_ident_char(text[i - 1]))) {
-      // A char literal; identifier-adjacent ' is a digit separator (1'000).
-      in_char = true;
-      continue;
-    }
-    current += c;
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-std::string read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-class Linter {
- public:
-  Linter(fs::path root, std::string compiler, bool check_headers)
-      : root_(std::move(root)), compiler_(std::move(compiler)), check_headers_(check_headers) {}
-
-  int run() {
-    std::vector<fs::path> files;
-    for (const char* dir : {"src", "tools", "tests", "bench"}) {
-      const fs::path base = root_ / dir;
-      if (!fs::exists(base)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(base)) {
-        if (!entry.is_regular_file()) continue;
-        const std::string ext = entry.path().extension().string();
-        if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
-      }
-    }
-    std::sort(files.begin(), files.end());
-
-    for (const fs::path& file : files) lint_file(file);
-    if (check_headers_) check_header_self_containment(files);
-
-    for (const Violation& v : violations_) {
-      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
-    }
-    std::cout << "hublab_lint: " << files.size() << " files, " << violations_.size()
-              << " violation(s)\n";
-    return violations_.empty() ? 0 : 1;
-  }
-
- private:
-  void fail(const fs::path& file, std::size_t line, const std::string& rule,
-            const std::string& message) {
-    violations_.push_back(
-        Violation{fs::relative(file, root_).generic_string(), line, rule, message});
-  }
-
-  [[nodiscard]] std::string rel(const fs::path& file) const {
-    return fs::relative(file, root_).generic_string();
-  }
-
-  void lint_file(const fs::path& file) {
-    const std::string text = read_file(file);
-    const std::vector<std::string> lines = stripped_lines(text);
-    const std::string path = rel(file);
-    const bool in_src = path.rfind("src/", 0) == 0;
-    const bool is_header = file.extension() == ".hpp";
-
-    check_banned_tokens(file, lines, path, in_src);
-    if (in_src) {
-      check_raw_io(file, text, lines, path);
-      check_raw_thread(file, text, lines, path);
-    }
-    check_includes(file, lines, path);
-    // Raw text, not stripped lines: the include target lives inside quotes.
-    if (path.rfind("bench/bench_", 0) == 0 && !is_header &&
-        text.find("#include \"bench/harness.hpp\"") == std::string::npos) {
-      fail(file, 1, "bench-harness",
-           "bench binaries construct a bench::Harness (bench/harness.hpp) so they honour "
-           "--smoke/--json-out and emit schema-valid BENCH_*.json");
-    }
-    if (is_header) {
-      check_pragma_once(file, lines);
-      if (in_src && text.find("\\file") == std::string::npos) {
-        fail(file, 1, "file-doc", "src/ headers document their role with a `/// \\file` comment");
-      }
-    }
-    if (in_src && (path.rfind("src/graph/", 0) == 0 || path.rfind("src/hub/", 0) == 0 ||
-                   path.rfind("src/lowerbound/", 0) == 0)) {
-      check_mutator_guards(file, lines);
-    }
-  }
-
-  void check_banned_tokens(const fs::path& file, const std::vector<std::string>& lines,
-                           const std::string& path, bool in_src) {
-    // Identifiers assembled from fragments so this file stays clean.
-    const std::string k_mt = std::string("mt19") + "937";
-    const std::string k_mt64 = k_mt + "_64";
-    const std::string k_rand = std::string("ra") + "nd";
-    const std::string k_srand = "s" + k_rand;
-    const std::string k_rand_dev = k_rand + "om_device";
-    const std::string k_rand_eng = "default_" + k_rand + "om_engine";
-    const std::string k_minstd = std::string("minstd_") + k_rand;
-    const std::vector<std::string> rng_idents = {k_mt,       k_mt64,     k_rand,
-                                                 k_srand,    k_rand_dev, k_rand_eng,
-                                                 k_minstd};
-
-    const std::string k_cout = std::string("co") + "ut";
-    const std::string k_printf = std::string("print") + "f";
-    const std::string k_puts = std::string("pu") + "ts";
-    const std::string k_putchar = std::string("put") + "char";
-    const std::string k_stdout = std::string("std") + "out";
-    const std::vector<std::string> stdout_idents = {k_cout, k_printf, k_puts, k_putchar,
-                                                    k_stdout};
-
-    const bool rng_allowed = path == "src/util/rng.hpp";
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (!rng_allowed) {
-        for (const std::string& ident : rng_idents) {
-          if (contains_identifier(lines[i], ident)) {
-            fail(file, i + 1, "rng-source",
-                 "`" + ident + "` bypasses the deterministic hublab::Rng; " +
-                     "take an explicit seed and use util/rng.hpp");
-          }
-        }
-      }
-      if (in_src) {
-        for (const std::string& ident : stdout_idents) {
-          if (contains_identifier(lines[i], ident)) {
-            fail(file, i + 1, "stdout-in-library",
-                 "`" + ident + "` writes to stdout from library code; report through " +
-                     "return values/exceptions or a caller-supplied std::ostream");
-          }
-        }
-      }
-    }
-  }
-
-  /// raw-io: src/ never writes diagnostics through fprintf / std::cerr
-  /// directly; everything routes through the structured logger
-  /// (util/log.hpp), whose sink (log.cpp) is the one sanctioned writer.
-  /// Crash paths that cannot trust the logger opt out with a
-  /// `hublab-lint: allow raw-io` comment on the offending line or the line
-  /// above (checked against the RAW text, because stripping removes it).
-  void check_raw_io(const fs::path& file, const std::string& text,
-                    const std::vector<std::string>& lines, const std::string& path) {
-    if (path == "src/util/log.cpp") return;  // the logger's default sink
-    const std::string k_fprintf = std::string("fpr") + "intf";
-    const std::string k_cerr = std::string("ce") + "rr";
-    const std::string k_marker = std::string("hublab-lint: allow ") + "raw-io";
-
-    std::vector<std::string> raw_lines;
-    std::istringstream stream(text);
-    std::string raw;
-    while (std::getline(stream, raw)) raw_lines.push_back(raw);
-
-    const auto allowed = [&](std::size_t i) {
-      return (i < raw_lines.size() && raw_lines[i].find(k_marker) != std::string::npos) ||
-             (i > 0 && i - 1 < raw_lines.size() &&
-              raw_lines[i - 1].find(k_marker) != std::string::npos);
-    };
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      for (const std::string& ident : {k_fprintf, k_cerr}) {
-        if (contains_identifier(lines[i], ident) && !allowed(i)) {
-          fail(file, i + 1, "raw-io",
-               "`" + ident + "` bypasses the structured logger; use HUBLAB_LOG_* " +
-                   "(util/log.hpp), or mark an untrusted crash path with `" + k_marker + "`");
-        }
-      }
-    }
-  }
-
-  /// raw-thread: src/ never spawns threads directly — std::thread,
-  /// std::jthread and std::async (and their <thread> include) are confined
-  /// to util/parallel.cpp, the pool behind parallel_for.  Everything else
-  /// expresses parallelism through util/parallel.hpp, which is what keeps
-  /// results bit-identical across thread counts (docs/performance.md).
-  /// Escape hatch: a `hublab-lint: allow raw-thread` comment on the line
-  /// or the line above, mirroring the raw-io rule.
-  void check_raw_thread(const fs::path& file, const std::string& text,
-                        const std::vector<std::string>& lines, const std::string& path) {
-    if (path == "src/util/parallel.cpp") return;  // the sanctioned pool
-    const std::string k_thread = std::string("th") + "read";
-    const std::string k_jthread = "j" + k_thread;
-    const std::string k_async = std::string("as") + "ync";
-    const std::string k_marker = std::string("hublab-lint: allow ") + "raw-" + k_thread;
-
-    std::vector<std::string> raw_lines;
-    std::istringstream stream(text);
-    std::string raw;
-    while (std::getline(stream, raw)) raw_lines.push_back(raw);
-
-    const auto allowed = [&](std::size_t i) {
-      return (i < raw_lines.size() && raw_lines[i].find(k_marker) != std::string::npos) ||
-             (i > 0 && i - 1 < raw_lines.size() &&
-              raw_lines[i - 1].find(k_marker) != std::string::npos);
-    };
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      for (const std::string& ident : {k_thread, k_jthread, k_async}) {
-        if (contains_identifier(lines[i], ident) && !allowed(i)) {
-          fail(file, i + 1, "raw-" + k_thread,
-               "`" + ident + "` spawns threads outside util/parallel.cpp; use parallel_for " +
-                   "(util/parallel.hpp) so results stay deterministic across thread counts, " +
-                   "or mark a sanctioned use with `" + k_marker + "`");
-        }
-      }
-    }
-  }
-
-  void check_pragma_once(const fs::path& file, const std::vector<std::string>& lines) {
-    for (const std::string& line : lines) {
-      const std::size_t first = line.find_first_not_of(" \t");
-      if (first == std::string::npos) continue;  // blank / comment-only line
-      if (line.compare(first, 12, "#pragma once") == 0) return;
-      fail(file, 1, "pragma-once", "headers start with #pragma once");
-      return;
-    }
-    fail(file, 1, "pragma-once", "headers start with #pragma once");
-  }
-
-  void check_includes(const fs::path& file, const std::vector<std::string>& lines,
-                      const std::string& path) {
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& line = lines[i];
-      const std::size_t hash = line.find_first_not_of(" \t");
-      if (hash == std::string::npos || line[hash] != '#') continue;
-      const std::size_t inc = line.find("include", hash);
-      if (inc == std::string::npos) continue;
-      const std::size_t open = line.find_first_of("\"<", inc);
-      if (open == std::string::npos) continue;
-      const char close_char = line[open] == '"' ? '"' : '>';
-      const std::size_t close = line.find(close_char, open + 1);
-      if (close == std::string::npos) continue;
-      const std::string target = line.substr(open + 1, close - open - 1);
-
-      if (target.find("..") != std::string::npos) {
-        fail(file, i + 1, "include-hygiene",
-             "#include \"" + target + "\" uses a relative ../ path; include project headers " +
-                 "by their path from src/");
-        continue;
-      }
-      if (line[open] == '"') {
-        // Quoted includes are project headers addressed from src/ (library)
-        // or from the repo root (tools/ headers used by tools and tests).
-        const bool from_src = fs::exists(root_ / "src" / target);
-        const bool from_root = fs::exists(root_ / target);
-        if (!from_src && !from_root) {
-          fail(file, i + 1, "include-hygiene",
-               "#include \"" + target + "\" does not resolve under src/ or the repo root; " +
-                   "system headers use <...>, project headers their canonical path");
-        }
-        (void)path;
-      }
-    }
-  }
-
-  /// Public mutating APIs must validate before mutating.  Finds definitions
-  /// of add_*/insert_*/remove_*/set_* functions and requires HUBLAB_ASSERT*
-  /// or a throw in the body.  `add_vertex` is exempt: appending a fresh
-  /// vertex has no precondition.
-  void check_mutator_guards(const fs::path& file, const std::vector<std::string>& lines) {
-    std::string text;
-    std::vector<std::size_t> line_of;  // char offset -> line number
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      for (std::size_t k = 0; k <= lines[i].size(); ++k) line_of.push_back(i + 1);
-      text += lines[i];
-      text += '\n';
-    }
-
-    static const std::vector<std::string> kPrefixes = {"add_", "insert_", "remove_", "set_"};
-    static const std::vector<std::string> kExempt = {"add_vertex"};
-
-    std::size_t pos = 0;
-    while (pos < text.size()) {
-      // Find the next identifier starting with a mutator prefix.
-      std::size_t best = std::string::npos;
-      for (const std::string& prefix : kPrefixes) {
-        std::size_t p = text.find(prefix, pos);
-        while (p != std::string::npos && p > 0 && is_ident_char(text[p - 1])) {
-          p = text.find(prefix, p + 1);
-        }
-        if (p != std::string::npos && (best == std::string::npos || p < best)) best = p;
-      }
-      if (best == std::string::npos) break;
-
-      std::size_t end = best;
-      while (end < text.size() && is_ident_char(text[end])) ++end;
-      const std::string name = text.substr(best, end - best);
-      pos = end;
-
-      if (std::find(kExempt.begin(), kExempt.end(), name) != kExempt.end()) continue;
-      // Member calls (`b.add_edge(...)`, `ptr->insert_edge(...)`) are uses,
-      // not definitions.
-      if (best > 0 && (text[best - 1] == '.' ||
-                       (best > 1 && text[best - 2] == '-' && text[best - 1] == '>'))) {
-        continue;
-      }
-      std::size_t after = end;
-      while (after < text.size() && std::isspace(static_cast<unsigned char>(text[after])) != 0) {
-        ++after;
-      }
-      if (after >= text.size() || text[after] != '(') continue;
-
-      // Match the parameter list, then look for `{` (definition) vs `;`.
-      std::size_t depth = 0;
-      std::size_t scan = after;
-      while (scan < text.size()) {
-        if (text[scan] == '(') ++depth;
-        if (text[scan] == ')' && --depth == 0) break;
-        ++scan;
-      }
-      if (scan >= text.size()) continue;
-      ++scan;
-      while (scan < text.size() && text[scan] != '{' && text[scan] != ';' && text[scan] != ',' &&
-             text[scan] != ')' && text[scan] != '=') {
-        ++scan;
-      }
-      if (scan >= text.size() || text[scan] != '{') continue;  // declaration or call
-
-      // Brace-match the body.
-      const std::size_t body_begin = scan;
-      std::size_t braces = 0;
-      while (scan < text.size()) {
-        if (text[scan] == '{') ++braces;
-        if (text[scan] == '}' && --braces == 0) break;
-        ++scan;
-      }
-      const std::string body = text.substr(body_begin, scan - body_begin);
-      const bool guarded = body.find("HUBLAB_ASSERT") != std::string::npos ||
-                           contains_identifier(body, "throw");
-      if (!guarded) {
-        fail(file, line_of[std::min(best, line_of.size() - 1)], "assert-guard",
-             "public mutating API `" + name +
-                 "` has no HUBLAB_ASSERT*/throw precondition before mutating");
-      }
-      pos = scan;
-    }
-  }
-
-  void check_header_self_containment(const std::vector<fs::path>& files) {
-    const fs::path probe = fs::temp_directory_path() / "hublab_lint_header_probe.cpp";
-    for (const fs::path& file : files) {
-      const std::string path = rel(file);
-      if (file.extension() != ".hpp" || path.rfind("src/", 0) != 0) continue;
-      {
-        std::ofstream out(probe, std::ios::trunc);
-        out << "#include \"" << path.substr(4) << "\"\n";  // path from src/
-      }
-      const std::string cmd = compiler_ + " -std=c++20 -fsyntax-only -I \"" +
-                              (root_ / "src").string() + "\" \"" + probe.string() + "\"";
-      if (std::system(cmd.c_str()) != 0) {
-        fail(file, 1, "self-contained",
-             "header does not compile on its own; add the includes it is missing");
-      }
-    }
-    fs::remove(probe);
-  }
-
-  fs::path root_;
-  std::string compiler_;
-  bool check_headers_;
-  std::vector<Violation> violations_;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
-  std::string compiler = "c++";
-  bool check_headers = true;
+  hublab::lint::Options opt;
+  opt.root = hublab::lint::fs::current_path();
+  bool json = false;
+  std::string sarif_out;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
+      opt.root = argv[++i];
     } else if (arg == "--compiler" && i + 1 < argc) {
-      compiler = argv[++i];
+      opt.compiler = argv[++i];
     } else if (arg == "--no-header-check") {
-      check_headers = false;
+      opt.check_headers = false;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opt.baseline_path = argv[++i];
+    } else if (arg == "--no-baseline") {
+      opt.use_baseline = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_out = argv[++i];
     } else {
-      std::cerr << "usage: hublab_lint [--root DIR] [--compiler CXX] [--no-header-check]\n";
-      return 2;
+      return usage(argv[0]);
     }
   }
-  if (!fs::exists(root / "src")) {
-    std::cerr << "hublab_lint: " << root.string() << " has no src/ directory\n";
+  if (!opt.use_baseline && !opt.baseline_path.empty()) return usage(argv[0]);
+
+  hublab::lint::Report report;
+  try {
+    report = hublab::lint::run_lint(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "hublab_lint: " << e.what() << "\n";
     return 2;
   }
-  return Linter(fs::canonical(root), compiler, check_headers).run();
+
+  if (!sarif_out.empty()) {
+    std::ofstream out(sarif_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "hublab_lint: cannot write " << sarif_out << "\n";
+      return 2;
+    }
+    hublab::lint::write_sarif(out, report);
+  }
+  if (json) {
+    hublab::lint::write_json(std::cout, report);
+  } else {
+    hublab::lint::write_text(std::cout, report);
+  }
+  return report.findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,56 @@
+// Baseline loading: tools/lint_baseline.json grandfathers known findings
+// by (file, rule) so the analyzer can be adopted on a codebase with
+// pre-existing violations without suppressing new ones in clean files.
+// This repo keeps the baseline empty; the format exists for the fixture
+// tests and for downstream forks.
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/json.hpp"
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+std::vector<BaselineEntry> load_baseline(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read baseline file: " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = parse_json(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("malformed baseline " + path.string() + ": " + e.what());
+  }
+  if (!doc.is_object()) {
+    throw std::runtime_error("malformed baseline " + path.string() + ": root is not an object");
+  }
+  const JsonValue* version = doc.find("version");
+  if (version == nullptr || !version->is_number() || version->number_value != 1.0) {
+    throw std::runtime_error("malformed baseline " + path.string() +
+                             ": expected {\"version\": 1, ...}");
+  }
+  const JsonValue* findings = doc.find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    throw std::runtime_error("malformed baseline " + path.string() +
+                             ": \"findings\" must be an array");
+  }
+
+  std::vector<BaselineEntry> entries;
+  entries.reserve(findings->array_items.size());
+  for (const JsonValue& item : findings->array_items) {
+    const JsonValue* file = item.find("file");
+    const JsonValue* rule = item.find("rule");
+    if (file == nullptr || !file->is_string() || rule == nullptr || !rule->is_string()) {
+      throw std::runtime_error("malformed baseline " + path.string() +
+                               ": each finding needs string \"file\" and \"rule\"");
+    }
+    entries.push_back(BaselineEntry{file->string_value, rule->string_value});
+  }
+  return entries;
+}
+
+}  // namespace hublab::lint

@@ -1,0 +1,212 @@
+// Concurrency-discipline pass (src/ only):
+//
+//   atomic-order   every operation on a declared std::atomic names an
+//                  explicit std::memory_order; operator overloads
+//                  (=, ++, +=) are banned outright because they hide a
+//                  seq_cst fence the reader cannot see.
+//   volatile-sync  volatile is not a synchronization primitive; data shared
+//                  between threads uses std::atomic with explicit orders.
+//   mutex-guard    declared mutexes are locked through RAII guards
+//                  (scoped_lock / lock_guard / unique_lock / shared_lock)
+//                  in the declaring TU; direct .lock()/.unlock() calls are
+//                  banned, and a mutex no guard ever names is dead weight
+//                  or locked somewhere the reader cannot audit.
+
+#include <cctype>
+#include <set>
+
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+namespace {
+
+std::size_t skip_template_args(const std::string& text, std::size_t pos) {
+  if (pos >= text.size() || text[pos] != '<') return std::string::npos;
+  std::size_t depth = 0;
+  while (pos < text.size()) {
+    if (text[pos] == '<') ++depth;
+    if (text[pos] == '>' && --depth == 0) return pos + 1;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// Names declared as `std::<type_token><...>` in `flat` (members, locals,
+/// parameters, arrays).
+std::set<std::string> declared_qualified(const std::string& flat, const std::string& type) {
+  std::set<std::string> names;
+  const std::string token = "std::" + type;
+  std::size_t pos = 0;
+  while ((pos = flat.find(token, pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += token.size();
+    if (start > 0 && is_ident_char(flat[start - 1])) continue;
+    std::size_t p = pos;
+    if (p < flat.size() && is_ident_char(flat[p])) continue;  // longer type name
+    if (p < flat.size() && flat[p] == '<') {
+      p = skip_template_args(flat, p);
+      if (p == std::string::npos) continue;
+    }
+    while (p < flat.size() &&
+           (std::isspace(static_cast<unsigned char>(flat[p])) != 0 || flat[p] == '&' ||
+            flat[p] == '*')) {
+      ++p;
+    }
+    std::size_t end = p;
+    while (end < flat.size() && is_ident_char(flat[end])) ++end;
+    if (end == p) continue;
+    if (end < flat.size() && flat[end] == '(') continue;  // function taking the type
+    names.insert(flat.substr(p, end - p));
+  }
+  return names;
+}
+
+/// Occurrences of `name` as a whole identifier in `flat`; calls `fn(pos)`.
+template <typename Fn>
+void for_each_occurrence(const std::string& flat, const std::string& name, Fn&& fn) {
+  std::size_t pos = 0;
+  while ((pos = flat.find(name, pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += name.size();
+    const bool left_ok = start == 0 || !is_ident_char(flat[start - 1]);
+    const bool right_ok = pos >= flat.size() || !is_ident_char(flat[pos]);
+    if (left_ok && right_ok) fn(start);
+  }
+}
+
+void check_atomics(const SourceFile& f, Sink& sink) {
+  const std::set<std::string> atomics = declared_qualified(f.flat, "atomic");
+  if (atomics.empty()) return;
+  static const std::set<std::string> kOps = {
+      "load",      "store",      "exchange",
+      "fetch_add", "fetch_sub",  "fetch_and", "fetch_or", "fetch_xor",
+      "compare_exchange_weak",   "compare_exchange_strong"};
+
+  const std::string& flat = f.flat;
+  for (const std::string& name : atomics) {
+    for_each_occurrence(flat, name, [&](std::size_t start) {
+      std::size_t p = start + name.size();
+      // Member operation: name.op(args...)
+      if (p < flat.size() && flat[p] == '.') {
+        std::size_t op_end = ++p;
+        while (op_end < flat.size() && is_ident_char(flat[op_end])) ++op_end;
+        const std::string op = flat.substr(p, op_end - p);
+        if (kOps.count(op) == 0) return;
+        std::size_t open = op_end;
+        while (open < flat.size() &&
+               std::isspace(static_cast<unsigned char>(flat[open])) != 0) {
+          ++open;
+        }
+        if (open >= flat.size() || flat[open] != '(') return;
+        std::size_t depth = 0;
+        std::size_t close = open;
+        while (close < flat.size()) {
+          if (flat[close] == '(') ++depth;
+          if (flat[close] == ')' && --depth == 0) break;
+          ++close;
+        }
+        const std::string args = flat.substr(open, close - open);
+        if (args.find("memory_order") == std::string::npos) {
+          sink.add(f, f.flat_line[start], "atomic-order",
+                   "`" + name + "." + op + "` names no explicit std::memory_order; " +
+                       "spell the ordering out (memory_order_relaxed for counters, " +
+                       "acquire/release for handoffs) so the synchronization intent " +
+                       "is auditable");
+        }
+        return;
+      }
+      // Operator forms hide a seq_cst access: name =, name +=, name++, ...
+      std::size_t q = p;
+      while (q < flat.size() && (flat[q] == ' ' || flat[q] == '\t')) ++q;
+      const char c0 = q < flat.size() ? flat[q] : '\0';
+      const char c1 = q + 1 < flat.size() ? flat[q + 1] : '\0';
+      const bool compound = (c0 == '+' || c0 == '-' || c0 == '|' || c0 == '&' || c0 == '^') &&
+                            c1 == '=';
+      const bool incdec = (c0 == '+' && c1 == '+') || (c0 == '-' && c1 == '-');
+      const bool plain_assign = c0 == '=' && c1 != '=';
+      if (!compound && !incdec && !plain_assign) return;
+      // Skip the declaration itself (`std::atomic<T> name = ...;`).
+      const std::string& decl_line = f.code[f.flat_line[start] - 1];
+      if (decl_line.find("atomic") != std::string::npos) return;
+      sink.add(f, f.flat_line[start], "atomic-order",
+               "operator access to atomic `" + name + "` is an implicit seq_cst " +
+                   "operation; use load/store/fetch_* with an explicit std::memory_order");
+    });
+  }
+}
+
+void check_volatile(const SourceFile& f, Sink& sink) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (contains_identifier(f.code[i], "volatile")) {
+      sink.add(f, i + 1, "volatile-sync",
+               "volatile is not a synchronization primitive (no atomicity, no ordering); "
+               "use std::atomic with an explicit std::memory_order");
+    }
+  }
+}
+
+void check_mutexes(const SourceFile& f, Sink& sink) {
+  std::set<std::string> mutexes;
+  for (const char* type : {"mutex", "recursive_mutex", "timed_mutex", "shared_mutex"}) {
+    for (const std::string& name : declared_qualified(f.flat, type)) mutexes.insert(name);
+  }
+  if (mutexes.empty()) return;
+
+  static const std::vector<std::string> kGuards = {"scoped_lock", "lock_guard", "unique_lock",
+                                                   "shared_lock"};
+  const std::string& flat = f.flat;
+  for (const std::string& name : mutexes) {
+    bool direct_lock = false;
+    for_each_occurrence(flat, name, [&](std::size_t start) {
+      std::size_t p = start + name.size();
+      if (p >= flat.size() || flat[p] != '.') return;
+      std::size_t op_end = ++p;
+      while (op_end < flat.size() && is_ident_char(flat[op_end])) ++op_end;
+      const std::string op = flat.substr(p, op_end - p);
+      if (op != "lock" && op != "unlock" && op != "try_lock") return;
+      direct_lock = true;
+      sink.add(f, f.flat_line[start], "mutex-guard",
+               "direct `" + name + "." + op + "()` call; acquire the mutex through a RAII "
+                   "guard (std::scoped_lock / std::unique_lock) so no exit path leaks "
+                   "the lock");
+    });
+    if (direct_lock) continue;
+
+    bool guarded = false;
+    for (std::size_t i = 0; i < f.code.size() && !guarded; ++i) {
+      const std::string& line = f.code[i];
+      if (!contains_identifier(line, name)) continue;
+      for (const std::string& guard : kGuards) {
+        if (line.find(guard) != std::string::npos) {
+          guarded = true;
+          break;
+        }
+      }
+    }
+    if (!guarded) {
+      // Anchor at the declaration.
+      std::size_t decl_line = 1;
+      const std::size_t at = flat.find(name);
+      if (at != std::string::npos) decl_line = f.flat_line[at];
+      sink.add(f, decl_line, "mutex-guard",
+               "mutex `" + name + "` is never locked through a RAII guard in this TU; " +
+                   "lock it with std::scoped_lock (or document the external locking "
+                   "protocol with a suppression)");
+    }
+  }
+}
+
+}  // namespace
+
+void pass_concurrency(const std::vector<SourceFile>& files, const Options& opt, Sink& sink) {
+  (void)opt;
+  for (const SourceFile& f : files) {
+    if (!f.in_src) continue;
+    check_atomics(f, sink);
+    check_volatile(f, sink);
+    check_mutexes(f, sink);
+  }
+}
+
+}  // namespace hublab::lint

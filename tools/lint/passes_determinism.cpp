@@ -1,0 +1,206 @@
+// Determinism pass: bans order-unstable idioms in library code (src/), the
+// static side of the byte-identical contract in docs/performance.md.
+//
+//   unordered-iter  range-for over a std::unordered_map/set: hash-table
+//                   iteration order is implementation-defined, so any
+//                   result built in that order silently varies across
+//                   standard libraries.  Copy the elements out and sort, or
+//                   use an ordered container.
+//   wall-clock      clock reads outside util/timer.hpp and util/rng.hpp:
+//                   every timestamp flows through the sanctioned helpers so
+//                   measured time never leaks into results.
+//   float-reduce    floating-point accumulation (+=, -=, *=) inside a
+//                   parallel_for / run_chunks body: FP addition is not
+//                   associative, so the reduction order must be fixed by
+//                   per-chunk slots reduced in chunk order, never by direct
+//                   accumulation from the body.
+//
+// Banned tokens are assembled from fragments so this file stays clean.
+
+#include <cctype>
+#include <set>
+
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+namespace {
+
+/// Skip a balanced template argument list starting at `pos` (which must
+/// point at '<').  Returns the offset just past the matching '>', or npos.
+std::size_t skip_template_args(const std::string& text, std::size_t pos) {
+  if (pos >= text.size() || text[pos] != '<') return std::string::npos;
+  std::size_t depth = 0;
+  while (pos < text.size()) {
+    if (text[pos] == '<') ++depth;
+    if (text[pos] == '>' && --depth == 0) return pos + 1;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// Identifiers declared with any of `type_tokens` in `flat`: finds
+/// `<token>` [template args] [& or *] <identifier>.  Heuristic but
+/// effective: declarations, members and parameters all match.
+std::set<std::string> declared_names(const std::string& flat,
+                                     const std::vector<std::string>& type_tokens) {
+  std::set<std::string> names;
+  for (const std::string& token : type_tokens) {
+    std::size_t pos = 0;
+    while ((pos = flat.find(token, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += token.size();
+      const bool left_ok = start == 0 || !is_ident_char(flat[start - 1]);
+      if (!left_ok) continue;
+      std::size_t p = pos;
+      if (p < flat.size() && flat[p] == '<') {
+        p = skip_template_args(flat, p);
+        if (p == std::string::npos) continue;
+      } else if (p < flat.size() && is_ident_char(flat[p])) {
+        continue;  // longer identifier, e.g. token is a prefix
+      }
+      while (p < flat.size() &&
+             (std::isspace(static_cast<unsigned char>(flat[p])) != 0 || flat[p] == '&' ||
+              flat[p] == '*')) {
+        ++p;
+      }
+      std::size_t end = p;
+      while (end < flat.size() && is_ident_char(flat[end])) ++end;
+      if (end == p) continue;            // temporary / cast / return type
+      if (end < flat.size() && flat[end] == '(') continue;  // function declaration
+      names.insert(flat.substr(p, end - p));
+    }
+  }
+  return names;
+}
+
+void check_unordered_iter(const SourceFile& f, Sink& sink) {
+  static const std::vector<std::string> kUnorderedTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  const std::set<std::string> unordered = declared_names(f.flat, kUnorderedTypes);
+  if (unordered.empty()) return;
+
+  const std::string& flat = f.flat;
+  std::size_t pos = 0;
+  while ((pos = flat.find("for", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 3;
+    const bool is_for = (start == 0 || !is_ident_char(flat[start - 1])) &&
+                        (pos >= flat.size() || !is_ident_char(flat[pos]));
+    if (!is_for) continue;
+    std::size_t open = pos;
+    while (open < flat.size() && std::isspace(static_cast<unsigned char>(flat[open])) != 0) {
+      ++open;
+    }
+    if (open >= flat.size() || flat[open] != '(') continue;
+    std::size_t depth = 0;
+    std::size_t close = open;
+    std::size_t colon = std::string::npos;
+    while (close < flat.size()) {
+      const char c = flat[close];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        if (c == ')' && depth == 1) break;
+        --depth;
+      }
+      if (c == ':' && depth == 1) {
+        const bool scope = (close + 1 < flat.size() && flat[close + 1] == ':') ||
+                           (close > 0 && flat[close - 1] == ':');
+        if (!scope && colon == std::string::npos) colon = close;
+      }
+      ++close;
+    }
+    if (close >= flat.size() || colon == std::string::npos) continue;
+    const std::string range_expr = flat.substr(colon + 1, close - colon - 1);
+    const std::string name = last_identifier(range_expr);
+    const bool direct = range_expr.find("unordered_") != std::string::npos;
+    if (direct || (!name.empty() && unordered.count(name) != 0)) {
+      sink.add(f, f.flat_line[start], "unordered-iter",
+               "range-for over unordered container `" + (direct ? range_expr : name) +
+                   "`: hash iteration order is implementation-defined; copy the elements "
+                   "out and sort them, or use an ordered container");
+    }
+  }
+}
+
+void check_wall_clock(const SourceFile& f, Sink& sink) {
+  if (f.rel == "src/util/timer.hpp" || f.rel == "src/util/rng.hpp") return;
+  // Assembled so this file never flags itself.
+  const std::string k_clock = std::string("cl") + "ock";
+  const std::vector<std::string> idents = {
+      std::string("system_") + k_clock,     std::string("steady_") + k_clock,
+      std::string("high_resolution_") + k_clock, k_clock + "_gettime",
+      std::string("gettime") + "ofday",     std::string("timespec_") + "get"};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    for (const std::string& ident : idents) {
+      if (contains_identifier(f.code[i], ident)) {
+        sink.add(f, i + 1, "wall-clock",
+                 "`" + ident + "` reads a clock outside util/timer.hpp; route timestamps "
+                     "through hublab::Timer / monotonic_ns() / wall_unix_ms() so measured "
+                     "time never feeds back into results");
+      }
+    }
+  }
+}
+
+void check_float_reduce(const SourceFile& f, Sink& sink) {
+  static const std::vector<std::string> kFloatTypes = {"double", "float"};
+  const std::set<std::string> floats = declared_names(f.flat, kFloatTypes);
+  if (floats.empty()) return;
+
+  const std::string& flat = f.flat;
+  for (const char* entry : {"parallel_for", "run_chunks"}) {
+    std::size_t pos = 0;
+    while ((pos = flat.find(entry, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += std::string(entry).size();
+      if (start > 0 && is_ident_char(flat[start - 1])) continue;
+      std::size_t open = pos;
+      while (open < flat.size() && flat[open] != '(' && flat[open] != '\n') ++open;
+      if (open >= flat.size() || flat[open] != '(') continue;
+      std::size_t depth = 0;
+      std::size_t close = open;
+      while (close < flat.size()) {
+        if (flat[close] == '(') ++depth;
+        if (flat[close] == ')' && --depth == 0) break;
+        ++close;
+      }
+      if (close >= flat.size()) continue;
+
+      // Inside the call (which contains the body lambda), flag compound
+      // FP accumulation into any identifier of floating type.
+      for (std::size_t i = open; i + 1 < close; ++i) {
+        if ((flat[i] == '+' || flat[i] == '-' || flat[i] == '*') && flat[i + 1] == '=') {
+          std::size_t end = i;
+          while (end > open && std::isspace(static_cast<unsigned char>(flat[end - 1])) != 0) {
+            --end;
+          }
+          std::size_t begin = end;
+          while (begin > open && is_ident_char(flat[begin - 1])) --begin;
+          const std::string name = flat.substr(begin, end - begin);
+          if (!name.empty() && floats.count(name) != 0) {
+            sink.add(f, f.flat_line[i], "float-reduce",
+                     "floating-point accumulation into `" + name + "` inside a " + entry +
+                         " body: FP addition is not associative, so accumulate into "
+                         "per-chunk slots and reduce them in chunk order on the caller");
+          }
+        }
+      }
+      pos = close;
+    }
+  }
+}
+
+}  // namespace
+
+void pass_determinism(const std::vector<SourceFile>& files, const Options& opt, Sink& sink) {
+  (void)opt;
+  for (const SourceFile& f : files) {
+    if (!f.in_src) continue;
+    check_unordered_iter(f, sink);
+    check_wall_clock(f, sink);
+    check_float_reduce(f, sink);
+  }
+}
+
+}  // namespace hublab::lint

@@ -1,0 +1,209 @@
+// Metric/span-name drift pass: the taxonomy tables in
+// docs/observability.md are the contract for every registry metric and
+// tracer span name, in both directions.
+//
+//   metric-doc-drift  a dotted metric name registered in src/ is missing
+//                     from the tables, or a documented metric is never
+//                     registered anywhere (src/, bench/ or tools/);
+//   span-doc-drift    same for tracer span names (kebab-case strings
+//                     passed to Tracer::span).
+//
+// Names are extracted from the RAW lines (string literals are blanked in
+// the stripped model) but only where the stripped line still carries the
+// call token, so names quoted in comments never count.  Literals followed
+// by `+` are runtime-concatenated (e.g. a per-family gauge suffix or the
+// `order-<name>` span) and are skipped: dynamic names are exempt from the
+// taxonomy by design.  All call tokens below are assembled from fragments
+// so this file never extracts from itself.
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+namespace {
+
+struct Use {
+  const SourceFile* file;
+  std::size_t line;
+};
+
+bool is_dotted_metric_name(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool has_dot = false;
+  char prev = '\0';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) return false;
+    if (c == '.') {
+      if (prev == '.') return false;
+      has_dot = true;
+    }
+    prev = c;
+  }
+  return has_dot;
+}
+
+bool is_kebab_span_name(const std::string& name) {
+  if (name.empty() || name.front() == '-' || name.back() == '-') return false;
+  bool has_alpha = false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+    if (c >= 'a' && c <= 'z') has_alpha = true;
+  }
+  return has_alpha;
+}
+
+/// Extract the string literal argument of every `<token>"..."` occurrence
+/// in `f` (token must be immediately followed by the opening quote).
+/// Records the first use per name.  Skips literals whose next
+/// non-whitespace character is `+` (runtime concatenation -> dynamic name).
+void extract_names(const SourceFile& f, const std::string& token,
+                   std::map<std::string, Use>& out) {
+  for (std::size_t i = 0; i < f.raw_lines.size(); ++i) {
+    // Comment guard: the stripped line must still carry the call.
+    if (i >= f.code.size() || f.code[i].find(token) == std::string::npos) continue;
+    const std::string& raw = f.raw_lines[i];
+    std::size_t pos = 0;
+    while ((pos = raw.find(token, pos)) != std::string::npos) {
+      const std::size_t open = pos + token.size();
+      pos = open;
+      if (open >= raw.size() || raw[open] != '"') continue;
+      const std::size_t close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      pos = close + 1;
+      std::size_t after = close + 1;
+      while (after < raw.size() && (raw[after] == ' ' || raw[after] == '\t')) ++after;
+      if (after < raw.size() && raw[after] == '+') continue;  // dynamic suffix
+      const std::string name = raw.substr(open + 1, close - open - 1);
+      out.emplace(name, Use{&f, i + 1});  // keeps the first use
+    }
+  }
+}
+
+struct DocEntry {
+  std::size_t line;
+};
+
+struct DocNames {
+  std::map<std::string, DocEntry> metrics;
+  std::map<std::string, DocEntry> spans;
+  bool found = false;
+};
+
+/// Parse the taxonomy tables: markdown table rows (lines starting with
+/// `|`), first cell only, backticked tokens.  Tables under a heading that
+/// mentions "Span" feed the span set; dotted tokens elsewhere feed the
+/// metric set.  Prose and code blocks never start with `|`, so only the
+/// tables count.
+DocNames parse_observability_doc(const fs::path& path) {
+  DocNames doc;
+  std::ifstream in(path);
+  if (!in) return doc;
+  doc.found = true;
+
+  std::string line;
+  std::size_t lineno = 0;
+  bool span_section = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') {
+      span_section = line.find("Span") != std::string::npos ||
+                     line.find("span") != std::string::npos;
+      continue;
+    }
+    if (line[first] != '|') continue;
+    const std::size_t cell_end = line.find('|', first + 1);
+    if (cell_end == std::string::npos) continue;
+    const std::string cell = line.substr(first + 1, cell_end - first - 1);
+
+    std::size_t pos = 0;
+    while ((pos = cell.find('`', pos)) != std::string::npos) {
+      const std::size_t close = cell.find('`', pos + 1);
+      if (close == std::string::npos) break;
+      const std::string token = cell.substr(pos + 1, close - pos - 1);
+      pos = close + 1;
+      if (span_section) {
+        if (is_kebab_span_name(token)) doc.spans.emplace(token, DocEntry{lineno});
+      } else if (is_dotted_metric_name(token)) {
+        doc.metrics.emplace(token, DocEntry{lineno});
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+void pass_drift(const std::vector<SourceFile>& files, const Options& opt, Sink& sink) {
+  // Call tokens, assembled so this file stays invisible to itself.
+  const std::string k_open = "(";
+  const std::vector<std::string> metric_tokens = {
+      std::string("coun") + "ter" + k_open, std::string("ga") + "uge" + k_open,
+      std::string("histo") + "gram" + k_open, std::string("ske") + "tch" + k_open};
+  const std::string span_token = std::string(".sp") + "an" + k_open;
+
+  // Presence: src + bench + tools (tests may poke ad-hoc names).  The doc
+  // requirement runs against src only; bench/tools names are documented at
+  // the maintainers' discretion but documented names must exist somewhere.
+  std::map<std::string, Use> metrics_src;
+  std::map<std::string, Use> metrics_all;
+  std::map<std::string, Use> spans_src;
+  std::map<std::string, Use> spans_all;
+  for (const SourceFile& f : files) {
+    if (f.module == "tests") continue;
+    std::map<std::string, Use> local_metrics;
+    for (const std::string& token : metric_tokens) extract_names(f, "." + token, local_metrics);
+    std::map<std::string, Use> local_spans;
+    extract_names(f, span_token, local_spans);
+
+    for (const auto& [name, use] : local_metrics) {
+      if (!is_dotted_metric_name(name)) continue;
+      metrics_all.emplace(name, use);
+      if (f.in_src) metrics_src.emplace(name, use);
+    }
+    for (const auto& [name, use] : local_spans) {
+      if (!is_kebab_span_name(name)) continue;
+      spans_all.emplace(name, use);
+      if (f.in_src) spans_src.emplace(name, use);
+    }
+  }
+
+  const fs::path doc_path = opt.root / "docs" / "observability.md";
+  const DocNames doc = parse_observability_doc(doc_path);
+  const std::string doc_rel = "docs/observability.md";
+
+  for (const auto& [name, use] : metrics_src) {
+    if (doc.metrics.count(name) != 0) continue;
+    sink.add(*use.file, use.line, "metric-doc-drift",
+             "metric `" + name + "` is registered here but missing from the taxonomy "
+                 "tables in " + doc_rel + "; add a row (name, kind, where, paper quantity)");
+  }
+  for (const auto& [name, entry] : doc.metrics) {
+    if (metrics_all.count(name) != 0) continue;
+    sink.add_external(doc_rel, entry.line, "metric-doc-drift",
+                      "metric `" + name + "` is documented but never registered in src/, "
+                          "bench/ or tools/; delete the row or restore the metric");
+  }
+  for (const auto& [name, use] : spans_src) {
+    if (doc.spans.count(name) != 0) continue;
+    sink.add(*use.file, use.line, "span-doc-drift",
+             "tracer span `" + name + "` is opened here but missing from the span taxonomy "
+                 "table in " + doc_rel + "; add a row (name, where, phase meaning)");
+  }
+  for (const auto& [name, entry] : doc.spans) {
+    if (spans_all.count(name) != 0) continue;
+    sink.add_external(doc_rel, entry.line, "span-doc-drift",
+                      "tracer span `" + name + "` is documented but never opened in src/, "
+                          "bench/ or tools/; delete the row or restore the span");
+  }
+}
+
+}  // namespace hublab::lint

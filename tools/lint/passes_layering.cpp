@@ -1,0 +1,210 @@
+// Layering pass: builds the full #include DAG and enforces the architecture
+//
+//   util -> graph -> {algo, hub, labeling, rs, matching, sumindex,
+//   lowerbound} -> oracle -> bench / tools / tests
+//
+// Rules:
+//   layer-upward  a quoted include from a lower-ranked module into a
+//                 higher-ranked one (e.g. graph/ including oracle/);
+//   layer-cycle   any cycle, at two granularities: the file-level include
+//                 graph, and the directory-level graph restricted to the
+//                 middle layer (whose peer edges are otherwise legal but
+//                 must stay acyclic).
+//
+// The offending include chain is spelled out in the message.
+
+#include <map>
+#include <set>
+
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+namespace {
+
+/// Architecture rank per module.  Unknown src/ subdirectories default to
+/// the middle layer; add new directories here when the architecture grows.
+int module_rank(const std::string& module) {
+  if (module == "util") return 0;
+  if (module == "graph") return 1;
+  if (module == "algo" || module == "hub" || module == "labeling" || module == "rs" ||
+      module == "matching" || module == "sumindex" || module == "lowerbound") {
+    return 2;
+  }
+  if (module == "oracle") return 3;
+  if (module == "bench" || module == "tools" || module == "tests") return 4;
+  return 2;
+}
+
+/// Resolve a quoted include target to the repo-relative path of a scanned
+/// file, or "" when it points outside the scanned tree.
+std::string resolve_target(const std::string& target, const Options& opt,
+                           const std::set<std::string>& known_rel) {
+  const std::string from_src = "src/" + target;
+  if (known_rel.count(from_src) != 0) return from_src;
+  if (known_rel.count(target) != 0) return target;
+  // Headers that exist on disk but are not scanned (e.g. generated files)
+  // still participate in the rank check via their path shape.
+  if (fs::exists(opt.root / "src" / target)) return from_src;
+  if (fs::exists(opt.root / target)) return target;
+  return {};
+}
+
+std::string module_of_rel(const std::string& rel) {
+  const std::size_t slash = rel.find('/');
+  const std::string top = slash == std::string::npos ? rel : rel.substr(0, slash);
+  if (top != "src") return top;
+  const std::size_t second = rel.find('/', slash + 1);
+  if (second == std::string::npos) return top;
+  return rel.substr(slash + 1, second - slash - 1);
+}
+
+struct FileEdge {
+  std::size_t to;
+  std::size_t line;
+};
+
+/// Iterative 3-color DFS over the file-level include graph; reports each
+/// cycle once, anchored at the include that closes it.
+void report_file_cycles(const std::vector<SourceFile>& files,
+                        const std::vector<std::vector<FileEdge>>& graph, Sink& sink) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge = 0;
+  };
+  for (std::size_t start = 0; start < files.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack{{start}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge >= graph[frame.node].size()) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const FileEdge edge = graph[frame.node][frame.next_edge++];
+      if (color[edge.to] == Color::kWhite) {
+        color[edge.to] = Color::kGray;
+        stack.push_back(Frame{edge.to});
+      } else if (color[edge.to] == Color::kGray) {
+        // Reconstruct the chain from the on-stack portion.
+        std::string chain;
+        bool in_cycle = false;
+        for (const Frame& fr : stack) {
+          if (fr.node == edge.to) in_cycle = true;
+          if (!in_cycle) continue;
+          chain += files[fr.node].rel;
+          chain += " -> ";
+        }
+        chain += files[edge.to].rel;
+        sink.add(files[frame.node], edge.line, "layer-cycle",
+                 "include cycle: " + chain + "; break the cycle by moving the shared "
+                 "declarations down a layer");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void pass_layering(const std::vector<SourceFile>& files, const Options& opt, Sink& sink) {
+  std::set<std::string> known_rel;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    known_rel.insert(files[i].rel);
+    index_of[files[i].rel] = i;
+  }
+
+  std::vector<std::vector<FileEdge>> file_graph(files.size());
+  // Directory edges inside the middle layer, with one representative
+  // include per edge for the report.
+  struct DirEdgeInfo {
+    std::size_t file_index;
+    std::size_t line;
+  };
+  std::map<std::pair<std::string, std::string>, DirEdgeInfo> mid_edges;
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile& f = files[i];
+    const int from_rank = module_rank(f.module);
+    for (const IncludeEdge& inc : f.includes) {
+      if (!inc.quoted) continue;
+      if (inc.target.find("..") != std::string::npos) continue;  // include-hygiene's problem
+      const std::string target_rel = resolve_target(inc.target, opt, known_rel);
+      if (target_rel.empty()) continue;  // unresolvable: include-hygiene flags it
+      const std::string to_module = module_of_rel(target_rel);
+      const int to_rank = module_rank(to_module);
+
+      if (to_module != f.module && to_rank > from_rank) {
+        sink.add(f, inc.line, "layer-upward",
+                 "upward include chain " + f.rel + " -> " + target_rel + ": layer " +
+                     f.module + " (rank " + std::to_string(from_rank) +
+                     ") must not depend on layer " + to_module + " (rank " +
+                     std::to_string(to_rank) + "); invert the dependency or move the " +
+                     "shared code down");
+      }
+      if (to_module != f.module && to_rank == 2 && from_rank == 2) {
+        mid_edges.emplace(std::make_pair(f.module, to_module), DirEdgeInfo{i, inc.line});
+      }
+      const auto it = index_of.find(target_rel);
+      if (it != index_of.end()) file_graph[i].push_back(FileEdge{it->second, inc.line});
+    }
+  }
+
+  report_file_cycles(files, file_graph, sink);
+
+  // Directory-level cycle check over the middle layer's peer edges.
+  std::map<std::string, std::vector<std::string>> dir_graph;
+  for (const auto& [edge, info] : mid_edges) dir_graph[edge.first].push_back(edge.second);
+  std::set<std::string> done;
+  for (const auto& [start, _] : dir_graph) {
+    if (done.count(start) != 0) continue;
+    std::vector<std::string> path{start};
+    std::set<std::string> on_path{start};
+    // DFS with explicit path; the middle layer has 7 nodes, so simple
+    // recursion-free enumeration is plenty.
+    struct DirFrame {
+      std::string node;
+      std::size_t next = 0;
+    };
+    std::vector<DirFrame> stack{{start}};
+    while (!stack.empty()) {
+      DirFrame& frame = stack.back();
+      const auto git = dir_graph.find(frame.node);
+      const std::size_t fanout = git == dir_graph.end() ? 0 : git->second.size();
+      if (frame.next >= fanout) {
+        done.insert(frame.node);
+        on_path.erase(frame.node);
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string next = git->second[frame.next++];
+      if (on_path.count(next) != 0) {
+        std::string chain;
+        bool in_cycle = false;
+        for (const std::string& node : path) {
+          if (node == next) in_cycle = true;
+          if (in_cycle) chain += node + " -> ";
+        }
+        chain += next;
+        const DirEdgeInfo info = mid_edges.at({frame.node, next});
+        sink.add(files[info.file_index], info.line, "layer-cycle",
+                 "directory cycle in the middle layer: " + chain +
+                     "; peer edges between algo/hub/labeling/rs/matching/sumindex/"
+                     "lowerbound must stay acyclic");
+        continue;
+      }
+      if (done.count(next) != 0) continue;
+      on_path.insert(next);
+      path.push_back(next);
+      stack.push_back(DirFrame{next});
+    }
+  }
+}
+
+}  // namespace hublab::lint

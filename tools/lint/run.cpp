@@ -1,0 +1,60 @@
+// run_lint: load the tree, run the five passes over the shared model,
+// apply the baseline, and return the surviving findings sorted by
+// (file, line, rule).
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+Report run_lint(const Options& opt) {
+  if (!fs::exists(opt.root / "src")) {
+    throw std::runtime_error("no src/ under root " + opt.root.string() +
+                             " (pass --root REPO_ROOT)");
+  }
+
+  const std::vector<SourceFile> files = load_tree(opt.root);
+
+  Sink sink;
+  pass_style(files, opt, sink);
+  pass_layering(files, opt, sink);
+  pass_determinism(files, opt, sink);
+  pass_concurrency(files, opt, sink);
+  pass_drift(files, opt, sink);
+
+  Report report;
+  report.files_scanned = files.size();
+  report.suppressed = sink.suppressed;
+
+  std::set<std::pair<std::string, std::string>> grandfathered;
+  if (opt.use_baseline) {
+    fs::path baseline = opt.baseline_path;
+    if (baseline.empty()) baseline = opt.root / "tools" / "lint_baseline.json";
+    // The default baseline is optional; an explicitly requested one is not.
+    if (!opt.baseline_path.empty() || fs::exists(baseline)) {
+      for (const BaselineEntry& entry : load_baseline(baseline)) {
+        grandfathered.emplace(entry.file, entry.rule);
+      }
+    }
+  }
+
+  for (Finding& f : sink.findings) {
+    if (grandfathered.count({f.file, f.rule}) != 0) {
+      ++report.baselined;
+      continue;
+    }
+    report.findings.push_back(std::move(f));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+}  // namespace hublab::lint
