@@ -194,6 +194,35 @@ bool run_flat_phase(bench::Harness& harness, const char* family, const Workload&
   return vector_sum == flat_sum;
 }
 
+/// With --perf-counters on a perf-capable host: LLC misses per thousand
+/// hub queries over a fixed sweep, the cache-residency number behind the
+/// flat-vs-vector comparison (a hub query is a scan of two label arrays,
+/// so LLC misses *are* its cost model).  Silently skipped when counters
+/// are unavailable — the gauge simply doesn't appear.
+void run_llc_phase(bench::Harness& harness, const char* family, const Workload& w) {
+  if (!perf::enabled()) return;
+  const std::size_t passes = harness.smoke() ? 8 : 64;
+  perf::HwCounters hw;
+  std::uint64_t queries = 0;
+  {
+    perf::ScopedHw scope(hw);
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (const auto& [u, v] : w.queries) {
+        benchmark::DoNotOptimize(w.flat.query(u, v));
+        ++queries;
+      }
+    }
+  }
+  if (!hw.valid || queries == 0) return;
+  const double per_kquery =
+      1000.0 * static_cast<double>(hw.llc_misses) / static_cast<double>(queries);
+  metrics::registry()
+      .gauge(std::string("pract.llc_miss_per_kquery.") + family)
+      .set(static_cast<std::int64_t>(per_kquery));
+  std::printf("llc/%s: %llu queries, %.1f LLC misses per kquery (ipc %.2f)\n", family,
+              static_cast<unsigned long long>(queries), per_kquery, hw.ipc());
+}
+
 }  // namespace
 }  // namespace hublab
 
@@ -228,6 +257,11 @@ int main(int argc, char** argv) {
     auto flat_span = harness.phase("flat-vs-vector");
     flat_ok = hublab::run_flat_phase(harness, "road40x40", hublab::road_workload());
     flat_ok = hublab::run_flat_phase(harness, "gnm2000", hublab::sparse_workload()) && flat_ok;
+  }
+  {
+    auto llc_span = harness.phase("llc-miss-scan");
+    hublab::run_llc_phase(harness, "road40x40", hublab::road_workload());
+    hublab::run_llc_phase(harness, "gnm2000", hublab::sparse_workload());
   }
   return harness.finish("PRACT microbench", ran > 0 && flat_ok);
 }

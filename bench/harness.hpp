@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "hub/pll.hpp"
+#include "util/flightrec.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/perfcount.hpp"
 #include "util/report.hpp"
 #include "util/resource.hpp"
 #include "util/table.hpp"
@@ -29,8 +31,13 @@
 ///    tools/check.sh and the integration tests grep for;
 ///  - `--smoke` (cheap parameters for CI; benches query `smoke()`),
 ///    `--trace` (phase tree + metrics dump on stdout), `--threads N`
-///    (worker count for parallel entry points; benches query `threads()`)
-///    and `--json-out FILE` flag parsing;
+///    (worker count for parallel entry points; benches query `threads()`),
+///    `--perf-counters` (hardware counters on phases, schema-v3 `hw`
+///    objects; degrades to timer-only where `perf_event_open` fails, and
+///    prints a `perf counters:` banner line saying which) and
+///    `--json-out FILE` flag parsing;
+///  - the crash flight recorder (util/flightrec.hpp): every bench installs
+///    the handlers, so a crashing phase leaves hublab_flightrec.dump;
 ///  - the machine-readable result: `BENCH_<name>.json` conforming to
 ///    `util/bench_schema.hpp` (validated by `hublab validate-bench` in the
 ///    bench-smoke stage of tools/check.sh), carrying per-phase wall times
@@ -60,6 +67,8 @@ class Harness {
         smoke_ = true;
       } else if (arg == "--trace") {
         trace_ = true;
+      } else if (arg == "--perf-counters") {
+        perf_counters_ = true;
       } else if (arg == "--json-out" && i + 1 < argc) {
         json_path_ = argv[++i];
       } else if (arg == "--threads" && i + 1 < argc) {
@@ -71,9 +80,15 @@ class Harness {
     threads_ = par::resolve_threads(threads_);
     if (json_path_.empty()) json_path_ = "BENCH_" + name_ + ".json";
     start_unix_ms_ = unix_time_ms();
+    fr::install_crash_handler();
+    if (perf_counters_) perf::set_enabled(true);
     metrics::registry().reset();
     std::printf("%.*s%s\n", static_cast<int>(banner.size()), banner.data(),
                 smoke_ ? "  [smoke]" : "");
+    if (perf_counters_) {
+      // check.sh greps this marker to decide whether hw blocks must appear.
+      std::printf("perf counters: %s\n", perf::describe());
+    }
   }
 
   Harness(const Harness&) = delete;
@@ -96,6 +111,10 @@ class Harness {
 
   /// The harness's PLL construction knobs in one place.
   [[nodiscard]] PllConfig pll_config() const { return PllConfig{bp_roots_, threads_}; }
+
+  /// True when invoked with --perf-counters (hardware counters requested;
+  /// `perf::enabled()` reports whether the host actually delivers them).
+  [[nodiscard]] bool perf_counters() const { return perf_counters_; }
 
   /// Open a named phase; keep the returned span alive for its duration.
   [[nodiscard]] Tracer::Span phase(std::string phase_name) {
@@ -159,6 +178,7 @@ class Harness {
   std::string json_path_;
   bool smoke_ = false;
   bool trace_ = false;
+  bool perf_counters_ = false;
   std::size_t threads_ = 0;  ///< resolved in the constructor (>= 1 after)
   std::size_t bp_roots_ = kPllDefaultBpRoots;
   std::uint64_t repetitions_ = 1;

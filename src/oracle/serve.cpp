@@ -213,6 +213,9 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
       std::uint64_t queries = 0;
       std::uint64_t reachable = 0;
       std::uint64_t checksum = 0;
+      std::uint64_t busy_ns = 0;     ///< wall time this chunk spent executing
+      std::size_t worker = 0;        ///< par::worker_index() that ran it
+      perf::HwCounters hw;           ///< chunk-local hardware-counter delta
     };
     const std::size_t first = std::min<std::size_t>(config.warmup, pairs.size());
     const auto chunks = par::static_chunks(first, pairs.size(), kQueryChunks);
@@ -220,6 +223,9 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
     Timer loop_timer;
     par::run_chunks(chunks, result.threads, [&](const par::ChunkRange& chunk) {
       ChunkStats& s = stats[chunk.index];
+      s.worker = par::worker_index();
+      const std::uint64_t chunk_begin_ns = monotonic_ns();
+      perf::ScopedHw hw_scope(s.hw);
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
         const std::uint64_t begin_ns = monotonic_ns();
         const Dist d = oracle->distance(pairs[i].first, pairs[i].second);
@@ -230,6 +236,7 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
           s.checksum += d;
         }
       }
+      s.busy_ns = monotonic_ns() - chunk_begin_ns;
     });
     result.query_loop_s = loop_timer.elapsed_s();
     for (const ChunkStats& s : stats) {
@@ -237,12 +244,38 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
       result.queries += s.queries;
       result.reachable += s.reachable;
       result.checksum += s.checksum;
+      result.hw += s.hw;
+      // Any pool worker may execute a chunk regardless of the requested
+      // thread count, so size the busy array by the indices actually seen.
+      if (s.worker >= result.worker_busy_ns.size()) {
+        result.worker_busy_ns.resize(s.worker + 1, 0);
+      }
+      result.worker_busy_ns[s.worker] += s.busy_ns;
     }
+    std::uint64_t total_busy_ns = 0;
+    for (const std::uint64_t busy : result.worker_busy_ns) total_busy_ns += busy;
+    const double capacity_ns =
+        result.query_loop_s * 1e9 * static_cast<double>(result.threads);
+    result.worker_utilization_pct =
+        capacity_ns > 0.0 ? 100.0 * static_cast<double>(total_busy_ns) / capacity_ns : 0.0;
   }
 
   reg.counter("serve.queries").add(result.queries);
   reg.counter("serve.reachable").add(result.reachable);
   reg.sketch("serve.query_ns").merge(result.latency_ns);
+  reg.gauge("serve.worker_utilization_pct")
+      .set(static_cast<std::int64_t>(result.worker_utilization_pct));
+  for (std::size_t w = 0; w < result.worker_busy_ns.size(); ++w) {
+    reg.gauge("serve.worker_busy_ns." + std::to_string(w))
+        .set(static_cast<std::int64_t>(result.worker_busy_ns[w]));
+  }
+  if (result.hw.valid) {
+    reg.counter("perf.cycles").add(result.hw.cycles);
+    reg.counter("perf.instructions").add(result.hw.instructions);
+    reg.counter("perf.l1d_misses").add(result.hw.l1d_misses);
+    reg.counter("perf.llc_misses").add(result.hw.llc_misses);
+    reg.counter("perf.branch_misses").add(result.hw.branch_misses);
+  }
   HUBLAB_LOG_INFO("serve", "query loop done",
                   log::Field("workload", result.workload_name),
                   log::Field("queries", result.queries),
@@ -280,6 +313,30 @@ void write_serve_report_json(std::ostream& os, const SimResult& result, const Si
     w.kv("space_bytes_flat", static_cast<std::uint64_t>(result.space_bytes_flat));
     w.kv("build_s", result.build_s);
     w.kv("query_loop_s", result.query_loop_s);
+    w.kv("worker_utilization_pct", result.worker_utilization_pct);
+    w.key("workers").begin_array();
+    for (std::size_t i = 0; i < result.worker_busy_ns.size(); ++i) {
+      w.begin_object();
+      w.kv("worker", static_cast<std::uint64_t>(i));
+      w.kv("busy_ns", result.worker_busy_ns[i]);
+      const double loop_ns = result.query_loop_s * 1e9;
+      w.kv("utilization_pct",
+           loop_ns > 0.0 ? 100.0 * static_cast<double>(result.worker_busy_ns[i]) / loop_ns : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    if (result.hw.valid) {
+      w.key("hw_query_loop").begin_object();
+      w.kv("cycles", result.hw.cycles);
+      w.kv("instructions", result.hw.instructions);
+      w.kv("ipc", result.hw.ipc());
+      w.kv("l1d_misses", result.hw.l1d_misses);
+      w.kv("llc_misses", result.hw.llc_misses);
+      w.kv("branch_misses", result.hw.branch_misses);
+      w.kv("llc_miss_rate", result.hw.llc_miss_rate());
+      w.kv("branch_miss_rate", result.hw.branch_miss_rate());
+      w.end_object();
+    }
     w.key("latency_ns").begin_object();
     w.kv("count", lat.count());
     w.kv("min", lat.min());

@@ -10,6 +10,7 @@
 
 #include "graph/graph.hpp"
 #include "hub/pll.hpp"
+#include "util/perfcount.hpp"
 #include "util/qsketch.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -41,8 +42,13 @@
 /// and `bidij`.
 ///
 /// Registry metrics: `serve.queries` / `serve.reachable` counters, the
-/// `serve.query_ns` sketch, and a `serve.space_bytes` gauge, all tagged
-/// under tracer spans `build-oracle` / `gen-workload` / `run-queries`.
+/// `serve.query_ns` sketch, `serve.space_bytes` and
+/// `serve.worker_utilization_pct` gauges (plus per-worker
+/// `serve.worker_busy_ns.<i>` busy-time gauges), all tagged under tracer
+/// spans `build-oracle` / `gen-workload` / `run-queries`.  With hardware
+/// counters enabled (util/perfcount.hpp), the query loop additionally
+/// accumulates per-chunk counter deltas across all workers into
+/// `SimResult::hw` and the `perf.*` counters.
 
 namespace hublab::serve {
 
@@ -81,6 +87,16 @@ struct SimResult {
   double build_s = 0.0;         ///< oracle preprocessing wall time
   double query_loop_s = 0.0;    ///< recorded query loop wall time
   QuantileSketch latency_ns;    ///< per-query latency samples
+  /// Busy nanoseconds per executor during the recorded loop, indexed by
+  /// par::worker_index() (index 0 is the participating caller).  Workers
+  /// that ran no chunk hold 0.
+  std::vector<std::uint64_t> worker_busy_ns;
+  /// Sum of worker busy time over (resolved threads x loop wall time), as
+  /// a percentage.  Observability only — scheduling-dependent.
+  double worker_utilization_pct = 0.0;
+  /// Hardware-counter deltas summed over every chunk of the recorded
+  /// query loop (all workers); hw.valid only when counters were live.
+  perf::HwCounters hw;
 };
 
 /// Deterministic query-pair generator for one workload (exposed for tests

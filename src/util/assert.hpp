@@ -17,10 +17,19 @@
 /// the offending index and the bound on failure.  `HUBLAB_UNREACHABLE()`
 /// marks control-flow paths the surrounding invariants rule out.
 
+namespace hublab::fr {
+// Flight-recorder breadcrumb (util/flightrec.cpp): the failing expression
+// lands in the crash ring before abort() raises SIGABRT, so the recorder's
+// dump shows *which* assert fired alongside the recent spans.  Declared
+// here (not included) to keep this header dependency-free.
+void note_assert_fail(const char* expr, const char* file, int line) noexcept;
+}  // namespace hublab::fr
+
 namespace hublab::detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
+  ::hublab::fr::note_assert_fail(expr, file, line);
   // hublab-lint-allow(raw-io) (crash path; the logger may be unusable here)
   std::fprintf(stderr, "hublab assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg != nullptr ? msg : "");
@@ -28,6 +37,7 @@ namespace hublab::detail {
 }
 
 [[noreturn]] inline void unreachable_fail(const char* file, int line) {
+  ::hublab::fr::note_assert_fail("HUBLAB_UNREACHABLE", file, line);
   // hublab-lint-allow(raw-io) (crash path)
   std::fprintf(stderr, "hublab reached unreachable code\n  at %s:%d\n", file, line);
   std::abort();
@@ -36,6 +46,7 @@ namespace hublab::detail {
 [[noreturn]] inline void range_fail(const char* index_expr, const char* bound_expr,
                                     std::uint64_t index, std::uint64_t bound, bool negative,
                                     const char* file, int line) {
+  ::hublab::fr::note_assert_fail(index_expr, file, line);
   if (negative) {
     // hublab-lint-allow(raw-io) (crash path)
     std::fprintf(stderr,

@@ -109,6 +109,38 @@ class Checker {
       if (wall != nullptr && wall->number_value < 0) fail(prefix + ".wall_s: negative");
       const JsonValue* counters = p.find("counters");
       if (counters != nullptr) check_metric_object(counters, prefix + ".counters");
+      // v3 additions, both optional per phase (and harmless in older
+      // documents — unknown members were never rejected).
+      const JsonValue* tid = p.find("tid");
+      if (tid != nullptr) {
+        if (!tid->is_number()) fail(prefix + ".tid: wrong type");
+        else if (tid->number_value < 0) fail(prefix + ".tid: must be >= 0");
+      }
+      const JsonValue* hw = p.find("hw");
+      if (hw != nullptr) check_hw(*hw, prefix + ".hw");
+    }
+  }
+
+  /// Per-phase hardware-counter object (schema v3): cycles, instructions
+  /// and ipc are required; the miss counters and rates are best-effort
+  /// (the perf group opens them individually and a host may refuse some).
+  void check_hw(const JsonValue& hw, const std::string& prefix) {
+    if (!hw.is_object()) {
+      fail(prefix + ": expected an object");
+      return;
+    }
+    for (const char* name : {"cycles", "instructions", "ipc"}) {
+      const JsonValue* member = require(hw, name, prefix, JsonValue::Kind::kNumber);
+      if (member != nullptr && member->number_value < 0) {
+        fail(prefix + "." + name + ": must be >= 0");
+      }
+    }
+    for (const char* name :
+         {"l1d_misses", "llc_misses", "branch_misses", "llc_miss_rate", "branch_miss_rate"}) {
+      const JsonValue* member = hw.find(name);
+      if (member == nullptr) continue;
+      if (!member->is_number()) fail(prefix + "." + name + ": wrong type");
+      else if (member->number_value < 0) fail(prefix + "." + name + ": must be >= 0");
     }
   }
 

@@ -20,11 +20,18 @@
 ///   2  adds required `start_unix_ms` and `peak_rss_bytes`
 ///      (+ optional `sketches`; later also an optional `threads` member,
 ///      a number >= 1 — reports with and without it both validate)
+///   3  phases gain an optional `tid` (worker index of the opening thread,
+///      a number >= 0) and an optional `hw` object of hardware-counter
+///      deltas: required `cycles`, `instructions`, `ipc`; optional
+///      `l1d_misses`, `llc_misses`, `branch_misses`, `llc_miss_rate`,
+///      `branch_miss_rate` — all numbers >= 0.  `hw` appears only on
+///      perf-capable hosts with `--perf-counters`, so reports without it
+///      still validate.
 
 namespace hublab {
 
 /// Current schema_version emitted by util/report.hpp.
-inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+inline constexpr std::uint64_t kBenchSchemaVersion = 3;
 
 /// Oldest schema_version the validator still accepts.
 inline constexpr std::uint64_t kBenchSchemaMinVersion = 1;

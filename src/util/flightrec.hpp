@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+/// \file flightrec.hpp
+/// Always-on crash flight recorder: a bounded per-thread ring of recent
+/// span begin/end, log and assert events, dumped async-signal-safely when
+/// the process dies on SIGSEGV / SIGBUS / SIGFPE / SIGILL / SIGABRT
+/// (which includes every HUBLAB_ASSERT failure).  A crash inside a pooled
+/// `parallel_for` worker is otherwise a bare "Segmentation fault" with no
+/// clue which phase, which chunk, which worker — the dump answers exactly
+/// that from the last `kEventsPerThread` events of every thread.
+///
+/// Recording (`record()`) is a few stores into a thread-local ring: one
+/// timestamp, one small copy, one release publish — cheap enough to stay
+/// on in release builds (the Tracer and the logger call it unconditionally).
+/// Rings register themselves on a lock-free singly linked list the first
+/// time a thread records; nodes are never freed (bounded by the thread
+/// count, and the list must stay walkable from a signal handler).
+///
+/// The crash path is strictly async-signal-safe: pre-copied dump path,
+/// `open`/`write`/`close`, manual integer formatting (`format_u64` is
+/// exposed for the signal-safety unit tests), no allocation, no locks, no
+/// stdio.  The handler re-raises with the default disposition after
+/// dumping, so exit codes and core dumps are unchanged.  `dump()` writes
+/// the same format to an ostream for tests and tooling.
+
+namespace hublab::fr {
+
+/// Ring capacity per thread; older events are overwritten (the dump
+/// reports how many were dropped).
+inline constexpr std::size_t kEventsPerThread = 256;
+
+/// Fixed text payload per event (truncating copy; no allocation).
+inline constexpr std::size_t kEventTextMax = 47;
+
+/// Default dump file, written to the working directory of the crashing
+/// process.
+inline constexpr const char* kDefaultDumpPath = "hublab_flightrec.dump";
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin = 0,  ///< Tracer span opened (text = span name)
+  kSpanEnd,        ///< Tracer span closed (text = span name)
+  kLog,            ///< logger line (text = message, truncated; arg = level)
+  kNote,           ///< free-form breadcrumb
+  kAssert,         ///< HUBLAB_ASSERT failure (text = expression, arg = line)
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+struct Event {
+  std::uint64_t t_ns = 0;  ///< monotonic, relative to the recorder epoch
+  std::uint64_t arg = 0;
+  EventKind kind = EventKind::kNote;
+  char text[kEventTextMax + 1] = {};
+};
+
+/// Append one event to the calling thread's ring (registering the ring on
+/// first use).  Safe from any non-signal context; never blocks.
+void record(EventKind kind, const char* text, std::uint64_t arg = 0) noexcept;
+
+/// Install the crash-signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+/// SIGABRT) that dump the rings to `dump_path` and re-raise.  Idempotent:
+/// the first caller's path wins.  Pass nullptr for kDefaultDumpPath.
+void install_crash_handler(const char* path = nullptr) noexcept;
+
+[[nodiscard]] bool crash_handler_installed() noexcept;
+
+/// The path the crash handler will write (valid after install).
+[[nodiscard]] const char* dump_path() noexcept;
+
+/// Total events recorded process-wide (monotone; for tests).
+[[nodiscard]] std::uint64_t events_recorded() noexcept;
+
+/// Write the dump to an open file descriptor.  Async-signal-safe; this is
+/// what the crash handler calls.  `signal_number` < 0 means "not a crash"
+/// (the signal line is still printed, as -1).
+void dump_to_fd(int fd, int signal_number) noexcept;
+
+/// Same document on an ostream (tests, post-mortem tooling).
+void dump(std::ostream& out);
+
+/// Async-signal-safe unsigned decimal formatting: writes the digits of
+/// `value` into `buf` (capacity `cap`, no NUL appended) and returns the
+/// number of characters written, 0 when the buffer is too small.
+std::size_t format_u64(char* buf, std::size_t cap, std::uint64_t value) noexcept;
+
+}  // namespace hublab::fr

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -89,6 +90,15 @@ void Logger::set_rate_limit(std::uint64_t max_per_window, double window_s) {
 void Logger::write(Level level, std::string_view component, std::string_view message,
                    std::initializer_list<Field> fields) {
   if (!enabled(level) || level == Level::kOff || sink_ == nullptr) return;
+  // Flight-recorder breadcrumb: every emitted log line also lands in the
+  // crash ring (truncated), so post-mortem dumps show recent logging.
+  {
+    char crumb[fr::kEventTextMax + 1];
+    const std::size_t n = message.size() < fr::kEventTextMax ? message.size() : fr::kEventTextMax;
+    message.copy(crumb, n);
+    crumb[n] = '\0';
+    fr::record(fr::EventKind::kLog, crumb, static_cast<std::uint64_t>(level));
+  }
   const double ts = now_s();
   std::uint64_t suppressed = 0;
   if (limiting_) {

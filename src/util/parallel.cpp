@@ -14,6 +14,7 @@ namespace hublab::par {
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+thread_local std::size_t t_worker_index = 0;  ///< 0 = not a pool worker
 
 /// One in-flight run_chunks call.  Chunks are claimed by an atomic ticket
 /// (any executor may run any chunk); exceptions are parked per chunk index
@@ -50,7 +51,13 @@ class Pool {
     {
       const std::scoped_lock lock(mutex_);
       while (workers_.size() + 1 < threads) {
-        workers_.emplace_back([this] { worker_loop(); });
+        // Worker i gets executor index i + 1 (the caller is 0), assigned
+        // once before the loop so worker_index() is stable for its life.
+        const std::size_t index = workers_.size() + 1;
+        workers_.emplace_back([this, index] {
+          t_worker_index = index;
+          worker_loop();
+        });
       }
       job_ = &job;
       ++generation_;
@@ -169,6 +176,8 @@ std::size_t hardware_threads() {
 }
 
 bool in_parallel_region() { return t_in_parallel_region; }
+
+std::size_t worker_index() { return t_worker_index; }
 
 void run_chunks(const std::vector<ChunkRange>& chunks, std::size_t threads,
                 const std::function<void(const ChunkRange&)>& body) {

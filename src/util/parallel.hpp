@@ -72,6 +72,14 @@ inline constexpr std::size_t kMaxThreads = 256;
 /// nested parallel loops inline.
 [[nodiscard]] bool in_parallel_region();
 
+/// Stable executor index of the calling thread: 0 for every non-pool
+/// thread (including the caller participating in a parallel loop),
+/// 1..kMaxThreads-1 for pool workers, assigned once at spawn and fixed for
+/// the thread's lifetime.  Observability only — Chrome-trace tids, the
+/// flight recorder and per-worker utilization key on it; results must
+/// never depend on which worker ran a chunk.
+[[nodiscard]] std::size_t worker_index();
+
 /// Run `body(chunk)` for every chunk of [begin, end) split `threads` ways.
 /// Blocks until every chunk completed.  With threads <= 1, a single chunk,
 /// or when called from inside another parallel_for body, everything runs

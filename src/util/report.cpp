@@ -43,9 +43,24 @@ void write_run_report_json(std::ostream& os, const ReportHeader& header, const T
     w.kv("name", r.name);
     w.kv("wall_s", r.dur_s);
     w.kv("depth", static_cast<std::uint64_t>(r.depth));
+    w.kv("tid", r.tid);
     if (!r.counter_deltas.empty()) {
       w.key("counters").begin_object();
       for (const metrics::CounterSnapshot& c : r.counter_deltas) w.kv(c.name, c.value);
+      w.end_object();
+    }
+    if (r.hw.valid) {
+      // Schema v3 `hw` object: raw deltas plus the derived rates, so the
+      // trajectory tooling reads IPC without re-deriving it.
+      w.key("hw").begin_object();
+      w.kv("cycles", r.hw.cycles);
+      w.kv("instructions", r.hw.instructions);
+      w.kv("ipc", r.hw.ipc());
+      w.kv("l1d_misses", r.hw.l1d_misses);
+      w.kv("llc_misses", r.hw.llc_misses);
+      w.kv("branch_misses", r.hw.branch_misses);
+      w.kv("llc_miss_rate", r.hw.llc_miss_rate());
+      w.kv("branch_miss_rate", r.hw.branch_miss_rate());
       w.end_object();
     }
     w.end_object();

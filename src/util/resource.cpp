@@ -1,25 +1,87 @@
 #include "util/resource.hpp"
 
+#include <atomic>
+
 #include "util/timer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#if defined(__linux__)
+#include <fcntl.h>
 #endif
 
 namespace hublab {
 
-std::uint64_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
-#else
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes on Linux
+namespace {
+
+std::atomic<std::uint64_t> g_sampled_peak{0};
+
+#if defined(__linux__)
+/// Page size, cached by static initialization so the signal-handler path
+/// (sample_rss_peak from the profiler tick) never calls sysconf itself.
+const long g_page_size = sysconf(_SC_PAGESIZE);
 #endif
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages.  open/read/
+  // close and manual parsing only — this runs inside SIGPROF.
+  const int fd = open("/proc/self/statm", O_RDONLY);
+  if (fd < 0) return 0;
+  char buf[128];
+  const ssize_t n = read(fd, buf, sizeof buf - 1);
+  close(fd);
+  if (n <= 0) return 0;
+  buf[n] = '\0';
+  // Skip the first field (total program size), parse the second (resident).
+  ssize_t i = 0;
+  while (i < n && buf[i] != ' ') ++i;
+  while (i < n && buf[i] == ' ') ++i;
+  std::uint64_t pages = 0;
+  while (i < n && buf[i] >= '0' && buf[i] <= '9') {
+    pages = pages * 10 + static_cast<std::uint64_t>(buf[i] - '0');
+    ++i;
+  }
+  const std::uint64_t page = g_page_size > 0 ? static_cast<std::uint64_t>(g_page_size) : 4096;
+  return pages * page;
 #else
   return 0;
 #endif
+}
+
+void sample_rss_peak() {
+  const std::uint64_t now = current_rss_bytes();
+  if (now == 0) return;
+  std::uint64_t prev = g_sampled_peak.load(std::memory_order_relaxed);
+  while (now > prev && !g_sampled_peak.compare_exchange_weak(prev, now,
+                                                             std::memory_order_relaxed,
+                                                             std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t sampled_peak_rss_bytes() {
+  return g_sampled_peak.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_rss_bytes() {
+  std::uint64_t peak = sampled_peak_rss_bytes();
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    const auto kernel_peak = static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    const auto kernel_peak = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+    if (kernel_peak > peak) peak = kernel_peak;
+  }
+#endif
+  return peak;
 }
 
 std::uint64_t unix_time_ms() { return wall_unix_ms(); }

@@ -3,7 +3,9 @@
 #include <ostream>
 
 #include "util/assert.hpp"
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace hublab {
@@ -38,10 +40,13 @@ Tracer::Span Tracer::span(std::string name) {
   rec.start_s = timer_.elapsed_s();
   rec.depth = static_cast<int>(open_stack_.size());
   rec.parent = parent;
+  rec.tid = static_cast<std::uint64_t>(par::worker_index());
   records_.push_back(std::move(rec));
   const std::size_t index = records_.size() - 1;
+  fr::record(fr::EventKind::kSpanBegin, records_[index].name.c_str(), index);
   open_stack_.push_back(index);
   open_snapshots_.push_back(registry_.counters());
+  open_hw_.push_back(perf::enabled() ? perf::read_thread() : perf::HwCounters{});
   return Span(this, index);
 }
 
@@ -58,15 +63,22 @@ void Tracer::end_span(std::size_t index) {
   Record& rec = records_[index];
   rec.dur_s = timer_.elapsed_s() - rec.start_s;
   rec.counter_deltas = snapshot_delta(open_snapshots_.back(), registry_.counters());
+  const perf::HwCounters& begin = open_hw_.back();
+  if (begin.valid) {
+    rec.hw = perf::read_thread().minus(begin);
+  }
   rec.open = false;
+  fr::record(fr::EventKind::kSpanEnd, rec.name.c_str(), index);
   open_stack_.pop_back();
   open_snapshots_.pop_back();
+  open_hw_.pop_back();
 }
 
 void Tracer::clear() {
   records_.clear();
   open_stack_.clear();
   open_snapshots_.clear();
+  open_hw_.clear();
 }
 
 void Tracer::write_tree(std::ostream& out) const {
@@ -94,7 +106,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
         .kv("ts", rec.start_s * 1e6)
         .kv("dur", rec.dur_s * 1e6)
         .kv("pid", std::uint64_t{0})
-        .kv("tid", std::uint64_t{0});
+        .kv("tid", rec.tid);
     w.key("args").begin_object();
     for (const auto& d : rec.counter_deltas) w.kv(std::string_view(d.name), d.value);
     w.end_object();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/metrics.hpp"
+#include "util/perfcount.hpp"
 #include "util/timer.hpp"
 
 /// \file trace.hpp
@@ -13,6 +14,14 @@
 /// (RAII `Span` objects); each completed span carries its wall time and the
 /// per-counter deltas of the metrics registry over its lifetime, so a phase
 /// report reads "build-pll: 1.2s, pll.visited +48210, pll.pruned +31984".
+///
+/// When hardware counters are enabled (util/perfcount.hpp, opt-in via
+/// `perf::set_enabled`), each span additionally carries the cycle /
+/// instruction / cache-miss deltas over its lifetime (`Record::hw`), which
+/// the bench reports emit as the per-phase `hw` object (schema v3).  Spans
+/// also record the worker index of the opening thread (`Record::tid`) so
+/// Chrome traces lay out on real lanes, and leave begin/end breadcrumbs in
+/// the flight recorder (util/flightrec.hpp) for post-mortem dumps.
 ///
 /// Output formats: an indented tree (`write_tree`), and Chrome
 /// `trace_event` JSON (`write_chrome_trace`) loadable in `chrome://tracing`
@@ -35,8 +44,10 @@ class Tracer {
     double dur_s = 0.0;
     int depth = 0;
     std::size_t parent = kNoParent;
+    std::uint64_t tid = 0;  ///< par::worker_index() of the opening thread
     bool open = true;
     std::vector<metrics::CounterSnapshot> counter_deltas;  ///< nonzero deltas only
+    perf::HwCounters hw;  ///< hardware-counter deltas; hw.valid when captured
   };
 
   /// RAII handle: closes its span on destruction (or explicit end()).
@@ -93,6 +104,9 @@ class Tracer {
   /// Registry counter snapshot at each open span's start, parallel to
   /// open_stack_.
   std::vector<std::vector<metrics::CounterSnapshot>> open_snapshots_;
+  /// Hardware-counter snapshot at each open span's start, parallel to
+  /// open_stack_ (invalid entries when counters are disabled).
+  std::vector<perf::HwCounters> open_hw_;
 };
 
 }  // namespace hublab

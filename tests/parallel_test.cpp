@@ -216,5 +216,32 @@ TEST(RunChunks, EmptyListIsANoop) {
   par::run_chunks({}, 4, [](const par::ChunkRange&) { FAIL() << "body ran"; });
 }
 
+TEST(WorkerIndex, CallerIsZeroAndPoolIndicesAreBounded) {
+  // The observability layer (Tracer tid, per-worker busy accounting,
+  // profiler stack roots) keys on worker_index(): 0 is the caller, pool
+  // workers get fixed indices in [1, kMaxThreads).
+  EXPECT_EQ(par::worker_index(), 0u);
+  // 16 single-item chunks on 4 executors: every chunk must see a fixed
+  // executor index below the cap (0 = caller, 1+ = pool workers).
+  std::vector<par::ChunkRange> chunks;
+  for (std::size_t i = 0; i < 16; ++i) chunks.push_back({i, i + 1, i});
+  std::vector<std::size_t> by_chunk(chunks.size(), par::kMaxThreads);
+  par::run_chunks(chunks, 4, [&](const par::ChunkRange& chunk) {
+    by_chunk[chunk.index] = par::worker_index();
+  });
+  for (std::size_t i = 0; i < by_chunk.size(); ++i) {
+    EXPECT_LT(by_chunk[i], par::kMaxThreads) << "chunk " << i << " never ran";
+  }
+  // threads==1 runs everything inline on the caller (index 0), and the
+  // caller is back at 0 afterwards.
+  std::vector<std::size_t> inline_run(2, par::kMaxThreads);
+  par::run_chunks({{0, 1, 0}, {1, 2, 1}}, 1, [&](const par::ChunkRange& chunk) {
+    inline_run[chunk.index] = par::worker_index();
+  });
+  EXPECT_EQ(inline_run[0], 0u);
+  EXPECT_EQ(inline_run[1], 0u);
+  EXPECT_EQ(par::worker_index(), 0u);
+}
+
 }  // namespace
 }  // namespace hublab

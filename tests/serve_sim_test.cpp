@@ -221,6 +221,36 @@ TEST(RunSim, RejectsEmptyGraph) {
   EXPECT_THROW((void)run_sim(g, SimConfig{}), InvalidArgument);
 }
 
+TEST(ServeReport, CarriesWorkerUtilization) {
+  metrics::registry().reset();
+  Tracer tracer;
+  const Graph g = small_gadget();
+  SimConfig config = smoke_config(OracleKind::kPll, WorkloadKind::kUniform);
+  config.threads = 2;
+  const SimResult result = run_sim(g, config, &tracer);
+  ASSERT_FALSE(result.worker_busy_ns.empty());
+  std::uint64_t busy_total = 0;
+  for (const std::uint64_t ns : result.worker_busy_ns) busy_total += ns;
+  EXPECT_GT(busy_total, 0u) << "no worker recorded busy time";
+  EXPECT_GT(result.worker_utilization_pct, 0.0);
+  // Busy sums can exceed the loop wall window by clock granularity only.
+  EXPECT_LE(result.worker_utilization_pct, 120.0);
+
+  std::ostringstream os;
+  write_serve_report_json(os, result, config, g, "gadget-h", "deadbeef", true, tracer);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  ASSERT_NE(doc.find("worker_utilization_pct"), nullptr);
+  const JsonValue* workers = doc.find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_FALSE(workers->array_items.size() == 0u);
+  for (const JsonValue& w : workers->array_items) {
+    ASSERT_NE(w.find("worker"), nullptr);
+    ASSERT_NE(w.find("busy_ns"), nullptr);
+    EXPECT_GE(w.find("busy_ns")->number_value, 0.0);
+  }
+}
+
 TEST(ServeReport, ValidatesAgainstBenchSchemaWithServeMembers) {
   metrics::registry().reset();
   Tracer tracer;

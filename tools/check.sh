@@ -10,7 +10,10 @@
 #   7. bench smoke: every bench --smoke + JSON schema validation
 #   8. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
 #   9. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
-#  10. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#  10. perf-counters smoke: bench --perf-counters banner + schema-v3 hw
+#      blocks (validated when the host has hardware counters, cleanly
+#      skipped where perf_event_open is unavailable)
+#  11. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 set -euo pipefail
@@ -23,17 +26,17 @@ stage() {
   echo "=== check.sh: $* ==="
 }
 
-stage "1/10 RelWithDebInfo build + tests"
+stage "1/11 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/10 ASan+UBSan build + tests"
+stage "2/11 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/10 TSan build + parallel-path tests"
+stage "3/11 TSan build + parallel-path tests"
 # The suites that drive util/parallel's pool with threads > 1: the pool
 # itself, every parallelized hub-labeling entry point, the flat kernel, the
 # threaded serve loop and the sketch merges it reduces with.  -fsanitize=
@@ -44,13 +47,13 @@ cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -j "${jobs}" \
   -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch|PllBp'
 
-stage "4/10 clang-tidy gate"
+stage "4/11 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "5/10 hublab_lint (with header self-containment)"
+stage "5/11 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "6/10 hublab_lint SARIF artifact"
+stage "6/11 hublab_lint SARIF artifact"
 # Re-run the analyzer emitting SARIF (the CI-consumable artifact) and prove
 # the document is well-formed 2.1.0 with the full rule catalog.  Headers
 # were already probed in stage 5.
@@ -68,7 +71,7 @@ print(f"sarif: valid 2.1.0, {len(rules)} rules, {len(run['results'])} results")
 PY
 rm -f "${sarif_out}"
 
-stage "7/10 bench smoke + BENCH_*.json schema validation"
+stage "7/11 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -87,7 +90,7 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "8/10 bench-compare vs committed baselines"
+stage "8/11 bench-compare vs committed baselines"
 # Wall-clock thresholds are deliberately loose here (different machines,
 # shared CI runners); structural metrics are seeded and should stay close.
 compare_failures=0
@@ -124,7 +127,7 @@ if [ "${bp_pct}" -gt 70 ]; then
 fi
 echo "bench-compare: bp construction at ${bp_pct}% of scalar (<= 70%)"
 
-stage "9/10 serve-sim smoke + SERVE_*.json schema validation"
+stage "9/11 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \
   && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
   && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
@@ -134,10 +137,32 @@ stage "9/10 serve-sim smoke + SERVE_*.json schema validation"
        --json-out SERVE_pll_flat.json > /dev/null)
 build/dev/tools/hublab validate-bench --quiet "${smoke_dir}"/SERVE_*.json
 grep -q "hublab_serve_query_ns" "${smoke_dir}/SERVE_pll.prom"
+grep -q "hublab_proc_peak_rss_bytes" "${smoke_dir}/SERVE_pll.prom"
 grep -q '"threads": 4' "${smoke_dir}/SERVE_pll_flat.json"
 echo "serve-sim: SERVE_*.json schema-valid, Prometheus dump has serve metrics"
 
-stage "10/10 Werror build"
+stage "10/11 perf-counters smoke + schema-v3 hw validation"
+# The banner always states a verdict ("hardware ..." / "unavailable ...");
+# hw blocks in the JSON are required only on hardware-capable hosts —
+# containers and locked-down kernels degrade to the timer-only fallback.
+perf_dir="${smoke_dir}/perf"
+mkdir -p "${perf_dir}"
+perf_log="${perf_dir}/bench_query_oracles.log"
+(cd "${perf_dir}" \
+  && "${repo_root}/build/dev/bench/bench_query_oracles" --smoke --perf-counters > "${perf_log}")
+grep -q '^perf counters: ' "${perf_log}"
+build/dev/tools/hublab validate-bench --quiet "${perf_dir}"/BENCH_*.json
+if grep -q '^perf counters: hardware' "${perf_log}"; then
+  if ! grep -q '"hw"' "${perf_dir}"/BENCH_*.json; then
+    echo "perf-smoke: counters report hardware but no hw blocks in the JSON" >&2
+    exit 1
+  fi
+  echo "perf-smoke: hardware counters live, per-phase hw blocks schema-valid"
+else
+  echo "perf-smoke: $(grep '^perf counters: ' "${perf_log}") -- hw blocks not required"
+fi
+
+stage "11/11 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

@@ -24,9 +24,13 @@
 #include "util/bench_compare.hpp"
 #include "util/bench_schema.hpp"
 #include "util/error.hpp"
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/perfcount.hpp"
+#include "util/profiler.hpp"
 #include "util/prometheus.hpp"
+#include "util/resource.hpp"
 #include "util/trace.hpp"
 
 // CMake defines HUBLAB_GIT_REV from `git rev-parse --short HEAD`; the
@@ -42,7 +46,8 @@ namespace {
 /// True for options that take no value (every other --option consumes the
 /// following argument).
 bool is_boolean_flag(const std::string& name) {
-  return name == "--smoke" || name == "--quiet" || name == "--all";
+  return name == "--smoke" || name == "--quiet" || name == "--all" ||
+         name == "--perf-counters";
 }
 
 /// Tiny argument cursor: positionals in order plus --key value options and
@@ -393,7 +398,8 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
     throw InvalidArgument(
         "serve-sim: usage: serve-sim GRAPH [--oracle pll|pll-flat|ch|bidij] "
         "[--workload uniform|zipf|near|far] [--queries N] [--warmup N] [--seed N] "
-        "[--threads N] [--bp-roots N] [--smoke] [--json-out FILE] [--prom-out FILE]");
+        "[--threads N] [--bp-roots N] [--smoke] [--perf-counters] "
+        "[--json-out FILE] [--prom-out FILE]");
   }
   serve::SimConfig config;
   if (const auto o = args.option("--oracle")) {
@@ -417,10 +423,18 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   config.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
   config.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
 
+  if (args.flag("--perf-counters")) {
+    perf::set_enabled(true);
+    out << "perf counters: " << perf::describe() << "\n";
+  }
+
   const Graph g = io::load_edge_list(*file);
   metrics::registry().reset();
   Tracer tracer;
   const serve::SimResult result = serve::run_sim(g, config, &tracer);
+  metrics::registry()
+      .gauge("proc.peak_rss_bytes")
+      .set(static_cast<std::int64_t>(peak_rss_bytes()));
 
   const QuantileSketch& lat = result.latency_ns;
   out << "serve-sim " << *file << ": oracle=" << result.oracle_name
@@ -432,6 +446,12 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   out << "  latency_ns: p50=" << lat.quantile(0.5) << " p90=" << lat.quantile(0.9)
       << " p99=" << lat.quantile(0.99) << " p999=" << lat.quantile(0.999)
       << " max=" << lat.max() << " (rank error <= " << lat.rank_error_bound() << ")\n";
+  out << "  workers=" << result.worker_busy_ns.size()
+      << " utilization_pct=" << result.worker_utilization_pct << "\n";
+  if (result.hw.valid) {
+    out << "  hw: ipc=" << result.hw.ipc() << " llc_miss_rate=" << result.hw.llc_miss_rate()
+        << " branch_miss_rate=" << result.hw.branch_miss_rate() << "\n";
+  }
 
   const std::string json_path =
       args.option("--json-out")
@@ -492,17 +512,65 @@ int cmd_bench_compare(Args& args, std::ostream& out) {
   return report.ok() ? 0 : 1;
 }
 
+/// `profile [--hz N] [--folded FILE] <command...>`: run any other hublab
+/// subcommand under the sampling profiler (util/profiler.hpp) and write
+/// the folded stacks when it returns.  Where SIGPROF sampling is
+/// unsupported, the wrapped command still runs (unprofiled) — same
+/// degrade-to-working contract as the hardware counters.
+int cmd_profile(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  prof::ProfilerConfig config;
+  std::string folded_path = "hublab_profile.folded";
+  std::size_t i = 0;
+  while (i < args.size()) {
+    if (args[i] == "--hz" && i + 1 < args.size()) {
+      config.hz = parse_u64(args[i + 1], "--hz");
+      i += 2;
+    } else if (args[i] == "--folded" && i + 1 < args.size()) {
+      folded_path = args[i + 1];
+      i += 2;
+    } else {
+      break;
+    }
+  }
+  if (i >= args.size()) {
+    throw InvalidArgument("profile: usage: profile [--hz N] [--folded FILE] <command...>");
+  }
+  if (args[i] == "profile") throw InvalidArgument("profile: cannot nest profile");
+
+  prof::reset();
+  const bool armed = prof::start(config);
+  if (!armed) out << "profiler: unsupported here; running the command unprofiled\n";
+  const int code = run(std::vector<std::string>(args.begin() + static_cast<std::ptrdiff_t>(i),
+                                                args.end()),
+                       out, err);
+  if (armed) {
+    prof::stop();
+    std::ofstream folded(folded_path);
+    if (!folded) throw Error("profile: cannot write " + folded_path);
+    prof::write_folded(folded);
+    out << "profile: " << prof::samples() << " samples (" << prof::dropped()
+        << " dropped), folded stacks written to " << folded_path << "\n";
+  }
+  return code;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  // Always-on post-mortem: any crash below (or in a worker thread) dumps
+  // the flight-recorder rings before the default disposition runs.
+  fr::install_crash_handler();
   if (args.empty()) {
     err << "usage: hublab "
            "<gen|stats|label|query|verify|certify-gadget|sumindex|trace|serve-sim|"
-           "validate-bench|bench-compare> ...\n";
+           "profile|validate-bench|bench-compare> ...\n";
     return 2;
   }
   Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
   try {
+    if (args[0] == "profile") {
+      return cmd_profile(std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+    }
     if (args[0] == "gen") return cmd_gen(rest, out);
     if (args[0] == "stats") return cmd_stats(rest, out);
     if (args[0] == "label") return cmd_label(rest, out);

@@ -17,6 +17,12 @@
 ///   sumindex B L [--trials N]           run the Theorem 1.6 protocol
 ///   trace GRAPH [--chrome FILE]         phase-traced PLL pipeline
 ///   serve-sim GRAPH [--oracle K]        query-serving latency simulation
+///                                       (--perf-counters adds hardware
+///                                       counters where available)
+///   profile [--hz N] [--folded FILE] <command...>
+///                                       run any subcommand under the
+///                                       sampling profiler; writes folded
+///                                       stacks for flamegraph tooling
 ///   validate-bench [--quiet] FILE...    schema-check run reports
 ///                                       (exit 0 ok / 1 invalid / 2 io)
 ///   bench-compare BASE NEW [--threshold PCT]
