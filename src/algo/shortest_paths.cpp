@@ -167,6 +167,83 @@ Dist bidirectional_distance(const Graph& g, Vertex s, Vertex t) {
   return best;
 }
 
+Dist bidirectional_distance_with_stats(const Graph& g, Vertex s, Vertex t,
+                                       metrics::QueryStats& stats) {
+  HUBLAB_ASSERT(s < g.num_vertices() && t < g.num_vertices());
+  if (s == t) {
+    stats.meeting(s);
+    return 0;
+  }
+  const std::size_t n = g.num_vertices();
+  std::vector<Dist> df(n, kInfDist);
+  std::vector<Dist> db(n, kInfDist);
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> qf;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> qb;
+  df[s] = 0;
+  db[t] = 0;
+  qf.emplace(0, s);
+  qb.emplace(0, t);
+  Dist best = kInfDist;
+  Vertex meet = kInvalidVertex;
+  std::uint64_t settled_total = 0;
+  std::uint64_t settled_f = 0;
+  std::uint64_t settled_b = 0;
+
+  auto relax = [&g, &best, &meet, &settled_total, &stats](
+                   std::priority_queue<Item, std::vector<Item>, std::greater<>>& pq,
+                   std::vector<Dist>& mine, const std::vector<Dist>& other,
+                   std::uint64_t& settled_mine) -> Dist {
+    // Settle one vertex of this direction; return its settled distance.
+    // Identical to the plain search, plus bridge bookkeeping for the
+    // probe: any vertex both searches have reached is a candidate meeting
+    // point, and the one realizing `best` is the reported meeting hub.
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d != mine[u]) continue;
+      ++settled_total;
+      ++settled_mine;
+      if (other[u] != kInfDist) {
+        stats.matched();
+        if (d + other[u] < best) {
+          best = d + other[u];
+          meet = u;
+        }
+      }
+      for (const Arc& a : g.arcs(u)) {
+        const Dist nd = d + a.weight;
+        if (nd < mine[a.to]) {
+          mine[a.to] = nd;
+          pq.emplace(nd, a.to);
+          if (other[a.to] != kInfDist && nd + other[a.to] < best) {
+            best = nd + other[a.to];
+            meet = a.to;
+          }
+        }
+      }
+      return d;
+    }
+    return kInfDist;
+  };
+
+  Dist top_f = 0;
+  Dist top_b = 0;
+  while (!qf.empty() || !qb.empty()) {
+    if (best != kInfDist && top_f + top_b >= best) break;
+    if (!qf.empty() && (qb.empty() || qf.top().first <= qb.top().first)) {
+      top_f = relax(qf, df, db, settled_f);
+    } else if (!qb.empty()) {
+      top_b = relax(qb, db, df, settled_b);
+    }
+  }
+  metrics::registry().counter("sp.bidij.settled").add(settled_total);
+  stats.labels(settled_f, settled_b);
+  stats.scanned(settled_total);
+  stats.meeting(meet);
+  return best;
+}
+
 std::vector<Vertex> extract_path(const SsspResult& tree, Vertex source, Vertex target) {
   if (target >= tree.dist.size() || tree.dist[target] == kInfDist) return {};
   std::vector<Vertex> path;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/querystats.hpp"
 
 /// \file shortest_paths.hpp
 /// Single-source and point-to-point exact shortest paths.
@@ -40,6 +41,14 @@ std::vector<Dist> sssp_distances(const Graph& g, Vertex source);
 /// Point-to-point distance by bidirectional Dijkstra (also correct for
 /// unit weights).  Returns kInfDist if disconnected.
 Dist bidirectional_distance(const Graph& g, Vertex s, Vertex t);
+
+/// Attribution variant of bidirectional_distance (`hublab explain`,
+/// slow-query capture): same answer, plus the probe records per-direction
+/// settled counts as the "label" sizes, total settled vertices as the scan
+/// cost, bridge evaluations as matches, and the vertex the best path meets
+/// at.  A separate entry point so the plain search stays untouched.
+Dist bidirectional_distance_with_stats(const Graph& g, Vertex s, Vertex t,
+                                       metrics::QueryStats& stats);
 
 /// Recover the s->t path from a shortest-path tree returned for source s.
 /// Empty vector if t is unreachable; otherwise starts with s, ends with t.

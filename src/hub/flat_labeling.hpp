@@ -107,6 +107,46 @@ class FlatHubLabeling {
     return best;
   }
 
+  /// Attribution variant of query_with_hub() (`hublab explain`, slow-query
+  /// capture): same sentinel-terminated merge, same result, plus the probe
+  /// records label sizes, cursor advances and the meeting hub.  A separate
+  /// entry point so the plain fast path keeps its minimal loop.
+  [[nodiscard]] HubQueryResult query_with_stats(Vertex u, Vertex v,
+                                                metrics::QueryStats& stats) const {
+    HUBLAB_ASSERT_RANGE(u, num_vertices_);
+    HUBLAB_ASSERT_RANGE(v, num_vertices_);
+    stats.labels(label_size(u), label_size(v));
+    const Vertex* ha = hubs_.data() + offsets_[u];
+    const Dist* da = dists_.data() + offsets_[u];
+    const Vertex* hb = hubs_.data() + offsets_[v];
+    const Dist* db = dists_.data() + offsets_[v];
+    HubQueryResult best;
+    for (;;) {
+      const Vertex a = *ha;
+      const Vertex b = *hb;
+      if (a == b) {
+        if (a == kInvalidVertex) break;
+        stats.scanned();
+        stats.matched();
+        const Dist d = *da + *db;
+        if (d < best.dist) {
+          best.dist = d;
+          best.meeting_hub = a;
+        }
+        ++ha, ++da;
+        ++hb, ++db;
+      } else if (a < b) {
+        stats.scanned();
+        ++ha, ++da;
+      } else {
+        stats.scanned();
+        ++hb, ++db;
+      }
+    }
+    stats.meeting(best.meeting_hub);
+    return best;
+  }
+
   /// Actual heap footprint: array capacities plus the container
   /// bookkeeping, comparable with HubLabeling::memory_bytes().
   [[nodiscard]] std::size_t memory_bytes() const {

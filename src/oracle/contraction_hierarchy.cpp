@@ -217,6 +217,42 @@ Dist ContractionHierarchy::distance(Vertex s, Vertex t) const {
   return best;
 }
 
+Dist ContractionHierarchy::distance_with_stats(Vertex s, Vertex t,
+                                               metrics::QueryStats& stats) const {
+  HUBLAB_ASSERT(s < up_.size() && t < up_.size());
+  if (s == t) {
+    stats.meeting(s);
+    return 0;
+  }
+
+  // The plain two-pointer intersection plus probe bookkeeping.
+  const auto from_s = upward_search(s);
+  const auto from_t = upward_search(t);
+  stats.labels(from_s.size(), from_t.size());
+  Dist best = kInfDist;
+  Vertex apex = kInvalidVertex;
+  auto it_s = from_s.begin();
+  auto it_t = from_t.begin();
+  while (it_s != from_s.end() && it_t != from_t.end()) {
+    stats.scanned();
+    if (it_s->first < it_t->first) {
+      ++it_s;
+    } else if (it_t->first < it_s->first) {
+      ++it_t;
+    } else {
+      stats.matched();
+      if (it_s->second + it_t->second < best) {
+        best = it_s->second + it_t->second;
+        apex = it_s->first;
+      }
+      ++it_s;
+      ++it_t;
+    }
+  }
+  stats.meeting(apex);
+  return best;
+}
+
 std::size_t ContractionHierarchy::space_bytes() const {
   std::size_t arcs = 0;
   for (const auto& a : up_) arcs += a.size();

@@ -32,6 +32,11 @@ class ContractionHierarchy final : public DistanceOracle {
 
   [[nodiscard]] std::string name() const override { return "contraction-hierarchy"; }
   [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  /// Attribution variant: records the two upward-search-space sizes as the
+  /// "label" sizes, two-pointer advances as the scan cost, candidate apexes
+  /// as matches, and the apex of the best up-down path as the meeting hub.
+  [[nodiscard]] Dist distance_with_stats(Vertex u, Vertex v,
+                                         metrics::QueryStats& stats) const override;
   [[nodiscard]] std::size_t space_bytes() const override;
 
   [[nodiscard]] std::size_t num_shortcuts() const { return num_shortcuts_; }

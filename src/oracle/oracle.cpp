@@ -12,6 +12,11 @@ Dist BidirectionalOracle::distance(Vertex u, Vertex v) const {
   return bidirectional_distance(*g_, u, v);
 }
 
+Dist BidirectionalOracle::distance_with_stats(Vertex u, Vertex v,
+                                              metrics::QueryStats& stats) const {
+  return bidirectional_distance_with_stats(*g_, u, v, stats);
+}
+
 HubLabelOracle::HubLabelOracle(const Graph& g, HubLabeling labeling)
     : labels_(std::move(labeling)) {
   HUBLAB_ASSERT(labels_.num_vertices() == g.num_vertices());

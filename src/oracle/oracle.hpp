@@ -28,6 +28,18 @@ class DistanceOracle {
   /// Space consumed by the preprocessed structure, in bytes (the graph
   /// itself is not counted; all oracles share it).
   [[nodiscard]] virtual std::size_t space_bytes() const = 0;
+
+  /// Attribution variant of distance() (`hublab explain`, serve-sim's
+  /// slow-query capture): same answer, plus the probe records whatever the
+  /// oracle's kernel can attribute — label sizes, entries scanned, common
+  /// hubs compared, meeting hub (util/querystats.hpp).  Oracles without an
+  /// instrumented kernel answer through plain distance() and leave the
+  /// probe untouched.
+  [[nodiscard]] virtual Dist distance_with_stats(Vertex u, Vertex v,
+                                                 metrics::QueryStats& stats) const {
+    (void)stats;
+    return distance(u, v);
+  }
 };
 
 /// Full APSP table: O(n^2) space, O(1) query.
@@ -60,6 +72,8 @@ class BidirectionalOracle final : public DistanceOracle {
   explicit BidirectionalOracle(const Graph& g) : g_(&g) {}
   [[nodiscard]] std::string name() const override { return "bidirectional-dijkstra"; }
   [[nodiscard]] Dist distance(Vertex u, Vertex v) const override;
+  [[nodiscard]] Dist distance_with_stats(Vertex u, Vertex v,
+                                         metrics::QueryStats& stats) const override;
   [[nodiscard]] std::size_t space_bytes() const override { return 0; }
 
  private:
@@ -73,6 +87,10 @@ class HubLabelOracle final : public DistanceOracle {
   HubLabelOracle(const Graph& g, HubLabeling labeling);
   [[nodiscard]] std::string name() const override { return "hub-labels"; }
   [[nodiscard]] Dist distance(Vertex u, Vertex v) const override { return labels_.query(u, v); }
+  [[nodiscard]] Dist distance_with_stats(Vertex u, Vertex v,
+                                         metrics::QueryStats& stats) const override {
+    return labels_.query_with_stats(u, v, stats).dist;
+  }
   [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }
   [[nodiscard]] const HubLabeling& labeling() const { return labels_; }
 
@@ -91,6 +109,10 @@ class FlatHubLabelOracle final : public DistanceOracle {
   explicit FlatHubLabelOracle(FlatHubLabeling labeling) : labels_(std::move(labeling)) {}
   [[nodiscard]] std::string name() const override { return "hub-labels-flat"; }
   [[nodiscard]] Dist distance(Vertex u, Vertex v) const override { return labels_.query(u, v); }
+  [[nodiscard]] Dist distance_with_stats(Vertex u, Vertex v,
+                                         metrics::QueryStats& stats) const override {
+    return labels_.query_with_stats(u, v, stats).dist;
+  }
   [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }
   [[nodiscard]] const FlatHubLabeling& labeling() const { return labels_; }
 

@@ -1,6 +1,7 @@
 #include "oracle/serve.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <ostream>
 
@@ -13,6 +14,7 @@
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/querystats.hpp"
 #include "util/report.hpp"
 #include "util/resource.hpp"
 #include "util/timer.hpp"
@@ -49,7 +51,20 @@ std::unique_ptr<DistanceOracle> build_oracle(const Graph& g, const SimConfig& co
 /// would differ between thread counts.
 constexpr std::size_t kQueryChunks = 64;
 
+/// Per-window accumulator used inside the chunked query loop; folded into
+/// serve::WindowStats once all chunks merged.
+struct WindowAccum {
+  std::uint64_t queries = 0;
+  std::uint64_t reachable = 0;
+  QuantileSketch latency_ns;
+};
+
 }  // namespace
+
+std::unique_ptr<DistanceOracle> make_oracle(const Graph& g, const SimConfig& config) {
+  if (g.num_vertices() == 0) throw InvalidArgument("serve-sim: empty graph");
+  return build_oracle(g, config);
+}
 
 std::string_view oracle_kind_name(OracleKind kind) noexcept {
   switch (kind) {
@@ -216,41 +231,95 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
       std::uint64_t busy_ns = 0;     ///< wall time this chunk spent executing
       std::size_t worker = 0;        ///< par::worker_index() that ran it
       perf::HwCounters hw;           ///< chunk-local hardware-counter delta
+      metrics::ExemplarReservoir exemplars;     ///< chunk-local witness capture
+      metrics::SlowQueryLog slow;               ///< chunk-local threshold capture
+      metrics::SpaceSavingSketch hub_scan_cost; ///< chunk-local hub attribution
+      std::map<std::uint64_t, WindowAccum> windows;  ///< window index -> accum
     };
     const std::size_t first = std::min<std::size_t>(config.warmup, pairs.size());
     const auto chunks = par::static_chunks(first, pairs.size(), kQueryChunks);
     std::vector<ChunkStats> stats(chunks.size());
+    for (std::size_t c = 0; c < stats.size(); ++c) {
+      // Per-chunk seeds derive from the run seed and the fixed chunk list,
+      // so the retained exemplars depend only on (seed, latencies) — never
+      // on the thread count.
+      stats[c].exemplars = metrics::ExemplarReservoir(
+          config.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)), config.exemplars_per_bucket);
+      stats[c].slow = metrics::SlowQueryLog(config.slow_query_ns, config.slow_query_capacity);
+    }
+    const std::uint64_t window_ns = std::max<std::uint64_t>(1, config.window_ns);
     Timer loop_timer;
+    const std::uint64_t loop_begin_ns = monotonic_ns();
     par::run_chunks(chunks, result.threads, [&](const par::ChunkRange& chunk) {
       ChunkStats& s = stats[chunk.index];
       s.worker = par::worker_index();
       const std::uint64_t chunk_begin_ns = monotonic_ns();
       perf::ScopedHw hw_scope(s.hw);
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        metrics::QueryStats probe;
         const std::uint64_t begin_ns = monotonic_ns();
-        const Dist d = oracle->distance(pairs[i].first, pairs[i].second);
-        s.latency_ns.record(monotonic_ns() - begin_ns);
+        const Dist d = oracle->distance_with_stats(pairs[i].first, pairs[i].second, probe);
+        const std::uint64_t latency_ns = monotonic_ns() - begin_ns;
+        s.latency_ns.record(latency_ns);
         ++s.queries;
         if (d != kInfDist) {
           ++s.reachable;
           s.checksum += d;
         }
+        // Attribution bookkeeping stays outside the measured interval.
+        const metrics::Exemplar witness{static_cast<std::uint64_t>(i - first),
+                                        pairs[i].first,
+                                        pairs[i].second,
+                                        latency_ns,
+                                        probe.scan_cost(),
+                                        probe.meeting_hub()};
+        s.exemplars.offer(witness);
+        s.slow.offer(witness);
+        if (probe.meeting_hub() != metrics::kNoMeetingHub) {
+          s.hub_scan_cost.add(probe.meeting_hub(), probe.scan_cost());
+        }
+        WindowAccum& win = s.windows[(begin_ns - loop_begin_ns) / window_ns];
+        ++win.queries;
+        if (d != kInfDist) ++win.reachable;
+        win.latency_ns.record(latency_ns);
       }
       s.busy_ns = monotonic_ns() - chunk_begin_ns;
     });
     result.query_loop_s = loop_timer.elapsed_s();
+    result.exemplars =
+        metrics::ExemplarReservoir(config.seed, config.exemplars_per_bucket);
+    result.slow_queries =
+        metrics::SlowQueryLog(config.slow_query_ns, config.slow_query_capacity);
+    std::map<std::uint64_t, WindowAccum> merged_windows;
     for (const ChunkStats& s : stats) {
       result.latency_ns.merge(s.latency_ns);
       result.queries += s.queries;
       result.reachable += s.reachable;
       result.checksum += s.checksum;
       result.hw += s.hw;
+      result.exemplars.merge(s.exemplars);
+      result.slow_queries.merge(s.slow);
+      result.hub_scan_cost.merge(s.hub_scan_cost);
+      for (const auto& [index, win] : s.windows) {
+        WindowAccum& acc = merged_windows[index];
+        acc.queries += win.queries;
+        acc.reachable += win.reachable;
+        acc.latency_ns.merge(win.latency_ns);
+      }
       // Any pool worker may execute a chunk regardless of the requested
       // thread count, so size the busy array by the indices actually seen.
       if (s.worker >= result.worker_busy_ns.size()) {
         result.worker_busy_ns.resize(s.worker + 1, 0);
       }
       result.worker_busy_ns[s.worker] += s.busy_ns;
+    }
+    result.windows.reserve(merged_windows.size());
+    for (const auto& [index, win] : merged_windows) {
+      result.windows.push_back({index, win.queries, win.reachable,
+                                static_cast<double>(win.queries) /
+                                    (static_cast<double>(window_ns) / 1e9),
+                                win.latency_ns.quantile(0.5),
+                                win.latency_ns.quantile(0.99)});
     }
     std::uint64_t total_busy_ns = 0;
     for (const std::uint64_t busy : result.worker_busy_ns) total_busy_ns += busy;
@@ -268,6 +337,30 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
   for (std::size_t w = 0; w < result.worker_busy_ns.size(); ++w) {
     reg.gauge("serve.worker_busy_ns." + std::to_string(w))
         .set(static_cast<std::int64_t>(result.worker_busy_ns[w]));
+  }
+  reg.counter("serve.slow_queries").add(result.slow_queries.total_slow());
+  reg.gauge("serve.window.count").set(static_cast<std::int64_t>(result.windows.size()));
+  for (const WindowStats& win : result.windows) {
+    const std::string idx = std::to_string(win.index);
+    reg.gauge("serve.window.queries." + idx).set(static_cast<std::int64_t>(win.queries));
+    reg.gauge("serve.window.qps." + idx).set(static_cast<std::int64_t>(win.qps));
+    reg.gauge("serve.window.p50_ns." + idx).set(static_cast<std::int64_t>(win.p50_ns));
+    reg.gauge("serve.window.p99_ns." + idx).set(static_cast<std::int64_t>(win.p99_ns));
+  }
+  metrics::ExemplarStore& store = reg.exemplar("serve.query_exemplars");
+  store.configure(config.seed, config.exemplars_per_bucket);
+  store.merge(result.exemplars);
+  reg.heavy_hitter("hub.scan_cost").merge(result.hub_scan_cost);
+  // The structured slow-query log goes out *after* the loop (capped at the
+  // log's capacity) so serving latency never pays for log formatting.
+  for (const metrics::Exemplar& e : result.slow_queries.entries()) {
+    HUBLAB_LOG_WARN("serve", "slow query", log::Field("seq", e.seq),
+                    log::Field("s", static_cast<std::uint64_t>(e.s)),
+                    log::Field("t", static_cast<std::uint64_t>(e.t)),
+                    log::Field("latency_ns", e.latency_ns),
+                    log::Field("scan_cost", e.scan_cost),
+                    log::Field("meeting_hub", static_cast<std::uint64_t>(e.meeting_hub)),
+                    log::Field("threshold_ns", result.slow_queries.threshold_ns()));
   }
   if (result.hw.valid) {
     reg.counter("perf.cycles").add(result.hw.cycles);
@@ -347,6 +440,34 @@ void write_serve_report_json(std::ostream& os, const SimResult& result, const Si
     w.kv("p999", lat.quantile(0.999));
     w.kv("rank_error", lat.rank_error_bound());
     w.end_object();
+    // Schema v4 attribution members.
+    w.kv("window_ns", config.window_ns);
+    w.kv("slow_query_ns", config.slow_query_ns);
+    w.key("windows").begin_array();
+    for (const WindowStats& win : result.windows) {
+      w.begin_object();
+      w.kv("index", win.index);
+      w.kv("queries", win.queries);
+      w.kv("reachable", win.reachable);
+      w.kv("qps", win.qps);
+      w.kv("p50_ns", win.p50_ns);
+      w.kv("p99_ns", win.p99_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("slow_queries").begin_array();
+    for (const metrics::Exemplar& e : result.slow_queries.entries()) {
+      w.begin_object();
+      w.kv("seq", e.seq);
+      w.kv("s", static_cast<std::uint64_t>(e.s));
+      w.kv("t", static_cast<std::uint64_t>(e.t));
+      w.kv("latency_ns", e.latency_ns);
+      w.kv("scan_cost", e.scan_cost);
+      w.kv("meeting_hub", static_cast<std::uint64_t>(e.meeting_hub));
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("slow_queries_total", result.slow_queries.total_slow());
   });
 }
 

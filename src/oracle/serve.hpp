@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,6 +11,8 @@
 
 #include "graph/graph.hpp"
 #include "hub/pll.hpp"
+#include "util/exemplar.hpp"
+#include "util/heavyhitter.hpp"
 #include "util/perfcount.hpp"
 #include "util/qsketch.hpp"
 #include "util/rng.hpp"
@@ -49,6 +52,21 @@
 /// counters enabled (util/perfcount.hpp), the query loop additionally
 /// accumulates per-chunk counter deltas across all workers into
 /// `SimResult::hw` and the `perf.*` counters.
+///
+/// Per-query attribution (docs/observability.md "Attributing tail
+/// latency"): the recorded loop answers through `distance_with_stats`,
+/// feeding a deterministic exemplar reservoir (`serve.query_exemplars`
+/// store), a threshold-triggered slow-query log (`serve.slow_queries`
+/// counter plus structured WARN lines through util/log), a scan-cost
+/// heavy-hitter sketch over meeting hubs (`hub.scan_cost`), and windowed
+/// per-interval series (`serve.window.count` gauge plus dynamic
+/// `serve.window.{queries,qps,p50_ns,p99_ns}.<i>` gauges), all emitted as
+/// the schema-v4 `windows` / `slow_queries` / `exemplars` /
+/// `heavy_hitters` report members.
+
+namespace hublab {
+class DistanceOracle;  // oracle/oracle.hpp
+}  // namespace hublab
 
 namespace hublab::serve {
 
@@ -72,6 +90,30 @@ struct SimConfig {
   /// the labels, and hence every query answer, are identical for any
   /// value.
   std::size_t bp_roots = kPllDefaultBpRoots;
+  /// Slow-query capture threshold; 0 disables the slow-query log.
+  std::uint64_t slow_query_ns = 0;
+  /// Windowed time-series resolution (must be > 0); the CLI default is one
+  /// second (`--window-ms 1000`).
+  std::uint64_t window_ns = 1'000'000'000;
+  /// Exemplar-reservoir capacity per pow2 latency bucket.
+  std::size_t exemplars_per_bucket = 2;
+  /// Cap on retained slow-query entries (the slowest win; every match
+  /// still counts toward `serve.slow_queries`).
+  std::size_t slow_query_capacity = 32;
+};
+
+/// One window of the per-interval serve time series.  Windows are indexed
+/// by each query's *start offset* into the recorded loop
+/// (`offset / window_ns`), so attribution is stable however long the query
+/// itself ran; `qps` divides by the nominal window length (the tail window
+/// is typically partial and reads low).
+struct WindowStats {
+  std::uint64_t index = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t reachable = 0;
+  double qps = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
 };
 
 struct SimResult {
@@ -97,6 +139,16 @@ struct SimResult {
   /// Hardware-counter deltas summed over every chunk of the recorded
   /// query loop (all workers); hw.valid only when counters were live.
   perf::HwCounters hw;
+  /// Per-interval series over the recorded loop, ascending by index.
+  std::vector<WindowStats> windows;
+  /// Tail-latency witnesses: the per-chunk reservoirs merged in chunk
+  /// order (seeded from SimConfig::seed, so the retained set is
+  /// deterministic given the measured latencies).
+  metrics::ExemplarReservoir exemplars;
+  /// Threshold capture (empty when SimConfig::slow_query_ns == 0).
+  metrics::SlowQueryLog slow_queries;
+  /// Scan cost attributed to each query's meeting hub.
+  metrics::SpaceSavingSketch hub_scan_cost;
 };
 
 /// Deterministic query-pair generator for one workload (exposed for tests
@@ -134,6 +186,10 @@ class WorkloadGenerator {
 /// structure are bit-identical for every thread count (the latency
 /// *values* are wall-clock samples and vary run to run regardless).
 SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer = nullptr);
+
+/// Build just the configured oracle (the `hublab explain` path — one
+/// query, no workload).  Throws InvalidArgument on an empty graph.
+std::unique_ptr<DistanceOracle> make_oracle(const Graph& g, const SimConfig& config);
 
 /// Write the schema-versioned SERVE report (see util/report.hpp): the
 /// shared report document plus serve-specific members (`oracle`,

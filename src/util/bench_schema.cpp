@@ -56,6 +56,13 @@ class Checker {
     check_phases();
     check_metric_object(doc_.find("counters"), "counters");
     check_metric_object(doc_.find("gauges"), "gauges");
+    // v4 attribution members.  All optional — benches never emit them —
+    // but whenever present (any version; unknown members were never
+    // rejected) their shape must hold.
+    check_windows(doc_.find("windows"));
+    check_exemplar_array(doc_.find("slow_queries"), "slow_queries");
+    check_exemplar_stores(doc_.find("exemplars"));
+    check_heavy_hitters(doc_.find("heavy_hitters"));
     return errors_;
   }
 
@@ -141,6 +148,122 @@ class Checker {
       if (member == nullptr) continue;
       if (!member->is_number()) fail(prefix + "." + name + ": wrong type");
       else if (member->number_value < 0) fail(prefix + "." + name + ": must be >= 0");
+    }
+  }
+
+  /// Numeric member >= 0, required within `obj`.
+  void require_nonneg(const JsonValue& obj, const std::string& name, const std::string& prefix) {
+    const JsonValue* member = require(obj, name, prefix, JsonValue::Kind::kNumber);
+    if (member != nullptr && member->number_value < 0) fail(prefix + "." + name + ": negative");
+  }
+
+  /// Schema v4 `windows`: per-window throughput/latency series.
+  void check_windows(const JsonValue* windows) {
+    if (windows == nullptr) return;
+    if (!windows->is_array()) {
+      fail("windows: expected an array");
+      return;
+    }
+    for (std::size_t i = 0; i < windows->array_items.size(); ++i) {
+      const JsonValue& win = windows->array_items[i];
+      const std::string prefix = "windows[" + std::to_string(i) + "]";
+      if (!win.is_object()) {
+        fail(prefix + ": expected an object");
+        continue;
+      }
+      for (const char* name : {"index", "queries", "qps", "p50_ns", "p99_ns"}) {
+        require_nonneg(win, name, prefix);
+      }
+    }
+  }
+
+  /// One captured exemplar (util/exemplar.hpp rendered to JSON).
+  void check_exemplar(const JsonValue& e, const std::string& prefix) {
+    if (!e.is_object()) {
+      fail(prefix + ": expected an object");
+      return;
+    }
+    for (const char* name : {"seq", "s", "t", "latency_ns", "scan_cost", "meeting_hub"}) {
+      require_nonneg(e, name, prefix);
+    }
+  }
+
+  /// Schema v4 `slow_queries`: worst-first array of exemplars.
+  void check_exemplar_array(const JsonValue* arr, const std::string& prefix) {
+    if (arr == nullptr) return;
+    if (!arr->is_array()) {
+      fail(prefix + ": expected an array");
+      return;
+    }
+    for (std::size_t i = 0; i < arr->array_items.size(); ++i) {
+      check_exemplar(arr->array_items[i], prefix + "[" + std::to_string(i) + "]");
+    }
+  }
+
+  /// Schema v4 `exemplars`: stores keyed by name, each with bucketed
+  /// witnesses.
+  void check_exemplar_stores(const JsonValue* stores) {
+    if (stores == nullptr) return;
+    if (!stores->is_object()) {
+      fail("exemplars: expected an object");
+      return;
+    }
+    for (const auto& [store_name, store] : stores->object_members) {
+      const std::string prefix = "exemplars." + store_name;
+      if (!store.is_object()) {
+        fail(prefix + ": expected an object");
+        continue;
+      }
+      require_nonneg(store, "count", prefix);
+      const JsonValue* buckets = require(store, "buckets", prefix, JsonValue::Kind::kArray);
+      if (buckets == nullptr) continue;
+      for (std::size_t i = 0; i < buckets->array_items.size(); ++i) {
+        const JsonValue& bucket = buckets->array_items[i];
+        const std::string bucket_prefix = prefix + ".buckets[" + std::to_string(i) + "]";
+        if (!bucket.is_object()) {
+          fail(bucket_prefix + ": expected an object");
+          continue;
+        }
+        require_nonneg(bucket, "le", bucket_prefix);
+        require_nonneg(bucket, "count", bucket_prefix);
+        const JsonValue* witnesses =
+            require(bucket, "exemplars", bucket_prefix, JsonValue::Kind::kArray);
+        if (witnesses == nullptr) continue;
+        for (std::size_t j = 0; j < witnesses->array_items.size(); ++j) {
+          check_exemplar(witnesses->array_items[j],
+                         bucket_prefix + ".exemplars[" + std::to_string(j) + "]");
+        }
+      }
+    }
+  }
+
+  /// Schema v4 `heavy_hitters`: sketches keyed by name.
+  void check_heavy_hitters(const JsonValue* sketches) {
+    if (sketches == nullptr) return;
+    if (!sketches->is_object()) {
+      fail("heavy_hitters: expected an object");
+      return;
+    }
+    for (const auto& [sketch_name, sketch] : sketches->object_members) {
+      const std::string prefix = "heavy_hitters." + sketch_name;
+      if (!sketch.is_object()) {
+        fail(prefix + ": expected an object");
+        continue;
+      }
+      require_nonneg(sketch, "total_weight", prefix);
+      const JsonValue* entries = require(sketch, "entries", prefix, JsonValue::Kind::kArray);
+      if (entries == nullptr) continue;
+      for (std::size_t i = 0; i < entries->array_items.size(); ++i) {
+        const JsonValue& entry = entries->array_items[i];
+        const std::string entry_prefix = prefix + ".entries[" + std::to_string(i) + "]";
+        if (!entry.is_object()) {
+          fail(entry_prefix + ": expected an object");
+          continue;
+        }
+        for (const char* name : {"key", "weight", "error"}) {
+          require_nonneg(entry, name, entry_prefix);
+        }
+      }
     }
   }
 

@@ -27,11 +27,17 @@
 ///      `branch_miss_rate` — all numbers >= 0.  `hw` appears only on
 ///      perf-capable hosts with `--perf-counters`, so reports without it
 ///      still validate.
+///   4  per-query attribution members, all optional (serve-sim emits them,
+///      benches do not): `windows` (array of per-window objects: required
+///      `index`, `queries`, `qps`, `p50_ns`, `p99_ns` numbers >= 0),
+///      `slow_queries` (array of exemplar objects) and `exemplars` /
+///      `heavy_hitters` (objects keyed by store name) — see
+///      docs/observability.md for the member-by-member shapes.
 
 namespace hublab {
 
 /// Current schema_version emitted by util/report.hpp.
-inline constexpr std::uint64_t kBenchSchemaVersion = 3;
+inline constexpr std::uint64_t kBenchSchemaVersion = 4;
 
 /// Oldest schema_version the validator still accepts.
 inline constexpr std::uint64_t kBenchSchemaMinVersion = 1;

@@ -1,0 +1,114 @@
+#include "util/exemplar.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace hublab::metrics {
+
+namespace {
+
+std::size_t bucket_of(std::uint64_t latency_ns) noexcept {
+  return static_cast<std::size_t>(std::bit_width(latency_ns));
+}
+
+/// Stateless replacement draw: hashing (seed, bucket, rank) keeps the
+/// decision independent of activity in other buckets, so merges and
+/// chunked capture replay identically.
+std::uint64_t draw(std::uint64_t seed, std::size_t bucket, std::uint64_t rank) noexcept {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (bucket + 1)) ^ rank;
+  return splitmix64(state);
+}
+
+bool seq_less(const Exemplar& a, const Exemplar& b) noexcept { return a.seq < b.seq; }
+
+/// Worst-first: latency descending, ties broken by arrival order.
+bool slower(const Exemplar& a, const Exemplar& b) noexcept {
+  if (a.latency_ns != b.latency_ns) return a.latency_ns > b.latency_ns;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+ExemplarReservoir::ExemplarReservoir(std::uint64_t seed, std::size_t per_bucket)
+    : seed_(seed), per_bucket_(per_bucket == 0 ? 1 : per_bucket), buckets_(kNumBuckets) {}
+
+void ExemplarReservoir::offer(const Exemplar& e) {
+  Bucket& bucket = buckets_[bucket_of(e.latency_ns)];
+  ++bucket.offered;
+  ++total_offered_;
+  if (bucket.kept.size() < per_bucket_) {
+    bucket.kept.push_back(e);
+    return;
+  }
+  // Algorithm R with the stateless draw: keep each offer with probability
+  // per_bucket / offered, replacing a uniformly chosen slot.
+  const std::uint64_t slot =
+      draw(seed_, bucket_of(e.latency_ns), bucket.offered) % bucket.offered;
+  if (slot < per_bucket_) bucket.kept[static_cast<std::size_t>(slot)] = e;
+}
+
+void ExemplarReservoir::merge(const ExemplarReservoir& other) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const Bucket& theirs = other.buckets_[b];
+    if (theirs.offered == 0) continue;
+    std::vector<Exemplar> ordered = theirs.kept;
+    std::sort(ordered.begin(), ordered.end(), seq_less);
+    for (const Exemplar& e : ordered) offer(e);
+    // Offers their reservoir already dropped still count toward totals.
+    const std::uint64_t dropped = theirs.offered - theirs.kept.size();
+    buckets_[b].offered += dropped;
+    total_offered_ += dropped;
+  }
+}
+
+std::vector<ExemplarBucket> ExemplarReservoir::snapshot() const {
+  std::vector<ExemplarBucket> out;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const Bucket& bucket = buckets_[b];
+    if (bucket.offered == 0) continue;
+    ExemplarBucket snap;
+    snap.le = b == 0 ? 0 : (b >= 64 ? ~0ULL : (1ULL << b) - 1);
+    snap.count = bucket.offered;
+    snap.exemplars = bucket.kept;
+    std::sort(snap.exemplars.begin(), snap.exemplars.end(), seq_less);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void ExemplarReservoir::reset() {
+  total_offered_ = 0;
+  buckets_.assign(kNumBuckets, Bucket{});
+}
+
+SlowQueryLog::SlowQueryLog(std::uint64_t threshold_ns, std::size_t capacity)
+    : threshold_ns_(threshold_ns), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowQueryLog::offer(const Exemplar& e) {
+  if (threshold_ns_ == 0 || e.latency_ns < threshold_ns_) return;
+  ++total_slow_;
+  const auto pos = std::upper_bound(entries_.begin(), entries_.end(), e, slower);
+  entries_.insert(pos, e);
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+void SlowQueryLog::merge(const SlowQueryLog& other) {
+  for (const Exemplar& e : other.entries_) {
+    if (threshold_ns_ == 0 || e.latency_ns < threshold_ns_) continue;
+    const auto pos = std::upper_bound(entries_.begin(), entries_.end(), e, slower);
+    entries_.insert(pos, e);
+    if (entries_.size() > capacity_) entries_.pop_back();
+  }
+  // Totals add directly: the loop above bypasses offer(), so nothing is
+  // double-counted (assumes matching thresholds, as in the serve loop).
+  total_slow_ += other.total_slow_;
+}
+
+void SlowQueryLog::reset() {
+  total_slow_ = 0;
+  entries_.clear();
+}
+
+}  // namespace hublab::metrics

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file exemplar.hpp
+/// Deterministic exemplar capture for tail-latency attribution.
+///
+/// The latency sketches (util/qsketch.hpp) tell you *that* p99 is high;
+/// exemplars tell you *which* queries landed there.  Two collectors:
+///
+///  - `ExemplarReservoir`: keeps a bounded, seeded reservoir of captured
+///    queries per power-of-two latency bucket (the same bucketing as
+///    metrics::Histogram), so every region of the latency distribution
+///    retains concrete (s, t) witnesses.  Replacement decisions hash
+///    (seed, bucket, arrival rank) through splitmix64, so a fixed seed and
+///    a fixed offer order reproduce the identical reservoir — no global
+///    RNG state, no wall-clock.
+///  - `SlowQueryLog`: threshold-triggered capture of the slowest queries,
+///    ordered worst-first and capped, for the "what blew the SLO" view.
+///
+/// Neither collector is internally synchronized: the serve loop keeps one
+/// per chunk and merges in chunk order (the same discipline as its
+/// QuantileSketch merges), and the process-global copies live behind the
+/// metrics registry's locked wrappers.
+
+namespace hublab::metrics {
+
+/// One captured query and its attribution (see util/querystats.hpp).
+struct Exemplar {
+  std::uint64_t seq = 0;         ///< 0-based rank in the recorded query stream
+  std::uint32_t s = 0;           ///< query source vertex
+  std::uint32_t t = 0;           ///< query target vertex
+  std::uint64_t latency_ns = 0;  ///< measured wall latency
+  std::uint64_t scan_cost = 0;   ///< hub entries scanned by the kernel
+  std::uint32_t meeting_hub = 0xFFFFFFFFU;  ///< kNoMeetingHub when unreachable
+};
+
+/// One pow2 latency bucket of a reservoir snapshot.
+struct ExemplarBucket {
+  std::uint64_t le = 0;     ///< inclusive upper latency bound (2^i - 1; 0 for bucket 0)
+  std::uint64_t count = 0;  ///< queries offered to this bucket (not just retained)
+  std::vector<Exemplar> exemplars;  ///< retained witnesses, ascending seq
+};
+
+/// Seeded per-latency-bucket reservoir sampler.  Deterministic: identical
+/// (seed, offer sequence) pairs produce identical snapshots.
+class ExemplarReservoir {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;  // bit_width(latency) in [0, 64]
+
+  explicit ExemplarReservoir(std::uint64_t seed = 1, std::size_t per_bucket = 2);
+
+  void offer(const Exemplar& e);
+
+  /// Fold another reservoir in: re-offers its retained exemplars in bucket
+  /// then seq order and accounts its unretained offers, so counts stay
+  /// exact while retention stays bounded.  Deterministic given merge order.
+  void merge(const ExemplarReservoir& other);
+
+  /// Nonempty buckets ascending by `le`; exemplars ascending by seq.
+  [[nodiscard]] std::vector<ExemplarBucket> snapshot() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_offered_; }
+  [[nodiscard]] std::size_t per_bucket() const noexcept { return per_bucket_; }
+
+  /// Drop all captures; seed and capacity persist.
+  void reset();
+
+ private:
+  struct Bucket {
+    std::uint64_t offered = 0;
+    std::vector<Exemplar> kept;
+  };
+
+  std::uint64_t seed_;
+  std::size_t per_bucket_;
+  std::uint64_t total_offered_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+/// Threshold-triggered capture of the slowest queries, worst-first.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::uint64_t threshold_ns = 0, std::size_t capacity = 32);
+
+  /// Records `e` when `threshold_ns() > 0 && e.latency_ns >= threshold_ns()`.
+  void offer(const Exemplar& e);
+
+  void merge(const SlowQueryLog& other);
+
+  /// Retained entries, latency descending (ties: seq ascending), at most
+  /// `capacity()` of them.
+  [[nodiscard]] const std::vector<Exemplar>& entries() const noexcept { return entries_; }
+
+  /// Every query past the threshold, including ones evicted by the cap.
+  [[nodiscard]] std::uint64_t total_slow() const noexcept { return total_slow_; }
+  [[nodiscard]] std::uint64_t threshold_ns() const noexcept { return threshold_ns_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop all captures; threshold and capacity persist.
+  void reset();
+
+ private:
+  std::uint64_t threshold_ns_;
+  std::size_t capacity_;
+  std::uint64_t total_slow_ = 0;
+  std::vector<Exemplar> entries_;
+};
+
+}  // namespace hublab::metrics

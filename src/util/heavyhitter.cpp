@@ -1,0 +1,59 @@
+#include "util/heavyhitter.hpp"
+
+#include <algorithm>
+
+namespace hublab::metrics {
+
+SpaceSavingSketch::SpaceSavingSketch(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpaceSavingSketch::add(std::uint64_t key, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_weight_ += weight;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.weight += weight;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, Entry{key, weight, 0});
+    return;
+  }
+  // Evict the minimum-weight entry (smallest key on ties — map order) and
+  // let the newcomer inherit its count as the classic error bound.
+  auto min_it = entries_.begin();
+  for (auto probe = entries_.begin(); probe != entries_.end(); ++probe) {
+    if (probe->second.weight < min_it->second.weight) min_it = probe;
+  }
+  const std::uint64_t inherited = min_it->second.weight;
+  entries_.erase(min_it);
+  entries_.emplace(key, Entry{key, inherited + weight, inherited});
+}
+
+void SpaceSavingSketch::merge(const SpaceSavingSketch& other) {
+  // Deterministic: std::map iterates keys ascending.
+  for (const auto& [key, entry] : other.entries_) {
+    add(key, entry.weight);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) it->second.error += entry.error;
+  }
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::top(std::size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void SpaceSavingSketch::reset() {
+  total_weight_ = 0;
+  entries_.clear();
+}
+
+}  // namespace hublab::metrics

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+/// \file heavyhitter.hpp
+/// Space-saving top-K sketch (Metwally–Agrawal–El Abbadi) over weighted
+/// keys.
+///
+/// The serving layer feeds it meeting-hub IDs weighted by each query's
+/// scan cost, answering "which hubs dominate query time" — the empirical
+/// side of the label-size/query-cost tradeoff the hub-labeling lower
+/// bounds are about, and the signal the ordering-quality work needs.
+///
+/// Guarantees of the classic algorithm, kept here: with capacity m and
+/// total weight W, every key with true weight > W/m is retained, and each
+/// retained entry reports `weight` as an overestimate with `error` bounding
+/// the overcount (true weight in [weight - error, weight]).  Eviction ties
+/// break toward the smallest key, and iteration is over a std::map, so
+/// identical add sequences produce identical sketches.
+///
+/// Not internally synchronized; the registry wraps it in a lock and the
+/// serve loop merges per-chunk instances in chunk order.
+
+namespace hublab::metrics {
+
+class SpaceSavingSketch {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t weight = 0;  ///< overestimate of the key's true weight
+    std::uint64_t error = 0;   ///< max overcount inherited at eviction time
+  };
+
+  explicit SpaceSavingSketch(std::size_t capacity = 32);
+
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  /// Fold another sketch in: adds every retained entry's weight and carries
+  /// its error bound.  Bounds stay conservative; totals stay exact.
+  void merge(const SpaceSavingSketch& other);
+
+  /// Heaviest entries first (ties: key ascending), at most `k` of them.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k = static_cast<std::size_t>(-1)) const;
+
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_weight_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop all entries; capacity persists.
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t total_weight_ = 0;
+  std::map<std::uint64_t, Entry> entries_;  // keyed for deterministic scans
+};
+
+}  // namespace hublab::metrics

@@ -83,6 +83,8 @@ struct Registry::Impl {
   std::map<std::string, Gauge, std::less<>> gauges;
   std::map<std::string, Histogram, std::less<>> histograms;
   std::map<std::string, Sketch, std::less<>> sketches;
+  std::map<std::string, ExemplarStore, std::less<>> exemplars;
+  std::map<std::string, HeavyHitter, std::less<>> heavy_hitters;
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -115,6 +117,20 @@ Sketch& Registry::sketch(std::string_view name) {
   const auto it = impl_->sketches.find(name);
   if (it != impl_->sketches.end()) return it->second;
   return impl_->sketches[std::string(name)];
+}
+
+ExemplarStore& Registry::exemplar(std::string_view name) {
+  const std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->exemplars.find(name);
+  if (it != impl_->exemplars.end()) return it->second;
+  return impl_->exemplars[std::string(name)];
+}
+
+HeavyHitter& Registry::heavy_hitter(std::string_view name) {
+  const std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->heavy_hitters.find(name);
+  if (it != impl_->heavy_hitters.end()) return it->second;
+  return impl_->heavy_hitters[std::string(name)];
 }
 
 std::vector<CounterSnapshot> Registry::counters() const {
@@ -169,12 +185,36 @@ std::vector<SketchSnapshot> Registry::sketches() const {
   return out;
 }
 
+std::vector<ExemplarStoreSnapshot> Registry::exemplars() const {
+  const std::scoped_lock lock(impl_->mutex);
+  std::vector<ExemplarStoreSnapshot> out;
+  out.reserve(impl_->exemplars.size());
+  for (const auto& [name, store] : impl_->exemplars) {
+    const ExemplarReservoir r = store.snapshot();
+    out.push_back({name, r.count(), r.snapshot()});
+  }
+  return out;
+}
+
+std::vector<HeavyHitterSnapshot> Registry::heavy_hitters() const {
+  const std::scoped_lock lock(impl_->mutex);
+  std::vector<HeavyHitterSnapshot> out;
+  out.reserve(impl_->heavy_hitters.size());
+  for (const auto& [name, hh] : impl_->heavy_hitters) {
+    const SpaceSavingSketch s = hh.snapshot();
+    out.push_back({name, s.total_weight(), s.top()});
+  }
+  return out;
+}
+
 void Registry::reset() {
   const std::scoped_lock lock(impl_->mutex);
   for (auto& [name, c] : impl_->counters) c.reset();
   for (auto& [name, g] : impl_->gauges) g.reset();
   for (auto& [name, h] : impl_->histograms) h.reset();
   for (auto& [name, s] : impl_->sketches) s.reset();
+  for (auto& [name, e] : impl_->exemplars) e.reset();
+  for (auto& [name, hh] : impl_->heavy_hitters) hh.reset();
 }
 
 void Registry::dump(std::ostream& out) const {
@@ -189,6 +229,14 @@ void Registry::dump(std::ostream& out) const {
     out << "sketch " << s.name << " count=" << s.count << " sum=" << s.sum << " min=" << s.min
         << " max=" << s.max << " p50=" << s.p50 << " p90=" << s.p90 << " p99=" << s.p99
         << " p999=" << s.p999 << " rank_err<=" << s.rank_error << "\n";
+  }
+  for (const auto& e : exemplars()) {
+    out << "exemplars " << e.name << " count=" << e.count
+        << " buckets=" << e.buckets.size() << "\n";
+  }
+  for (const auto& hh : heavy_hitters()) {
+    out << "heavy_hitter " << hh.name << " total_weight=" << hh.total_weight
+        << " entries=" << hh.entries.size() << "\n";
   }
 }
 

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/exemplar.hpp"
+#include "util/heavyhitter.hpp"
 #include "util/qsketch.hpp"
 
 /// \file metrics.hpp
@@ -78,6 +80,20 @@ struct SketchSnapshot {
   std::uint64_t p99 = 0;
   std::uint64_t p999 = 0;
   std::uint64_t rank_error = 0;  ///< certified rank-error bound of the quantiles
+};
+
+/// Captured tail-latency witnesses (util/exemplar.hpp) for one store.
+struct ExemplarStoreSnapshot {
+  std::string name;
+  std::uint64_t count = 0;                ///< queries offered across all buckets
+  std::vector<ExemplarBucket> buckets;    ///< nonempty buckets, ascending le
+};
+
+/// Retained heavy hitters (util/heavyhitter.hpp) for one sketch.
+struct HeavyHitterSnapshot {
+  std::string name;
+  std::uint64_t total_weight = 0;
+  std::vector<SpaceSavingSketch::Entry> entries;  ///< weight descending
 };
 
 #if !defined(HUBLAB_METRICS_ENABLED)
@@ -175,6 +191,64 @@ class Sketch {
   QuantileSketch sketch_;
 };
 
+/// Mutex-guarded ExemplarReservoir (captures happen post-loop or per-chunk,
+/// never inside the measured region, so a lock is fine).
+class ExemplarStore {
+ public:
+  /// Replace the reservoir, fixing seed and per-bucket capacity.  Drops
+  /// prior captures; call before a capture run, not during one.
+  void configure(std::uint64_t seed, std::size_t per_bucket) {
+    const std::scoped_lock lock(mutex_);
+    reservoir_ = ExemplarReservoir(seed, per_bucket);
+  }
+  void offer(const Exemplar& e) {
+    const std::scoped_lock lock(mutex_);
+    reservoir_.offer(e);
+  }
+  void merge(const ExemplarReservoir& other) {
+    const std::scoped_lock lock(mutex_);
+    reservoir_.merge(other);
+  }
+  void reset() {
+    const std::scoped_lock lock(mutex_);
+    reservoir_.reset();
+  }
+  /// Consistent copy for snapshotting buckets.
+  [[nodiscard]] ExemplarReservoir snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return reservoir_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  ExemplarReservoir reservoir_;
+};
+
+/// Mutex-guarded SpaceSavingSketch with the same locking rationale.
+class HeavyHitter {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) {
+    const std::scoped_lock lock(mutex_);
+    sketch_.add(key, weight);
+  }
+  void merge(const SpaceSavingSketch& other) {
+    const std::scoped_lock lock(mutex_);
+    sketch_.merge(other);
+  }
+  void reset() {
+    const std::scoped_lock lock(mutex_);
+    sketch_.reset();
+  }
+  [[nodiscard]] SpaceSavingSketch snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return sketch_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  SpaceSavingSketch sketch_;
+};
+
 /// Named metric store.  Lookup interns the name on first use and returns a
 /// reference that stays valid for the registry's lifetime; snapshots are
 /// sorted by name so every dump is deterministic.
@@ -189,11 +263,15 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
   Sketch& sketch(std::string_view name);
+  ExemplarStore& exemplar(std::string_view name);
+  HeavyHitter& heavy_hitter(std::string_view name);
 
   [[nodiscard]] std::vector<CounterSnapshot> counters() const;
   [[nodiscard]] std::vector<GaugeSnapshot> gauges() const;
   [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
   [[nodiscard]] std::vector<SketchSnapshot> sketches() const;
+  [[nodiscard]] std::vector<ExemplarStoreSnapshot> exemplars() const;
+  [[nodiscard]] std::vector<HeavyHitterSnapshot> heavy_hitters() const;
 
   /// Zero every registered metric (registrations persist).
   void reset();
@@ -248,16 +326,37 @@ class Sketch {
   [[nodiscard]] QuantileSketch snapshot() const { return QuantileSketch{}; }
 };
 
+class ExemplarStore {
+ public:
+  void configure(std::uint64_t, std::size_t) noexcept {}
+  void offer(const Exemplar&) noexcept {}
+  void merge(const ExemplarReservoir&) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] ExemplarReservoir snapshot() const { return ExemplarReservoir{}; }
+};
+
+class HeavyHitter {
+ public:
+  void add(std::uint64_t, std::uint64_t = 1) noexcept {}
+  void merge(const SpaceSavingSketch&) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] SpaceSavingSketch snapshot() const { return SpaceSavingSketch{}; }
+};
+
 class Registry {
  public:
   Counter& counter(std::string_view) noexcept { return counter_; }
   Gauge& gauge(std::string_view) noexcept { return gauge_; }
   Histogram& histogram(std::string_view) noexcept { return histogram_; }
   Sketch& sketch(std::string_view) noexcept { return sketch_; }
+  ExemplarStore& exemplar(std::string_view) noexcept { return exemplar_; }
+  HeavyHitter& heavy_hitter(std::string_view) noexcept { return heavy_hitter_; }
   [[nodiscard]] std::vector<CounterSnapshot> counters() const { return {}; }
   [[nodiscard]] std::vector<GaugeSnapshot> gauges() const { return {}; }
   [[nodiscard]] std::vector<HistogramSnapshot> histograms() const { return {}; }
   [[nodiscard]] std::vector<SketchSnapshot> sketches() const { return {}; }
+  [[nodiscard]] std::vector<ExemplarStoreSnapshot> exemplars() const { return {}; }
+  [[nodiscard]] std::vector<HeavyHitterSnapshot> heavy_hitters() const { return {}; }
   void reset() noexcept {}
   void dump(std::ostream&) const {}
 
@@ -266,6 +365,8 @@ class Registry {
   Gauge gauge_;
   Histogram histogram_;
   Sketch sketch_;
+  ExemplarStore exemplar_;
+  HeavyHitter heavy_hitter_;
 };
 
 inline Registry& registry() {

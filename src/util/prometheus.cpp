@@ -7,10 +7,19 @@ namespace hublab::metrics {
 
 namespace {
 
+/// `# HELP` precedes `# TYPE` for every family (OpenMetrics ordering); the
+/// help text echoes the registry-side name, which the sanitized Prometheus
+/// name mangles.
+void write_header(std::ostream& out, const std::string& name, std::string_view kind,
+                  const std::string& original) {
+  out << "# HELP " << name << " hublab " << kind << " " << original << "\n";
+  out << "# TYPE " << name << " " << kind << "\n";
+}
+
 /// Empty-histogram buckets are skipped; Prometheus still needs the +Inf
 /// series, so emission is unconditional there.
 void write_histogram(std::ostream& out, const std::string& name, const HistogramSnapshot& snap) {
-  out << "# TYPE " << name << " histogram\n";
+  write_header(out, name, "histogram", snap.name);
   std::uint64_t cumulative = 0;
   for (const auto& [upper_bound, in_bucket] : snap.buckets) {
     cumulative += in_bucket;
@@ -19,6 +28,41 @@ void write_histogram(std::ostream& out, const std::string& name, const Histogram
   out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
   out << name << "_sum " << snap.sum << "\n";
   out << name << "_count " << snap.count << "\n";
+}
+
+/// OpenMetrics exemplar suffix: `# {labels} value` after a bucket sample.
+/// The witness is the retained exemplar with the highest seq in the
+/// bucket, its measured latency as the exemplar value.
+void write_exemplar_suffix(std::ostream& out, const Exemplar& e) {
+  out << " # {seq=\"" << e.seq << "\",s=\"" << e.s << "\",t=\"" << e.t << "\",hub=\""
+      << e.meeting_hub << "\",scan=\"" << e.scan_cost << "\"} " << e.latency_ns;
+}
+
+/// An exemplar store renders as a histogram over the capture buckets with
+/// an OpenMetrics exemplar attached to every bucket that retained one.
+void write_exemplar_store(std::ostream& out, const std::string& name,
+                          const ExemplarStoreSnapshot& snap) {
+  write_header(out, name, "histogram", snap.name);
+  std::uint64_t cumulative = 0;
+  for (const ExemplarBucket& bucket : snap.buckets) {
+    cumulative += bucket.count;
+    out << name << "_bucket{le=\"" << bucket.le << "\"} " << cumulative;
+    if (!bucket.exemplars.empty()) write_exemplar_suffix(out, bucket.exemplars.back());
+    out << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+  out << name << "_count " << snap.count << "\n";
+}
+
+/// Heavy hitters render as one labeled gauge series per retained key,
+/// weight-descending (the snapshot's order), plus the exact total.
+void write_heavy_hitter(std::ostream& out, const std::string& name,
+                        const HeavyHitterSnapshot& snap) {
+  write_header(out, name, "gauge", snap.name);
+  for (const SpaceSavingSketch::Entry& entry : snap.entries) {
+    out << name << "{key=\"" << entry.key << "\"} " << entry.weight << "\n";
+  }
+  out << name << "{key=\"total\"} " << snap.total_weight << "\n";
 }
 
 }  // namespace
@@ -35,24 +79,32 @@ std::string prometheus_metric_name(std::string_view name) {
 void write_prometheus_text(const Registry& reg, std::ostream& out) {
   for (const CounterSnapshot& c : reg.counters()) {
     const std::string name = prometheus_metric_name(c.name);
-    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+    write_header(out, name, "counter", c.name);
+    out << name << " " << c.value << "\n";
   }
   for (const GaugeSnapshot& g : reg.gauges()) {
     const std::string name = prometheus_metric_name(g.name);
-    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+    write_header(out, name, "gauge", g.name);
+    out << name << " " << g.value << "\n";
   }
   for (const HistogramSnapshot& h : reg.histograms()) {
     write_histogram(out, prometheus_metric_name(h.name), h);
   }
   for (const SketchSnapshot& s : reg.sketches()) {
     const std::string name = prometheus_metric_name(s.name);
-    out << "# TYPE " << name << " summary\n";
+    write_header(out, name, "summary", s.name);
     out << name << "{quantile=\"0.5\"} " << s.p50 << "\n";
     out << name << "{quantile=\"0.9\"} " << s.p90 << "\n";
     out << name << "{quantile=\"0.99\"} " << s.p99 << "\n";
     out << name << "{quantile=\"0.999\"} " << s.p999 << "\n";
     out << name << "_sum " << s.sum << "\n";
     out << name << "_count " << s.count << "\n";
+  }
+  for (const ExemplarStoreSnapshot& e : reg.exemplars()) {
+    write_exemplar_store(out, prometheus_metric_name(e.name), e);
+  }
+  for (const HeavyHitterSnapshot& hh : reg.heavy_hitters()) {
+    write_heavy_hitter(out, prometheus_metric_name(hh.name), hh);
   }
 }
 

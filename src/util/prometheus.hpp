@@ -19,11 +19,19 @@
 ///    `hublab_<name>_bucket{le="<pow2 bound>"}` series ending in
 ///    `le="+Inf"`, plus `_sum` and `_count`;
 ///  - sketches  -> summaries: `hublab_<name>{quantile="0.5|0.9|0.99|0.999"}`
-///    plus `_sum` and `_count`.
+///    plus `_sum` and `_count`;
+///  - exemplar stores (util/exemplar.hpp) -> histograms over the capture
+///    buckets with an OpenMetrics exemplar (`... # {seq=...,s=...,t=...}
+///    latency`) attached to each bucket that retained a witness;
+///  - heavy hitters (util/heavyhitter.hpp) -> one labeled sample per
+///    retained key (`hublab_<name>{key="<id>"} weight`) plus
+///    `{key="total"}`, e.g. the `hublab_hub_scan_cost` series.
 ///
-/// Metric names are sanitized (dots and other non-[a-zA-Z0-9_:] characters
-/// become `_`) and prefixed with `hublab_`.  Output is sorted by name like
-/// every other registry dump, so files diff cleanly across runs.
+/// Every family is preceded by a `# HELP` line echoing the registry-side
+/// name, then its `# TYPE` line.  Metric names are sanitized (dots and
+/// other non-[a-zA-Z0-9_:] characters become `_`) and prefixed with
+/// `hublab_`.  Output is sorted by name like every other registry dump, so
+/// files diff cleanly across runs.
 
 namespace hublab::metrics {
 

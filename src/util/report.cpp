@@ -105,6 +105,59 @@ void write_run_report_json(std::ostream& os, const ReportHeader& header, const T
   }
   w.end_object();
 
+  // Attribution stores (schema v4) are optional members: most benches
+  // register none, and empty objects would churn every committed baseline.
+  const auto exemplar_stores = reg.exemplars();
+  if (!exemplar_stores.empty()) {
+    w.key("exemplars").begin_object();
+    for (const metrics::ExemplarStoreSnapshot& store : exemplar_stores) {
+      w.key(store.name).begin_object();
+      w.kv("count", store.count);
+      w.key("buckets").begin_array();
+      for (const metrics::ExemplarBucket& bucket : store.buckets) {
+        w.begin_object();
+        w.kv("le", bucket.le);
+        w.kv("count", bucket.count);
+        w.key("exemplars").begin_array();
+        for (const metrics::Exemplar& e : bucket.exemplars) {
+          w.begin_object();
+          w.kv("seq", e.seq);
+          w.kv("s", static_cast<std::uint64_t>(e.s));
+          w.kv("t", static_cast<std::uint64_t>(e.t));
+          w.kv("latency_ns", e.latency_ns);
+          w.kv("scan_cost", e.scan_cost);
+          w.kv("meeting_hub", static_cast<std::uint64_t>(e.meeting_hub));
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  const auto heavy = reg.heavy_hitters();
+  if (!heavy.empty()) {
+    w.key("heavy_hitters").begin_object();
+    for (const metrics::HeavyHitterSnapshot& hh : heavy) {
+      w.key(hh.name).begin_object();
+      w.kv("total_weight", hh.total_weight);
+      w.key("entries").begin_array();
+      for (const metrics::SpaceSavingSketch::Entry& entry : hh.entries) {
+        w.begin_object();
+        w.kv("key", entry.key);
+        w.kv("weight", entry.weight);
+        w.kv("error", entry.error);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+
   if (extra_members) extra_members(w);
 
   w.end_object();

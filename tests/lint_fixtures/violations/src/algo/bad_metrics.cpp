@@ -1,11 +1,16 @@
-// Fixture: metric/span drift -- one undocumented metric and span next to
-// documented ones that stay clean.
+// Fixture: metric/span drift -- an undocumented metric, an undocumented
+// dynamic family, an undocumented exemplar store, and an unlisted span,
+// each next to a documented sibling that stays clean.
 
 namespace fixture {
 
-void record(Registry& reg, Tracer& tracer) {
+void record(Registry& reg, Tracer& tracer, std::size_t i) {
   reg.counter("fixture.documented").add(1);
   reg.counter("fixture.undocumented").add(1);
+  reg.gauge("fixture.dyn." + std::to_string(i)).set(1);
+  reg.gauge("fixture.rogue." + std::to_string(i)).set(1);
+  reg.exemplar("fixture.undoc_exemplar");
+  reg.heavy_hitter("fixture.hot");
   auto span_listed = tracer.span("fixture-listed");
   auto span_rogue = tracer.span("fixture-unlisted");
 }

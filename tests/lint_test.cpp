@@ -76,13 +76,16 @@ TEST(LintFixtures, ViolationsReportExactFileLineRule) {
   const std::vector<Triple> expected = {
       {"bench/bench_bad.cpp", 1, "bench-harness"},
       {"docs/observability.md", 8, "metric-doc-drift"},
-      {"docs/observability.md", 15, "span-doc-drift"},
+      {"docs/observability.md", 10, "metric-doc-drift"},
+      {"docs/observability.md", 18, "span-doc-drift"},
       {"src/algo/bad_atomic.cpp", 9, "atomic-order"},
       {"src/algo/bad_atomic.cpp", 9, "atomic-order"},
       {"src/algo/bad_clock.cpp", 6, "wall-clock"},
       {"src/algo/bad_iter.cpp", 9, "unordered-iter"},
-      {"src/algo/bad_metrics.cpp", 8, "metric-doc-drift"},
-      {"src/algo/bad_metrics.cpp", 10, "span-doc-drift"},
+      {"src/algo/bad_metrics.cpp", 9, "metric-doc-drift"},
+      {"src/algo/bad_metrics.cpp", 11, "metric-doc-drift"},
+      {"src/algo/bad_metrics.cpp", 12, "metric-doc-drift"},
+      {"src/algo/bad_metrics.cpp", 15, "span-doc-drift"},
       {"src/algo/bad_mutex.cpp", 11, "mutex-guard"},
       {"src/algo/bad_mutex.cpp", 13, "mutex-guard"},
       {"src/algo/bad_reduce.cpp", 7, "float-reduce"},
@@ -206,7 +209,7 @@ TEST(LintBinary, SarifOutputIsValidAndComplete) {
   const hublab::JsonValue* results = run.find("results");
   ASSERT_NE(results, nullptr);
   ASSERT_TRUE(results->is_array());
-  EXPECT_EQ(results->array_items.size(), 24U);
+  EXPECT_EQ(results->array_items.size(), 27U);
   for (const auto& result : results->array_items) {
     ASSERT_NE(result.find("ruleId"), nullptr);
     EXPECT_EQ(rule_ids.count(result.find("ruleId")->string_value), 1U);
@@ -232,7 +235,7 @@ TEST(LintBinary, JsonOutputRoundTrips) {
   ASSERT_TRUE(doc.is_object());
   const hublab::JsonValue* findings = doc.find("findings");
   ASSERT_NE(findings, nullptr);
-  EXPECT_EQ(findings->array_items.size(), 24U);
+  EXPECT_EQ(findings->array_items.size(), 27U);
   std::remove(json_path.c_str());
 }
 

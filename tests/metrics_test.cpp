@@ -343,7 +343,7 @@ TEST(BenchSchema, ValidatorRejectsBrokenDocuments) {
 
   // Wrong schema version (the validator accepts [kBenchSchemaMinVersion,
   // kBenchSchemaVersion], nothing newer).
-  const std::string version_member = "\"schema_version\": 3";
+  const std::string version_member = "\"schema_version\": 4";
   ASSERT_NE(good.find(version_member), std::string::npos);
   std::string wrong_version = good;
   wrong_version.replace(wrong_version.find(version_member), version_member.size(),
@@ -443,7 +443,7 @@ TEST(BenchSchema, ValidatorAcceptsVersion1WithoutV2Members) {
   // Committed v1 baselines predate start_unix_ms / peak_rss_bytes; they
   // must keep validating so bench-compare can diff old against new.
   std::string v1 = make_harness_json(true);
-  const std::string version_member = "\"schema_version\": 3";
+  const std::string version_member = "\"schema_version\": 4";
   ASSERT_NE(v1.find(version_member), std::string::npos);
   v1.replace(v1.find(version_member), version_member.size(), "\"schema_version\": 1");
   JsonValue doc = parse_json(v1);

@@ -178,7 +178,7 @@ TEST(BenchSchemaV3, RejectsNonObjectHw) {
 }
 
 TEST(BenchSchemaV3, RejectsVersionAboveCurrent) {
-  EXPECT_FALSE(validate(with(R"("schema_version": 3)", R"("schema_version": 4)")).empty());
+  EXPECT_FALSE(validate(with(R"("schema_version": 3)", R"("schema_version": 5)")).empty());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "hub/serialize.hpp"
 #include "tools/cli.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hublab {
@@ -243,6 +244,77 @@ TEST(Cli, ErrorsAreReportedNotThrown) {
   EXPECT_NE(output.find("error"), std::string::npos);
   EXPECT_EQ(run_cli({"gen", "mysteryfamily"}, &output), 1);
   EXPECT_EQ(run_cli({"query", "a"}, &output), 1);
+}
+
+TEST(Cli, ExplainAgreesWithReferenceOnFig1Gadget) {
+  TempFile graph("explain_gadget");
+  std::string output;
+  ASSERT_EQ(run_cli({"gen", "gadget-g", "--b", "2", "--l", "1", "-o", graph.path()}, &output), 0);
+  for (const char* oracle : {"pll", "pll-flat", "ch", "bidij"}) {
+    ASSERT_EQ(run_cli({"explain", graph.path(), "0", "5", "--oracle", oracle}, &output), 0)
+        << oracle << ": " << output;
+    EXPECT_NE(output.find("agree=yes"), std::string::npos) << output;
+    EXPECT_NE(output.find("meeting_hub = "), std::string::npos) << output;
+    EXPECT_NE(output.find("phase_ns:"), std::string::npos) << output;
+#if HUBLAB_METRICS_ENABLED
+    // The probe must name an actual hub, not the unreachable sentinel.
+    EXPECT_EQ(output.find("meeting_hub = none"), std::string::npos) << output;
+    EXPECT_EQ(output.find("hubs: scanned=0"), std::string::npos) << output;
+#endif
+  }
+}
+
+TEST(Cli, ExplainRejectsBadArguments) {
+  TempFile graph("explain_bad");
+  std::string output;
+  ASSERT_EQ(run_cli({"gen", "grid", "--rows", "3", "--cols", "3", "-o", graph.path()}, &output), 0);
+  EXPECT_EQ(run_cli({"explain", graph.path(), "0"}, &output), 1);  // missing T
+  EXPECT_EQ(run_cli({"explain", graph.path(), "0", "99", "--oracle", "pll"}, &output), 1);
+  EXPECT_NE(output.find("out of range"), std::string::npos);
+  EXPECT_EQ(run_cli({"explain", graph.path(), "0", "1", "--oracle", "warp"}, &output), 1);
+  EXPECT_NE(output.find("unknown oracle"), std::string::npos);
+}
+
+TEST(Cli, ServeSimSlowQueryFlagsLandInReport) {
+  TempFile graph("serve_slow");
+  TempFile json("serve_slow_json");
+  std::string output;
+  ASSERT_EQ(run_cli({"gen", "grid", "--rows", "6", "--cols", "6", "-o", graph.path()}, &output), 0);
+  ASSERT_EQ(run_cli({"serve-sim", graph.path(), "--smoke", "--queries", "200", "--slow-query-ms",
+                     "0.000001", "--window-ms", "1", "--json-out", json.path()},
+                    &output),
+            0)
+      << output;
+  std::ifstream in(json.path());
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"slow_query_ns\": 1"), std::string::npos) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"windows\""), std::string::npos);
+  EXPECT_NE(text.find("\"slow_queries\""), std::string::npos);
+  EXPECT_NE(text.find("\"slow_queries_total\""), std::string::npos);
+  // The run report is accepted by the bundled validator (schema v4).
+  EXPECT_EQ(run_cli({"validate-bench", json.path()}, &output), 0) << output;
+}
+
+TEST(Cli, ServeSimPromOutFailsCleanlyOnUnwritablePath) {
+  TempFile graph("serve_prom_fail");
+  TempFile json("serve_prom_fail_json");
+  std::string output;
+  ASSERT_EQ(run_cli({"gen", "grid", "--rows", "4", "--cols", "4", "-o", graph.path()}, &output), 0);
+  EXPECT_EQ(run_cli({"serve-sim", graph.path(), "--smoke", "--queries", "100", "--json-out",
+                     json.path(), "--prom-out", "/nonexistent-dir/prom.txt"},
+                    &output),
+            1);
+  EXPECT_NE(output.find("error: serve-sim: cannot write /nonexistent-dir/prom.txt"),
+            std::string::npos)
+      << output;
+  EXPECT_EQ(run_cli({"serve-sim", graph.path(), "--smoke", "--queries", "100", "--window-ms",
+                     "0"},
+                    &output),
+            1);
+  EXPECT_NE(output.find("--window-ms must be > 0"), std::string::npos) << output;
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "graph/generators.hpp"
 #include "lowerbound/gadget.hpp"
+#include "oracle/oracle.hpp"
 #include "rs/rs_graph.hpp"
 #include "util/bench_schema.hpp"
 #include "util/error.hpp"
@@ -300,6 +301,166 @@ TEST(ServeReport, PrometheusDumpCoversServeMetrics) {
 }
 
 #endif  // HUBLAB_METRICS_ENABLED
+
+TEST(RunSim, WindowsPartitionTheRecordedQueries) {
+  metrics::registry().reset();
+  const Graph g = small_gadget();
+  SimConfig config = smoke_config(OracleKind::kPll, WorkloadKind::kUniform);
+  config.window_ns = 50'000;  // tiny windows so the smoke loop spans several
+  const SimResult result = run_sim(g, config);
+  ASSERT_FALSE(result.windows.empty());
+  std::uint64_t queries = 0;
+  std::uint64_t reachable = 0;
+  std::uint64_t prev_index = 0;
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    const WindowStats& w = result.windows[i];
+    if (i > 0) {
+      EXPECT_GT(w.index, prev_index) << "window indices must ascend";
+    }
+    prev_index = w.index;
+    EXPECT_GT(w.queries, 0u) << "empty windows are not emitted";
+    EXPECT_LE(w.reachable, w.queries);
+    EXPECT_GT(w.qps, 0.0);
+    EXPECT_LE(w.p50_ns, w.p99_ns);
+    queries += w.queries;
+    reachable += w.reachable;
+  }
+  EXPECT_EQ(queries, result.queries);
+  EXPECT_EQ(reachable, result.reachable);
+}
+
+TEST(RunSim, ExemplarReservoirCoversEveryRecordedQuery) {
+  metrics::registry().reset();
+  const Graph g = small_gadget();
+  const SimConfig config = smoke_config(OracleKind::kPllFlat, WorkloadKind::kZipf);
+  const SimResult result = run_sim(g, config);
+  EXPECT_EQ(result.exemplars.count(), result.queries);
+  std::uint64_t offered = 0;
+  for (const metrics::ExemplarBucket& b : result.exemplars.snapshot()) {
+    offered += b.count;
+    EXPECT_LE(b.exemplars.size(), config.exemplars_per_bucket);
+    for (const metrics::Exemplar& e : b.exemplars) {
+      EXPECT_LT(e.s, g.num_vertices());
+      EXPECT_LT(e.t, g.num_vertices());
+      EXPECT_LT(e.seq, result.queries);
+      EXPECT_LE(e.latency_ns, b.le);
+    }
+  }
+  EXPECT_EQ(offered, result.queries);
+}
+
+TEST(RunSim, SlowQueryThresholdCapturesWorstFirst) {
+  metrics::registry().reset();
+  const Graph g = small_gadget();
+  SimConfig config = smoke_config(OracleKind::kPll, WorkloadKind::kUniform);
+  config.slow_query_ns = 1;  // every measured query matches
+  config.slow_query_capacity = 8;
+  const SimResult result = run_sim(g, config);
+  EXPECT_EQ(result.slow_queries.total_slow(), result.queries);
+  ASSERT_LE(result.slow_queries.entries().size(), 8u);
+  ASSERT_FALSE(result.slow_queries.entries().empty());
+  const auto& entries = result.slow_queries.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].latency_ns, entries[i].latency_ns);
+  }
+  // The worst retained witness is the sketch's max sample.
+  EXPECT_EQ(entries.front().latency_ns, result.latency_ns.max());
+
+  metrics::registry().reset();
+  SimConfig off = smoke_config(OracleKind::kPll, WorkloadKind::kUniform);
+  off.slow_query_ns = 0;
+  const SimResult quiet = run_sim(g, off);
+  EXPECT_EQ(quiet.slow_queries.total_slow(), 0u);
+  EXPECT_TRUE(quiet.slow_queries.entries().empty());
+}
+
+TEST(RunSim, AttributionIsThreadCountInvariant) {
+  // Scan cost and meeting hubs are functions of (oracle, pairs), both
+  // thread-count invariant, so the heavy-hitter totals and the exemplar
+  // offer counts must match across worker counts (retained exemplar
+  // *contents* hinge on measured latencies and may differ run to run).
+  const Graph g = small_gadget();
+  metrics::registry().reset();
+  SimConfig one = smoke_config(OracleKind::kPll, WorkloadKind::kNear);
+  one.threads = 1;
+  const SimResult r1 = run_sim(g, one);
+  metrics::registry().reset();
+  SimConfig four = smoke_config(OracleKind::kPll, WorkloadKind::kNear);
+  four.threads = 4;
+  const SimResult r4 = run_sim(g, four);
+
+  EXPECT_EQ(r1.exemplars.count(), r4.exemplars.count());
+  EXPECT_EQ(r1.hub_scan_cost.total_weight(), r4.hub_scan_cost.total_weight());
+  const auto t1 = r1.hub_scan_cost.top();
+  const auto t4 = r4.hub_scan_cost.top();
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].key, t4[i].key);
+    EXPECT_EQ(t1[i].weight, t4[i].weight);
+  }
+}
+
+TEST(ServeReport, CarriesWindowsSlowQueriesAndValidatesAsV4) {
+  metrics::registry().reset();
+  Tracer tracer;
+  const Graph g = small_gadget();
+  SimConfig config = smoke_config(OracleKind::kPll, WorkloadKind::kUniform);
+  config.slow_query_ns = 1;
+  config.window_ns = 100'000;
+  const SimResult result = run_sim(g, config, &tracer);
+
+  std::ostringstream os;
+  write_serve_report_json(os, result, config, g, "gadget-h", "deadbeef", true, tracer);
+  const JsonValue doc = parse_json(os.str());
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+
+  ASSERT_NE(doc.find("window_ns"), nullptr);
+  EXPECT_EQ(doc.find("window_ns")->number_value, 100'000.0);
+  ASSERT_NE(doc.find("slow_query_ns"), nullptr);
+  const JsonValue* windows = doc.find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_FALSE(windows->array_items.empty());
+  double window_queries = 0;
+  for (const JsonValue& w : windows->array_items) {
+    ASSERT_NE(w.find("index"), nullptr);
+    ASSERT_NE(w.find("qps"), nullptr);
+    ASSERT_NE(w.find("p50_ns"), nullptr);
+    ASSERT_NE(w.find("p99_ns"), nullptr);
+    window_queries += w.find("queries")->number_value;
+  }
+  EXPECT_EQ(window_queries, static_cast<double>(result.queries));
+
+  const JsonValue* slow = doc.find("slow_queries");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_FALSE(slow->array_items.empty());
+  for (const JsonValue& e : slow->array_items) {
+    ASSERT_NE(e.find("seq"), nullptr);
+    ASSERT_NE(e.find("s"), nullptr);
+    ASSERT_NE(e.find("t"), nullptr);
+    ASSERT_NE(e.find("latency_ns"), nullptr);
+    ASSERT_NE(e.find("scan_cost"), nullptr);
+    ASSERT_NE(e.find("meeting_hub"), nullptr);
+  }
+  ASSERT_NE(doc.find("slow_queries_total"), nullptr);
+  EXPECT_EQ(doc.find("slow_queries_total")->number_value,
+            static_cast<double>(result.queries));
+}
+
+TEST(MakeOracle, BuildsEveryKindAndRejectsEmptyGraph) {
+  const Graph g = small_gadget();
+  for (const OracleKind kind :
+       {OracleKind::kPll, OracleKind::kPllFlat, OracleKind::kCh, OracleKind::kBidij}) {
+    SimConfig config;
+    config.oracle = kind;
+    const auto oracle = make_oracle(g, config);
+    ASSERT_NE(oracle, nullptr);
+    // Answers must agree with the vector hub labeling on a sample pair.
+    EXPECT_EQ(oracle->distance(0, 1), make_oracle(g, SimConfig{})->distance(0, 1));
+  }
+  const Graph empty;
+  EXPECT_THROW((void)make_oracle(empty, SimConfig{}), InvalidArgument);
+}
 
 }  // namespace
 }  // namespace hublab::serve

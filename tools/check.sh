@@ -9,13 +9,19 @@
 #   6. hublab_lint --sarif + SARIF 2.1.0 validation  (CI artifact)
 #   7. bench smoke: every bench --smoke + JSON schema validation
 #   8. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
-#   9. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
-#  10. perf-counters smoke: bench --perf-counters banner + schema-v3 hw
+#   9. trajectory: headline gauges appended to bench/trajectory.jsonl
+#  10. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
+#  11. perf-counters smoke: bench --perf-counters banner + schema-v3 hw
 #      blocks (validated when the host has hardware counters, cleanly
 #      skipped where perf_event_open is unavailable)
-#  11. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#  12. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
+#
+# Helper mode: `tools/check.sh regen-baselines` rebuilds the dev preset,
+# reruns every bench with --smoke, and refreshes bench/baselines/ with the
+# freshly emitted JSON (current schema version).  Use it after an emitter
+# or schema change, then review the diff before committing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,17 +32,36 @@ stage() {
   echo "=== check.sh: $* ==="
 }
 
-stage "1/11 RelWithDebInfo build + tests"
+if [ "${1:-}" = "regen-baselines" ]; then
+  stage "regen-baselines: rebuild + rerun every bench --smoke"
+  cmake --preset dev
+  cmake --build --preset dev -j "${jobs}"
+  regen_dir="$(mktemp -d)"
+  trap 'rm -rf "${regen_dir}"' EXIT
+  repo_root="$(pwd -P)"
+  for bench in build/dev/bench/bench_*; do
+    [ -x "${bench}" ] || continue
+    echo "--- $(basename "${bench}") --smoke"
+    (cd "${regen_dir}" && "${repo_root}/${bench}" --smoke > /dev/null)
+  done
+  build/dev/tools/hublab validate-bench --quiet "${regen_dir}"/BENCH_*.json
+  cp "${regen_dir}"/BENCH_*.json bench/baselines/
+  count="$(find "${regen_dir}" -name 'BENCH_*.json' | wc -l)"
+  echo "regen-baselines: ${count} schema-valid baselines refreshed in bench/baselines/"
+  exit 0
+fi
+
+stage "1/12 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/11 ASan+UBSan build + tests"
+stage "2/12 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/11 TSan build + parallel-path tests"
+stage "3/12 TSan build + parallel-path tests"
 # The suites that drive util/parallel's pool with threads > 1: the pool
 # itself, every parallelized hub-labeling entry point, the flat kernel, the
 # threaded serve loop and the sketch merges it reduces with.  -fsanitize=
@@ -47,13 +72,13 @@ cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -j "${jobs}" \
   -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch|PllBp'
 
-stage "4/11 clang-tidy gate"
+stage "4/12 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "5/11 hublab_lint (with header self-containment)"
+stage "5/12 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "6/11 hublab_lint SARIF artifact"
+stage "6/12 hublab_lint SARIF artifact"
 # Re-run the analyzer emitting SARIF (the CI-consumable artifact) and prove
 # the document is well-formed 2.1.0 with the full rule catalog.  Headers
 # were already probed in stage 5.
@@ -71,7 +96,7 @@ print(f"sarif: valid 2.1.0, {len(rules)} rules, {len(run['results'])} results")
 PY
 rm -f "${sarif_out}"
 
-stage "7/11 bench smoke + BENCH_*.json schema validation"
+stage "7/12 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -90,7 +115,7 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "8/11 bench-compare vs committed baselines"
+stage "8/12 bench-compare vs committed baselines"
 # Wall-clock thresholds are deliberately loose here (different machines,
 # shared CI runners); structural metrics are seeded and should stay close.
 compare_failures=0
@@ -127,7 +152,49 @@ if [ "${bp_pct}" -gt 70 ]; then
 fi
 echo "bench-compare: bp construction at ${bp_pct}% of scalar (<= 70%)"
 
-stage "9/11 serve-sim smoke + SERVE_*.json schema validation"
+stage "9/12 bench trajectory (headline gauges -> bench/trajectory.jsonl)"
+# Append this run's headline practicality gauges to the committed history
+# so `git log -p bench/trajectory.jsonl` reads as a perf trajectory across
+# revisions.  One line per git revision: re-running check.sh at the same
+# HEAD refreshes the last point instead of duplicating it.
+python3 - "${smoke_dir}" <<'PY'
+import json, subprocess, sys, time
+
+smoke_dir = sys.argv[1]
+
+def gauges(name):
+    with open(f"{smoke_dir}/{name}") as fh:
+        return json.load(fh)["gauges"]
+
+headline = {}
+orderings = gauges("BENCH_pll_orderings.json")
+headline["pract.bp_construct_pct_of_scalar"] = orderings["pract.bp_construct_pct_of_scalar"]
+for key, value in sorted(gauges("BENCH_query_oracles.json").items()):
+    if key.startswith("pract.flat_query_pct_of_vector."):
+        headline[key] = value
+assert any(k.startswith("pract.flat_query_pct_of_vector.") for k in headline), \
+    "BENCH_query_oracles.json carries no pract.flat_query_pct_of_vector.* gauges"
+
+rev = subprocess.check_output(
+    ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
+entry = {"ts_unix_ms": int(time.time() * 1000), "git_rev": rev,
+         "gauges": headline}
+
+path = "bench/trajectory.jsonl"
+try:
+    with open(path) as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+except FileNotFoundError:
+    lines = []
+if lines and json.loads(lines[-1]).get("git_rev") == rev:
+    lines.pop()
+lines.append(json.dumps(entry, sort_keys=True))
+with open(path, "w") as fh:
+    fh.write("\n".join(lines) + "\n")
+print(f"trajectory: {len(lines)} point(s), latest {json.dumps(headline)}")
+PY
+
+stage "10/12 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \
   && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
   && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
@@ -141,7 +208,7 @@ grep -q "hublab_proc_peak_rss_bytes" "${smoke_dir}/SERVE_pll.prom"
 grep -q '"threads": 4' "${smoke_dir}/SERVE_pll_flat.json"
 echo "serve-sim: SERVE_*.json schema-valid, Prometheus dump has serve metrics"
 
-stage "10/11 perf-counters smoke + schema-v3 hw validation"
+stage "11/12 perf-counters smoke + schema-v3 hw validation"
 # The banner always states a verdict ("hardware ..." / "unavailable ...");
 # hw blocks in the JSON are required only on hardware-capable hosts —
 # containers and locked-down kernels degrade to the timer-only fallback.
@@ -162,7 +229,7 @@ else
   echo "perf-smoke: $(grep '^perf counters: ' "${perf_log}") -- hw blocks not required"
 fi
 
-stage "11/11 Werror build"
+stage "12/12 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

@@ -18,6 +18,7 @@
 #include "hub/serialize.hpp"
 #include "lowerbound/certify.hpp"
 #include "lowerbound/gadget.hpp"
+#include "oracle/oracle.hpp"
 #include "oracle/serve.hpp"
 #include "rs/rs_graph.hpp"
 #include "sumindex/sumindex.hpp"
@@ -30,7 +31,9 @@
 #include "util/perfcount.hpp"
 #include "util/profiler.hpp"
 #include "util/prometheus.hpp"
+#include "util/querystats.hpp"
 #include "util/resource.hpp"
+#include "util/timer.hpp"
 #include "util/trace.hpp"
 
 // CMake defines HUBLAB_GIT_REV from `git rev-parse --short HEAD`; the
@@ -398,8 +401,8 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
     throw InvalidArgument(
         "serve-sim: usage: serve-sim GRAPH [--oracle pll|pll-flat|ch|bidij] "
         "[--workload uniform|zipf|near|far] [--queries N] [--warmup N] [--seed N] "
-        "[--threads N] [--bp-roots N] [--smoke] [--perf-counters] "
-        "[--json-out FILE] [--prom-out FILE]");
+        "[--threads N] [--bp-roots N] [--slow-query-ms MS] [--window-ms MS] "
+        "[--smoke] [--perf-counters] [--json-out FILE] [--prom-out FILE]");
   }
   serve::SimConfig config;
   if (const auto o = args.option("--oracle")) {
@@ -422,6 +425,12 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   config.seed = args.option_u64("--seed", 1);
   config.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
   config.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
+  const double slow_ms = args.option_double("--slow-query-ms", 0.0);
+  if (slow_ms < 0.0) throw InvalidArgument("serve-sim: --slow-query-ms must be >= 0");
+  config.slow_query_ns = static_cast<std::uint64_t>(slow_ms * 1e6);
+  const double window_ms = args.option_double("--window-ms", 1000.0);
+  if (window_ms <= 0.0) throw InvalidArgument("serve-sim: --window-ms must be > 0");
+  config.window_ns = static_cast<std::uint64_t>(window_ms * 1e6);
 
   if (args.flag("--perf-counters")) {
     perf::set_enabled(true);
@@ -448,6 +457,9 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
       << " max=" << lat.max() << " (rank error <= " << lat.rank_error_bound() << ")\n";
   out << "  workers=" << result.worker_busy_ns.size()
       << " utilization_pct=" << result.worker_utilization_pct << "\n";
+  out << "  windows=" << result.windows.size()
+      << " slow_queries=" << result.slow_queries.total_slow()
+      << " exemplars=" << result.exemplars.count() << "\n";
   if (result.hw.valid) {
     out << "  hw: ipc=" << result.hw.ipc() << " llc_miss_rate=" << result.hw.llc_miss_rate()
         << " branch_miss_rate=" << result.hw.branch_miss_rate() << "\n";
@@ -460,6 +472,11 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
     std::ofstream json(json_path);
     if (!json) throw Error("serve-sim: cannot write " + json_path);
     serve::write_serve_report_json(json, result, config, g, *file, HUBLAB_GIT_REV, smoke, tracer);
+    // An open() that succeeded can still lose the payload (full disk,
+    // /dev/full, directory swept away mid-run) — flush and re-check before
+    // claiming success.
+    json.flush();
+    if (!json) throw Error("serve-sim: cannot write " + json_path);
   }
   out << "serve JSON written to " << json_path << "\n";
 
@@ -467,9 +484,87 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
     std::ofstream prom_out(*prom);
     if (!prom_out) throw Error("serve-sim: cannot write " + *prom);
     write_prometheus_text(metrics::registry(), prom_out);
+    prom_out.flush();
+    if (!prom_out) throw Error("serve-sim: cannot write " + *prom);
     out << "prometheus dump written to " << *prom << "\n";
   }
   return 0;
+}
+
+/// Single-query attribution breakdown (docs/observability.md "Attributing
+/// tail latency"): build the chosen oracle, answer one s-t query through
+/// the QueryStats probe, and print label sizes, hubs scanned vs pruned,
+/// the meeting hub, and per-phase wall times.  The answer is cross-checked
+/// against a bidirectional-Dijkstra reference; exit 0 iff they agree.
+int cmd_explain(Args& args, std::ostream& out) {
+  const auto graph_file = args.next_positional();
+  const auto s_str = args.next_positional();
+  const auto t_str = args.next_positional();
+  if (!graph_file || !s_str || !t_str) {
+    throw InvalidArgument(
+        "explain: usage: explain GRAPH S T [--oracle pll|pll-flat|ch|bidij] "
+        "[--seed N] [--threads N] [--bp-roots N]");
+  }
+  serve::SimConfig config;
+  if (const auto o = args.option("--oracle")) {
+    const auto kind = serve::parse_oracle_kind(*o);
+    if (!kind) {
+      throw InvalidArgument("explain: unknown oracle: " + *o + " (pll|pll-flat|ch|bidij)");
+    }
+    config.oracle = *kind;
+  }
+  config.seed = args.option_u64("--seed", 1);
+  config.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
+  config.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
+
+  const std::uint64_t t0 = monotonic_ns();
+  const Graph g = io::load_edge_list(*graph_file);
+  const std::uint64_t t_loaded = monotonic_ns();
+  const auto s = static_cast<Vertex>(parse_u64(*s_str, "S"));
+  const auto t = static_cast<Vertex>(parse_u64(*t_str, "T"));
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw InvalidArgument("explain: vertex out of range");
+  }
+
+  const std::unique_ptr<DistanceOracle> oracle = serve::make_oracle(g, config);
+  const std::uint64_t t_built = monotonic_ns();
+
+  metrics::QueryStats probe;
+  const Dist dist = oracle->distance_with_stats(s, t, probe);
+  const std::uint64_t t_queried = monotonic_ns();
+  const Dist reference = bidirectional_distance(g, s, t);
+  const bool agree = dist == reference;
+
+  out << "explain " << *graph_file << ": oracle=" << oracle->name() << " s=" << s << " t=" << t
+      << "\n";
+  out << "  dist = ";
+  if (dist == kInfDist) out << "inf";
+  else out << dist;
+  out << " (dijkstra ";
+  if (reference == kInfDist) out << "inf";
+  else out << reference;
+  out << ", agree=" << (agree ? "yes" : "NO") << ")\n";
+  out << "  meeting_hub = ";
+  if (probe.meeting_hub() == metrics::kNoMeetingHub) out << "none";
+  else out << probe.meeting_hub();
+  out << "\n";
+  out << "  labels: |L(s)|=" << probe.label_size_s() << " |L(t)|=" << probe.label_size_t() << "\n";
+  out << "  hubs: scanned=" << probe.hubs_scanned() << " matched=" << probe.hubs_matched()
+      << " pruned=" << probe.hubs_pruned() << "\n";
+  out << "  phase_ns: load=" << (t_loaded - t0) << " build=" << (t_built - t_loaded)
+      << " query=" << (t_queried - t_built) << "\n";
+  if (!metrics::QueryStats::kEnabled) {
+    out << "  (attribution counters compiled out: HUBLAB_METRICS=OFF)\n";
+  }
+
+  auto& reg = metrics::registry();
+  reg.counter("explain.queries").add(1);
+  reg.gauge("explain.query_ns").set(static_cast<std::int64_t>(t_queried - t_built));
+  reg.gauge("explain.hubs_scanned").set(static_cast<std::int64_t>(probe.hubs_scanned()));
+  reg.gauge("explain.hubs_matched").set(static_cast<std::int64_t>(probe.hubs_matched()));
+  reg.gauge("explain.label_size_s").set(static_cast<std::int64_t>(probe.label_size_s()));
+  reg.gauge("explain.label_size_t").set(static_cast<std::int64_t>(probe.label_size_t()));
+  return agree ? 0 : 1;
 }
 
 /// Regression-diff two run reports (see util/bench_compare.hpp).  Exit
@@ -562,7 +657,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
   fr::install_crash_handler();
   if (args.empty()) {
     err << "usage: hublab "
-           "<gen|stats|label|query|verify|certify-gadget|sumindex|trace|serve-sim|"
+           "<gen|stats|label|query|explain|verify|certify-gadget|sumindex|trace|serve-sim|"
            "profile|validate-bench|bench-compare> ...\n";
     return 2;
   }
@@ -580,6 +675,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (args[0] == "sumindex") return cmd_sumindex(rest, out);
     if (args[0] == "trace") return cmd_trace(rest, out);
     if (args[0] == "serve-sim") return cmd_serve_sim(rest, out);
+    if (args[0] == "explain") return cmd_explain(rest, out);
     if (args[0] == "validate-bench") return cmd_validate_bench(rest, out);
     if (args[0] == "bench-compare") return cmd_bench_compare(rest, out);
     err << "unknown command: " << args[0] << "\n";

@@ -11,10 +11,13 @@
 // Names are extracted from the RAW lines (string literals are blanked in
 // the stripped model) but only where the stripped line still carries the
 // call token, so names quoted in comments never count.  Literals followed
-// by `+` are runtime-concatenated (e.g. a per-family gauge suffix or the
-// `order-<name>` span) and are skipped: dynamic names are exempt from the
-// taxonomy by design.  All call tokens below are assembled from fragments
-// so this file never extracts from itself.
+// by `+` are runtime-concatenated; when such a literal ends in a dot
+// (`"serve.window.qps." + idx`) it names a *dynamic metric family* and
+// must be documented as a wildcard row (`serve.window.qps.*`) — checked in
+// both directions like concrete names.  Dynamic literals with any other
+// shape (e.g. the `order-<name>` span) stay exempt from the taxonomy.
+// All call tokens below are assembled from fragments so this file never
+// extracts from itself.
 
 #include <algorithm>
 #include <fstream>
@@ -61,10 +64,13 @@ bool is_kebab_span_name(const std::string& name) {
 
 /// Extract the string literal argument of every `<token>"..."` occurrence
 /// in `f` (token must be immediately followed by the opening quote).
-/// Records the first use per name.  Skips literals whose next
-/// non-whitespace character is `+` (runtime concatenation -> dynamic name).
+/// Records the first use per name.  Literals whose next non-whitespace
+/// character is `+` are runtime-concatenated: those ending in `.` are
+/// recorded into `wildcard_out` (when given) as `<prefix>*` — a dynamic
+/// metric family — and every other dynamic shape is skipped.
 void extract_names(const SourceFile& f, const std::string& token,
-                   std::map<std::string, Use>& out) {
+                   std::map<std::string, Use>& out,
+                   std::map<std::string, Use>* wildcard_out = nullptr) {
   for (std::size_t i = 0; i < f.raw_lines.size(); ++i) {
     // Comment guard: the stripped line must still carry the call.
     if (i >= f.code.size() || f.code[i].find(token) == std::string::npos) continue;
@@ -79,8 +85,14 @@ void extract_names(const SourceFile& f, const std::string& token,
       pos = close + 1;
       std::size_t after = close + 1;
       while (after < raw.size() && (raw[after] == ' ' || raw[after] == '\t')) ++after;
-      if (after < raw.size() && raw[after] == '+') continue;  // dynamic suffix
       const std::string name = raw.substr(open + 1, close - open - 1);
+      if (after < raw.size() && raw[after] == '+') {  // runtime concatenation
+        if (wildcard_out != nullptr && name.size() > 1 && name.back() == '.' &&
+            is_dotted_metric_name(name.substr(0, name.size() - 1))) {
+          wildcard_out->emplace(name + "*", Use{&f, i + 1});
+        }
+        continue;
+      }
       out.emplace(name, Use{&f, i + 1});  // keeps the first use
     }
   }
@@ -92,6 +104,8 @@ struct DocEntry {
 
 struct DocNames {
   std::map<std::string, DocEntry> metrics;
+  /// Dynamic-family rows, keyed by the full wildcard token (`serve.window.qps.*`).
+  std::map<std::string, DocEntry> metric_wildcards;
   std::map<std::string, DocEntry> spans;
   bool found = false;
 };
@@ -132,6 +146,9 @@ DocNames parse_observability_doc(const fs::path& path) {
       pos = close + 1;
       if (span_section) {
         if (is_kebab_span_name(token)) doc.spans.emplace(token, DocEntry{lineno});
+      } else if (token.size() > 2 && token.compare(token.size() - 2, 2, ".*") == 0 &&
+                 is_dotted_metric_name(token.substr(0, token.size() - 2))) {
+        doc.metric_wildcards.emplace(token, DocEntry{lineno});
       } else if (is_dotted_metric_name(token)) {
         doc.metrics.emplace(token, DocEntry{lineno});
       }
@@ -146,8 +163,9 @@ void pass_drift(const std::vector<SourceFile>& files, const Options& opt, Sink& 
   // Call tokens, assembled so this file stays invisible to itself.
   const std::string k_open = "(";
   const std::vector<std::string> metric_tokens = {
-      std::string("coun") + "ter" + k_open, std::string("ga") + "uge" + k_open,
-      std::string("histo") + "gram" + k_open, std::string("ske") + "tch" + k_open};
+      std::string("coun") + "ter" + k_open,      std::string("ga") + "uge" + k_open,
+      std::string("histo") + "gram" + k_open,    std::string("ske") + "tch" + k_open,
+      std::string("exem") + "plar" + k_open,     std::string("heavy_") + "hitter" + k_open};
   const std::string span_token = std::string(".sp") + "an" + k_open;
 
   // Presence: src + bench + tools (tests may poke ad-hoc names).  The doc
@@ -155,12 +173,17 @@ void pass_drift(const std::vector<SourceFile>& files, const Options& opt, Sink& 
   // the maintainers' discretion but documented names must exist somewhere.
   std::map<std::string, Use> metrics_src;
   std::map<std::string, Use> metrics_all;
+  std::map<std::string, Use> wildcards_src;
+  std::map<std::string, Use> wildcards_all;
   std::map<std::string, Use> spans_src;
   std::map<std::string, Use> spans_all;
   for (const SourceFile& f : files) {
     if (f.module == "tests") continue;
     std::map<std::string, Use> local_metrics;
-    for (const std::string& token : metric_tokens) extract_names(f, "." + token, local_metrics);
+    std::map<std::string, Use> local_wildcards;
+    for (const std::string& token : metric_tokens) {
+      extract_names(f, "." + token, local_metrics, &local_wildcards);
+    }
     std::map<std::string, Use> local_spans;
     extract_names(f, span_token, local_spans);
 
@@ -168,6 +191,10 @@ void pass_drift(const std::vector<SourceFile>& files, const Options& opt, Sink& 
       if (!is_dotted_metric_name(name)) continue;
       metrics_all.emplace(name, use);
       if (f.in_src) metrics_src.emplace(name, use);
+    }
+    for (const auto& [name, use] : local_wildcards) {
+      wildcards_all.emplace(name, use);
+      if (f.in_src) wildcards_src.emplace(name, use);
     }
     for (const auto& [name, use] : local_spans) {
       if (!is_kebab_span_name(name)) continue;
@@ -191,6 +218,19 @@ void pass_drift(const std::vector<SourceFile>& files, const Options& opt, Sink& 
     sink.add_external(doc_rel, entry.line, "metric-doc-drift",
                       "metric `" + name + "` is documented but never registered in src/, "
                           "bench/ or tools/; delete the row or restore the metric");
+  }
+  for (const auto& [name, use] : wildcards_src) {
+    if (doc.metric_wildcards.count(name) != 0) continue;
+    sink.add(*use.file, use.line, "metric-doc-drift",
+             "dynamic metric family `" + name + "` is registered here but missing from the "
+                 "taxonomy tables in " + doc_rel + "; add a wildcard row (name, kind, where, "
+                 "paper quantity)");
+  }
+  for (const auto& [name, entry] : doc.metric_wildcards) {
+    if (wildcards_all.count(name) != 0) continue;
+    sink.add_external(doc_rel, entry.line, "metric-doc-drift",
+                      "dynamic metric family `" + name + "` is documented but never registered "
+                          "in src/, bench/ or tools/; delete the row or restore the family");
   }
   for (const auto& [name, use] : spans_src) {
     if (doc.spans.count(name) != 0) continue;
