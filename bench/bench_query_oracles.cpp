@@ -15,7 +15,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algo/shortest_paths.hpp"
@@ -23,12 +25,21 @@
 #include "graph/generators.hpp"
 #include "hub/flat_labeling.hpp"
 #include "hub/pll.hpp"
+#include "hub/simd_kernel.hpp"
 #include "oracle/oracle.hpp"
+#include "oracle/workload.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace hublab {
 namespace {
+
+/// Pairs per workload; pair streams come from the same WorkloadGenerator
+/// serve-sim serves (oracle/workload.hpp), generated once per family and
+/// shared by every phase.  Power of two so the google-benchmark loops can
+/// mask instead of dividing.
+constexpr std::size_t kQueryPairs = 1024;
+static_assert((kQueryPairs & (kQueryPairs - 1)) == 0);
 
 struct Workload {
   Graph graph;
@@ -44,11 +55,8 @@ const Workload& road_workload() {
     wl.graph = gen::road_like(40, 40, 0.15, 10, rng);
     wl.labels = pruned_landmark_labeling(wl.graph);
     wl.flat = FlatHubLabeling(wl.labels);
-    Rng pick(2);
-    for (int i = 0; i < 1024; ++i) {
-      wl.queries.emplace_back(static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())),
-                              static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())));
-    }
+    wl.queries =
+        serve::WorkloadGenerator(wl.graph, serve::WorkloadKind::kUniform, 2).block(kQueryPairs);
     return wl;
   }();
   return w;
@@ -61,11 +69,8 @@ const Workload& sparse_workload() {
     wl.graph = gen::connected_gnm(2000, 4000, rng);
     wl.labels = pruned_landmark_labeling(wl.graph);
     wl.flat = FlatHubLabeling(wl.labels);
-    Rng pick(4);
-    for (int i = 0; i < 1024; ++i) {
-      wl.queries.emplace_back(static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())),
-                              static_cast<Vertex>(pick.next_below(wl.graph.num_vertices())));
-    }
+    wl.queries =
+        serve::WorkloadGenerator(wl.graph, serve::WorkloadKind::kUniform, 4).block(kQueryPairs);
     return wl;
   }();
   return w;
@@ -74,7 +79,7 @@ const Workload& sparse_workload() {
 void bm_hub_query(benchmark::State& state, const Workload& w) {
   std::size_t i = 0;
   for (auto _ : state) {
-    const auto [u, v] = w.queries[i++ & 1023];
+    const auto [u, v] = w.queries[i++ & (kQueryPairs - 1)];
     benchmark::DoNotOptimize(w.labels.query(u, v));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -83,7 +88,7 @@ void bm_hub_query(benchmark::State& state, const Workload& w) {
 void bm_flat_query(benchmark::State& state, const Workload& w) {
   std::size_t i = 0;
   for (auto _ : state) {
-    const auto [u, v] = w.queries[i++ & 1023];
+    const auto [u, v] = w.queries[i++ & (kQueryPairs - 1)];
     benchmark::DoNotOptimize(w.flat.query(u, v));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -92,7 +97,7 @@ void bm_flat_query(benchmark::State& state, const Workload& w) {
 void bm_bidirectional(benchmark::State& state, const Workload& w) {
   std::size_t i = 0;
   for (auto _ : state) {
-    const auto [u, v] = w.queries[i++ & 1023];
+    const auto [u, v] = w.queries[i++ & (kQueryPairs - 1)];
     benchmark::DoNotOptimize(bidirectional_distance(w.graph, u, v));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -101,7 +106,7 @@ void bm_bidirectional(benchmark::State& state, const Workload& w) {
 void bm_full_sssp(benchmark::State& state, const Workload& w) {
   std::size_t i = 0;
   for (auto _ : state) {
-    const auto [u, v] = w.queries[i++ & 1023];
+    const auto [u, v] = w.queries[i++ & (kQueryPairs - 1)];
     benchmark::DoNotOptimize(sssp_distances(w.graph, u)[v]);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -194,6 +199,63 @@ bool run_flat_phase(bench::Harness& harness, const char* family, const Workload&
   return vector_sum == flat_sum;
 }
 
+/// Batched vs per-query flat kernel on the same pairs: the headline gauge
+/// `pract.batch_query_pct_of_scalar.<family>` records the batched block's
+/// wall time as a percent of the one-query-at-a-time loop (lower is
+/// better; bench-compare's increase-only gate fires when the SIMD kernel's
+/// advantage erodes).  Before timing, every host-supported dispatch tier
+/// is swept over the full block and checked byte-identical — distance AND
+/// meeting hub — against per-query query_with_hub.
+bool run_batch_phase(bench::Harness& harness, const char* family, const Workload& w) {
+  const std::size_t passes = harness.smoke() ? 32 : 256;
+  const std::span<const std::pair<Vertex, Vertex>> pairs(w.queries);
+  std::vector<HubQueryResult> answers(w.queries.size());
+
+  bool identical = true;
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    w.flat.query_batch_tier(pairs, answers, tier);
+    for (std::size_t i = 0; i < w.queries.size(); ++i) {
+      const HubQueryResult ref = w.flat.query_with_hub(w.queries[i].first, w.queries[i].second);
+      if (answers[i].dist != ref.dist || answers[i].meeting_hub != ref.meeting_hub) {
+        std::printf("batch/%s: tier=%s pair %zu DISAGREES with query_with_hub\n", family,
+                    simd::tier_name(tier), i);
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  std::uint64_t scalar_sum = 0;
+  Timer scalar_timer;
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (const auto& [u, v] : w.queries) {
+      const Dist d = w.flat.query(u, v);
+      if (d != kInfDist) scalar_sum += d;
+    }
+  }
+  const double scalar_s = scalar_timer.elapsed_s();
+
+  std::uint64_t batch_sum = 0;
+  Timer batch_timer;
+  for (std::size_t p = 0; p < passes; ++p) {
+    w.flat.query_batch(pairs, answers);
+    for (const HubQueryResult& r : answers) {
+      if (r.dist != kInfDist) batch_sum += r.dist;
+    }
+  }
+  const double batch_s = batch_timer.elapsed_s();
+
+  const double pct = scalar_s > 0.0 ? 100.0 * batch_s / scalar_s : 100.0;
+  metrics::Registry& reg = metrics::registry();
+  reg.gauge("pract.batch_query_pct_of_scalar." + std::string(family))
+      .set(static_cast<std::int64_t>(pct));
+  reg.gauge("pract.query_pairs." + std::string(family))
+      .set(static_cast<std::int64_t>(w.queries.size()));
+  std::printf("batch/%s: scalar=%.3fms batch=%.3fms (%.0f%%), checksums %s\n", family,
+              scalar_s * 1e3, batch_s * 1e3, pct, scalar_sum == batch_sum ? "agree" : "DISAGREE");
+  return identical && scalar_sum == batch_sum;
+}
+
 /// With --perf-counters on a perf-capable host: LLC misses per thousand
 /// hub queries over a fixed sweep, the cache-residency number behind the
 /// flat-vs-vector comparison (a hub query is a scan of two label arrays,
@@ -258,10 +320,18 @@ int main(int argc, char** argv) {
     flat_ok = hublab::run_flat_phase(harness, "road40x40", hublab::road_workload());
     flat_ok = hublab::run_flat_phase(harness, "gnm2000", hublab::sparse_workload()) && flat_ok;
   }
+  bool batch_ok = true;
+  {
+    auto batch_span = harness.phase("batch-vs-scalar");
+    std::printf("batch kernel: tier=%s\n",
+                hublab::simd::tier_name(hublab::simd::active_tier()));
+    batch_ok = hublab::run_batch_phase(harness, "road40x40", hublab::road_workload());
+    batch_ok = hublab::run_batch_phase(harness, "gnm2000", hublab::sparse_workload()) && batch_ok;
+  }
   {
     auto llc_span = harness.phase("llc-miss-scan");
     hublab::run_llc_phase(harness, "road40x40", hublab::road_workload());
     hublab::run_llc_phase(harness, "gnm2000", hublab::sparse_workload());
   }
-  return harness.finish("PRACT microbench", ran > 0 && flat_ok);
+  return harness.finish("PRACT microbench", ran > 0 && flat_ok && batch_ok);
 }

@@ -1,5 +1,10 @@
 #include "hub/flat_labeling.hpp"
 
+#include <algorithm>
+#include <numeric>
+
+#include "util/metrics.hpp"
+
 namespace hublab {
 
 FlatHubLabeling::FlatHubLabeling(const HubLabeling& labels)
@@ -43,6 +48,82 @@ FlatHubLabeling::FlatHubLabeling(std::size_t num_vertices, std::vector<std::size
       HUBLAB_ASSERT_MSG(hubs_[i - 1] < hubs_[i], "labels must be sorted and deduplicated");
     }
   }
+}
+
+void FlatHubLabeling::query_batch(std::span<const std::pair<Vertex, Vertex>> pairs,
+                                  std::span<HubQueryResult> out) const {
+  query_batch_tier(pairs, out, simd::active_tier());
+}
+
+namespace {
+
+/// Below this block size the per-pair merge kernel wins: the stamp-table
+/// path pays an O(num_vertices) scratch allocation per call, which only
+/// amortizes over enough pairs.  Both paths are byte-identical, so the
+/// threshold is invisible in the answers.
+constexpr std::size_t kStampBatchThreshold = 32;
+
+}  // namespace
+
+void FlatHubLabeling::query_batch_tier(std::span<const std::pair<Vertex, Vertex>> pairs,
+                                       std::span<HubQueryResult> out, simd::Tier tier) const {
+  HUBLAB_ASSERT_MSG(pairs.size() == out.size(), "query_batch: pairs and out must be parallel");
+  // Group the block by source vertex: a deterministic stable index sort,
+  // so consecutive queries share the same source label (the cache-blocking
+  // win) while results land at their original positions.
+  std::vector<std::uint32_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return pairs[x].first < pairs[y].first;
+  });
+  std::uint64_t groups = 0;
+  Vertex prev_source = kInvalidVertex;  // never a valid source
+  if (pairs.size() >= kStampBatchThreshold) {
+    // Stamp-table path: scatter each source group's label into dense
+    // per-hub tables once (`stamp[h] == group` marks membership, sdist[h]
+    // the distance), then answer every query of the group with one linear
+    // probe scan of its target label — no merge, no data-dependent
+    // branches, and the tables stay cache-resident across the group.
+    const simd::ProbeFn probe = simd::probe_for(tier);  // one dispatch per block
+    std::vector<std::uint32_t> stamp(num_vertices_, 0);
+    std::vector<Dist> sdist(num_vertices_);
+    for (const std::uint32_t idx : order) {
+      const auto [u, v] = pairs[idx];
+      HUBLAB_ASSERT_RANGE(u, num_vertices_);
+      HUBLAB_ASSERT_RANGE(v, num_vertices_);
+      if (u != prev_source) {
+        ++groups;
+        HUBLAB_ASSERT_MSG(groups < kInvalidVertex, "query_batch: group stamp overflow");
+        const Vertex* sh = hubs_.data() + offsets_[u];
+        const Dist* sd = dists_.data() + offsets_[u];
+        const std::size_t sn = label_size(u);
+        for (std::size_t i = 0; i < sn; ++i) {
+          stamp[sh[i]] = static_cast<std::uint32_t>(groups);
+          sdist[sh[i]] = sd[i];
+        }
+        prev_source = u;
+      }
+      out[idx] = probe(hubs_.data() + offsets_[v], dists_.data() + offsets_[v], label_size(v),
+                       stamp.data(), sdist.data(), static_cast<std::uint32_t>(groups));
+    }
+  } else {
+    const simd::KernelFn kernel = simd::kernel_for(tier);
+    for (const std::uint32_t idx : order) {
+      const auto [u, v] = pairs[idx];
+      HUBLAB_ASSERT_RANGE(u, num_vertices_);
+      HUBLAB_ASSERT_RANGE(v, num_vertices_);
+      if (u != prev_source) {
+        ++groups;
+        prev_source = u;
+      }
+      out[idx] = kernel(hubs_.data() + offsets_[u], dists_.data() + offsets_[u], label_size(u),
+                        hubs_.data() + offsets_[v], dists_.data() + offsets_[v], label_size(v));
+    }
+  }
+  metrics::Registry& reg = metrics::registry();
+  reg.counter("query.batch.calls").add(1);
+  reg.counter("query.batch.pairs").add(pairs.size());
+  reg.counter("query.batch.source_groups").add(groups);
 }
 
 }  // namespace hublab

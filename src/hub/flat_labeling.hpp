@@ -1,9 +1,11 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "hub/labeling.hpp"
+#include "hub/simd_kernel.hpp"
 
 /// \file flat_labeling.hpp
 /// Structure-of-arrays hub labeling for the query fast path.
@@ -146,6 +148,23 @@ class FlatHubLabeling {
     stats.meeting(best.meeting_hub);
     return best;
   }
+
+  /// Batched queries: answer `pairs[i]` into `out[i]` (same size spans).
+  /// The block is grouped by source vertex (a deterministic stable sort of
+  /// indices), so consecutive kernel calls reuse the same source label
+  /// columns — the cache-blocking that makes batching pay — and the
+  /// sorted-hub intersections run on the tier reported by
+  /// `simd::active_tier()`.  Results are byte-identical to per-query
+  /// `query_with_hub` for every tier and batch size: same distance, same
+  /// meeting hub.  Registers the `query.batch.*` counters
+  /// (docs/observability.md).
+  void query_batch(std::span<const std::pair<Vertex, Vertex>> pairs,
+                   std::span<HubQueryResult> out) const;
+
+  /// As query_batch(), on an explicit dispatch tier (tests and the
+  /// bench's tier sweep; unavailable tiers degrade to scalar).
+  void query_batch_tier(std::span<const std::pair<Vertex, Vertex>> pairs,
+                        std::span<HubQueryResult> out, simd::Tier tier) const;
 
   /// Actual heap footprint: array capacities plus the container
   /// bookkeeping, comparable with HubLabeling::memory_bytes().

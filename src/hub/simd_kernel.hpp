@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hub/labeling.hpp"
+
+/// \file simd_kernel.hpp
+/// Vectorized sorted-hub intersection for the batched query path
+/// (hub/flat_labeling.hpp, `FlatHubLabeling::query_batch`).
+///
+/// A hub-label query is the intersection of two ascending hub columns plus
+/// a distance-sum minimum — the serving hot path the paper's Section 1.1
+/// trade-off prices.  The kernels here process the columns in SIMD blocks
+/// (all-lanes-vs-all-lanes equality over register rotations, the idiom of
+/// vectorized sorted-set intersection), falling back to the scalar
+/// sentinel merge for the tails, behind a three-tier dispatch:
+///
+///   1. compile time — each ISA kernel lives in its own TU
+///      (`simd_kernel_avx2.cpp`, `simd_kernel_avx512.cpp`) compiled with
+///      the matching `-m` flags only when the toolchain supports them;
+///   2. run time — `best_supported_tier()` probes the executing CPU
+///      (`__builtin_cpu_supports`) so a binary built with AVX-512 TUs
+///      still runs correctly on an AVX2-only host;
+///   3. fallback — `Tier::kScalar` is the sentinel merge of
+///      `FlatHubLabeling::query_with_hub`, always available.
+///
+/// Every tier returns *byte-identical* answers — the same distance and the
+/// same meeting hub (the smallest hub id achieving the minimal distance,
+/// matching the scalar merge's ascending-order strict-< update).  Set
+/// `HUBLAB_FORCE_SCALAR=1` in the environment to pin `active_tier()` to
+/// the scalar fallback (read once, like HUBLAB_THREADS).
+///
+/// Raw intrinsics are confined to the `src/hub/simd_kernel*` TUs — the
+/// `simd` lint pass enforces this; the header stays ISA-agnostic.
+
+namespace hublab::simd {
+
+/// Dispatch tiers, ordered by preference (higher = wider vectors).
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Stable lowercase tier name ("scalar", "avx2", "avx512").
+[[nodiscard]] const char* tier_name(Tier tier) noexcept;
+
+/// Best tier whose kernel is both compiled in and supported by the
+/// executing CPU.  Ignores HUBLAB_FORCE_SCALAR.
+[[nodiscard]] Tier best_supported_tier() noexcept;
+
+/// Every tier reachable on this host, ascending (always starts with
+/// kScalar) — the sweep set for byte-identity tests.
+[[nodiscard]] std::vector<Tier> supported_tiers();
+
+/// True when the HUBLAB_FORCE_SCALAR environment knob pins the dispatch
+/// to the scalar fallback (read once at first call).
+[[nodiscard]] bool force_scalar() noexcept;
+
+/// The tier `FlatHubLabeling::query_batch` dispatches to:
+/// best_supported_tier(), unless force_scalar().
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// One sorted-hub intersection + distance-min over raw label columns.
+/// `hubs_*` / `dists_*` point at a label of `size_*` real entries followed
+/// by a kInvalidVertex/kInfDist sentinel pair (the FlatHubLabeling
+/// layout); the sentinel lets the scalar tail run without bounds checks.
+/// Unavailable tiers degrade to the scalar kernel (same answer).
+[[nodiscard]] HubQueryResult intersect(Tier tier, const Vertex* hubs_a, const Dist* dists_a,
+                                       std::size_t size_a, const Vertex* hubs_b,
+                                       const Dist* dists_b, std::size_t size_b);
+
+/// Signature shared by every tier's intersection kernel (arguments as in
+/// intersect(), minus the tier).
+using KernelFn = HubQueryResult (*)(const Vertex* hubs_a, const Dist* dists_a, std::size_t size_a,
+                                    const Vertex* hubs_b, const Dist* dists_b, std::size_t size_b);
+
+/// Resolve `tier` to its kernel once (unavailable tiers degrade to the
+/// scalar kernel), so batch loops pay the dispatch per block instead of
+/// per pair.  intersect() is kernel_for(tier)(...).
+[[nodiscard]] KernelFn kernel_for(Tier tier) noexcept;
+
+/// Stamp-table probe: the large-batch kernel.  `query_batch` scatters each
+/// source group's label into dense per-hub tables (`stamp[h] == current`
+/// marks h ∈ S(source), `sdist[h]` its distance), then answers every query
+/// of the group with one linear scan of the *target* label — `size_t_`
+/// entries of `hubs_t`/`dists_t` — probing the tables per hub.  The tables
+/// are L1/L2-resident and reused across the group, so the scan has no
+/// merge branches to mispredict; the AVX2/AVX-512 tiers vectorize it with
+/// gathered stamp loads.  Same answer as intersect() on the same labels:
+/// the lexicographic (dist, hub) minimum over the common hubs.
+using ProbeFn = HubQueryResult (*)(const Vertex* hubs_t, const Dist* dists_t, std::size_t size_t_,
+                                   const std::uint32_t* stamp, const Dist* sdist,
+                                   std::uint32_t current);
+
+/// Resolve `tier` to its stamp-table probe kernel (unavailable tiers
+/// degrade to the scalar probe).
+[[nodiscard]] ProbeFn probe_for(Tier tier) noexcept;
+
+namespace detail {
+
+/// The sentinel merge (identical to FlatHubLabeling::query_with_hub).
+[[nodiscard]] HubQueryResult intersect_scalar(const Vertex* hubs_a, const Dist* dists_a,
+                                              const Vertex* hubs_b, const Dist* dists_b);
+
+/// 8-lane AVX2 block intersection; defined in simd_kernel_avx2.cpp (only
+/// linked when the toolchain can target AVX2).
+[[nodiscard]] HubQueryResult intersect_avx2(const Vertex* hubs_a, const Dist* dists_a,
+                                            std::size_t size_a, const Vertex* hubs_b,
+                                            const Dist* dists_b, std::size_t size_b);
+
+/// 16-lane AVX-512 block intersection; defined in simd_kernel_avx512.cpp.
+[[nodiscard]] HubQueryResult intersect_avx512(const Vertex* hubs_a, const Dist* dists_a,
+                                              std::size_t size_a, const Vertex* hubs_b,
+                                              const Dist* dists_b, std::size_t size_b);
+
+/// Scalar stamp-table probe (see ProbeFn).
+[[nodiscard]] HubQueryResult probe_scalar(const Vertex* hubs_t, const Dist* dists_t,
+                                          std::size_t size_t_, const std::uint32_t* stamp,
+                                          const Dist* sdist, std::uint32_t current);
+
+/// 8-lane AVX2 stamp-table probe (gathered stamp loads).
+[[nodiscard]] HubQueryResult probe_avx2(const Vertex* hubs_t, const Dist* dists_t,
+                                        std::size_t size_t_, const std::uint32_t* stamp,
+                                        const Dist* sdist, std::uint32_t current);
+
+/// 16-lane AVX-512 stamp-table probe.
+[[nodiscard]] HubQueryResult probe_avx512(const Vertex* hubs_t, const Dist* dists_t,
+                                          std::size_t size_t_, const std::uint32_t* stamp,
+                                          const Dist* sdist, std::uint32_t current);
+
+}  // namespace detail
+
+}  // namespace hublab::simd

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algo/distance_matrix.hpp"
@@ -39,6 +41,19 @@ class DistanceOracle {
                                                  metrics::QueryStats& stats) const {
     (void)stats;
     return distance(u, v);
+  }
+
+  /// Batched queries: answer `pairs[i]` into `out[i]` (same size spans).
+  /// The default loops over distance() (no meeting hubs); hub-label
+  /// oracles override with their batch kernels, which also report the
+  /// meeting hub and — for the flat oracle — dispatch to the SIMD
+  /// intersection tiers (hub/simd_kernel.hpp).  Every override answers
+  /// byte-identically to the per-query path.
+  virtual void distance_batch(std::span<const std::pair<Vertex, Vertex>> pairs,
+                              std::span<HubQueryResult> out) const {
+    for (std::size_t i = 0; i < pairs.size() && i < out.size(); ++i) {
+      out[i] = HubQueryResult{distance(pairs[i].first, pairs[i].second), kInvalidVertex};
+    }
   }
 };
 
@@ -91,6 +106,14 @@ class HubLabelOracle final : public DistanceOracle {
                                          metrics::QueryStats& stats) const override {
     return labels_.query_with_stats(u, v, stats).dist;
   }
+  /// Per-pair sorted merges (the vector-label kernel has no SIMD tier),
+  /// but with meeting hubs — answers match the flat oracle's batch path.
+  void distance_batch(std::span<const std::pair<Vertex, Vertex>> pairs,
+                      std::span<HubQueryResult> out) const override {
+    for (std::size_t i = 0; i < pairs.size() && i < out.size(); ++i) {
+      out[i] = labels_.query_with_hub(pairs[i].first, pairs[i].second);
+    }
+  }
   [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }
   [[nodiscard]] const HubLabeling& labeling() const { return labels_; }
 
@@ -112,6 +135,12 @@ class FlatHubLabelOracle final : public DistanceOracle {
   [[nodiscard]] Dist distance_with_stats(Vertex u, Vertex v,
                                          metrics::QueryStats& stats) const override {
     return labels_.query_with_stats(u, v, stats).dist;
+  }
+  /// The SIMD batched kernel: source-grouped, tier-dispatched
+  /// (FlatHubLabeling::query_batch).
+  void distance_batch(std::span<const std::pair<Vertex, Vertex>> pairs,
+                      std::span<HubQueryResult> out) const override {
+    labels_.query_batch(pairs, out);
   }
   [[nodiscard]] std::size_t space_bytes() const override { return labels_.memory_bytes(); }
   [[nodiscard]] const FlatHubLabeling& labeling() const { return labels_; }

@@ -4,8 +4,8 @@
 #include <map>
 #include <memory>
 #include <ostream>
+#include <span>
 
-#include "algo/shortest_paths.hpp"
 #include "hub/pll.hpp"
 #include "oracle/contraction_hierarchy.hpp"
 #include "oracle/oracle.hpp"
@@ -76,97 +76,12 @@ std::string_view oracle_kind_name(OracleKind kind) noexcept {
   return "pll";
 }
 
-std::string_view workload_kind_name(WorkloadKind kind) noexcept {
-  switch (kind) {
-    case WorkloadKind::kUniform: return "uniform";
-    case WorkloadKind::kZipf: return "zipf";
-    case WorkloadKind::kNear: return "near";
-    case WorkloadKind::kFar: return "far";
-  }
-  return "uniform";
-}
-
 std::optional<OracleKind> parse_oracle_kind(std::string_view name) noexcept {
   if (name == "pll") return OracleKind::kPll;
   if (name == "pll-flat") return OracleKind::kPllFlat;
   if (name == "ch") return OracleKind::kCh;
   if (name == "bidij") return OracleKind::kBidij;
   return std::nullopt;
-}
-
-std::optional<WorkloadKind> parse_workload_kind(std::string_view name) noexcept {
-  if (name == "uniform") return WorkloadKind::kUniform;
-  if (name == "zipf") return WorkloadKind::kZipf;
-  if (name == "near") return WorkloadKind::kNear;
-  if (name == "far") return WorkloadKind::kFar;
-  return std::nullopt;
-}
-
-WorkloadGenerator::WorkloadGenerator(const Graph& g, WorkloadKind kind, std::uint64_t seed)
-    : g_(g), kind_(kind), rng_(seed) {
-  HUBLAB_ASSERT_MSG(g.num_vertices() > 0, "workload over an empty graph");
-  const std::size_t n = g.num_vertices();
-  if (kind_ == WorkloadKind::kZipf) {
-    // Zipf(s=1) popularity over vertex ids: weight of rank i is 1/(i+1).
-    zipf_cdf_.reserve(n);
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total += 1.0 / static_cast<double>(i + 1);
-      zipf_cdf_.push_back(total);
-    }
-  } else if (kind_ == WorkloadKind::kFar) {
-    // Distance sweep from a high-degree root; endpoints come from opposite
-    // finite-distance quartiles, so pairs cross most of the graph.
-    Vertex root = 0;
-    for (Vertex v = 0; v < n; ++v) {
-      if (g.degree(v) > g.degree(root)) root = v;
-    }
-    const std::vector<Dist> dist = sssp_distances(g, root);
-    std::vector<Vertex> reachable_by_dist;
-    for (Vertex v = 0; v < n; ++v) {
-      if (dist[v] != kInfDist) reachable_by_dist.push_back(v);
-    }
-    std::sort(reachable_by_dist.begin(), reachable_by_dist.end(),
-              [&](Vertex a, Vertex b) { return dist[a] < dist[b]; });
-    const std::size_t quartile = std::max<std::size_t>(1, reachable_by_dist.size() / 4);
-    near_pool_.assign(reachable_by_dist.begin(), reachable_by_dist.begin() + quartile);
-    far_pool_.assign(reachable_by_dist.end() - quartile, reachable_by_dist.end());
-  }
-}
-
-Vertex WorkloadGenerator::zipf_vertex() {
-  const double r = rng_.next_double() * zipf_cdf_.back();
-  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), r);
-  return static_cast<Vertex>(it - zipf_cdf_.begin());
-}
-
-Vertex WorkloadGenerator::walk_from(Vertex u) {
-  const std::uint64_t hops = 1 + rng_.next_below(4);
-  Vertex v = u;
-  for (std::uint64_t i = 0; i < hops; ++i) {
-    const auto arcs = g_.arcs(v);
-    if (arcs.empty()) break;
-    v = arcs[rng_.next_below(arcs.size())].to;
-  }
-  return v;
-}
-
-std::pair<Vertex, Vertex> WorkloadGenerator::next() {
-  const auto n = static_cast<std::uint64_t>(g_.num_vertices());
-  switch (kind_) {
-    case WorkloadKind::kUniform:
-      return {static_cast<Vertex>(rng_.next_below(n)), static_cast<Vertex>(rng_.next_below(n))};
-    case WorkloadKind::kZipf:
-      return {zipf_vertex(), zipf_vertex()};
-    case WorkloadKind::kNear: {
-      const auto u = static_cast<Vertex>(rng_.next_below(n));
-      return {u, walk_from(u)};
-    }
-    case WorkloadKind::kFar:
-      return {near_pool_[rng_.next_below(near_pool_.size())],
-              far_pool_[rng_.next_below(far_pool_.size())]};
-  }
-  HUBLAB_UNREACHABLE();
 }
 
 SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
@@ -248,6 +163,7 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
       stats[c].slow = metrics::SlowQueryLog(config.slow_query_ns, config.slow_query_capacity);
     }
     const std::uint64_t window_ns = std::max<std::uint64_t>(1, config.window_ns);
+    const std::size_t batch = std::max<std::size_t>(1, config.batch);
     Timer loop_timer;
     const std::uint64_t loop_begin_ns = monotonic_ns();
     par::run_chunks(chunks, result.threads, [&](const par::ChunkRange& chunk) {
@@ -255,33 +171,73 @@ SimResult run_sim(const Graph& g, const SimConfig& config, Tracer* tracer) {
       s.worker = par::worker_index();
       const std::uint64_t chunk_begin_ns = monotonic_ns();
       perf::ScopedHw hw_scope(s.hw);
-      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-        metrics::QueryStats probe;
-        const std::uint64_t begin_ns = monotonic_ns();
-        const Dist d = oracle->distance_with_stats(pairs[i].first, pairs[i].second, probe);
-        const std::uint64_t latency_ns = monotonic_ns() - begin_ns;
-        s.latency_ns.record(latency_ns);
-        ++s.queries;
-        if (d != kInfDist) {
-          ++s.reachable;
-          s.checksum += d;
+      if (batch >= 2) {
+        // Batched serving: each chunk is answered in sub-blocks through
+        // the oracle's batch kernel.  Answers (and hence queries /
+        // reachable / checksum) are byte-identical to the per-query path;
+        // latency samples become per-block averages and the exemplars
+        // carry the batch answers' meeting hubs with zero scan cost —
+        // batch mode trades per-query scan attribution for throughput.
+        std::vector<HubQueryResult> answers;
+        for (std::size_t i = chunk.begin; i < chunk.end; i += batch) {
+          const std::size_t block_size = std::min(batch, chunk.end - i);
+          answers.assign(block_size, HubQueryResult{});
+          const std::uint64_t begin_ns = monotonic_ns();
+          oracle->distance_batch(
+              std::span<const std::pair<Vertex, Vertex>>(pairs.data() + i, block_size), answers);
+          const std::uint64_t block_ns = monotonic_ns() - begin_ns;
+          const std::uint64_t latency_ns = block_ns / block_size;
+          WindowAccum& win = s.windows[(begin_ns - loop_begin_ns) / window_ns];
+          for (std::size_t j = 0; j < block_size; ++j) {
+            const Dist d = answers[j].dist;
+            s.latency_ns.record(latency_ns);
+            ++s.queries;
+            if (d != kInfDist) {
+              ++s.reachable;
+              s.checksum += d;
+            }
+            const metrics::Exemplar witness{static_cast<std::uint64_t>(i + j - first),
+                                            pairs[i + j].first,
+                                            pairs[i + j].second,
+                                            latency_ns,
+                                            0,
+                                            answers[j].meeting_hub};
+            s.exemplars.offer(witness);
+            s.slow.offer(witness);
+            ++win.queries;
+            if (d != kInfDist) ++win.reachable;
+            win.latency_ns.record(latency_ns);
+          }
         }
-        // Attribution bookkeeping stays outside the measured interval.
-        const metrics::Exemplar witness{static_cast<std::uint64_t>(i - first),
-                                        pairs[i].first,
-                                        pairs[i].second,
-                                        latency_ns,
-                                        probe.scan_cost(),
-                                        probe.meeting_hub()};
-        s.exemplars.offer(witness);
-        s.slow.offer(witness);
-        if (probe.meeting_hub() != metrics::kNoMeetingHub) {
-          s.hub_scan_cost.add(probe.meeting_hub(), probe.scan_cost());
+      } else {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          metrics::QueryStats probe;
+          const std::uint64_t begin_ns = monotonic_ns();
+          const Dist d = oracle->distance_with_stats(pairs[i].first, pairs[i].second, probe);
+          const std::uint64_t latency_ns = monotonic_ns() - begin_ns;
+          s.latency_ns.record(latency_ns);
+          ++s.queries;
+          if (d != kInfDist) {
+            ++s.reachable;
+            s.checksum += d;
+          }
+          // Attribution bookkeeping stays outside the measured interval.
+          const metrics::Exemplar witness{static_cast<std::uint64_t>(i - first),
+                                          pairs[i].first,
+                                          pairs[i].second,
+                                          latency_ns,
+                                          probe.scan_cost(),
+                                          probe.meeting_hub()};
+          s.exemplars.offer(witness);
+          s.slow.offer(witness);
+          if (probe.meeting_hub() != metrics::kNoMeetingHub) {
+            s.hub_scan_cost.add(probe.meeting_hub(), probe.scan_cost());
+          }
+          WindowAccum& win = s.windows[(begin_ns - loop_begin_ns) / window_ns];
+          ++win.queries;
+          if (d != kInfDist) ++win.reachable;
+          win.latency_ns.record(latency_ns);
         }
-        WindowAccum& win = s.windows[(begin_ns - loop_begin_ns) / window_ns];
-        ++win.queries;
-        if (d != kInfDist) ++win.reachable;
-        win.latency_ns.record(latency_ns);
       }
       s.busy_ns = monotonic_ns() - chunk_begin_ns;
     });
@@ -399,6 +355,7 @@ void write_serve_report_json(std::ostream& os, const SimResult& result, const Si
     w.kv("workload", result.workload_name);
     w.kv("seed", config.seed);
     w.kv("warmup", config.warmup);
+    w.kv("batch", static_cast<std::uint64_t>(config.batch));
     w.kv("queries", result.queries);
     w.kv("reachable", result.reachable);
     w.kv("checksum", result.checksum);

@@ -11,6 +11,7 @@
 
 #include "graph/graph.hpp"
 #include "hub/pll.hpp"
+#include "oracle/workload.hpp"
 #include "util/exemplar.hpp"
 #include "util/heavyhitter.hpp"
 #include "util/perfcount.hpp"
@@ -70,13 +71,12 @@ class DistanceOracle;  // oracle/oracle.hpp
 
 namespace hublab::serve {
 
+// WorkloadKind / WorkloadGenerator moved to oracle/workload.hpp so the
+// query benches drive the exact pair streams serve-sim serves.
 enum class OracleKind { kPll, kPllFlat, kCh, kBidij };
-enum class WorkloadKind { kUniform, kZipf, kNear, kFar };
 
 [[nodiscard]] std::string_view oracle_kind_name(OracleKind kind) noexcept;
-[[nodiscard]] std::string_view workload_kind_name(WorkloadKind kind) noexcept;
 [[nodiscard]] std::optional<OracleKind> parse_oracle_kind(std::string_view name) noexcept;
-[[nodiscard]] std::optional<WorkloadKind> parse_workload_kind(std::string_view name) noexcept;
 
 struct SimConfig {
   OracleKind oracle = OracleKind::kPll;
@@ -100,6 +100,15 @@ struct SimConfig {
   /// Cap on retained slow-query entries (the slowest win; every match
   /// still counts toward `serve.slow_queries`).
   std::size_t slow_query_capacity = 32;
+  /// Query-block size for the batched oracle path (`--batch N`).  1 (the
+  /// default) keeps the per-query `distance_with_stats` loop with full
+  /// scan attribution; >= 2 answers each chunk in sub-blocks of this size
+  /// through DistanceOracle::distance_batch — same queries, same
+  /// checksum/reachable counts (batch answers are byte-identical), but
+  /// latency samples become per-block averages and per-query scan-cost
+  /// attribution is traded away for throughput (docs/performance.md,
+  /// "The batched query kernel").
+  std::size_t batch = 1;
 };
 
 /// One window of the per-interval serve time series.  Windows are indexed
@@ -149,28 +158,6 @@ struct SimResult {
   metrics::SlowQueryLog slow_queries;
   /// Scan cost attributed to each query's meeting hub.
   metrics::SpaceSavingSketch hub_scan_cost;
-};
-
-/// Deterministic query-pair generator for one workload (exposed for tests
-/// and future replay tooling).  Pairs are over [0, n); the graph is needed
-/// for the near/far structure.
-class WorkloadGenerator {
- public:
-  WorkloadGenerator(const Graph& g, WorkloadKind kind, std::uint64_t seed);
-
-  /// Next (source, target) pair.
-  [[nodiscard]] std::pair<Vertex, Vertex> next();
-
- private:
-  [[nodiscard]] Vertex zipf_vertex();
-  [[nodiscard]] Vertex walk_from(Vertex u);
-
-  const Graph& g_;
-  WorkloadKind kind_;
-  Rng rng_;
-  std::vector<double> zipf_cdf_;       ///< cumulative popularity, zipf only
-  std::vector<Vertex> near_pool_;      ///< far workload: bottom distance quartile
-  std::vector<Vertex> far_pool_;       ///< far workload: top distance quartile
 };
 
 /// Build the configured oracle, run the workload, record latencies.  Spans

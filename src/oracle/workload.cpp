@@ -1,0 +1,102 @@
+#include "oracle/workload.hpp"
+
+#include <algorithm>
+
+#include "algo/shortest_paths.hpp"
+#include "util/assert.hpp"
+
+namespace hublab::serve {
+
+std::string_view workload_kind_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kZipf: return "zipf";
+    case WorkloadKind::kNear: return "near";
+    case WorkloadKind::kFar: return "far";
+  }
+  return "uniform";
+}
+
+std::optional<WorkloadKind> parse_workload_kind(std::string_view name) noexcept {
+  if (name == "uniform") return WorkloadKind::kUniform;
+  if (name == "zipf") return WorkloadKind::kZipf;
+  if (name == "near") return WorkloadKind::kNear;
+  if (name == "far") return WorkloadKind::kFar;
+  return std::nullopt;
+}
+
+WorkloadGenerator::WorkloadGenerator(const Graph& g, WorkloadKind kind, std::uint64_t seed)
+    : g_(g), kind_(kind), rng_(seed) {
+  HUBLAB_ASSERT_MSG(g.num_vertices() > 0, "workload over an empty graph");
+  const std::size_t n = g.num_vertices();
+  if (kind_ == WorkloadKind::kZipf) {
+    // Zipf(s=1) popularity over vertex ids: weight of rank i is 1/(i+1).
+    zipf_cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / static_cast<double>(i + 1);
+      zipf_cdf_.push_back(total);
+    }
+  } else if (kind_ == WorkloadKind::kFar) {
+    // Distance sweep from a high-degree root; endpoints come from opposite
+    // finite-distance quartiles, so pairs cross most of the graph.
+    Vertex root = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (g.degree(v) > g.degree(root)) root = v;
+    }
+    const std::vector<Dist> dist = sssp_distances(g, root);
+    std::vector<Vertex> reachable_by_dist;
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] != kInfDist) reachable_by_dist.push_back(v);
+    }
+    std::sort(reachable_by_dist.begin(), reachable_by_dist.end(),
+              [&](Vertex a, Vertex b) { return dist[a] < dist[b]; });
+    const std::size_t quartile = std::max<std::size_t>(1, reachable_by_dist.size() / 4);
+    near_pool_.assign(reachable_by_dist.begin(), reachable_by_dist.begin() + quartile);
+    far_pool_.assign(reachable_by_dist.end() - quartile, reachable_by_dist.end());
+  }
+}
+
+Vertex WorkloadGenerator::zipf_vertex() {
+  const double r = rng_.next_double() * zipf_cdf_.back();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), r);
+  return static_cast<Vertex>(it - zipf_cdf_.begin());
+}
+
+Vertex WorkloadGenerator::walk_from(Vertex u) {
+  const std::uint64_t hops = 1 + rng_.next_below(4);
+  Vertex v = u;
+  for (std::uint64_t i = 0; i < hops; ++i) {
+    const auto arcs = g_.arcs(v);
+    if (arcs.empty()) break;
+    v = arcs[rng_.next_below(arcs.size())].to;
+  }
+  return v;
+}
+
+std::pair<Vertex, Vertex> WorkloadGenerator::next() {
+  const auto n = static_cast<std::uint64_t>(g_.num_vertices());
+  switch (kind_) {
+    case WorkloadKind::kUniform:
+      return {static_cast<Vertex>(rng_.next_below(n)), static_cast<Vertex>(rng_.next_below(n))};
+    case WorkloadKind::kZipf:
+      return {zipf_vertex(), zipf_vertex()};
+    case WorkloadKind::kNear: {
+      const auto u = static_cast<Vertex>(rng_.next_below(n));
+      return {u, walk_from(u)};
+    }
+    case WorkloadKind::kFar:
+      return {near_pool_[rng_.next_below(near_pool_.size())],
+              far_pool_[rng_.next_below(far_pool_.size())]};
+  }
+  HUBLAB_UNREACHABLE();
+}
+
+std::vector<std::pair<Vertex, Vertex>> WorkloadGenerator::block(std::size_t count) {
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) pairs.push_back(next());
+  return pairs;
+}
+
+}  // namespace hublab::serve

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hub/flat_labeling.hpp"
+#include "hub/labeling.hpp"
+#include "hub/pll.hpp"
+#include "hub/simd_kernel.hpp"
+#include "lowerbound/gadget.hpp"
+#include "oracle/oracle.hpp"
+#include "oracle/serve.hpp"
+#include "oracle/workload.hpp"
+#include "rs/rs_graph.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hublab {
+namespace {
+
+/// Block sizes straddling the stamp-table threshold (32): 1 and 7 take the
+/// per-pair merge-kernel path, 64 and 4096 the stamp-table probe path.
+constexpr std::size_t kBlockSizes[] = {1, 7, 64, 4096};
+
+/// The batched-query contract: for every host-reachable ISA tier and every
+/// block size, `query_batch_tier` answers byte-identically — distance AND
+/// meeting hub — to the per-query reference `query_with_hub`.
+void expect_batch_identity(const Graph& g) {
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  const FlatHubLabeling flat(labels);
+  for (const std::size_t block : kBlockSizes) {
+    const std::vector<std::pair<Vertex, Vertex>> pairs =
+        serve::WorkloadGenerator(g, serve::WorkloadKind::kUniform, 7 + block).block(block);
+    std::vector<HubQueryResult> out(block);
+    for (const simd::Tier tier : simd::supported_tiers()) {
+      flat.query_batch_tier(pairs, out, tier);
+      for (std::size_t i = 0; i < block; ++i) {
+        const HubQueryResult ref = flat.query_with_hub(pairs[i].first, pairs[i].second);
+        ASSERT_EQ(out[i].dist, ref.dist)
+            << "tier=" << simd::tier_name(tier) << " block=" << block << " pair#" << i << " ("
+            << pairs[i].first << "," << pairs[i].second << ")";
+        ASSERT_EQ(out[i].meeting_hub, ref.meeting_hub)
+            << "tier=" << simd::tier_name(tier) << " block=" << block << " pair#" << i << " ("
+            << pairs[i].first << "," << pairs[i].second << ")";
+      }
+    }
+    // The public entry point resolves the active tier (honouring
+    // HUBLAB_FORCE_SCALAR) and must agree as well.
+    flat.query_batch(pairs, out);
+    for (std::size_t i = 0; i < block; ++i) {
+      const HubQueryResult ref = flat.query_with_hub(pairs[i].first, pairs[i].second);
+      ASSERT_EQ(out[i].dist, ref.dist) << "active tier, block=" << block << " pair#" << i;
+      ASSERT_EQ(out[i].meeting_hub, ref.meeting_hub)
+          << "active tier, block=" << block << " pair#" << i;
+    }
+  }
+}
+
+TEST(BatchQuery, ByteIdenticalOnDegree3Gadget) {
+  // The Figure 1 hard instance: the unweighted max-degree-3 expansion of
+  // the layered gadget.
+  const lb::LayeredGadget h(lb::GadgetParams{2, 1});
+  expect_batch_identity(lb::Degree3Gadget(h).graph());
+}
+
+TEST(BatchQuery, ByteIdenticalOnBehrendRsGraph) {
+  expect_batch_identity(rs::behrend_rs_graph(40).graph);
+}
+
+TEST(BatchQuery, ByteIdenticalOnDisconnectedGraph) {
+  // Cross-component pairs exercise the no-common-hub outcome: kInfDist
+  // with the kInvalidVertex meeting hub through every tier and both the
+  // merge and stamp paths.
+  GraphBuilder b(24);
+  for (Vertex v = 0; v + 1 < 12; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 12; v + 1 < 24; ++v) b.add_edge(v, v + 1);
+  expect_batch_identity(b.build());
+}
+
+TEST(BatchQuery, ByteIdenticalOnWeightedRoadGraph) {
+  // Weighted distances: the fold is over 64-bit sums, and ties between
+  // different weighted paths exercise the lexicographic (dist, hub) rule.
+  Rng rng(31);
+  expect_batch_identity(gen::road_like(6, 6, 0.2, 9, rng));
+}
+
+TEST(BatchQuery, OracleBatchEntryPointsAgree) {
+  // distance_batch through the oracle interface: the flat oracle's SIMD
+  // batch kernel, the vector oracle's per-pair merges, and the base-class
+  // default (distance() loop, no hubs) must all report the same distances.
+  Rng rng(33);
+  const Graph g = gen::connected_gnm(80, 160, rng);
+  const HubLabeling labels = pruned_landmark_labeling(g);
+  const HubLabelOracle vec(g, labels);
+  const FlatHubLabelOracle flat(labels);
+  const BidirectionalOracle bidij(g);
+
+  const std::vector<std::pair<Vertex, Vertex>> pairs =
+      serve::WorkloadGenerator(g, serve::WorkloadKind::kZipf, 9).block(128);
+  std::vector<HubQueryResult> from_vec(pairs.size());
+  std::vector<HubQueryResult> from_flat(pairs.size());
+  std::vector<HubQueryResult> from_bidij(pairs.size());
+  vec.distance_batch(pairs, from_vec);
+  flat.distance_batch(pairs, from_flat);
+  bidij.distance_batch(pairs, from_bidij);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(from_flat[i].dist, from_vec[i].dist) << "pair#" << i;
+    ASSERT_EQ(from_flat[i].meeting_hub, from_vec[i].meeting_hub) << "pair#" << i;
+    ASSERT_EQ(from_flat[i].dist, from_bidij[i].dist) << "pair#" << i;
+  }
+}
+
+#if HUBLAB_METRICS_ENABLED
+
+TEST(BatchQuery, MetricsCountBlocksPairsAndGroups) {
+  Rng rng(35);
+  const Graph g = gen::connected_gnm(50, 100, rng);
+  const FlatHubLabeling flat(pruned_landmark_labeling(g));
+  const std::vector<std::pair<Vertex, Vertex>> pairs =
+      serve::WorkloadGenerator(g, serve::WorkloadKind::kUniform, 3).block(64);
+  std::vector<HubQueryResult> out(pairs.size());
+  metrics::registry().reset();
+  flat.query_batch(pairs, out);
+  std::uint64_t calls = 0;
+  std::uint64_t batched = 0;
+  std::uint64_t groups = 0;
+  for (const auto& c : metrics::registry().counters()) {
+    if (c.name == "query.batch.calls") calls = c.value;
+    if (c.name == "query.batch.pairs") batched = c.value;
+    if (c.name == "query.batch.source_groups") groups = c.value;
+  }
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(batched, 64u);
+  EXPECT_GE(groups, 1u);
+  EXPECT_LE(groups, 64u);
+}
+
+#endif  // HUBLAB_METRICS_ENABLED
+
+TEST(BatchQuery, ServeSimBatchedLoopIsDeterministic) {
+  // serve-sim with --batch 4: the batched chunk loop must reproduce the
+  // unbatched loop's checksum/reachability, and stay thread-count
+  // invariant (the tsan job runs this suite at 1 and 4 workers).
+  const Graph g = lb::LayeredGadget(lb::GadgetParams{1, 1}).graph();
+  serve::SimConfig base;
+  base.oracle = serve::OracleKind::kPllFlat;
+  base.workload = serve::WorkloadKind::kUniform;
+  base.num_queries = 300;
+  base.warmup = 20;
+  base.seed = 5;
+
+  metrics::registry().reset();
+  const serve::SimResult unbatched = serve::run_sim(g, base);
+
+  serve::SimConfig batched = base;
+  batched.batch = 4;
+  metrics::registry().reset();
+  const serve::SimResult b1 = serve::run_sim(g, batched);
+
+  serve::SimConfig batched4 = batched;
+  batched4.threads = 4;
+  metrics::registry().reset();
+  const serve::SimResult b4 = serve::run_sim(g, batched4);
+
+  EXPECT_EQ(b1.checksum, unbatched.checksum);
+  EXPECT_EQ(b1.reachable, unbatched.reachable);
+  EXPECT_EQ(b1.queries, unbatched.queries);
+  EXPECT_EQ(b4.checksum, b1.checksum);
+  EXPECT_EQ(b4.reachable, b1.reachable);
+  EXPECT_EQ(b4.queries, b1.queries);
+  EXPECT_EQ(b4.latency_ns.count(), b1.latency_ns.count());
+}
+
+TEST(BatchQuery, SupportedTiersAlwaysIncludeScalar) {
+  const std::vector<simd::Tier> tiers = simd::supported_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), simd::Tier::kScalar);
+  // The active tier must be one the host can actually run.
+  bool active_supported = false;
+  for (const simd::Tier tier : tiers) {
+    if (tier == simd::active_tier()) active_supported = true;
+  }
+  EXPECT_TRUE(active_supported);
+}
+
+}  // namespace
+}  // namespace hublab

@@ -1,0 +1,9 @@
+// Fixture: a simd finding silenced by the inline allow marker.
+
+namespace fixture {
+
+int lane0(const int* p) {
+  return _mm_cvtsi128_si32(_mm_loadu_si128(p));  // hublab-lint-allow(simd)
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: simd -- raw SIMD intrinsics outside the src/hub/simd_kernel* TUs.
+
+namespace fixture {
+
+int lane0(const int* p) {
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm_cvtsi128_si32(v);
+}
+
+}  // namespace fixture

@@ -89,6 +89,8 @@ TEST(LintFixtures, ViolationsReportExactFileLineRule) {
       {"src/algo/bad_mutex.cpp", 11, "mutex-guard"},
       {"src/algo/bad_mutex.cpp", 13, "mutex-guard"},
       {"src/algo/bad_reduce.cpp", 7, "float-reduce"},
+      {"src/algo/bad_simd.cpp", 6, "simd"},
+      {"src/algo/bad_simd.cpp", 7, "simd"},
       {"src/algo/bad_volatile.cpp", 5, "volatile-sync"},
       {"src/graph/bad_layer.cpp", 3, "layer-upward"},
       {"src/graph/bad_mutator.cpp", 7, "assert-guard"},
@@ -132,7 +134,7 @@ TEST(LintFixtures, EveryCatalogRuleIsProvenLive) {
 TEST(LintFixtures, InlineMarkersAndBaselineSilenceEverything) {
   const Report report = lint_fixture("suppressed");
   EXPECT_TRUE(report.findings.empty());
-  EXPECT_EQ(report.suppressed, 2U);  // new + legacy marker spellings
+  EXPECT_EQ(report.suppressed, 3U);  // new + legacy spellings, simd escape
   EXPECT_EQ(report.baselined, 1U);   // tools/lint_baseline.json entry
 }
 
@@ -209,7 +211,7 @@ TEST(LintBinary, SarifOutputIsValidAndComplete) {
   const hublab::JsonValue* results = run.find("results");
   ASSERT_NE(results, nullptr);
   ASSERT_TRUE(results->is_array());
-  EXPECT_EQ(results->array_items.size(), 27U);
+  EXPECT_EQ(results->array_items.size(), 29U);
   for (const auto& result : results->array_items) {
     ASSERT_NE(result.find("ruleId"), nullptr);
     EXPECT_EQ(rule_ids.count(result.find("ruleId")->string_value), 1U);
@@ -235,7 +237,7 @@ TEST(LintBinary, JsonOutputRoundTrips) {
   ASSERT_TRUE(doc.is_object());
   const hublab::JsonValue* findings = doc.find("findings");
   ASSERT_NE(findings, nullptr);
-  EXPECT_EQ(findings->array_items.size(), 27U);
+  EXPECT_EQ(findings->array_items.size(), 29U);
   std::remove(json_path.c_str());
 }
 

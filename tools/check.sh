@@ -14,7 +14,9 @@
 #  11. perf-counters smoke: bench --perf-counters banner + schema-v3 hw
 #      blocks (validated when the host has hardware counters, cleanly
 #      skipped where perf_event_open is unavailable)
-#  12. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#  12. batch kernel: ISA-tier banner, HUBLAB_FORCE_SCALAR forced-scalar
+#      run, and the pract.batch_query_pct_of_scalar.gnm2000 <= 70 gate
+#  13. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 #
@@ -51,17 +53,17 @@ if [ "${1:-}" = "regen-baselines" ]; then
   exit 0
 fi
 
-stage "1/12 RelWithDebInfo build + tests"
+stage "1/13 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/12 ASan+UBSan build + tests"
+stage "2/13 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/12 TSan build + parallel-path tests"
+stage "3/13 TSan build + parallel-path tests"
 # The suites that drive util/parallel's pool with threads > 1: the pool
 # itself, every parallelized hub-labeling entry point, the flat kernel, the
 # threaded serve loop and the sketch merges it reduces with.  -fsanitize=
@@ -70,15 +72,15 @@ stage "3/12 TSan build + parallel-path tests"
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -j "${jobs}" \
-  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|RunSim|QuantileSketch|PllBp'
+  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|BatchQuery|RunSim|QuantileSketch|PllBp'
 
-stage "4/12 clang-tidy gate"
+stage "4/13 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "5/12 hublab_lint (with header self-containment)"
+stage "5/13 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "6/12 hublab_lint SARIF artifact"
+stage "6/13 hublab_lint SARIF artifact"
 # Re-run the analyzer emitting SARIF (the CI-consumable artifact) and prove
 # the document is well-formed 2.1.0 with the full rule catalog.  Headers
 # were already probed in stage 5.
@@ -96,7 +98,7 @@ print(f"sarif: valid 2.1.0, {len(rules)} rules, {len(run['results'])} results")
 PY
 rm -f "${sarif_out}"
 
-stage "7/12 bench smoke + BENCH_*.json schema validation"
+stage "7/13 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -115,7 +117,7 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "8/12 bench-compare vs committed baselines"
+stage "8/13 bench-compare vs committed baselines"
 # Wall-clock thresholds are deliberately loose here (different machines,
 # shared CI runners); structural metrics are seeded and should stay close.
 compare_failures=0
@@ -152,7 +154,7 @@ if [ "${bp_pct}" -gt 70 ]; then
 fi
 echo "bench-compare: bp construction at ${bp_pct}% of scalar (<= 70%)"
 
-stage "9/12 bench trajectory (headline gauges -> bench/trajectory.jsonl)"
+stage "9/13 bench trajectory (headline gauges -> bench/trajectory.jsonl)"
 # Append this run's headline practicality gauges to the committed history
 # so `git log -p bench/trajectory.jsonl` reads as a perf trajectory across
 # revisions.  One line per git revision: re-running check.sh at the same
@@ -170,10 +172,13 @@ headline = {}
 orderings = gauges("BENCH_pll_orderings.json")
 headline["pract.bp_construct_pct_of_scalar"] = orderings["pract.bp_construct_pct_of_scalar"]
 for key, value in sorted(gauges("BENCH_query_oracles.json").items()):
-    if key.startswith("pract.flat_query_pct_of_vector."):
+    if key.startswith(("pract.flat_query_pct_of_vector.",
+                       "pract.batch_query_pct_of_scalar.")):
         headline[key] = value
 assert any(k.startswith("pract.flat_query_pct_of_vector.") for k in headline), \
     "BENCH_query_oracles.json carries no pract.flat_query_pct_of_vector.* gauges"
+assert any(k.startswith("pract.batch_query_pct_of_scalar.") for k in headline), \
+    "BENCH_query_oracles.json carries no pract.batch_query_pct_of_scalar.* gauges"
 
 rev = subprocess.check_output(
     ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
@@ -194,7 +199,7 @@ with open(path, "w") as fh:
 print(f"trajectory: {len(lines)} point(s), latest {json.dumps(headline)}")
 PY
 
-stage "10/12 serve-sim smoke + SERVE_*.json schema validation"
+stage "10/13 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \
   && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
   && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
@@ -208,7 +213,7 @@ grep -q "hublab_proc_peak_rss_bytes" "${smoke_dir}/SERVE_pll.prom"
 grep -q '"threads": 4' "${smoke_dir}/SERVE_pll_flat.json"
 echo "serve-sim: SERVE_*.json schema-valid, Prometheus dump has serve metrics"
 
-stage "11/12 perf-counters smoke + schema-v3 hw validation"
+stage "11/13 perf-counters smoke + schema-v3 hw validation"
 # The banner always states a verdict ("hardware ..." / "unavailable ...");
 # hw blocks in the JSON are required only on hardware-capable hosts —
 # containers and locked-down kernels degrade to the timer-only fallback.
@@ -229,7 +234,41 @@ else
   echo "perf-smoke: $(grep '^perf counters: ' "${perf_log}") -- hw blocks not required"
 fi
 
-stage "12/12 Werror build"
+stage "12/13 batch query kernel: tier banner, forced-scalar run, pct gate"
+# The batched kernel's three-tier dispatch must (a) report which ISA tier
+# it resolved, (b) degrade to the scalar tier under HUBLAB_FORCE_SCALAR=1
+# with the identity checks still green, and (c) keep its win on the sparse
+# family: batched block time <= 70% of the per-query scalar loop on
+# gnm2000 (the road family's labels are small enough that batching is not
+# gated there).
+batch_dir="${smoke_dir}/batch"
+mkdir -p "${batch_dir}"
+batch_log="${batch_dir}/bench_query_oracles.log"
+(cd "${batch_dir}" \
+  && "${repo_root}/build/dev/bench/bench_query_oracles" --smoke > "${batch_log}")
+grep -q '^batch kernel: tier=' "${batch_log}"
+echo "batch-kernel: $(grep '^batch kernel: tier=' "${batch_log}")"
+scalar_dir="${batch_dir}/forced-scalar"
+mkdir -p "${scalar_dir}"
+scalar_log="${scalar_dir}/bench_query_oracles.log"
+(cd "${scalar_dir}" \
+  && HUBLAB_FORCE_SCALAR=1 "${repo_root}/build/dev/bench/bench_query_oracles" \
+       --smoke > "${scalar_log}")
+grep -q '^batch kernel: tier=scalar$' "${scalar_log}"
+echo "batch-kernel: forced-scalar run green (tier=scalar, identity checks passed)"
+batch_pct="$(grep -o '"pract.batch_query_pct_of_scalar.gnm2000": [0-9]*' \
+  "${batch_dir}/BENCH_query_oracles.json" | grep -o '[0-9]*$')"
+if [ -z "${batch_pct}" ]; then
+  echo "batch-kernel: pract.batch_query_pct_of_scalar.gnm2000 missing from BENCH_query_oracles.json" >&2
+  exit 1
+fi
+if [ "${batch_pct}" -gt 70 ]; then
+  echo "batch-kernel: batched queries at ${batch_pct}% of scalar on gnm2000 (must be <= 70%)" >&2
+  exit 1
+fi
+echo "batch-kernel: batched queries at ${batch_pct}% of scalar on gnm2000 (<= 70%)"
+
+stage "13/13 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

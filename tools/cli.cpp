@@ -6,7 +6,9 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <sstream>
+#include <utility>
 
 #include "algo/shortest_paths.hpp"
 #include "graph/generators.hpp"
@@ -401,7 +403,7 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
     throw InvalidArgument(
         "serve-sim: usage: serve-sim GRAPH [--oracle pll|pll-flat|ch|bidij] "
         "[--workload uniform|zipf|near|far] [--queries N] [--warmup N] [--seed N] "
-        "[--threads N] [--bp-roots N] [--slow-query-ms MS] [--window-ms MS] "
+        "[--threads N] [--batch N] [--bp-roots N] [--slow-query-ms MS] [--window-ms MS] "
         "[--smoke] [--perf-counters] [--json-out FILE] [--prom-out FILE]");
   }
   serve::SimConfig config;
@@ -424,6 +426,8 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   config.warmup = args.option_u64("--warmup", 100);
   config.seed = args.option_u64("--seed", 1);
   config.threads = static_cast<std::size_t>(args.option_u64("--threads", 0));
+  config.batch = static_cast<std::size_t>(args.option_u64("--batch", 1));
+  if (config.batch == 0) throw InvalidArgument("serve-sim: --batch must be >= 1");
   config.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
   const double slow_ms = args.option_double("--slow-query-ms", 0.0);
   if (slow_ms < 0.0) throw InvalidArgument("serve-sim: --slow-query-ms must be >= 0");
@@ -448,7 +452,8 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   const QuantileSketch& lat = result.latency_ns;
   out << "serve-sim " << *file << ": oracle=" << result.oracle_name
       << " workload=" << result.workload_name << " threads=" << result.threads
-      << " queries=" << result.queries << " reachable=" << result.reachable << "\n";
+      << " batch=" << config.batch << " queries=" << result.queries
+      << " reachable=" << result.reachable << "\n";
   out << "  build_s=" << result.build_s << " space_bytes=" << result.space_bytes
       << " space_bytes_flat=" << result.space_bytes_flat
       << " query_loop_s=" << result.query_loop_s << "\n";
@@ -495,7 +500,8 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
 /// tail latency"): build the chosen oracle, answer one s-t query through
 /// the QueryStats probe, and print label sizes, hubs scanned vs pruned,
 /// the meeting hub, and per-phase wall times.  The answer is cross-checked
-/// against a bidirectional-Dijkstra reference; exit 0 iff they agree.
+/// against a bidirectional-Dijkstra reference and against the batched
+/// query kernel on the active ISA tier; exit 0 iff all three agree.
 int cmd_explain(Args& args, std::ostream& out) {
   const auto graph_file = args.next_positional();
   const auto s_str = args.next_positional();
@@ -535,6 +541,15 @@ int cmd_explain(Args& args, std::ostream& out) {
   const Dist reference = bidirectional_distance(g, s, t);
   const bool agree = dist == reference;
 
+  // Batched-kernel cross-check: the same pair through distance_batch must
+  // produce the same distance on the active ISA tier (byte-identity is the
+  // kernel's contract; see docs/performance.md "The batched query kernel").
+  const std::pair<Vertex, Vertex> batch_pair[1] = {{s, t}};
+  HubQueryResult batch_answer[1];
+  oracle->distance_batch(std::span<const std::pair<Vertex, Vertex>>(batch_pair),
+                         std::span<HubQueryResult>(batch_answer));
+  const bool batch_agree = batch_answer[0].dist == dist;
+
   out << "explain " << *graph_file << ": oracle=" << oracle->name() << " s=" << s << " t=" << t
       << "\n";
   out << "  dist = ";
@@ -551,6 +566,8 @@ int cmd_explain(Args& args, std::ostream& out) {
   out << "  labels: |L(s)|=" << probe.label_size_s() << " |L(t)|=" << probe.label_size_t() << "\n";
   out << "  hubs: scanned=" << probe.hubs_scanned() << " matched=" << probe.hubs_matched()
       << " pruned=" << probe.hubs_pruned() << "\n";
+  out << "  batch kernel: tier=" << simd::tier_name(simd::active_tier())
+      << " agree=" << (batch_agree ? "yes" : "NO") << "\n";
   out << "  phase_ns: load=" << (t_loaded - t0) << " build=" << (t_built - t_loaded)
       << " query=" << (t_queried - t_built) << "\n";
   if (!metrics::QueryStats::kEnabled) {
@@ -564,7 +581,7 @@ int cmd_explain(Args& args, std::ostream& out) {
   reg.gauge("explain.hubs_matched").set(static_cast<std::int64_t>(probe.hubs_matched()));
   reg.gauge("explain.label_size_s").set(static_cast<std::int64_t>(probe.label_size_s()));
   reg.gauge("explain.label_size_t").set(static_cast<std::int64_t>(probe.label_size_t()));
-  return agree ? 0 : 1;
+  return (agree && batch_agree) ? 0 : 1;
 }
 
 /// Regression-diff two run reports (see util/bench_compare.hpp).  Exit

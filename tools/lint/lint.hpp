@@ -12,7 +12,7 @@
 ///
 /// The analyzer loads every .cpp/.hpp under src/, tools/, tests/ and bench/
 /// of a repo root into a `SourceFile` model (raw text, comment/string-
-/// stripped lines, extracted include edges), then runs five passes over the
+/// stripped lines, extracted include edges), then runs six passes over the
 /// shared model:
 ///
 ///   style        the line-level conventions inherited from the original
@@ -36,7 +36,11 @@
 ///   drift        every metrics::counter/gauge/histogram/sketch name and
 ///                tracer span name used in src/ appears in the taxonomy
 ///                tables of docs/observability.md and vice versa
-///                (metric-doc-drift, span-doc-drift).
+///                (metric-doc-drift, span-doc-drift);
+///   simd         raw SIMD intrinsics (identifiers starting `_mm`, vector
+///                types `__m128`/`__m256`/`__m512`) are confined to the
+///                src/hub/simd_kernel* TUs of the batched query kernel
+///                (simd).
 ///
 /// Findings can be silenced inline with a `hublab-lint-allow(<rule>)`
 /// comment on the offending line or the line above (the legacy
@@ -154,6 +158,7 @@ void pass_layering(const std::vector<SourceFile>& files, const Options& opt, Sin
 void pass_determinism(const std::vector<SourceFile>& files, const Options& opt, Sink& sink);
 void pass_concurrency(const std::vector<SourceFile>& files, const Options& opt, Sink& sink);
 void pass_drift(const std::vector<SourceFile>& files, const Options& opt, Sink& sink);
+void pass_simd(const std::vector<SourceFile>& files, const Options& opt, Sink& sink);
 
 // --- baseline (baseline.cpp) -----------------------------------------------
 

@@ -1,0 +1,54 @@
+// SIMD-confinement pass:
+//
+//   simd   raw SIMD intrinsics — `_mm*` calls and the `__m128`/`__m256`/
+//          `__m512` vector types (and their mask kin) — are confined to
+//          the `src/hub/simd_kernel*` translation units, the three-tier
+//          batched query kernel of docs/performance.md.  Everything else
+//          goes through that kernel's dispatch API, so exactly one place
+//          carries per-ISA code, per-ISA compile flags, and the
+//          byte-identity proof.  `hublab-lint-allow(simd)` escapes a line
+//          that genuinely needs an intrinsic elsewhere.
+//
+// The detection tokens are assembled from fragments so this pass (and the
+// analyzer's own sources) never flag themselves.
+
+#include "tools/lint/lint.hpp"
+
+namespace hublab::lint {
+
+namespace {
+
+/// True when `line` uses a raw SIMD identifier: an identifier starting
+/// `_mm` (intrinsics and widths: _mm_, _mm256_, _mm512_, __mmask...) or a
+/// vector type `__m<digit>` (e.g. __m128i, __m256, __m512i).
+bool uses_simd_identifier(const std::string& line) {
+  const std::string call = std::string("_m") + "m";      // "_mm"
+  const std::string type = std::string("__") + "m";      // "__m"
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '_') continue;
+    if (i > 0 && is_ident_char(line[i - 1])) continue;  // mid-identifier
+    if (line.compare(i, call.size(), call) == 0) return true;
+    if (line.compare(i, type.size(), type) == 0 && i + type.size() < line.size() &&
+        line[i + type.size()] >= '0' && line[i + type.size()] <= '9') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void pass_simd(const std::vector<SourceFile>& files, const Options& /*opt*/, Sink& sink) {
+  const std::string kernel_prefix = "src/hub/simd_kernel";
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind(kernel_prefix, 0) == 0) continue;  // the sanctioned TUs
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (!uses_simd_identifier(f.code[i])) continue;
+      sink.add(f, i + 1, "simd",
+               "raw SIMD intrinsics are confined to the src/hub/simd_kernel* TUs; go through "
+               "the hublab::simd dispatch API");
+    }
+  }
+}
+
+}  // namespace hublab::lint

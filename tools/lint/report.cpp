@@ -36,6 +36,8 @@ const std::vector<RuleInfo>& rule_catalog() {
       // drift pass
       {"metric-doc-drift", "registry metric names match docs/observability.md"},
       {"span-doc-drift", "tracer span names match docs/observability.md"},
+      // simd pass
+      {"simd", "raw SIMD intrinsics are confined to the src/hub/simd_kernel* TUs"},
   };
   return kRules;
 }

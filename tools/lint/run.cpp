@@ -1,4 +1,4 @@
-// run_lint: load the tree, run the five passes over the shared model,
+// run_lint: load the tree, run the six passes over the shared model,
 // apply the baseline, and return the surviving findings sorted by
 // (file, line, rule).
 
@@ -25,6 +25,7 @@ Report run_lint(const Options& opt) {
   pass_determinism(files, opt, sink);
   pass_concurrency(files, opt, sink);
   pass_drift(files, opt, sink);
+  pass_simd(files, opt, sink);
 
   Report report;
   report.files_scanned = files.size();
