@@ -104,8 +104,10 @@ struct SimConfig {
   /// default) keeps the per-query `distance_with_stats` loop with full
   /// scan attribution; >= 2 answers each chunk in sub-blocks of this size
   /// through DistanceOracle::distance_batch — same queries, same
-  /// checksum/reachable counts (batch answers are byte-identical), but
-  /// latency samples become per-block averages and per-query scan-cost
+  /// checksum/reachable counts (batch answers are byte-identical).  Each
+  /// query in a block is charged the block's full wall time (it completes
+  /// when the kernel returns), so batched and per-query sketches are
+  /// directly comparable completion latencies; per-query scan-cost
   /// attribution is traded away for throughput (docs/performance.md,
   /// "The batched query kernel").
   std::size_t batch = 1;
@@ -123,6 +125,12 @@ struct WindowStats {
   double qps = 0.0;
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
+  /// Offered-load members, populated by the open-loop server
+  /// (oracle/server.hpp) and left 0 by the closed-loop simulator, where
+  /// arrivals are not scheduled: arrivals whose offset fell in this
+  /// window, and how many of them admission control shed.
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;
 };
 
 struct SimResult {

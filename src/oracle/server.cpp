@@ -1,0 +1,711 @@
+#include "oracle/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <utility>
+
+#include "oracle/oracle.hpp"
+#include "oracle/workload.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/querystats.hpp"
+#include "util/report.hpp"
+#include "util/resource.hpp"
+#include "util/rng.hpp"
+#include "util/spsc.hpp"
+#include "util/timer.hpp"
+
+namespace hublab::serve {
+
+namespace {
+
+/// One scheduled query in flight between the generator and a shard worker.
+struct QueryItem {
+  Vertex s = 0;
+  Vertex t = 0;
+  std::uint64_t seq = 0;         ///< position in the pre-generated stream
+  std::uint64_t arrival_ns = 0;  ///< scheduled arrival offset from loop start
+  /// Simulated arrival-to-completion latency (kVirtual only; computed on
+  /// the generator so the value is independent of real scheduling).
+  std::uint64_t virtual_latency_ns = 0;
+};
+
+/// Per-window accumulator; the generator owns offered/rejected (it sees
+/// every arrival), the workers own the completion-side members.
+struct WindowAccum {
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t reachable = 0;
+  QuantileSketch latency_ns;
+};
+
+/// Everything one shard worker accumulates; merged in worker order.
+struct WorkerStats {
+  QuantileSketch latency_ns;
+  std::uint64_t completed = 0;
+  std::uint64_t reachable = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t trimmed_warmup = 0;
+  std::uint64_t trimmed_cooldown = 0;
+  std::uint64_t busy_ns = 0;  ///< kernel time only; ring-wait excluded
+  perf::HwCounters hw;
+  metrics::ExemplarReservoir exemplars;
+  metrics::SlowQueryLog slow;
+  metrics::SpaceSavingSketch hub_scan_cost;
+  std::map<std::uint64_t, WindowAccum> windows;
+};
+
+/// The generator-side accumulators (admission control happens there).
+struct GeneratorStats {
+  std::uint64_t rejected = 0;
+  QuantileSketch queue_depth;
+  std::map<std::uint64_t, WindowAccum> windows;  ///< offered/rejected only
+};
+
+/// Scheduled arrival offsets (ns from loop start), ascending.  The RNG
+/// stream is salted away from the workload's so pairs and arrivals are
+/// independent draws from the one config seed.
+std::vector<std::uint64_t> arrival_schedule(const ServerConfig& config) {
+  std::vector<std::uint64_t> arrivals;
+  arrivals.reserve(config.num_queries);
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const double gap_ns = 1e9 / config.qps;
+  if (config.arrival == ArrivalKind::kPoisson) {
+    double t = 0.0;
+    for (std::uint64_t i = 0; i < config.num_queries; ++i) {
+      // Exponential inter-arrival gap with mean gap_ns (inverse CDF;
+      // next_double() < 1 keeps the log argument positive).
+      t += -std::log(1.0 - rng.next_double()) * gap_ns;
+      arrivals.push_back(static_cast<std::uint64_t>(t));
+    }
+  } else {
+    // Back-to-back groups of `burst` arrivals; group starts are spaced so
+    // the long-run rate still matches the offered qps.
+    const std::uint64_t burst = std::max<std::uint64_t>(1, config.burst);
+    for (std::uint64_t i = 0; i < config.num_queries; ++i) {
+      const std::uint64_t group = i / burst;
+      arrivals.push_back(static_cast<std::uint64_t>(
+          static_cast<double>(group) * gap_ns * static_cast<double>(burst)));
+    }
+  }
+  return arrivals;
+}
+
+/// Deterministic M/D/c pre-simulation for TimingMode::kVirtual: replay the
+/// arrival schedule against `workers` queues of bound `ring_capacity` and
+/// constant per-query service time, producing each query's simulated
+/// latency, the queue depth its admission decision saw, and (under kShed)
+/// whether it was shed.  Runs on the generator before dispatch, so every
+/// number is independent of real thread scheduling.
+struct VirtualPlan {
+  std::vector<std::uint64_t> latency_ns;
+  std::vector<std::uint64_t> depth;
+  std::vector<std::uint8_t> shed;
+  std::uint64_t makespan_ns = 0;  ///< last simulated completion
+};
+
+VirtualPlan virtual_presim(const std::vector<std::uint64_t>& arrivals, std::size_t workers,
+                           std::size_t ring_capacity, const ServerConfig& config) {
+  VirtualPlan plan;
+  const std::size_t n = arrivals.size();
+  plan.latency_ns.assign(n, 0);
+  plan.depth.assign(n, 0);
+  plan.shed.assign(n, 0);
+  const std::uint64_t service = std::max<std::uint64_t>(1, config.virtual_service_ns);
+  std::vector<std::deque<std::uint64_t>> queued(workers);  ///< pending completions
+  std::vector<std::uint64_t> free_at(workers, 0);          ///< server idle time
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t w = i % workers;
+    const std::uint64_t a = arrivals[i];
+    auto& dq = queued[w];
+    while (!dq.empty() && dq.front() <= a) dq.pop_front();
+    plan.depth[i] = dq.size();
+    if (config.admission == AdmissionPolicy::kShed && dq.size() >= ring_capacity) {
+      plan.shed[i] = 1;
+      continue;
+    }
+    const std::uint64_t start = std::max(a, free_at[w]);
+    const std::uint64_t completion = start + service;
+    free_at[w] = completion;
+    dq.push_back(completion);
+    plan.latency_ns[i] = completion - a;
+    plan.makespan_ns = std::max(plan.makespan_ns, completion);
+  }
+  return plan;
+}
+
+void emit_registry_metrics(const ServerResult& result, const ServerConfig& config) {
+  metrics::Registry& reg = metrics::registry();
+  reg.counter("serve.queries").add(result.completed);
+  reg.counter("serve.reachable").add(result.reachable);
+  reg.counter("serve.offered").add(result.offered);
+  reg.counter("serve.rejected").add(result.rejected);
+  reg.counter("serve.trimmed_warmup").add(result.trimmed_warmup);
+  reg.counter("serve.trimmed_cooldown").add(result.trimmed_cooldown);
+  reg.sketch("serve.query_ns").merge(result.latency_ns);
+  reg.sketch("serve.queue_depth").merge(result.queue_depth);
+  reg.gauge("serve.space_bytes").set(static_cast<std::int64_t>(result.space_bytes));
+  reg.gauge("serve.offered_qps").set(static_cast<std::int64_t>(result.offered_qps));
+  reg.gauge("serve.achieved_qps").set(static_cast<std::int64_t>(result.achieved_qps));
+  reg.gauge("serve.worker_utilization_pct")
+      .set(static_cast<std::int64_t>(result.worker_utilization_pct));
+  for (std::size_t w = 0; w < result.worker_busy_ns.size(); ++w) {
+    reg.gauge("serve.worker_busy_ns." + std::to_string(w))
+        .set(static_cast<std::int64_t>(result.worker_busy_ns[w]));
+  }
+  reg.counter("serve.slow_queries").add(result.slow_queries.total_slow());
+  reg.gauge("serve.window.count").set(static_cast<std::int64_t>(result.windows.size()));
+  for (const WindowStats& win : result.windows) {
+    const std::string idx = std::to_string(win.index);
+    reg.gauge("serve.window.queries." + idx).set(static_cast<std::int64_t>(win.queries));
+    reg.gauge("serve.window.qps." + idx).set(static_cast<std::int64_t>(win.qps));
+    reg.gauge("serve.window.p50_ns." + idx).set(static_cast<std::int64_t>(win.p50_ns));
+    reg.gauge("serve.window.p99_ns." + idx).set(static_cast<std::int64_t>(win.p99_ns));
+    reg.gauge("serve.window.offered." + idx).set(static_cast<std::int64_t>(win.offered));
+    reg.gauge("serve.window.rejected." + idx).set(static_cast<std::int64_t>(win.rejected));
+  }
+  metrics::ExemplarStore& store = reg.exemplar("serve.query_exemplars");
+  store.configure(config.seed, config.exemplars_per_bucket);
+  store.merge(result.exemplars);
+  reg.heavy_hitter("hub.scan_cost").merge(result.hub_scan_cost);
+  // Structured slow-query lines go out after the loop, never from it.
+  for (const metrics::Exemplar& e : result.slow_queries.entries()) {
+    HUBLAB_LOG_WARN("serve", "slow query", log::Field("seq", e.seq),
+                    log::Field("s", static_cast<std::uint64_t>(e.s)),
+                    log::Field("t", static_cast<std::uint64_t>(e.t)),
+                    log::Field("latency_ns", e.latency_ns),
+                    log::Field("scan_cost", e.scan_cost),
+                    log::Field("meeting_hub", static_cast<std::uint64_t>(e.meeting_hub)),
+                    log::Field("threshold_ns", result.slow_queries.threshold_ns()));
+  }
+  if (result.hw.valid) {
+    reg.counter("perf.cycles").add(result.hw.cycles);
+    reg.counter("perf.instructions").add(result.hw.instructions);
+    reg.counter("perf.l1d_misses").add(result.hw.l1d_misses);
+    reg.counter("perf.llc_misses").add(result.hw.llc_misses);
+    reg.counter("perf.branch_misses").add(result.hw.branch_misses);
+  }
+}
+
+}  // namespace
+
+std::string_view arrival_kind_name(ArrivalKind kind) noexcept {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBurst: return "burst";
+  }
+  return "poisson";
+}
+
+std::optional<ArrivalKind> parse_arrival_kind(std::string_view name) noexcept {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "burst") return ArrivalKind::kBurst;
+  return std::nullopt;
+}
+
+std::string_view admission_policy_name(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kShed: return "shed";
+    case AdmissionPolicy::kBlock: return "block";
+  }
+  return "shed";
+}
+
+std::optional<AdmissionPolicy> parse_admission_policy(std::string_view name) noexcept {
+  if (name == "shed") return AdmissionPolicy::kShed;
+  if (name == "block") return AdmissionPolicy::kBlock;
+  return std::nullopt;
+}
+
+std::string_view timing_mode_name(TimingMode mode) noexcept {
+  switch (mode) {
+    case TimingMode::kWall: return "wall";
+    case TimingMode::kVirtual: return "virtual";
+  }
+  return "wall";
+}
+
+std::optional<TimingMode> parse_timing_mode(std::string_view name) noexcept {
+  if (name == "wall") return TimingMode::kWall;
+  if (name == "virtual") return TimingMode::kVirtual;
+  return std::nullopt;
+}
+
+ServerResult run_server(const Graph& g, const ServerConfig& config, Tracer* tracer) {
+  if (g.num_vertices() == 0) throw InvalidArgument("serve: empty graph");
+  Tracer local_tracer;
+  Tracer& t = tracer != nullptr ? *tracer : local_tracer;
+  std::unique_ptr<DistanceOracle> oracle;
+  double build_s = 0.0;
+  {
+    auto span = t.span("build-oracle");
+    Timer build_timer;
+    SimConfig build_config;
+    build_config.oracle = config.oracle;
+    build_config.bp_roots = config.bp_roots;
+    build_config.threads = config.workers;
+    oracle = make_oracle(g, build_config);
+    build_s = build_timer.elapsed_s();
+  }
+  ServerResult result = run_server_on(g, *oracle, config, &t);
+  result.build_s = build_s;
+  return result;
+}
+
+ServerResult run_server_on(const Graph& g, const DistanceOracle& oracle,
+                           const ServerConfig& config, Tracer* tracer) {
+  if (g.num_vertices() == 0) throw InvalidArgument("serve: empty graph");
+  if (config.num_queries == 0) throw InvalidArgument("serve: --queries must be >= 1");
+  if (!(config.qps > 0.0)) throw InvalidArgument("serve: --qps must be > 0");
+  if (config.batch == 0) throw InvalidArgument("serve: --batch must be >= 1");
+  if (config.ring_capacity == 0) throw InvalidArgument("serve: --ring must be >= 1");
+  if (par::in_parallel_region()) {
+    throw InvalidArgument("serve: cannot run inside a parallel region");
+  }
+  Tracer local_tracer;
+  Tracer& t = tracer != nullptr ? *tracer : local_tracer;
+
+  ServerResult result;
+  result.start_unix_ms = unix_time_ms();
+  result.oracle_name = oracle.name();
+  result.workload_name = workload_kind_name(config.workload);
+  result.workers = std::clamp<std::size_t>(config.workers, 1, kMaxServeWorkers);
+  result.offered_qps = config.qps;
+  result.space_bytes = oracle.space_bytes();
+  if (const auto* hub = dynamic_cast<const HubLabelOracle*>(&oracle)) {
+    result.space_bytes_flat = FlatHubLabeling(hub->labeling()).memory_bytes();
+  } else if (const auto* flat = dynamic_cast<const FlatHubLabelOracle*>(&oracle)) {
+    result.space_bytes_flat = flat->labeling().memory_bytes();
+  }
+  const std::size_t workers = result.workers;
+  const std::size_t batch = config.batch;
+
+  // Pairs and arrivals are fully materialized before the loop: generation
+  // must never steal cycles from (or synchronize with) the serving path,
+  // and the schedule must be a pure function of the config.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  {
+    auto span = t.span("gen-workload");
+    WorkloadGenerator workload(g, config.workload, config.seed);
+    pairs = workload.block(config.num_queries);
+  }
+  std::vector<std::uint64_t> arrivals;
+  {
+    auto span = t.span("gen-arrivals");
+    arrivals = arrival_schedule(config);
+  }
+  result.offered = pairs.size();
+
+  // Telemetry trim bounds, by scheduled arrival offset.  Each bound is
+  // clamped to a quarter of the schedule span so short smoke runs always
+  // keep recorded samples; trimmed queries are still answered and
+  // checksummed.
+  const std::uint64_t span_ns = arrivals.back();
+  const std::uint64_t warm_end_ns = std::min(config.warmup_ms * 1'000'000, span_ns / 4);
+  const std::uint64_t cool_begin_ns =
+      config.cooldown_ms > 0
+          ? span_ns - std::min(config.cooldown_ms * 1'000'000, span_ns / 4)
+          : ~std::uint64_t{0};
+
+  std::vector<std::unique_ptr<SpscRing<QueryItem>>> rings;
+  rings.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    rings.push_back(std::make_unique<SpscRing<QueryItem>>(config.ring_capacity));
+  }
+  const std::size_t ring_capacity = rings.front()->capacity();
+
+  // kVirtual: decide latencies/depths/shedding up front, deterministically,
+  // against the same rounded ring bound the real rings enforce.
+  VirtualPlan plan;
+  const bool virtual_timing = config.timing == TimingMode::kVirtual;
+  if (virtual_timing) {
+    plan = virtual_presim(arrivals, workers, ring_capacity, config);
+  }
+
+  GeneratorStats gen;
+  std::vector<WorkerStats> stats(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Per-worker seeds derive from the run seed and the fixed worker id,
+    // so retained exemplars depend only on (seed, latencies) — the same
+    // discipline as serve-sim's per-chunk reservoirs.
+    stats[w].exemplars = metrics::ExemplarReservoir(
+        config.seed ^ (0x9e3779b97f4a7c15ULL * (w + 1)), config.exemplars_per_bucket);
+    stats[w].slow = metrics::SlowQueryLog(config.slow_query_ns, config.slow_query_capacity);
+  }
+  const std::uint64_t window_ns = std::max<std::uint64_t>(1, config.window_ns);
+
+  // done: producer finished (or died) — release-published after its last
+  // push.  failed: some executor threw; the others unwind instead of
+  // spinning on a peer that will never make progress.
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  {
+    auto span = t.span("serve-open-loop");
+    Timer loop_timer;
+    const std::uint64_t t0 = monotonic_ns();
+
+    auto produce = [&] {
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const std::size_t w = i % workers;
+        const std::uint64_t due = arrivals[i];
+        if (!virtual_timing) {
+          // Open-loop pacing: dispatch at the scheduled offset regardless
+          // of how the workers are doing.
+          while (monotonic_ns() - t0 < due) {
+            if (failed.load(std::memory_order_acquire)) return;
+            par::yield();
+          }
+        }
+        const bool trimmed = due < warm_end_ns || due >= cool_begin_ns;
+        QueryItem item;
+        item.s = pairs[i].first;
+        item.t = pairs[i].second;
+        item.seq = i;
+        item.arrival_ns = due;
+        bool admitted = true;
+        std::uint64_t depth = 0;
+        if (virtual_timing) {
+          depth = plan.depth[i];
+          admitted = plan.shed[i] == 0;
+          item.virtual_latency_ns = plan.latency_ns[i];
+          if (admitted) {
+            // The simulated bound already admitted it; the real ring only
+            // needs to take it eventually.
+            while (!rings[w]->try_push(item)) {
+              if (failed.load(std::memory_order_acquire)) return;
+              par::yield();
+            }
+          }
+        } else {
+          depth = rings[w]->size_approx();
+          if (config.admission == AdmissionPolicy::kShed) {
+            admitted = rings[w]->try_push(item);
+          } else {
+            while (!rings[w]->try_push(item)) {
+              if (failed.load(std::memory_order_acquire)) return;
+              par::yield();
+            }
+          }
+        }
+        if (!admitted) ++gen.rejected;
+        if (!trimmed) {
+          gen.queue_depth.record(depth);
+          WindowAccum& win = gen.windows[due / window_ns];
+          ++win.offered;
+          if (!admitted) ++win.rejected;
+        }
+      }
+    };
+
+    auto drain = [&](std::size_t w) {
+      WorkerStats& s = stats[w];
+      SpscRing<QueryItem>& ring = *rings[w];
+      std::vector<QueryItem> items(batch);
+      std::vector<std::pair<Vertex, Vertex>> block_pairs(batch);
+      std::vector<HubQueryResult> answers(batch);
+      auto record = [&](const QueryItem& item, Dist d, Vertex meeting_hub,
+                        std::uint64_t scan_cost, std::uint64_t completion_offset_ns) {
+        ++s.completed;
+        if (d != kInfDist) {
+          ++s.reachable;
+          s.checksum += d;
+        }
+        if (item.arrival_ns < warm_end_ns) {
+          ++s.trimmed_warmup;
+          return;
+        }
+        if (item.arrival_ns >= cool_begin_ns) {
+          ++s.trimmed_cooldown;
+          return;
+        }
+        const std::uint64_t latency_ns = virtual_timing
+                                             ? item.virtual_latency_ns
+                                             : completion_offset_ns - item.arrival_ns;
+        s.latency_ns.record(latency_ns);
+        const metrics::Exemplar witness{item.seq, item.s, item.t, latency_ns, scan_cost,
+                                        meeting_hub};
+        s.exemplars.offer(witness);
+        s.slow.offer(witness);
+        if (scan_cost > 0 && meeting_hub != metrics::kNoMeetingHub) {
+          s.hub_scan_cost.add(meeting_hub, scan_cost);
+        }
+        WindowAccum& win = s.windows[item.arrival_ns / window_ns];
+        ++win.queries;
+        if (d != kInfDist) ++win.reachable;
+        win.latency_ns.record(latency_ns);
+      };
+      for (;;) {
+        std::size_t got = ring.pop_bulk(items.data(), batch);
+        if (got == 0) {
+          if (failed.load(std::memory_order_acquire)) return;
+          if (done.load(std::memory_order_acquire)) {
+            // done was published after the producer's last push; one more
+            // drain pass observes anything that raced the flag.
+            got = ring.pop_bulk(items.data(), batch);
+            if (got == 0) break;
+          } else {
+            par::yield();
+            continue;
+          }
+        }
+        const std::uint64_t block_begin_ns = monotonic_ns();
+        if (batch >= 2) {
+          for (std::size_t j = 0; j < got; ++j) {
+            block_pairs[j] = {items[j].s, items[j].t};
+          }
+          {
+            perf::ScopedHw hw_scope(s.hw);
+            oracle.distance_batch(
+                std::span<const std::pair<Vertex, Vertex>>(block_pairs.data(), got),
+                std::span<HubQueryResult>(answers.data(), got));
+          }
+          const std::uint64_t completion = monotonic_ns();
+          for (std::size_t j = 0; j < got; ++j) {
+            record(items[j], answers[j].dist, answers[j].meeting_hub, 0, completion - t0);
+          }
+          s.busy_ns += completion - block_begin_ns;
+        } else {
+          for (std::size_t j = 0; j < got; ++j) {
+            metrics::QueryStats probe;
+            Dist d = kInfDist;
+            {
+              perf::ScopedHw hw_scope(s.hw);
+              d = oracle.distance_with_stats(items[j].s, items[j].t, probe);
+            }
+            record(items[j], d, probe.meeting_hub(), probe.scan_cost(), monotonic_ns() - t0);
+          }
+          s.busy_ns += monotonic_ns() - block_begin_ns;
+        }
+      }
+    };
+
+    // The generator and the shard workers are hosted as workers+1
+    // single-index chunks on the deterministic pool: every executor claims
+    // exactly one long-running role, and run_chunks's ticket loop plus
+    // exception parking give us joining and deterministic rethrow for
+    // free.  Role 0 is the generator; role r >= 1 is shard worker r-1.
+    const auto roles = par::static_chunks(0, workers + 1, workers + 1);
+    par::run_chunks(roles, workers + 1, [&](const par::ChunkRange& role) {
+      try {
+        if (role.index == 0) {
+          produce();
+          done.store(true, std::memory_order_release);
+        } else {
+          drain(role.index - 1);
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_release);
+        done.store(true, std::memory_order_release);
+        throw;
+      }
+    });
+    result.serve_loop_s = loop_timer.elapsed_s();
+  }
+
+  // Merge in fixed worker order (generator first), the same discipline as
+  // serve-sim's chunk-order merge: the merged sketch structure and every
+  // count are independent of runtime interleaving.
+  result.rejected = gen.rejected;
+  result.queue_depth = gen.queue_depth;
+  result.exemplars = metrics::ExemplarReservoir(config.seed, config.exemplars_per_bucket);
+  result.slow_queries = metrics::SlowQueryLog(config.slow_query_ns, config.slow_query_capacity);
+  result.worker_busy_ns.assign(workers, 0);
+  std::map<std::uint64_t, WindowAccum> merged_windows;
+  for (const auto& [index, win] : gen.windows) {
+    WindowAccum& acc = merged_windows[index];
+    acc.offered += win.offered;
+    acc.rejected += win.rejected;
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    const WorkerStats& s = stats[w];
+    result.latency_ns.merge(s.latency_ns);
+    result.completed += s.completed;
+    result.reachable += s.reachable;
+    result.checksum += s.checksum;
+    result.trimmed_warmup += s.trimmed_warmup;
+    result.trimmed_cooldown += s.trimmed_cooldown;
+    result.hw += s.hw;
+    result.exemplars.merge(s.exemplars);
+    result.slow_queries.merge(s.slow);
+    result.hub_scan_cost.merge(s.hub_scan_cost);
+    result.worker_busy_ns[w] = s.busy_ns;
+    for (const auto& [index, win] : s.windows) {
+      WindowAccum& acc = merged_windows[index];
+      acc.queries += win.queries;
+      acc.reachable += win.reachable;
+      acc.latency_ns.merge(win.latency_ns);
+    }
+  }
+  result.windows.reserve(merged_windows.size());
+  for (const auto& [index, win] : merged_windows) {
+    result.windows.push_back({index, win.queries, win.reachable,
+                              static_cast<double>(win.queries) /
+                                  (static_cast<double>(window_ns) / 1e9),
+                              win.latency_ns.quantile(0.5), win.latency_ns.quantile(0.99),
+                              win.offered, win.rejected});
+  }
+  // Under kVirtual the rate is measured on the simulated clock (the wall
+  // loop time includes no pacing), so it is run-to-run identical too.
+  if (virtual_timing) {
+    result.achieved_qps = plan.makespan_ns > 0
+                              ? static_cast<double>(result.completed) /
+                                    (static_cast<double>(plan.makespan_ns) / 1e9)
+                              : 0.0;
+  } else {
+    result.achieved_qps = result.serve_loop_s > 0.0
+                              ? static_cast<double>(result.completed) / result.serve_loop_s
+                              : 0.0;
+  }
+  std::uint64_t total_busy_ns = 0;
+  for (const std::uint64_t busy : result.worker_busy_ns) total_busy_ns += busy;
+  const double capacity_ns = result.serve_loop_s * 1e9 * static_cast<double>(workers);
+  result.worker_utilization_pct =
+      capacity_ns > 0.0 ? 100.0 * static_cast<double>(total_busy_ns) / capacity_ns : 0.0;
+
+  if (config.register_metrics) emit_registry_metrics(result, config);
+  HUBLAB_LOG_INFO("serve", "open loop done", log::Field("oracle", result.oracle_name),
+                  log::Field("workload", result.workload_name),
+                  log::Field("offered", result.offered),
+                  log::Field("completed", result.completed),
+                  log::Field("rejected", result.rejected),
+                  log::Field("p99_ns", result.latency_ns.quantile(0.99)));
+  return result;
+}
+
+void write_server_report_json(std::ostream& os, const ServerResult& result,
+                              const ServerConfig& config, const std::vector<SweepPoint>& sweep,
+                              const Graph& g, std::string_view graph_family,
+                              std::string_view git_rev, bool smoke, const Tracer& tracer) {
+  ReportHeader header;
+  header.name = "serve-open-" + std::string(oracle_kind_name(config.oracle));
+  header.git_rev = std::string(git_rev);
+  header.smoke = smoke;
+  header.ok = true;
+  header.repetitions = 1;
+  header.start_unix_ms = result.start_unix_ms;
+  header.threads = result.workers;
+  header.bp_roots = static_cast<std::int64_t>(config.bp_roots);
+  header.graphs.push_back({std::string(graph_family), g.num_vertices(), g.num_edges()});
+  const auto quantiles = [](JsonWriter& w, const QuantileSketch& sk) {
+    w.kv("count", sk.count());
+    w.kv("min", sk.min());
+    w.kv("max", sk.max());
+    w.kv("p50", sk.quantile(0.5));
+    w.kv("p90", sk.quantile(0.9));
+    w.kv("p99", sk.quantile(0.99));
+    w.kv("p999", sk.quantile(0.999));
+    w.kv("rank_error", sk.rank_error_bound());
+  };
+  write_run_report_json(os, header, tracer, metrics::registry(), [&](JsonWriter& w) {
+    w.kv("oracle", oracle_kind_name(config.oracle));
+    w.kv("oracle_impl", result.oracle_name);
+    w.kv("workload", result.workload_name);
+    w.kv("seed", config.seed);
+    w.kv("arrival", arrival_kind_name(config.arrival));
+    w.kv("admission", admission_policy_name(config.admission));
+    w.kv("timing", timing_mode_name(config.timing));
+    w.kv("qps", result.offered_qps);
+    w.kv("achieved_qps", result.achieved_qps);
+    w.kv("burst", config.burst);
+    w.kv("ring_capacity", static_cast<std::uint64_t>(config.ring_capacity));
+    w.kv("batch", static_cast<std::uint64_t>(config.batch));
+    w.kv("virtual_service_ns", config.virtual_service_ns);
+    w.kv("warmup_ms", config.warmup_ms);
+    w.kv("cooldown_ms", config.cooldown_ms);
+    w.kv("offered", result.offered);
+    w.kv("queries", result.completed);
+    w.kv("rejected", result.rejected);
+    w.kv("reachable", result.reachable);
+    w.kv("checksum", result.checksum);
+    w.kv("trimmed_warmup", result.trimmed_warmup);
+    w.kv("trimmed_cooldown", result.trimmed_cooldown);
+    w.kv("space_bytes", static_cast<std::uint64_t>(result.space_bytes));
+    w.kv("space_bytes_flat", static_cast<std::uint64_t>(result.space_bytes_flat));
+    w.kv("build_s", result.build_s);
+    w.kv("serve_loop_s", result.serve_loop_s);
+    w.kv("worker_utilization_pct", result.worker_utilization_pct);
+    w.key("workers").begin_array();
+    for (std::size_t i = 0; i < result.worker_busy_ns.size(); ++i) {
+      w.begin_object();
+      w.kv("worker", static_cast<std::uint64_t>(i));
+      w.kv("busy_ns", result.worker_busy_ns[i]);
+      const double loop_ns = result.serve_loop_s * 1e9;
+      w.kv("utilization_pct",
+           loop_ns > 0.0 ? 100.0 * static_cast<double>(result.worker_busy_ns[i]) / loop_ns : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    if (result.hw.valid) {
+      w.key("hw_query_loop").begin_object();
+      w.kv("cycles", result.hw.cycles);
+      w.kv("instructions", result.hw.instructions);
+      w.kv("ipc", result.hw.ipc());
+      w.kv("l1d_misses", result.hw.l1d_misses);
+      w.kv("llc_misses", result.hw.llc_misses);
+      w.kv("branch_misses", result.hw.branch_misses);
+      w.kv("llc_miss_rate", result.hw.llc_miss_rate());
+      w.kv("branch_miss_rate", result.hw.branch_miss_rate());
+      w.end_object();
+    }
+    w.key("latency_ns").begin_object();
+    quantiles(w, result.latency_ns);
+    w.end_object();
+    w.key("queue_depth").begin_object();
+    quantiles(w, result.queue_depth);
+    w.end_object();
+    w.kv("window_ns", config.window_ns);
+    w.kv("slow_query_ns", config.slow_query_ns);
+    w.key("windows").begin_array();
+    for (const WindowStats& win : result.windows) {
+      w.begin_object();
+      w.kv("index", win.index);
+      w.kv("queries", win.queries);
+      w.kv("reachable", win.reachable);
+      w.kv("qps", win.qps);
+      w.kv("p50_ns", win.p50_ns);
+      w.kv("p99_ns", win.p99_ns);
+      w.kv("offered", win.offered);
+      w.kv("rejected", win.rejected);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("slow_queries").begin_array();
+    for (const metrics::Exemplar& e : result.slow_queries.entries()) {
+      w.begin_object();
+      w.kv("seq", e.seq);
+      w.kv("s", static_cast<std::uint64_t>(e.s));
+      w.kv("t", static_cast<std::uint64_t>(e.t));
+      w.kv("latency_ns", e.latency_ns);
+      w.kv("scan_cost", e.scan_cost);
+      w.kv("meeting_hub", static_cast<std::uint64_t>(e.meeting_hub));
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("slow_queries_total", result.slow_queries.total_slow());
+    w.key("sweep").begin_array();
+    for (const SweepPoint& point : sweep) {
+      w.begin_object();
+      w.kv("qps", point.offered_qps);
+      w.kv("achieved_qps", point.achieved_qps);
+      w.kv("queries", point.completed);
+      w.kv("rejected", point.rejected);
+      w.kv("p50_ns", point.p50_ns);
+      w.kv("p99_ns", point.p99_ns);
+      w.end_object();
+    }
+    w.end_array();
+  });
+}
+
+}  // namespace hublab::serve

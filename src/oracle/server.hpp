@@ -1,0 +1,203 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hub/pll.hpp"
+#include "oracle/serve.hpp"
+#include "util/exemplar.hpp"
+#include "util/heavyhitter.hpp"
+#include "util/perfcount.hpp"
+#include "util/qsketch.hpp"
+#include "util/trace.hpp"
+
+/// \file server.hpp
+/// Concurrent open-loop query server: the millions-of-users scenario the
+/// ROADMAP names first.  Where serve-sim (oracle/serve.hpp) is a
+/// *closed-loop* driver — the next query starts when the previous one
+/// finishes, so the measured rate is whatever the oracle sustains and
+/// queueing never appears — this engine is *open-loop*: queries arrive on
+/// their own schedule (`--qps`, Poisson or burst) whether or not the
+/// workers keep up, which is how production traffic behaves and the only
+/// way to observe a throughput-vs-latency curve and an overload cliff
+/// (docs/performance.md, "Open-loop vs closed-loop serving").
+///
+/// Architecture: one load-generator thread stamps each pre-generated
+/// query pair with its scheduled arrival, applies admission control, and
+/// round-robins admitted items over per-worker bounded SPSC rings
+/// (util/spsc.hpp).  Each shard worker drains its ring in blocks of up to
+/// `batch` items and answers them through DistanceOracle::distance_batch —
+/// for the flat oracle that is the SIMD batched kernel
+/// (FlatHubLabeling::query_batch), now serving its intended role as the
+/// hot path.  Latency is **arrival-to-completion**: queue wait included,
+/// so overload shows up in the sketch instead of being coordinated away
+/// (the "coordinated omission" failure mode of closed-loop drivers).
+///
+/// Admission control: when a ring is full, `kShed` drops the query and
+/// counts it in `serve.rejected` (overload degrades into an error rate
+/// with bounded latency) while `kBlock` stalls the generator (latency
+/// grows without bound, but every query is answered — and the answered
+/// set, hence checksum/reachable, is schedule-independent).
+///
+/// Determinism contract (docs/performance.md): pairs, arrival schedule,
+/// worker assignment (`seq % workers`) and per-worker telemetry merge
+/// order are all fixed by (seed, workers), so with `kBlock` admission the
+/// checksum, answer counts, and exemplar/window *population* are
+/// byte-identical across runs and worker counts; wall-clock latency
+/// values still vary.  `TimingMode::kVirtual` goes further: latencies,
+/// queue depths, and shed decisions come from a discrete-event M/D/c
+/// simulation of the configured topology (constant `virtual_service_ns`
+/// per query, computed on the generator before dispatch), while answers
+/// still flow through the real rings and kernels — two virtual runs are
+/// byte-identical end to end, which is what the determinism suites and
+/// the overload gates in bench_serve_scaling pin down.
+///
+/// Registry metrics (docs/observability.md "The serve path"):
+/// `serve.offered` / `serve.rejected` / `serve.trimmed_warmup` /
+/// `serve.trimmed_cooldown` counters, the `serve.queue_depth` sketch,
+/// `serve.offered_qps` / `serve.achieved_qps` gauges, and per-window
+/// `serve.window.offered.<i>` / `serve.window.rejected.<i>` gauges on top
+/// of everything the closed-loop simulator already emits.
+
+namespace hublab {
+class DistanceOracle;  // oracle/oracle.hpp
+}  // namespace hublab
+
+namespace hublab::serve {
+
+/// Open-loop arrival process shapes.
+enum class ArrivalKind {
+  kPoisson,  ///< exponential gaps: memoryless traffic at the offered rate
+  kBurst,    ///< back-to-back groups of `burst` arrivals, groups at the rate
+};
+
+/// What happens when a shard worker's ring is full at dispatch time.
+enum class AdmissionPolicy {
+  kShed,   ///< reject the query (serve.rejected); bounded queueing delay
+  kBlock,  ///< stall the generator until space frees; nothing is dropped
+};
+
+/// Where latency/queue-depth numbers come from.
+enum class TimingMode {
+  kWall,     ///< real clocks: measured arrival-to-completion latency
+  kVirtual,  ///< deterministic M/D/c event simulation (run-to-run identical)
+};
+
+[[nodiscard]] std::string_view arrival_kind_name(ArrivalKind kind) noexcept;
+[[nodiscard]] std::optional<ArrivalKind> parse_arrival_kind(std::string_view name) noexcept;
+[[nodiscard]] std::string_view admission_policy_name(AdmissionPolicy policy) noexcept;
+[[nodiscard]] std::optional<AdmissionPolicy> parse_admission_policy(
+    std::string_view name) noexcept;
+[[nodiscard]] std::string_view timing_mode_name(TimingMode mode) noexcept;
+[[nodiscard]] std::optional<TimingMode> parse_timing_mode(std::string_view name) noexcept;
+
+/// Upper bound on shard workers (each one is a dedicated executor for the
+/// whole serve loop, so this is deliberately far below par::kMaxThreads).
+inline constexpr std::size_t kMaxServeWorkers = 64;
+
+struct ServerConfig {
+  OracleKind oracle = OracleKind::kPllFlat;
+  WorkloadKind workload = WorkloadKind::kUniform;
+  std::uint64_t num_queries = 20000;
+  std::uint64_t seed = 1;
+  std::size_t workers = 4;  ///< shard workers, clamped to [1, kMaxServeWorkers]
+  /// Bit-parallel root count for the PLL construction (build-speed knob
+  /// only; answers are identical for any value).
+  std::size_t bp_roots = kPllDefaultBpRoots;
+  double qps = 50000.0;  ///< offered load (arrivals per second); > 0
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  std::uint64_t burst = 32;  ///< arrivals per burst group (kBurst only)
+  AdmissionPolicy admission = AdmissionPolicy::kShed;
+  std::size_t ring_capacity = 1024;  ///< per-worker ring bound (rounded to pow2)
+  std::size_t batch = 32;  ///< max items per drain block; 1 = per-query loop
+  TimingMode timing = TimingMode::kWall;
+  std::uint64_t virtual_service_ns = 1000;  ///< per-query cost under kVirtual
+  /// Telemetry trimming: queries whose *arrival* falls in the first
+  /// `warmup_ms` (or the last `cooldown_ms`) of the schedule are answered
+  /// and checksummed but excluded from sketches/windows/exemplars, so
+  /// ramp-up allocation noise and the drain tail do not distort the
+  /// distributions.  Trimmed counts land in the report.
+  std::uint64_t warmup_ms = 50;
+  std::uint64_t cooldown_ms = 0;
+  std::uint64_t slow_query_ns = 0;  ///< slow-query log threshold; 0 disables
+  std::uint64_t window_ns = 1'000'000'000;  ///< per-interval series resolution
+  std::size_t exemplars_per_bucket = 2;
+  std::size_t slow_query_capacity = 32;
+  /// Emit into the global metrics registry (the CLI path).  The scaling
+  /// bench turns this off so committed baselines only carry deterministic
+  /// members.
+  bool register_metrics = true;
+};
+
+struct ServerResult {
+  std::string oracle_name;
+  std::string workload_name;
+  std::uint64_t start_unix_ms = 0;
+  std::size_t workers = 1;    ///< resolved shard-worker count
+  double offered_qps = 0.0;   ///< ServerConfig::qps
+  double achieved_qps = 0.0;  ///< completed / serve_loop_s
+  std::uint64_t offered = 0;    ///< every scheduled arrival
+  std::uint64_t completed = 0;  ///< admitted and answered
+  std::uint64_t rejected = 0;   ///< shed at admission (kShed only)
+  std::uint64_t reachable = 0;  ///< completed queries with a finite distance
+  std::uint64_t checksum = 0;   ///< sum of finite distances over completed
+  std::uint64_t trimmed_warmup = 0;   ///< completed but outside telemetry (head)
+  std::uint64_t trimmed_cooldown = 0; ///< completed but outside telemetry (tail)
+  std::size_t space_bytes = 0;
+  std::size_t space_bytes_flat = 0;  ///< flat SoA footprint (hub oracles)
+  double build_s = 0.0;       ///< oracle preprocessing (0 for run_server_on)
+  double serve_loop_s = 0.0;  ///< open-loop serve phase wall time
+  /// Arrival-to-completion latency of untrimmed completed queries; under
+  /// kVirtual these are simulated, deterministic values.
+  QuantileSketch latency_ns;
+  /// Destination-ring depth sampled at each untrimmed admission decision.
+  QuantileSketch queue_depth;
+  std::vector<std::uint64_t> worker_busy_ns;  ///< indexed by shard worker id
+  double worker_utilization_pct = 0.0;
+  perf::HwCounters hw;  ///< summed over all shard workers; valid when live
+  /// Per-interval series keyed by arrival offset / window_ns, ascending;
+  /// offered/rejected come from the generator, the rest from the workers.
+  std::vector<WindowStats> windows;
+  metrics::ExemplarReservoir exemplars;
+  metrics::SlowQueryLog slow_queries;
+  metrics::SpaceSavingSketch hub_scan_cost;
+};
+
+/// One point of a `--qps-sweep` offered-load ladder (the CLI embeds these
+/// in the report's `sweep` array).
+struct SweepPoint {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// Build the configured oracle, then serve the open-loop workload against
+/// it (run_server_on).  Throws InvalidArgument on an empty graph or a
+/// non-positive qps.
+ServerResult run_server(const Graph& g, const ServerConfig& config, Tracer* tracer = nullptr);
+
+/// Serve against an already-built oracle (the sweep path: build once,
+/// serve each offered-load point).  Spans land in `tracer` when provided;
+/// registry emission obeys `config.register_metrics`.  Must not be called
+/// from inside a parallel region — the serve loop owns the pool.
+ServerResult run_server_on(const Graph& g, const DistanceOracle& oracle,
+                           const ServerConfig& config, Tracer* tracer = nullptr);
+
+/// Write the schema-versioned open-loop SERVE report: the shared document
+/// (util/report.hpp) plus server members (admission/arrival/timing shape,
+/// offered/completed/rejected, trimmed counts, queue-depth quantiles,
+/// windows with offered+rejected, and the `sweep` ladder).
+void write_server_report_json(std::ostream& os, const ServerResult& result,
+                              const ServerConfig& config, const std::vector<SweepPoint>& sweep,
+                              const Graph& g, std::string_view graph_family,
+                              std::string_view git_rev, bool smoke, const Tracer& tracer);
+
+}  // namespace hublab::serve

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <ostream>
+#include <string_view>
 
 #include "util/bench_schema.hpp"
 #include "util/table.hpp"
@@ -67,6 +68,12 @@ Series distribution_series(const JsonValue& doc, const char* member, const char*
   return out;
 }
 
+/// Which direction of change is a regression for a section.
+enum class Direction {
+  kIncreaseBad,  ///< times, sizes, counts: growing past threshold gates
+  kDecreaseBad,  ///< throughputs: shrinking past threshold gates
+};
+
 class Comparer {
  public:
   explicit Comparer(CompareReport& report) : report_(report) {}
@@ -75,7 +82,7 @@ class Comparer {
   /// the whole section; `min_base` sets the floor below which a base value
   /// never gates.
   void section(const Series& base, const Series& next, double threshold_pct,
-               double min_base = 0.0) {
+               double min_base = 0.0, Direction direction = Direction::kIncreaseBad) {
     for (const auto& [name, base_value] : base) {
       const auto it = next.find(name);
       if (it == next.end()) {
@@ -89,7 +96,13 @@ class Comparer {
       if (base_value != 0.0) row.delta_pct = 100.0 * (next_value - base_value) / base_value;
       row.gated = threshold_pct >= 0.0 && base_value >= min_base;
       if (row.gated && base_value >= 0.0) {
-        row.regressed = next_value > base_value * (1.0 + threshold_pct / 100.0);
+        if (direction == Direction::kIncreaseBad) {
+          row.regressed = next_value > base_value * (1.0 + threshold_pct / 100.0);
+        } else {
+          // Symmetric bound: a throughput regresses when it drops by the
+          // same factor an increase-bad metric is allowed to grow by.
+          row.regressed = next_value < base_value / (1.0 + threshold_pct / 100.0);
+        }
       }
       report_.rows.push_back(row);
     }
@@ -103,6 +116,52 @@ class Comparer {
  private:
   CompareReport& report_;
 };
+
+/// True when some dotted segment of `name` carries the unit `suffix` as a
+/// whole word: the segment equals it or ends with `_<suffix>`.  Names are
+/// scanned right to left so per-instance suffixes ("serve.window.qps.3",
+/// "pract.serve_peak_qps.batch4w") still classify; the underscore boundary
+/// keeps e.g. "instructions" from reading as an `ns` unit.
+bool any_segment_has_unit(const std::string& name, std::string_view suffix) {
+  std::size_t end = name.size();
+  while (end > 0) {
+    const std::size_t dot = name.rfind('.', end - 1);
+    const std::size_t begin = dot == std::string::npos ? 0 : dot + 1;
+    const std::string_view segment(name.data() + begin, end - begin);
+    if (segment == suffix ||
+        (segment.size() > suffix.size() && segment.ends_with(suffix) &&
+         segment[segment.size() - suffix.size() - 1] == '_')) {
+      return true;
+    }
+    if (dot == std::string::npos) break;
+    end = dot;
+  }
+  return false;
+}
+
+/// Split a gauge series into direction classes: segments ending `qps` are
+/// throughputs (higher is better), segments ending `ns` are wall-clock
+/// latencies (noisy, increase-bad at the wall threshold), the rest are
+/// structural.
+struct GaugeClasses {
+  Series qps;
+  Series ns;
+  Series structural;
+};
+
+GaugeClasses classify_gauges(const Series& gauges) {
+  GaugeClasses out;
+  for (const auto& [name, value] : gauges) {
+    if (any_segment_has_unit(name, "qps")) {
+      out.qps[name] = value;
+    } else if (any_segment_has_unit(name, "ns")) {
+      out.ns[name] = value;
+    } else {
+      out.structural[name] = value;
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -124,8 +183,15 @@ CompareReport compare_bench_json(const JsonValue& base, const JsonValue& next,
   comparer.section(metric_object_series(base, "counters", "counter"),
                    metric_object_series(next, "counters", "counter"),
                    options.structural_threshold_pct);
-  comparer.section(metric_object_series(base, "gauges", "gauge"),
-                   metric_object_series(next, "gauges", "gauge"),
+  // Gauges gate by direction class (see classify_gauges): throughput
+  // gauges catch decreases, latency gauges catch increases — both at the
+  // wall threshold — and everything else stays structural.
+  const GaugeClasses base_gauges = classify_gauges(metric_object_series(base, "gauges", "gauge"));
+  const GaugeClasses next_gauges = classify_gauges(metric_object_series(next, "gauges", "gauge"));
+  comparer.section(base_gauges.qps, next_gauges.qps, options.threshold_pct, 0.0,
+                   Direction::kDecreaseBad);
+  comparer.section(base_gauges.ns, next_gauges.ns, options.threshold_pct);
+  comparer.section(base_gauges.structural, next_gauges.structural,
                    options.structural_threshold_pct);
   comparer.section(
       distribution_series(base, "histograms", "histogram", {"p50", "p90", "p99", "sum"}),

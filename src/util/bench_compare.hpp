@@ -28,10 +28,17 @@
 ///  - **histogram quantiles + sum** (label-size distributions) — also
 ///    structural.
 ///
-/// Only *increases* gate: getting faster or smaller is never a
-/// regression.  Metrics present on one side only are reported as
-/// informational rows (renames should not hard-fail old baselines); the
-/// schema itself is enforced by `validate_bench_json`, which runs first.
+/// Gauges are *direction-aware*, classed by the last dotted segment of
+/// their name: a segment ending in `qps` is a throughput (higher is
+/// better — only *decreases* past `threshold_pct` gate, so a committed
+/// `pract.serve_peak_qps.*` baseline catches capacity loss); a segment
+/// ending in `ns` is a wall-clock latency (increases gate, at the looser
+/// `threshold_pct` since nanosecond gauges are as noisy as phase times);
+/// everything else is structural.  For every other section only
+/// *increases* gate: getting faster or smaller is never a regression.
+/// Metrics present on one side only are reported as informational rows
+/// (renames should not hard-fail old baselines); the schema itself is
+/// enforced by `validate_bench_json`, which runs first.
 
 namespace hublab {
 

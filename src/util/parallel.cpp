@@ -177,6 +177,8 @@ std::size_t hardware_threads() {
 
 bool in_parallel_region() { return t_in_parallel_region; }
 
+void yield() { std::this_thread::yield(); }
+
 std::size_t worker_index() { return t_worker_index; }
 
 void run_chunks(const std::vector<ChunkRange>& chunks, std::size_t threads,

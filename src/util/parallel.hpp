@@ -72,6 +72,13 @@ inline constexpr std::size_t kMaxThreads = 256;
 /// nested parallel loops inline.
 [[nodiscard]] bool in_parallel_region();
 
+/// Give up the calling thread's timeslice (std::this_thread::yield).  This
+/// lives here because parallel.cpp is the one sanctioned owner of raw
+/// threading primitives in src/; the query server's wait loops (ring full,
+/// ring empty, open-loop pacing) spin through it instead of calling the
+/// standard library directly.
+void yield();
+
 /// Stable executor index of the calling thread: 0 for every non-pool
 /// thread (including the caller participating in a parallel loop),
 /// 1..kMaxThreads-1 for pool workers, assigned once at spawn and fixed for

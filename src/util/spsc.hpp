@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+/// \file spsc.hpp
+/// Bounded single-producer/single-consumer ring queue — the handoff
+/// between the open-loop load generator and one shard worker of the
+/// concurrent query server (oracle/server.hpp).
+///
+/// Design (the classic Lamport ring with the two standard refinements):
+///
+///  - **Monotonic indices.**  `head_` (consumer) and `tail_` (producer)
+///    count elements ever popped/pushed and are reduced modulo the
+///    power-of-two capacity only when indexing `slots_`.  Full/empty are
+///    then just `tail - head == capacity` / `tail == head` — no wasted
+///    slot, no wraparound ambiguity.
+///  - **Acquire/release pairing.**  The producer publishes a slot write
+///    with a release store of `tail_`; the consumer observes it with an
+///    acquire load (and symmetrically for `head_` when freeing a slot).
+///    All atomic accesses spell their memory_order explicitly
+///    (hublab_lint's atomic-order rule).
+///  - **Cached counterpart indices.**  Each side keeps a plain-field
+///    cache of the other side's index and refreshes it only when the
+///    cached value says full/empty, so the steady-state push/pop touches
+///    a single shared cache line instead of two.  The caches are
+///    single-thread-private by the SPSC contract and need no atomics.
+///  - **Cache-line padding.**  `head_` and `tail_` sit on their own
+///    64-byte lines (alignas) so producer and consumer do not false-share.
+///
+/// The queue rejects instead of blocking: `try_push` / `try_pop` return
+/// false on full/empty, and the serving layer turns a failed push into
+/// shed-or-block admission control (`serve.rejected`).  Capacity is
+/// rounded up to a power of two; `capacity()` reports the rounded value
+/// the admission bound actually enforces.
+///
+/// Exactly one thread may push and one may pop at a time; `size_approx`
+/// is safe from anywhere but only approximate while both sides move.
+
+namespace hublab {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `min_capacity` >= 1 is rounded up to the next power of two.
+  explicit SpscRing(std::size_t min_capacity) {
+    HUBLAB_ASSERT(min_capacity > 0);
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  False when the ring is full (the admission-control
+  /// signal); the element is untouched in that case.
+  [[nodiscard]] bool try_push(const T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity()) return false;
+    }
+    slots_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) { return pop_bulk(&out, 1) == 1; }
+
+  /// Consumer side: pop up to `max_items` elements into `out` in FIFO
+  /// order and return how many were popped (0 when empty).  This is how
+  /// a shard worker drains its ring in blocks for the batched kernel.
+  [[nodiscard]] std::size_t pop_bulk(T* out, std::size_t max_items) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    const std::size_t available = cached_tail_ - head;
+    const std::size_t count = available < max_items ? available : max_items;
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Elements currently queued; exact only when producer and consumer are
+  /// quiescent (observability: the `serve.queue_depth` sketch).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  /// The enforced bound (requested capacity rounded up to a power of two).
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer-owned: its tail index plus a cache of the consumer's head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  /// Consumer-owned: its head index plus a cache of the producer's tail.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+};
+
+}  // namespace hublab

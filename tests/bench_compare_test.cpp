@@ -116,6 +116,69 @@ TEST(BenchCompare, StructuralCountersUseTighterThreshold) {
   }
 }
 
+/// A fixture whose gauges span the three direction classes: a throughput
+/// (`_qps` segment), a latency (`_ns` segment) and a structural size.
+JsonValue gauge_fixture(double peak_qps, double p99_ns, double bytes) {
+  JsonValue doc = fixture();
+  std::ostringstream os;
+  os << R"({"pract.serve_peak_qps.flat": )" << peak_qps
+     << R"(, "pract.serve_p99_at_halfpeak_ns.flat": )" << p99_ns
+     << R"(, "labels.bytes": )" << bytes << "}";
+  *mutable_member(doc, "gauges") = parse_json(os.str());
+  return doc;
+}
+
+TEST(BenchCompare, ThroughputGaugesGateDecreasesOnly) {
+  // A qps gauge doubling is an improvement; the increase-bad rule must not
+  // fire on it, and a drop past the threshold factor must.
+  const JsonValue base = gauge_fixture(1000, 5000, 4096);
+  const CompareReport faster =
+      compare_bench_json(base, gauge_fixture(2000, 5000, 4096), CompareOptions{});
+  EXPECT_TRUE(faster.ok()) << "a throughput increase regressed";
+  // Default threshold 20%: the symmetric bound gates next < base / 1.2.
+  const CompareReport small_drop =
+      compare_bench_json(base, gauge_fixture(900, 5000, 4096), CompareOptions{});
+  EXPECT_TRUE(small_drop.ok());
+  const CompareReport big_drop =
+      compare_bench_json(base, gauge_fixture(800, 5000, 4096), CompareOptions{});
+  EXPECT_EQ(big_drop.num_regressions(), 1u);
+  for (const CompareRow& row : big_drop.rows) {
+    if (row.metric == "gauge.pract.serve_peak_qps.flat") {
+      EXPECT_TRUE(row.regressed);
+    }
+  }
+}
+
+TEST(BenchCompare, LatencyGaugesUseWallThresholdNotStructural) {
+  // +30% on an `_ns` gauge: over the 5% structural threshold but under the
+  // 20-times-looser wall threshold it actually gates through.
+  const JsonValue base = gauge_fixture(1000, 5000, 4096);
+  CompareOptions options;
+  options.threshold_pct = 50.0;
+  const CompareReport noisy =
+      compare_bench_json(base, gauge_fixture(1000, 6500, 4096), options);
+  EXPECT_TRUE(noisy.ok()) << "+30% latency gauge regressed at a 50% threshold";
+  const CompareReport slow =
+      compare_bench_json(base, gauge_fixture(1000, 9000, 4096), options);
+  EXPECT_EQ(slow.num_regressions(), 1u);
+  // Latency dropping is an improvement, never a regression.
+  const CompareReport fast =
+      compare_bench_json(base, gauge_fixture(1000, 100, 4096), options);
+  EXPECT_TRUE(fast.ok());
+}
+
+TEST(BenchCompare, StructuralGaugesKeepTheTighterThreshold) {
+  // +10% on a plain gauge: under the wall threshold, over the structural.
+  const CompareReport report = compare_bench_json(
+      gauge_fixture(1000, 5000, 4096), gauge_fixture(1000, 5000, 4506), CompareOptions{});
+  EXPECT_EQ(report.num_regressions(), 1u);
+  for (const CompareRow& row : report.rows) {
+    if (row.metric == "gauge.labels.bytes") {
+      EXPECT_TRUE(row.regressed);
+    }
+  }
+}
+
 TEST(BenchCompare, ThresholdIsConfigurable) {
   CompareOptions loose;
   loose.threshold_pct = 150.0;

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "algo/shortest_paths.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "lowerbound/gadget.hpp"
 #include "oracle/oracle.hpp"
 #include "rs/rs_graph.hpp"
@@ -89,6 +91,88 @@ TEST(WorkloadGenerator, ZipfSkewsTowardLowVertexIds) {
   // Uniform endpoints would put ~10% in the first decile; Zipf(1) puts the
   // bulk there.  Use a conservative threshold to stay seed-robust.
   EXPECT_GT(low, static_cast<std::size_t>(2 * samples * 2 / 10));
+}
+
+TEST(WorkloadGenerator, BlockMatchesStreamedNext) {
+  // The server pre-generates pairs via block(); serve-sim streams them via
+  // next().  Same seed, same stream — or the open- and closed-loop paths
+  // would silently answer different workloads.
+  Rng graph_rng(2);
+  const Graph g = gen::connected_gnm(100, 200, graph_rng);
+  for (const WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kZipf,
+                                  WorkloadKind::kNear, WorkloadKind::kFar}) {
+    WorkloadGenerator blocked(g, kind, 9);
+    WorkloadGenerator streamed(g, kind, 9);
+    const auto pairs = blocked.block(150);
+    ASSERT_EQ(pairs.size(), 150u);
+    for (const auto& pair : pairs) {
+      EXPECT_EQ(pair, streamed.next()) << workload_kind_name(kind);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, AllKindsSurviveSingleVertexGraph) {
+  // Degenerate bounds: one vertex, no arcs.  The near walk has nowhere to
+  // go, the far pools collapse to the root, zipf's CDF has one entry.
+  const Graph g = GraphBuilder(1).build();
+  for (const WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kZipf,
+                                  WorkloadKind::kNear, WorkloadKind::kFar}) {
+    WorkloadGenerator w(g, kind, 3);
+    for (int i = 0; i < 50; ++i) {
+      const auto [u, v] = w.next();
+      EXPECT_EQ(u, 0u) << workload_kind_name(kind);
+      EXPECT_EQ(v, 0u) << workload_kind_name(kind);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, NearAndFarStayReachableOnDisconnectedGraphs) {
+  // Two components (a path and a cycle) plus an isolated vertex.  Near
+  // pairs follow real arcs out of u, so they cannot cross components; far
+  // pairs come from the BFS quartiles of the highest-degree root, so both
+  // endpoints live in that root's component.  Either way every generated
+  // pair has a finite distance — uniform on this graph would not.
+  GraphBuilder builder(11);
+  for (Vertex v = 0; v + 1 < 5; ++v) builder.add_edge(v, v + 1);  // path 0..4
+  for (Vertex v = 5; v < 10; ++v) builder.add_edge(v, 5 + (v - 4) % 5);  // cycle 5..9
+  const Graph g = builder.build();  // vertex 10 stays isolated
+  for (const WorkloadKind kind : {WorkloadKind::kNear, WorkloadKind::kFar}) {
+    WorkloadGenerator w(g, kind, 17);
+    for (int i = 0; i < 300; ++i) {
+      const auto [u, v] = w.next();
+      ASSERT_LT(u, g.num_vertices());
+      ASSERT_LT(v, g.num_vertices());
+      EXPECT_NE(sssp_distances(g, u)[v], kInfDist)
+          << workload_kind_name(kind) << " produced unreachable pair " << u << "->" << v;
+    }
+  }
+}
+
+TEST(RunSim, BatchedLatencyChargesFullBlockTime) {
+  // The batched path answers a whole block per kernel call, and every
+  // query in the block completes when the call returns — so each query is
+  // charged the block's wall time, and the sketch's total is roughly
+  // block-size times the scalar path's total (within kernel speedup).
+  // The answers themselves must not move.
+  Rng rng(4);
+  const Graph g = gen::connected_gnm(200, 400, rng);
+  SimConfig scalar = smoke_config(OracleKind::kPllFlat, WorkloadKind::kUniform);
+  scalar.num_queries = 2048;  // kQueryChunks=64 chunks of 32: full blocks
+  scalar.warmup = 0;
+  scalar.batch = 1;
+  SimConfig batched = scalar;
+  batched.batch = 32;
+  metrics::registry().reset();
+  const SimResult rs = run_sim(g, scalar);
+  metrics::registry().reset();
+  const SimResult rb = run_sim(g, batched);
+  EXPECT_EQ(rs.checksum, rb.checksum);
+  EXPECT_EQ(rs.reachable, rb.reachable);
+  EXPECT_EQ(rs.latency_ns.count(), rb.latency_ns.count());
+  // 32 queries each charged the full 32-query block: the batched total is
+  // many times the scalar total even after SIMD speedup.  A conservative
+  // 2x bound keeps the test robust to scheduling noise.
+  EXPECT_GT(rb.latency_ns.sum(), 2 * rs.latency_ns.sum());
 }
 
 TEST(RunSim, GadgetLatencyQuantilesAreMonotoneAcrossOracles) {

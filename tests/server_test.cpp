@@ -1,0 +1,364 @@
+#include "oracle/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "oracle/oracle.hpp"
+#include "oracle/serve.hpp"
+#include "util/bench_schema.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace hublab::serve {
+namespace {
+
+const Graph& test_graph() {
+  static const Graph g = [] {
+    Rng rng(1);
+    return gen::connected_gnm(200, 400, rng);
+  }();
+  return g;
+}
+
+/// One PLL-flat oracle shared across the suite (the build dominates the
+/// per-test cost, and run_server_on never mutates it).
+const DistanceOracle& test_oracle() {
+  static const std::unique_ptr<DistanceOracle> oracle = [] {
+    SimConfig build;
+    build.oracle = OracleKind::kPllFlat;
+    return make_oracle(test_graph(), build);
+  }();
+  return *oracle;
+}
+
+ServerConfig base_config() {
+  ServerConfig config;
+  config.oracle = OracleKind::kPllFlat;
+  config.workload = WorkloadKind::kUniform;
+  config.num_queries = 500;
+  config.seed = 7;
+  config.qps = 500e3;
+  config.register_metrics = false;
+  return config;
+}
+
+/// The deterministic overload shape: virtual time, 4 workers at a simulated
+/// 1M queries/s each, offered 4x that against a small ring.
+ServerConfig overload_config() {
+  ServerConfig config = base_config();
+  config.workers = 4;
+  config.batch = 8;
+  config.timing = TimingMode::kVirtual;
+  config.virtual_service_ns = 1000;
+  config.qps = 16e6;
+  config.ring_capacity = 32;
+  config.admission = AdmissionPolicy::kShed;
+  return config;
+}
+
+TEST(ServeOpen, EnumNamesRoundTripThroughParse) {
+  for (const ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBurst}) {
+    EXPECT_EQ(parse_arrival_kind(arrival_kind_name(kind)), kind);
+  }
+  for (const AdmissionPolicy policy : {AdmissionPolicy::kShed, AdmissionPolicy::kBlock}) {
+    EXPECT_EQ(parse_admission_policy(admission_policy_name(policy)), policy);
+  }
+  for (const TimingMode mode : {TimingMode::kWall, TimingMode::kVirtual}) {
+    EXPECT_EQ(parse_timing_mode(timing_mode_name(mode)), mode);
+  }
+  EXPECT_FALSE(parse_arrival_kind("uniform").has_value());
+  EXPECT_FALSE(parse_admission_policy("drop").has_value());
+  EXPECT_FALSE(parse_timing_mode("simulated").has_value());
+}
+
+TEST(ServeOpen, RejectsInvalidConfigs) {
+  ServerConfig config = base_config();
+  config.qps = 0.0;
+  EXPECT_THROW((void)run_server_on(test_graph(), test_oracle(), config), InvalidArgument);
+  config = base_config();
+  config.num_queries = 0;
+  EXPECT_THROW((void)run_server_on(test_graph(), test_oracle(), config), InvalidArgument);
+  const Graph empty;
+  EXPECT_THROW((void)run_server(empty, base_config()), InvalidArgument);
+}
+
+TEST(ServeOpen, BlockAdmissionAnswersEveryQuery) {
+  ServerConfig config = base_config();
+  config.admission = AdmissionPolicy::kBlock;
+  config.workers = 2;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config);
+  EXPECT_EQ(r.offered, config.num_queries);
+  EXPECT_EQ(r.completed, config.num_queries);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.workers, 2u);
+  EXPECT_GT(r.checksum, 0u);
+  EXPECT_GT(r.achieved_qps, 0.0);
+  EXPECT_GT(r.space_bytes, 0u);
+  EXPECT_GT(r.space_bytes_flat, 0u);
+  // Untrimmed completions all land in the latency sketch.
+  EXPECT_EQ(r.latency_ns.count() + r.trimmed_warmup + r.trimmed_cooldown, r.completed);
+}
+
+TEST(ServeOpen, ChecksumMatchesDirectOracleLoop) {
+  // kBlock answers the whole pre-generated stream, so the served checksum
+  // must equal a plain sequential loop over the same WorkloadGenerator
+  // pairs against the same oracle.
+  ServerConfig config = base_config();
+  config.admission = AdmissionPolicy::kBlock;
+  config.workers = 3;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config);
+
+  WorkloadGenerator workload(test_graph(), config.workload, config.seed);
+  const auto pairs = workload.block(config.num_queries);
+  std::uint64_t checksum = 0;
+  std::uint64_t reachable = 0;
+  for (const auto& [s, t] : pairs) {
+    const Dist d = test_oracle().distance(s, t);
+    if (d != kInfDist) {
+      checksum += d;
+      ++reachable;
+    }
+  }
+  EXPECT_EQ(r.checksum, checksum);
+  EXPECT_EQ(r.reachable, reachable);
+}
+
+TEST(ServeOpen, WorkerCountDoesNotChangeAnswersUnderBlock) {
+  // The determinism contract: with kBlock admission the answered set is
+  // schedule-independent, so 1 and 4 workers agree on every counted thing.
+  ServerConfig one = base_config();
+  one.admission = AdmissionPolicy::kBlock;
+  one.workers = 1;
+  ServerConfig four = one;
+  four.workers = 4;
+  const ServerResult r1 = run_server_on(test_graph(), test_oracle(), one);
+  const ServerResult r4 = run_server_on(test_graph(), test_oracle(), four);
+  EXPECT_EQ(r1.offered, r4.offered);
+  EXPECT_EQ(r1.completed, r4.completed);
+  EXPECT_EQ(r1.checksum, r4.checksum);
+  EXPECT_EQ(r1.reachable, r4.reachable);
+  EXPECT_EQ(r1.latency_ns.count(), r4.latency_ns.count());
+}
+
+TEST(ServeOpen, BatchedDrainMatchesScalarChecksum) {
+  // batch >= 2 routes through distance_batch (the SIMD kernel on the flat
+  // oracle); batch == 1 is the per-query scalar path.  Same answers.
+  ServerConfig scalar = base_config();
+  scalar.admission = AdmissionPolicy::kBlock;
+  scalar.batch = 1;
+  ServerConfig batched = scalar;
+  batched.batch = 32;
+  const ServerResult rs = run_server_on(test_graph(), test_oracle(), scalar);
+  const ServerResult rb = run_server_on(test_graph(), test_oracle(), batched);
+  EXPECT_EQ(rs.checksum, rb.checksum);
+  EXPECT_EQ(rs.reachable, rb.reachable);
+  EXPECT_EQ(rs.completed, rb.completed);
+}
+
+TEST(ServeOpen, VirtualOverloadShedsDeterministically) {
+  const ServerConfig config = overload_config();
+  const ServerResult first = run_server_on(test_graph(), test_oracle(), config);
+  const ServerResult second = run_server_on(test_graph(), test_oracle(), config);
+  // Offered 4x the simulated capacity against a small ring: shedding is
+  // mandatory, and completed + rejected partitions the offered stream.
+  EXPECT_GT(first.rejected, 0u);
+  EXPECT_EQ(first.completed + first.rejected, first.offered);
+  // Byte-identical rerun: counts, answers, and the simulated telemetry.
+  EXPECT_EQ(first.rejected, second.rejected);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.checksum, second.checksum);
+  EXPECT_EQ(first.reachable, second.reachable);
+  EXPECT_EQ(first.trimmed_warmup, second.trimmed_warmup);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(first.latency_ns.quantile(q), second.latency_ns.quantile(q));
+    EXPECT_EQ(first.queue_depth.quantile(q), second.queue_depth.quantile(q));
+  }
+  EXPECT_EQ(first.latency_ns.count(), second.latency_ns.count());
+  EXPECT_EQ(first.latency_ns.max(), second.latency_ns.max());
+  ASSERT_EQ(first.windows.size(), second.windows.size());
+  for (std::size_t i = 0; i < first.windows.size(); ++i) {
+    EXPECT_EQ(first.windows[i].index, second.windows[i].index);
+    EXPECT_EQ(first.windows[i].queries, second.windows[i].queries);
+    EXPECT_EQ(first.windows[i].offered, second.windows[i].offered);
+    EXPECT_EQ(first.windows[i].rejected, second.windows[i].rejected);
+    EXPECT_EQ(first.windows[i].p99_ns, second.windows[i].p99_ns);
+  }
+  EXPECT_EQ(first.exemplars.count(), second.exemplars.count());
+}
+
+TEST(ServeOpen, VirtualSubCapacityShedsNothing) {
+  ServerConfig config = overload_config();
+  config.qps = 200e3;  // well under 4 workers x 1M/s simulated
+  config.ring_capacity = 1024;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.completed, r.offered);
+  // Simulated arrival-to-completion is at least the constant service time.
+  EXPECT_GE(r.latency_ns.quantile(0.5), config.virtual_service_ns);
+}
+
+TEST(ServeOpen, BurstArrivalsServeIdenticalAnswers) {
+  ServerConfig poisson = base_config();
+  poisson.admission = AdmissionPolicy::kBlock;
+  ServerConfig burst = poisson;
+  burst.arrival = ArrivalKind::kBurst;
+  burst.burst = 16;
+  const ServerResult rp = run_server_on(test_graph(), test_oracle(), poisson);
+  const ServerResult rb = run_server_on(test_graph(), test_oracle(), burst);
+  // The arrival process shapes latency, never the answered set.
+  EXPECT_EQ(rp.checksum, rb.checksum);
+  EXPECT_EQ(rp.completed, rb.completed);
+}
+
+TEST(ServeOpen, WarmupTrimExcludesHeadOfSchedule) {
+  // Virtual time makes the trim deterministic: arrivals span
+  // num_queries/qps seconds, and every completion is still checksummed.
+  ServerConfig config = overload_config();
+  config.qps = 1e6;      // schedule spans ~500us
+  config.warmup_ms = 10; // clamps to span/4: a deterministic head trim
+  config.ring_capacity = 4096;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config);
+  EXPECT_GT(r.trimmed_warmup, 0u);
+  EXPECT_EQ(r.latency_ns.count() + r.trimmed_warmup + r.trimmed_cooldown, r.completed);
+
+  ServerConfig no_trim = config;
+  no_trim.warmup_ms = 0;
+  const ServerResult all = run_server_on(test_graph(), test_oracle(), no_trim);
+  EXPECT_EQ(all.trimmed_warmup, 0u);
+  // Trimming is telemetry-only: the answered set does not change.
+  EXPECT_EQ(all.checksum, r.checksum);
+  EXPECT_EQ(all.completed, r.completed);
+}
+
+TEST(ServeOpen, CooldownTrimExcludesTailOfSchedule) {
+  ServerConfig config = overload_config();
+  config.qps = 1e6;
+  config.warmup_ms = 0;
+  config.cooldown_ms = 10;  // clamps to span/4: a deterministic tail trim
+  config.ring_capacity = 4096;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config);
+  EXPECT_GT(r.trimmed_cooldown, 0u);
+  EXPECT_EQ(r.trimmed_warmup, 0u);
+  EXPECT_EQ(r.latency_ns.count() + r.trimmed_cooldown, r.completed);
+}
+
+TEST(ServeOpen, WindowsPartitionUntrimmedCompletionsAndOffered) {
+  ServerConfig config = overload_config();
+  config.qps = 2e6;
+  config.window_ns = 100'000;  // the schedule spans several windows
+  config.warmup_ms = 0;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config);
+  ASSERT_FALSE(r.windows.empty());
+  std::uint64_t queries = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t prev_index = 0;
+  for (std::size_t i = 0; i < r.windows.size(); ++i) {
+    const WindowStats& w = r.windows[i];
+    if (i > 0) {
+      EXPECT_GT(w.index, prev_index);
+    }
+    prev_index = w.index;
+    EXPECT_LE(w.rejected, w.offered);
+    queries += w.queries;
+    offered += w.offered;
+    rejected += w.rejected;
+  }
+  EXPECT_EQ(queries, r.latency_ns.count());
+  EXPECT_EQ(offered, r.offered);
+  EXPECT_EQ(rejected, r.rejected);
+}
+
+TEST(ServeOpen, RunServerBuildsOracleAndReportsBuildTime) {
+  ServerConfig config = base_config();
+  config.num_queries = 200;
+  const ServerResult r = run_server(test_graph(), config);
+  // oracle_name is the implementation's self-reported name (the report's
+  // `oracle_impl` member), distinct from the configured kind string.
+  EXPECT_EQ(r.oracle_name, test_oracle().name());
+  EXPECT_GT(r.build_s, 0.0);
+  EXPECT_EQ(r.completed + r.rejected, r.offered);
+  EXPECT_GT(r.start_unix_ms, 0u);
+}
+
+#if HUBLAB_METRICS_ENABLED
+
+TEST(ServeOpen, PopulatesRegistryMetrics) {
+  metrics::registry().reset();
+  ServerConfig config = overload_config();
+  config.register_metrics = true;
+  (void)run_server_on(test_graph(), test_oracle(), config);
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t queries = 0;
+  for (const auto& c : metrics::registry().counters()) {
+    if (c.name == "serve.offered") offered = c.value;
+    if (c.name == "serve.rejected") rejected = c.value;
+    if (c.name == "serve.queries") queries = c.value;
+  }
+  EXPECT_EQ(offered, config.num_queries);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(queries + rejected, offered);
+  bool saw_depth = false;
+  for (const auto& s : metrics::registry().sketches()) {
+    saw_depth = saw_depth || s.name == "serve.queue_depth";
+  }
+  EXPECT_TRUE(saw_depth);
+  metrics::registry().reset();
+}
+
+#endif  // HUBLAB_METRICS_ENABLED
+
+TEST(ServeOpen, ReportValidatesAgainstBenchSchema) {
+  metrics::registry().reset();
+  Tracer tracer;
+  ServerConfig config = overload_config();
+  config.window_ns = 100'000;
+  const ServerResult r = run_server_on(test_graph(), test_oracle(), config, &tracer);
+  std::vector<SweepPoint> sweep;
+  sweep.push_back({config.qps, r.achieved_qps, r.completed, r.rejected,
+                   r.latency_ns.quantile(0.5), r.latency_ns.quantile(0.99)});
+
+  std::ostringstream os;
+  write_server_report_json(os, r, config, sweep, test_graph(), "connected-gnm", "deadbeef",
+                           true, tracer);
+  const JsonValue doc = parse_json(os.str());
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+
+  EXPECT_EQ(doc.find("bench")->string_value, "serve-open-pll-flat");
+  EXPECT_EQ(doc.find("admission")->string_value, "shed");
+  EXPECT_EQ(doc.find("arrival")->string_value, "poisson");
+  EXPECT_EQ(doc.find("timing")->string_value, "virtual");
+  EXPECT_EQ(doc.find("offered")->number_value, static_cast<double>(r.offered));
+  EXPECT_EQ(doc.find("rejected")->number_value, static_cast<double>(r.rejected));
+  EXPECT_EQ(doc.find("queries")->number_value, static_cast<double>(r.completed));
+  ASSERT_NE(doc.find("queue_depth"), nullptr);
+  ASSERT_NE(doc.find("latency_ns"), nullptr);
+  ASSERT_NE(doc.find("trimmed_warmup"), nullptr);
+  const JsonValue* windows = doc.find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_FALSE(windows->array_items.empty());
+  for (const JsonValue& w : windows->array_items) {
+    ASSERT_NE(w.find("offered"), nullptr);
+    ASSERT_NE(w.find("rejected"), nullptr);
+  }
+  const JsonValue* sweep_json = doc.find("sweep");
+  ASSERT_NE(sweep_json, nullptr);
+  ASSERT_EQ(sweep_json->array_items.size(), 1u);
+  ASSERT_NE(sweep_json->array_items[0].find("qps"), nullptr);
+  ASSERT_NE(sweep_json->array_items[0].find("achieved_qps"), nullptr);
+  ASSERT_NE(sweep_json->array_items[0].find("p99_ns"), nullptr);
+}
+
+}  // namespace
+}  // namespace hublab::serve

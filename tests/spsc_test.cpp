@@ -1,0 +1,134 @@
+#include "util/spsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace hublab {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoSingleThread) {
+  SpscRing<int> ring(8);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size_approx(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(SpscRing, RejectsWhenFullAndRecoversAfterPop) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  // Full: the admission-control signal.
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.size_approx(), 4u);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(4));
+  for (int expect = 1; expect <= 4; ++expect) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(SpscRing, WraparoundPreservesFifo) {
+  // Monotonic indices must stay correct across many times the capacity.
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (ring.try_push(next_push)) ++next_push;
+    std::uint64_t out = 0;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_GE(next_push, 100u * ring.capacity());
+}
+
+TEST(SpscRing, PopBulkDrainsInFifoBlocks) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ring.try_push(i));
+  std::vector<int> block(4, -1);
+  EXPECT_EQ(ring.pop_bulk(block.data(), 4), 4u);
+  EXPECT_EQ(block, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.pop_bulk(block.data(), 4), 4u);
+  EXPECT_EQ(block, (std::vector<int>{4, 5, 6, 7}));
+  // A partial tail block, then empty.
+  EXPECT_EQ(ring.pop_bulk(block.data(), 4), 2u);
+  EXPECT_EQ(block[0], 8);
+  EXPECT_EQ(block[1], 9);
+  EXPECT_EQ(ring.pop_bulk(block.data(), 4), 0u);
+}
+
+TEST(SpscRing, PopBulkLimitedByMaxItems) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ring.try_push(i));
+  int out = -1;
+  EXPECT_EQ(ring.pop_bulk(&out, 1), 1u);
+  EXPECT_EQ(out, 0);
+  std::vector<int> rest(8, -1);
+  EXPECT_EQ(ring.pop_bulk(rest.data(), 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rest[static_cast<std::size_t>(i)], i + 1);
+}
+
+/// The concurrency shape the server uses: one producer chunk, one consumer
+/// chunk, both hosted on the deterministic pool.  This is the tsan target
+/// for the ring's acquire/release pairing (tools/check.sh runs this suite
+/// under ThreadSanitizer).
+TEST(SpscRing, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::uint64_t received = 0;
+  std::uint64_t sum = 0;
+  bool ordered = true;
+  par::run_chunks(par::static_chunks(0, 2, 2), 2, [&](const par::ChunkRange& chunk) {
+    if (chunk.index == 0) {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        while (!ring.try_push(i)) par::yield();
+      }
+    } else {
+      std::uint64_t block[16];
+      std::uint64_t expect = 0;
+      while (expect < kItems) {
+        const std::size_t got = ring.pop_bulk(block, 16);
+        if (got == 0) {
+          par::yield();
+          continue;
+        }
+        for (std::size_t i = 0; i < got; ++i) {
+          ordered = ordered && block[i] == expect;
+          sum += block[i];
+          ++expect;
+        }
+      }
+      received = expect;
+    }
+  });
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+}
+
+}  // namespace
+}  // namespace hublab

@@ -11,12 +11,15 @@
 #   8. bench-compare: smoke runs vs bench/baselines/  (relaxed thresholds)
 #   9. trajectory: headline gauges appended to bench/trajectory.jsonl
 #  10. serve-sim smoke + SERVE_*.json schema validation + Prometheus dump
-#  11. perf-counters smoke: bench --perf-counters banner + schema-v3 hw
+#  11. open-loop serve smoke: `hublab serve` at low wall QPS (nothing
+#      shed) and under virtual-time overload (deterministic shedding),
+#      both reports schema-validated
+#  12. perf-counters smoke: bench --perf-counters banner + schema-v3 hw
 #      blocks (validated when the host has hardware counters, cleanly
 #      skipped where perf_event_open is unavailable)
-#  12. batch kernel: ISA-tier banner, HUBLAB_FORCE_SCALAR forced-scalar
+#  13. batch kernel: ISA-tier banner, HUBLAB_FORCE_SCALAR forced-scalar
 #      run, and the pract.batch_query_pct_of_scalar.gnm2000 <= 70 gate
-#  13. -Wall -Wextra -Werror build of the full tree  (preset werror)
+#  14. -Wall -Wextra -Werror build of the full tree  (preset werror)
 #
 # Exits non-zero on the first failing stage.  Run from anywhere.
 #
@@ -53,34 +56,35 @@ if [ "${1:-}" = "regen-baselines" ]; then
   exit 0
 fi
 
-stage "1/13 RelWithDebInfo build + tests"
+stage "1/14 RelWithDebInfo build + tests"
 cmake --preset dev
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
-stage "2/13 ASan+UBSan build + tests"
+stage "2/14 ASan+UBSan build + tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan -j "${jobs}"
 
-stage "3/13 TSan build + parallel-path tests"
+stage "3/14 TSan build + parallel-path tests"
 # The suites that drive util/parallel's pool with threads > 1: the pool
 # itself, every parallelized hub-labeling entry point, the flat kernel, the
-# threaded serve loop and the sketch merges it reduces with.  -fsanitize=
+# threaded serve loop and the sketch merges it reduces with, plus the open
+# -loop server's SPSC rings and generator/worker handoff.  -fsanitize=
 # thread aborts on the first data race (no recovery), so a green run means
 # zero reports.
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -j "${jobs}" \
-  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|BatchQuery|RunSim|QuantileSketch|PllBp'
+  -R 'StaticChunks|ResolveThreads|HardwareThreads|ParallelFor|RunChunks|ParallelDeterminism|FlatHubLabeling|BatchQuery|RunSim|QuantileSketch|PllBp|SpscRing|ServeOpen'
 
-stage "4/13 clang-tidy gate"
+stage "4/14 clang-tidy gate"
 cmake --build --preset dev --target run-tidy
 
-stage "5/13 hublab_lint (with header self-containment)"
+stage "5/14 hublab_lint (with header self-containment)"
 cmake --build --preset dev --target run-lint
 
-stage "6/13 hublab_lint SARIF artifact"
+stage "6/14 hublab_lint SARIF artifact"
 # Re-run the analyzer emitting SARIF (the CI-consumable artifact) and prove
 # the document is well-formed 2.1.0 with the full rule catalog.  Headers
 # were already probed in stage 5.
@@ -98,7 +102,7 @@ print(f"sarif: valid 2.1.0, {len(rules)} rules, {len(run['results'])} results")
 PY
 rm -f "${sarif_out}"
 
-stage "7/13 bench smoke + BENCH_*.json schema validation"
+stage "7/14 bench smoke + BENCH_*.json schema validation"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 repo_root="$(pwd -P)"
@@ -117,7 +121,7 @@ fi
 build/dev/tools/hublab validate-bench "${smoke_dir}"/BENCH_*.json
 echo "bench-smoke: ${bench_count} benches, ${json_count} schema-valid JSON files"
 
-stage "8/13 bench-compare vs committed baselines"
+stage "8/14 bench-compare vs committed baselines"
 # Wall-clock thresholds are deliberately loose here (different machines,
 # shared CI runners); structural metrics are seeded and should stay close.
 compare_failures=0
@@ -154,7 +158,7 @@ if [ "${bp_pct}" -gt 70 ]; then
 fi
 echo "bench-compare: bp construction at ${bp_pct}% of scalar (<= 70%)"
 
-stage "9/13 bench trajectory (headline gauges -> bench/trajectory.jsonl)"
+stage "9/14 bench trajectory (headline gauges -> bench/trajectory.jsonl)"
 # Append this run's headline practicality gauges to the committed history
 # so `git log -p bench/trajectory.jsonl` reads as a perf trajectory across
 # revisions.  One line per git revision: re-running check.sh at the same
@@ -179,6 +183,11 @@ assert any(k.startswith("pract.flat_query_pct_of_vector.") for k in headline), \
     "BENCH_query_oracles.json carries no pract.flat_query_pct_of_vector.* gauges"
 assert any(k.startswith("pract.batch_query_pct_of_scalar.") for k in headline), \
     "BENCH_query_oracles.json carries no pract.batch_query_pct_of_scalar.* gauges"
+for key, value in sorted(gauges("BENCH_serve_scaling.json").items()):
+    if key.startswith(("pract.serve_peak_qps.", "pract.serve_p99_at_halfpeak_ns.")):
+        headline[key] = value
+assert any(k.startswith("pract.serve_peak_qps.") for k in headline), \
+    "BENCH_serve_scaling.json carries no pract.serve_peak_qps.* gauges"
 
 rev = subprocess.check_output(
     ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
@@ -199,7 +208,7 @@ with open(path, "w") as fh:
 print(f"trajectory: {len(lines)} point(s), latest {json.dumps(headline)}")
 PY
 
-stage "10/13 serve-sim smoke + SERVE_*.json schema validation"
+stage "10/14 serve-sim smoke + SERVE_*.json schema validation"
 (cd "${smoke_dir}" \
   && "${repo_root}/build/dev/tools/hublab" gen gadget-g --b 2 --l 1 -o serve_graph.txt > /dev/null \
   && "${repo_root}/build/dev/tools/hublab" serve-sim serve_graph.txt \
@@ -213,7 +222,41 @@ grep -q "hublab_proc_peak_rss_bytes" "${smoke_dir}/SERVE_pll.prom"
 grep -q '"threads": 4' "${smoke_dir}/SERVE_pll_flat.json"
 echo "serve-sim: SERVE_*.json schema-valid, Prometheus dump has serve metrics"
 
-stage "11/13 perf-counters smoke + schema-v3 hw validation"
+stage "11/14 open-loop serve smoke (hublab serve, wall + virtual overload)"
+# Two runs against the gadget graph from stage 10: a wall-clock run at a
+# QPS the box trivially sustains (block admission: nothing is shed) and a
+# virtual-time overload run offering 8x the simulated capacity against a
+# small ring (shed admission: rejections are mandatory and deterministic).
+(cd "${smoke_dir}" \
+  && "${repo_root}/build/dev/tools/hublab" serve serve_graph.txt \
+       --oracle pll-flat --workload uniform --smoke --workers 2 \
+       --qps 20000 --admission block \
+       --json-out SERVE_open_low.json > /dev/null \
+  && "${repo_root}/build/dev/tools/hublab" serve serve_graph.txt \
+       --oracle pll-flat --workload uniform --smoke --workers 2 \
+       --timing virtual --virtual-service-ns 1000 --qps 16000000 \
+       --ring 64 --admission shed \
+       --json-out SERVE_open_overload.json > /dev/null)
+build/dev/tools/hublab validate-bench --quiet \
+  "${smoke_dir}/SERVE_open_low.json" "${smoke_dir}/SERVE_open_overload.json"
+python3 - "${smoke_dir}" <<'PY'
+import json, sys
+smoke_dir = sys.argv[1]
+with open(f"{smoke_dir}/SERVE_open_low.json") as fh:
+    low = json.load(fh)
+assert low["rejected"] == 0, f"low-QPS block run shed {low['rejected']} queries"
+assert low["queries"] == low["offered"], (low["queries"], low["offered"])
+with open(f"{smoke_dir}/SERVE_open_overload.json") as fh:
+    over = json.load(fh)
+assert over["rejected"] > 0, "virtual overload run shed nothing"
+assert over["queries"] + over["rejected"] == over["offered"], \
+    (over["queries"], over["rejected"], over["offered"])
+print(f"serve-open: low rejected=0/{low['offered']}, "
+      f"overload rejected={over['rejected']}/{over['offered']}")
+PY
+echo "serve-open: SERVE_open_*.json schema-valid, admission behaves at both extremes"
+
+stage "12/14 perf-counters smoke + schema-v3 hw validation"
 # The banner always states a verdict ("hardware ..." / "unavailable ...");
 # hw blocks in the JSON are required only on hardware-capable hosts —
 # containers and locked-down kernels degrade to the timer-only fallback.
@@ -234,7 +277,7 @@ else
   echo "perf-smoke: $(grep '^perf counters: ' "${perf_log}") -- hw blocks not required"
 fi
 
-stage "12/13 batch query kernel: tier banner, forced-scalar run, pct gate"
+stage "13/14 batch query kernel: tier banner, forced-scalar run, pct gate"
 # The batched kernel's three-tier dispatch must (a) report which ISA tier
 # it resolved, (b) degrade to the scalar tier under HUBLAB_FORCE_SCALAR=1
 # with the identity checks still green, and (c) keep its win on the sparse
@@ -268,7 +311,7 @@ if [ "${batch_pct}" -gt 70 ]; then
 fi
 echo "batch-kernel: batched queries at ${batch_pct}% of scalar on gnm2000 (<= 70%)"
 
-stage "13/13 Werror build"
+stage "14/14 Werror build"
 cmake --preset werror
 cmake --build --preset werror -j "${jobs}"
 

@@ -22,6 +22,7 @@
 #include "lowerbound/gadget.hpp"
 #include "oracle/oracle.hpp"
 #include "oracle/serve.hpp"
+#include "oracle/server.hpp"
 #include "rs/rs_graph.hpp"
 #include "sumindex/sumindex.hpp"
 #include "util/bench_compare.hpp"
@@ -496,6 +497,191 @@ int cmd_serve_sim(Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Open-loop concurrent query server (see oracle/server.hpp): build one
+/// oracle, generate a scheduled arrival stream at the offered --qps, serve
+/// it through per-worker SPSC rings feeding the batched kernel, and report
+/// arrival-to-completion latency, shed counts, and (with --qps-sweep) the
+/// whole throughput-vs-latency ladder in one SERVE_open_<oracle>.json.
+int cmd_serve(Args& args, std::ostream& out) {
+  const auto file = args.next_positional();
+  if (!file) {
+    throw InvalidArgument(
+        "serve: usage: serve GRAPH [--oracle pll|pll-flat|ch|bidij] "
+        "[--workload uniform|zipf|near|far] [--queries N] [--seed N] [--workers N] "
+        "[--qps RATE] [--qps-sweep R1,R2,...] [--arrival poisson|burst] [--burst N] "
+        "[--admission shed|block] [--ring N] [--batch N] [--timing wall|virtual] "
+        "[--virtual-service-ns N] [--warmup-ms MS] [--cooldown-ms MS] [--slow-query-ms MS] "
+        "[--window-ms MS] [--bp-roots N] [--smoke] [--perf-counters] "
+        "[--json-out FILE] [--prom-out FILE]");
+  }
+  serve::ServerConfig config;
+  if (const auto o = args.option("--oracle")) {
+    const auto kind = serve::parse_oracle_kind(*o);
+    if (!kind) {
+      throw InvalidArgument("serve: unknown oracle: " + *o + " (pll|pll-flat|ch|bidij)");
+    }
+    config.oracle = *kind;
+  }
+  if (const auto w = args.option("--workload")) {
+    const auto kind = serve::parse_workload_kind(*w);
+    if (!kind) {
+      throw InvalidArgument("serve: unknown workload: " + *w + " (uniform|zipf|near|far)");
+    }
+    config.workload = *kind;
+  }
+  if (const auto a = args.option("--arrival")) {
+    const auto kind = serve::parse_arrival_kind(*a);
+    if (!kind) throw InvalidArgument("serve: unknown arrival: " + *a + " (poisson|burst)");
+    config.arrival = *kind;
+  }
+  if (const auto a = args.option("--admission")) {
+    const auto policy = serve::parse_admission_policy(*a);
+    if (!policy) throw InvalidArgument("serve: unknown admission: " + *a + " (shed|block)");
+    config.admission = *policy;
+  }
+  if (const auto m = args.option("--timing")) {
+    const auto mode = serve::parse_timing_mode(*m);
+    if (!mode) throw InvalidArgument("serve: unknown timing: " + *m + " (wall|virtual)");
+    config.timing = *mode;
+  }
+  const bool smoke = args.flag("--smoke");
+  config.num_queries = args.option_u64("--queries", smoke ? 2000 : 20000);
+  config.seed = args.option_u64("--seed", 1);
+  config.workers = static_cast<std::size_t>(args.option_u64("--workers", 4));
+  config.qps = args.option_double("--qps", config.qps);
+  if (!(config.qps > 0.0)) throw InvalidArgument("serve: --qps must be > 0");
+  config.burst = args.option_u64("--burst", config.burst);
+  config.ring_capacity = static_cast<std::size_t>(
+      args.option_u64("--ring", config.ring_capacity));
+  config.batch = static_cast<std::size_t>(args.option_u64("--batch", config.batch));
+  config.virtual_service_ns =
+      args.option_u64("--virtual-service-ns", config.virtual_service_ns);
+  config.warmup_ms = args.option_u64("--warmup-ms", config.warmup_ms);
+  config.cooldown_ms = args.option_u64("--cooldown-ms", config.cooldown_ms);
+  config.bp_roots = static_cast<std::size_t>(args.option_u64("--bp-roots", kPllDefaultBpRoots));
+  const double slow_ms = args.option_double("--slow-query-ms", 0.0);
+  if (slow_ms < 0.0) throw InvalidArgument("serve: --slow-query-ms must be >= 0");
+  config.slow_query_ns = static_cast<std::uint64_t>(slow_ms * 1e6);
+  const double window_ms = args.option_double("--window-ms", 1000.0);
+  if (window_ms <= 0.0) throw InvalidArgument("serve: --window-ms must be > 0");
+  config.window_ns = static_cast<std::uint64_t>(window_ms * 1e6);
+
+  // The offered-load ladder: the base --qps alone, or every comma-separated
+  // rate of --qps-sweep (the report's `sweep` array; the last point is the
+  // one the full report describes).
+  std::vector<double> ladder;
+  if (const auto sweep_arg = args.option("--qps-sweep")) {
+    std::stringstream ss(*sweep_arg);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) continue;
+      double rate = 0.0;
+      try {
+        rate = std::stod(tok);
+      } catch (const std::exception&) {
+        throw InvalidArgument("serve: bad --qps-sweep entry: " + tok);
+      }
+      if (!(rate > 0.0)) throw InvalidArgument("serve: --qps-sweep rates must be > 0");
+      ladder.push_back(rate);
+    }
+    if (ladder.empty()) throw InvalidArgument("serve: --qps-sweep has no rates");
+  } else {
+    ladder.push_back(config.qps);
+  }
+
+  if (args.flag("--perf-counters")) {
+    perf::set_enabled(true);
+    out << "perf counters: " << perf::describe() << "\n";
+  }
+
+  const Graph g = io::load_edge_list(*file);
+  Tracer tracer;
+  // Build once, serve every ladder point against the same oracle.
+  std::unique_ptr<DistanceOracle> oracle;
+  double build_s = 0.0;
+  {
+    auto span = tracer.span("build-oracle");
+    Timer build_timer;
+    serve::SimConfig build_config;
+    build_config.oracle = config.oracle;
+    build_config.bp_roots = config.bp_roots;
+    build_config.threads = config.workers;
+    oracle = serve::make_oracle(g, build_config);
+    build_s = build_timer.elapsed_s();
+  }
+
+  std::vector<serve::SweepPoint> sweep;
+  serve::ServerResult result;
+  for (const double qps : ladder) {
+    config.qps = qps;
+    // Each point gets a clean registry so the final report (and any
+    // --prom-out dump) reflects the last point, not a sum over the ladder.
+    metrics::registry().reset();
+    result = serve::run_server_on(g, *oracle, config, &tracer);
+    sweep.push_back({qps, result.achieved_qps, result.completed, result.rejected,
+                     result.latency_ns.quantile(0.5), result.latency_ns.quantile(0.99)});
+    if (ladder.size() > 1) {
+      out << "  sweep qps=" << qps << ": achieved=" << result.achieved_qps
+          << " completed=" << result.completed << " rejected=" << result.rejected
+          << " p50_ns=" << result.latency_ns.quantile(0.5)
+          << " p99_ns=" << result.latency_ns.quantile(0.99) << "\n";
+    }
+  }
+  result.build_s = build_s;
+  metrics::registry()
+      .gauge("proc.peak_rss_bytes")
+      .set(static_cast<std::int64_t>(peak_rss_bytes()));
+
+  const QuantileSketch& lat = result.latency_ns;
+  out << "serve " << *file << ": oracle=" << result.oracle_name
+      << " workload=" << result.workload_name << " workers=" << result.workers
+      << " batch=" << config.batch << " admission="
+      << serve::admission_policy_name(config.admission)
+      << " timing=" << serve::timing_mode_name(config.timing) << "\n";
+  out << "  offered=" << result.offered << " (qps=" << result.offered_qps
+      << ") completed=" << result.completed << " rejected=" << result.rejected
+      << " achieved_qps=" << result.achieved_qps << "\n";
+  out << "  latency_ns: p50=" << lat.quantile(0.5) << " p90=" << lat.quantile(0.9)
+      << " p99=" << lat.quantile(0.99) << " p999=" << lat.quantile(0.999)
+      << " max=" << lat.max() << " (rank error <= " << lat.rank_error_bound() << ")\n";
+  out << "  queue_depth: p50=" << result.queue_depth.quantile(0.5)
+      << " p99=" << result.queue_depth.quantile(0.99)
+      << " max=" << result.queue_depth.max() << "\n";
+  out << "  trimmed: warmup=" << result.trimmed_warmup
+      << " cooldown=" << result.trimmed_cooldown
+      << " utilization_pct=" << result.worker_utilization_pct << "\n";
+  out << "  build_s=" << result.build_s << " space_bytes=" << result.space_bytes
+      << " serve_loop_s=" << result.serve_loop_s << "\n";
+  if (result.hw.valid) {
+    out << "  hw: ipc=" << result.hw.ipc() << " llc_miss_rate=" << result.hw.llc_miss_rate()
+        << " branch_miss_rate=" << result.hw.branch_miss_rate() << "\n";
+  }
+
+  const std::string json_path =
+      args.option("--json-out")
+          .value_or("SERVE_open_" + std::string(serve::oracle_kind_name(config.oracle)) +
+                    ".json");
+  {
+    std::ofstream json(json_path);
+    if (!json) throw Error("serve: cannot write " + json_path);
+    serve::write_server_report_json(json, result, config, sweep, g, *file, HUBLAB_GIT_REV,
+                                    smoke, tracer);
+    json.flush();
+    if (!json) throw Error("serve: cannot write " + json_path);
+  }
+  out << "serve JSON written to " << json_path << "\n";
+
+  if (const auto prom = args.option("--prom-out")) {
+    std::ofstream prom_out(*prom);
+    if (!prom_out) throw Error("serve: cannot write " + *prom);
+    write_prometheus_text(metrics::registry(), prom_out);
+    prom_out.flush();
+    if (!prom_out) throw Error("serve: cannot write " + *prom);
+    out << "prometheus dump written to " << *prom << "\n";
+  }
+  return 0;
+}
+
 /// Single-query attribution breakdown (docs/observability.md "Attributing
 /// tail latency"): build the chosen oracle, answer one s-t query through
 /// the QueryStats probe, and print label sizes, hubs scanned vs pruned,
@@ -675,7 +861,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
   if (args.empty()) {
     err << "usage: hublab "
            "<gen|stats|label|query|explain|verify|certify-gadget|sumindex|trace|serve-sim|"
-           "profile|validate-bench|bench-compare> ...\n";
+           "serve|profile|validate-bench|bench-compare> ...\n";
     return 2;
   }
   Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
@@ -692,6 +878,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (args[0] == "sumindex") return cmd_sumindex(rest, out);
     if (args[0] == "trace") return cmd_trace(rest, out);
     if (args[0] == "serve-sim") return cmd_serve_sim(rest, out);
+    if (args[0] == "serve") return cmd_serve(rest, out);
     if (args[0] == "explain") return cmd_explain(rest, out);
     if (args[0] == "validate-bench") return cmd_validate_bench(rest, out);
     if (args[0] == "bench-compare") return cmd_bench_compare(rest, out);
